@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduces Figure 12: normalized energy-delay product and memory
+ * usage of the EDP-optimal configuration at accuracy-loss budgets
+ * delta-e in {minimum, 1 %, 2 %, 4 %}.
+ *
+ * For every (w, u) combination the stand-in model measures delta-e;
+ * the analytic model prices EDP and table memory at paper scale; for
+ * each budget the cheapest-EDP configuration that meets it is
+ * reported, normalized to the minimum-delta-e configuration.
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+namespace {
+
+struct Candidate
+{
+    size_t w;
+    size_t u;
+    double deltaE;
+    double edp;
+    double memoryMb;
+};
+
+std::string
+formatMem(double mb)
+{
+    char buf[32];
+    if (mb >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.0fMB", mb);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fKB", mb * 1024.0);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Figure 12: EDP and memory vs accuracy budget", scale);
+
+    const std::vector<size_t> sizes = {4, 8, 16, 32, 64};
+    const std::vector<double> budgets = {0.0, 0.01, 0.02, 0.04};
+
+    size_t bi = 0;
+    for (nn::Benchmark b : nn::allBenchmarks()) {
+        core::BenchmarkModel bm =
+            core::buildBenchmarkModel(b, scale.options(577 + bi));
+        const nn::Dataset eval =
+            bench::cappedValidation(bm.validation, scale.evalCap);
+        const nn::NetworkShape shape = nn::paperBenchmarkShape(b);
+
+        // Sweep the configuration space once.
+        std::vector<Candidate> candidates;
+        double minDeltaE = std::numeric_limits<double>::max();
+        for (size_t w : sizes) {
+            for (size_t u : sizes) {
+                composer::ComposerConfig config;
+                config.weightClusters = w;
+                config.inputClusters = u;
+                config.treeDepth = 6;
+                composer::Composer comp(config);
+                composer::ReinterpretedModel model =
+                    comp.reinterpret(bm.network, bm.train);
+                const double deltaE =
+                    model.errorRate(eval) - bm.baselineError;
+
+                rna::PerfModelConfig pm;
+                pm.weightEntries = w;
+                pm.inputEntries = u;
+                rna::RnaPerfModel perf(rna::ChipConfig{}, pm);
+                const rna::PerfReport report = perf.estimate(shape);
+                candidates.push_back(
+                    {w, u, deltaE, report.edp(),
+                     double(perf.memoryBytes(shape)) / (1024 * 1024)});
+                minDeltaE = std::min(minDeltaE, deltaE);
+            }
+        }
+
+        // EDP-optimal configuration per budget, normalized to the
+        // minimum-delta-e budget's pick.
+        TextTable table({"dE budget", "config (w,u)", "measured dE",
+                         "norm. EDP", "memory"});
+        double referenceEdp = 0.0;
+        for (double budget : budgets) {
+            const double limit =
+                std::max(budget, minDeltaE + 1e-9);
+            const Candidate *best = nullptr;
+            for (const auto &c : candidates)
+                if (c.deltaE <= limit &&
+                    (best == nullptr || c.edp < best->edp))
+                    best = &c;
+            if (best == nullptr)
+                continue;
+            if (referenceEdp == 0.0)
+                referenceEdp = best->edp;
+            char de[16];
+            std::snprintf(de, sizeof(de), "%+.1f%%",
+                          best->deltaE * 100.0);
+            table.newRow()
+                .cell(budget == 0.0 ? "min"
+                                    : std::to_string(int(budget * 100))
+                                          + "%")
+                .cell("(" + std::to_string(best->w) + ", "
+                      + std::to_string(best->u) + ")")
+                .cell(std::string(de))
+                .cell(best->edp / referenceEdp, 3)
+                .cell(formatMem(best->memoryMb));
+        }
+        std::cout << nn::benchmarkName(b) << "\n";
+        table.print(std::cout);
+        std::cout << "\n";
+        ++bi;
+    }
+    std::cout
+        << "paper shape: relaxing the budget to 2% / 4% saves ~11% /\n"
+           "~15% EDP and cuts memory to 77% / 87% of the minimum-dE\n"
+           "configuration; largest models use 873MB (ImageNet) and\n"
+           "318MB (CIFAR-100) at minimal loss.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 14: the RAPIDNN area breakdown — chip level (RNA /
+ * memory / buffer / controller / other) and RNA level (crossbar /
+ * activation AM / encoding AM / other).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/chip.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Figure 14: RAPIDNN area breakdown", scale, false);
+
+    rna::Chip chip(rna::ChipConfig{});
+    const rna::ChipAreaBreakdown area = chip.chipArea();
+    const double total = area.total().mm2();
+
+    TextTable chipTable({"Chip component", "Area (mm^2)", "Share %",
+                         "paper %"});
+    chipTable.newRow().cell("RNA blocks").cell(area.rna.mm2(), 2)
+        .cell(100.0 * area.rna.mm2() / total, 1).cell("56.7");
+    chipTable.newRow().cell("Memory (data blocks)")
+        .cell(area.memory.mm2(), 2)
+        .cell(100.0 * area.memory.mm2() / total, 1).cell("38.2");
+    chipTable.newRow().cell("Buffer").cell(area.buffer.mm2(), 2)
+        .cell(100.0 * area.buffer.mm2() / total, 1).cell("3.4");
+    chipTable.newRow().cell("Controller")
+        .cell(area.controller.mm2(), 2)
+        .cell(100.0 * area.controller.mm2() / total, 1).cell("1.7");
+    chipTable.newRow().cell("Others (MUX etc.)")
+        .cell(area.other.mm2(), 2)
+        .cell(100.0 * area.other.mm2() / total, 1).cell("1.2");
+    chipTable.print(std::cout);
+
+    const rna::RnaAreaBreakdown rna = chip.rnaArea();
+    const double rnaTotal = rna.total().um2();
+    std::cout << "\n";
+    TextTable rnaTable({"RNA component", "Area (um^2)", "Share %",
+                        "paper %"});
+    rnaTable.newRow().cell("Crossbar memory")
+        .cell(rna.crossbar.um2(), 1)
+        .cell(100.0 * rna.crossbar.um2() / rnaTotal, 1).cell("87.8*");
+    rnaTable.newRow().cell("Counter bank")
+        .cell(rna.counter.um2(), 1)
+        .cell(100.0 * rna.counter.um2() / rnaTotal, 1).cell("-");
+    rnaTable.newRow().cell("Activation AM")
+        .cell(rna.activationAm.um2(), 1)
+        .cell(100.0 * rna.activationAm.um2() / rnaTotal, 1).cell("5.4");
+    rnaTable.newRow().cell("Encoding AM")
+        .cell(rna.encodingAm.um2(), 1)
+        .cell(100.0 * rna.encodingAm.um2() / rnaTotal, 1).cell("5.4");
+    rnaTable.newRow().cell("Other (MUX, drivers)")
+        .cell(rna.other.um2(), 1)
+        .cell(100.0 * rna.other.um2() / rnaTotal, 1).cell("1.2");
+    rnaTable.print(std::cout);
+    std::cout << "\n* the paper folds the counter into the crossbar "
+                 "share; the two AM\n  blocks total ~10.8% of the RNA "
+                 "in both accountings.\n";
+    return 0;
+}

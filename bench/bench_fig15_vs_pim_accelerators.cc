@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces Figure 15 and the Section 5.5 efficiency table: speedup
+ * and energy-efficiency improvement over the GPU baseline for
+ * DaDianNao, ISAAC, PipeLayer, RAPIDNN (1-chip) and RAPIDNN (8-chips,
+ * iso-area with ISAAC/PipeLayer), across the six benchmarks at paper
+ * scale; plus the GOPS/mm^2 and GOPS/W comparison.
+ *
+ * RAPIDNN latency is the pipelined steady-state (one inference per
+ * slowest stage), matching the paper's throughput-oriented deployment;
+ * the baselines use their published peak densities with utilization
+ * penalties for under-filling layers.
+ */
+
+#include <iostream>
+
+#include "baselines/gpu_model.hh"
+#include "baselines/published_models.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+namespace {
+
+struct Platform
+{
+    std::string name;
+    double seconds;
+    double joules;
+};
+
+std::vector<Platform>
+evaluate(const nn::NetworkShape &shape)
+{
+    std::vector<Platform> platforms;
+    for (const auto &params :
+         {baselines::dadiannaoParams(), baselines::isaacParams(),
+          baselines::pipelayerParams()}) {
+        baselines::PublishedModel model(params);
+        const auto report = model.estimate(shape);
+        platforms.push_back({params.name, report.latency.sec(),
+                             report.energy.j()});
+    }
+    for (size_t chips : {size_t(1), size_t(8)}) {
+        rna::ChipConfig chip;
+        chip.chips = chips;
+        rna::RnaPerfModel model(chip, rna::PerfModelConfig{});
+        const auto report = model.estimate(shape);
+        platforms.push_back(
+            {"RAPIDNN (" + std::to_string(chips) + "-chip)",
+             report.stageTime.sec(), report.energy.j()});
+    }
+    return platforms;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner(
+        "Figure 15: RAPIDNN vs PIM accelerators (normalized to GPU)",
+        scale, false);
+
+    baselines::GpuModel gpu;
+    std::vector<double> sumSpeedIsaac, sumSpeedPipe;
+    double speedIsaac = 0, speedPipe = 0, energyIsaac = 0,
+           energyPipe = 0;
+    size_t apps = 0;
+
+    for (nn::Benchmark b : nn::allBenchmarks()) {
+        const nn::NetworkShape shape = nn::paperBenchmarkShape(b);
+        const auto gpuReport = gpu.estimate(shape);
+        const auto platforms = evaluate(shape);
+
+        std::cout << nn::benchmarkName(b) << "\n";
+        TextTable table({"Platform", "Speedup vs GPU",
+                         "Energy eff. vs GPU"});
+        for (const auto &p : platforms) {
+            table.newRow().cell(p.name)
+                .cell(bench::times(gpuReport.latency.sec() / p.seconds))
+                .cell(bench::times(gpuReport.energy.j() / p.joules));
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+
+        const auto &isaac = platforms[1];
+        const auto &pipe = platforms[2];
+        const auto &rapid8 = platforms[4];
+        speedIsaac += isaac.seconds / rapid8.seconds;
+        speedPipe += pipe.seconds / rapid8.seconds;
+        energyIsaac += isaac.joules / rapid8.joules;
+        energyPipe += pipe.joules / rapid8.joules;
+        ++apps;
+    }
+
+    std::cout << "RAPIDNN (8-chip) vs baselines, mean over the six "
+                 "apps:\n"
+              << "  vs ISAAC:     " << bench::times(speedIsaac / apps)
+              << " speedup, " << bench::times(energyIsaac / apps)
+              << " energy  (paper: 48.1x, 68.4x)\n"
+              << "  vs PipeLayer: " << bench::times(speedPipe / apps)
+              << " speedup, " << bench::times(energyPipe / apps)
+              << " energy  (paper: 10.9x, 49.5x)\n\n";
+
+    // Section 5.5 computation-efficiency table.
+    const auto shape = nn::paperBenchmarkShape(nn::Benchmark::ImageNet);
+    rna::RnaPerfModel rapid(rna::ChipConfig{}, rna::PerfModelConfig{});
+    TextTable density({"Platform", "GOPS/s/mm^2", "GOPS/s/W",
+                       "paper density", "paper efficiency"});
+    density.newRow().cell("RAPIDNN")
+        .cell(rapid.gopsPerMm2(shape), 1)
+        .cell(rapid.gopsPerWatt(shape), 1)
+        .cell("1904.6").cell("839.1");
+    density.newRow().cell("ISAAC")
+        .cell(baselines::isaacParams().gopsPerMm2, 1)
+        .cell(baselines::isaacParams().gopsPerWatt, 1)
+        .cell("479.0").cell("380.7");
+    density.newRow().cell("PipeLayer")
+        .cell(baselines::pipelayerParams().gopsPerMm2, 1)
+        .cell(baselines::pipelayerParams().gopsPerWatt, 1)
+        .cell("1485.1").cell("142.9");
+    density.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 16: speedup and energy efficiency of RAPIDNN
+ * against the digital ASIC accelerators Eyeriss and SnaPEA on the four
+ * ImageNet topologies, normalized to Eyeriss.
+ */
+
+#include <iostream>
+
+#include "baselines/published_models.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner(
+        "Figure 16: RAPIDNN vs ASIC accelerators (norm. to Eyeriss)",
+        scale, false);
+
+    baselines::PublishedModel eyeriss(baselines::eyerissParams());
+    baselines::PublishedModel snapea(baselines::snapeaParams());
+    rna::RnaPerfModel rapid(rna::ChipConfig{}, rna::PerfModelConfig{});
+
+    double sumSpeedEye = 0, sumSpeedSna = 0;
+    double sumEnergyEye = 0, sumEnergySna = 0;
+    TextTable table({"Network", "SnaPEA speedup", "SnaPEA energy",
+                     "RAPIDNN speedup", "RAPIDNN energy"});
+    for (auto m : nn::allImageNetModels()) {
+        const nn::NetworkShape shape = nn::imageNetShape(m);
+        const auto eyeReport = eyeriss.estimate(shape);
+        const auto snaReport = snapea.estimate(shape);
+        const auto rapidReport = rapid.estimate(shape);
+        const double rapidSeconds = rapidReport.latency.sec();
+
+        table.newRow().cell(nn::imageNetModelName(m))
+            .cell(bench::times(eyeReport.latency.sec()
+                               / snaReport.latency.sec()))
+            .cell(bench::times(eyeReport.energy.j()
+                               / snaReport.energy.j()))
+            .cell(bench::times(eyeReport.latency.sec() / rapidSeconds))
+            .cell(bench::times(eyeReport.energy.j()
+                               / rapidReport.energy.j()));
+
+        sumSpeedEye += eyeReport.latency.sec() / rapidSeconds;
+        sumSpeedSna += snaReport.latency.sec() / rapidSeconds;
+        sumEnergyEye += eyeReport.energy.j() / rapidReport.energy.j();
+        sumEnergySna += snaReport.energy.j() / rapidReport.energy.j();
+    }
+    table.print(std::cout);
+
+    const double n = double(nn::allImageNetModels().size());
+    std::cout << "\nRAPIDNN means: vs Eyeriss "
+              << bench::times(sumSpeedEye / n) << " speedup / "
+              << bench::times(sumEnergyEye / n)
+              << " energy (paper: 4.8x / 28.2x);\n"
+              << "               vs SnaPEA  "
+              << bench::times(sumSpeedSna / n) << " speedup / "
+              << bench::times(sumEnergySna / n)
+              << " energy (paper: 2.3x / 14.3x)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 1: RAPIDNN parameters — per-block area/power, the
+ * RNA roll-up, the tile, and the 32-tile chip, recomputed from the
+ * cost-model anchors and the chip simulator's roll-up logic.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/chip.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Table 1: RAPIDNN parameters (1 tile / 32-tile chip)",
+                  scale, false);
+
+    rna::ChipConfig config;
+    rna::Chip chip(config);
+    const nvm::CostModel &m = config.cost;
+    const rna::RnaAreaBreakdown rna = chip.rnaArea();
+
+    TextTable blocks({"Block", "Size", "Area (um^2)", "Power (mW)",
+                      "paper area", "paper power"});
+    blocks.newRow().cell("Crossbar").cell("1K*1K")
+        .cell(m.crossbarArea.um2(), 1).cell(m.crossbarPower.mw(), 1)
+        .cell("3136").cell("3.7");
+    blocks.newRow().cell("Counter").cell("1k*12-bits")
+        .cell(m.counterArea.um2(), 1).cell(m.counterPower.mw(), 1)
+        .cell("538.6").cell("0.7");
+    blocks.newRow().cell("Activation").cell("64-rows")
+        .cell(m.amBlockArea.um2(), 1).cell(m.amBlockPower.mw(), 1)
+        .cell("83.2").cell("0.2");
+    blocks.newRow().cell("Encoder").cell("64-rows")
+        .cell(m.amBlockArea.um2(), 1).cell(m.amBlockPower.mw(), 1)
+        .cell("83.2").cell("0.2");
+    blocks.newRow().cell("Total RNA").cell("-")
+        .cell(rna.total().um2(), 1)
+        .cell((m.crossbarPower + m.counterPower + m.amBlockPower
+               + m.amBlockPower).mw(), 1)
+        .cell("3841").cell("4.8");
+    blocks.print(std::cout);
+
+    const double rnasPerTile = double(m.rnasPerTile);
+    const Area tileArea = rna.total() * rnasPerTile
+        + m.tileBufferArea;
+    const Power rnaPower = m.crossbarPower + m.counterPower
+        + m.amBlockPower + m.amBlockPower;
+    const Power tilePower = rnaPower * rnasPerTile + m.tileBufferPower;
+
+    std::cout << "\nTile: " << m.rnasPerTile << " RNAs, area "
+              << tileArea.mm2() << " mm^2 (paper 3.88), power "
+              << tilePower.w() << " W (paper 4.8)\n";
+
+    const rna::ChipAreaBreakdown area = chip.chipArea();
+    std::cout << "Chip (32 tiles alone): "
+              << (tileArea * double(m.tilesPerChip)).mm2()
+              << " mm^2 (paper Table 1: 124.1 = 32 x 3.88), power "
+              << chip.chipPower().w() << " W (paper 153.6)\n"
+              << "Chip (with data blocks/buffer/controller per the "
+                 "Figure 14 shares): " << area.total().mm2()
+              << " mm^2\n"
+              << "note: the paper's Table 1 total counts the tiles "
+                 "alone while its Figure 14\nassigns the tiles 56.7% "
+                 "of the chip; both accountings are printed here.\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table 2: the six DNN models and their float baseline
+ * error rates, trained on the synthetic stand-in datasets (see
+ * DESIGN.md "Substitutions"). Topology strings are the paper's; error
+ * rates are this repository's stand-ins, so absolute values differ
+ * while the complexity ordering (MNIST/HAR easy, CIFAR-100/ImageNet
+ * hard) is preserved.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Table 2: DNN models and baseline error rates", scale);
+
+    TextTable table({"Dataset", "Network Topology (paper)", "Classes",
+                     "Params", "Error (stand-in)", "Error (paper)"});
+    const char *paperError[] = {"1.5%", "3.6%", "1.7%", "14.4%",
+                                "42.3%", "28.5% (VGG-16 top-1)"};
+
+    size_t row = 0;
+    for (nn::Benchmark b : nn::allBenchmarks()) {
+        core::BenchmarkModel bm =
+            core::buildBenchmarkModel(b, scale.options(77 + row));
+        char err[16];
+        std::snprintf(err, sizeof(err), "%.1f%%",
+                      bm.baselineError * 100.0);
+        table.newRow()
+            .cell(nn::benchmarkName(b))
+            .cell(core::benchmarkTopologyString(b))
+            .cell(bm.train.classes())
+            .cell(bm.shape.totalParams())
+            .cell(std::string(err))
+            .cell(paperError[row]);
+        ++row;
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 4: RNA sharing — quality loss and computation
+ * efficiency (GOPS/mm^2) when 0-30 % of each layer's neurons share one
+ * RNA block. Accuracy comes from the functional stand-in models with
+ * conv-channel codebook merging; throughput density from the analytic
+ * model with the matching sharing fraction.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Table 4: RNA sharing quality loss / GOPS per mm^2",
+                  scale);
+
+    const std::vector<double> sharings = {0.0, 0.05, 0.10, 0.15, 0.20,
+                                          0.25, 0.30};
+
+    // The paper evaluates the four ImageNet networks; the trainable
+    // stand-ins here are the convolutional benchmarks.
+    const std::vector<nn::Benchmark> benches = {
+        nn::Benchmark::Cifar10, nn::Benchmark::Cifar100,
+        nn::Benchmark::ImageNet};
+
+    std::vector<std::string> header = {"Benchmark"};
+    for (double s : sharings)
+        header.push_back(std::to_string(int(s * 100)) + "%");
+    TextTable table(header);
+
+    for (size_t bi = 0; bi < benches.size(); ++bi) {
+        core::BenchmarkModel bm = core::buildBenchmarkModel(
+            benches[bi], scale.options(277 + bi));
+        Rng rng(17);
+        const nn::Dataset eval =
+            bench::cappedValidation(bm.validation, scale.evalCap);
+
+        table.newRow().cell(nn::benchmarkName(benches[bi]));
+        for (double s : sharings) {
+            composer::ComposerConfig config;
+            config.weightClusters = 64;
+            config.inputClusters = 64;
+            config.treeDepth = 6;
+            config.sharingFraction = s;
+            composer::Composer comp(config);
+            composer::ReinterpretedModel model =
+                comp.reinterpret(bm.network, bm.train);
+            const double err = model.errorRate(eval);
+            char cell[16];
+            std::snprintf(cell, sizeof(cell), "%+.1f%%",
+                          (err - bm.baselineError) * 100.0);
+            table.cell(std::string(cell));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper (quality loss, 64-entry codebooks):\n"
+              << "  AlexNet   0.1 0.1 0.2 0.4 0.6 0.9 1.1 %\n"
+              << "  VGGNet    0.3 0.3 0.3 0.5 0.7 1.1 1.5 %\n"
+              << "  GoogLeNet 0.5 0.5 0.5 0.7 1.0 1.5 1.9 %\n"
+              << "  ResNet    0.5 0.5 0.7 0.8 1.4 1.8 2.4 %\n\n";
+
+    TextTable density({"Sharing", "GOPS/s/mm^2", "paper"});
+    const char *paperDensity[] = {"1905", "2004", "2073", "2195",
+                                  "2335", "2483", "2661"};
+    const auto shape = nn::paperBenchmarkShape(nn::Benchmark::ImageNet);
+    for (size_t i = 0; i < sharings.size(); ++i) {
+        rna::ChipConfig chip;
+        chip.rnaSharing = sharings[i];
+        rna::RnaPerfModel model(chip, rna::PerfModelConfig{});
+        density.newRow()
+            .cell(std::to_string(int(sharings[i] * 100)) + "%")
+            .cell(model.gopsPerMm2(shape), 1)
+            .cell(paperDensity[i]);
+    }
+    density.print(std::cout);
+    return 0;
+}

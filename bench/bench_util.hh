@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures.
+ *
+ * Each bench binary prints paper-style rows. Accuracy experiments run
+ * trainable stand-ins at a reduced width/sample scale so the full
+ * bench suite completes in minutes; set RAPIDNN_FULL=1 to train the
+ * exact Table 2 widths (slower). Performance/energy experiments use
+ * the paper-scale layer shapes regardless of the environment, so
+ * hardware numbers never depend on the accuracy scale.
+ */
+
+#ifndef RAPIDNN_BENCH_BENCH_UTIL_HH
+#define RAPIDNN_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rapidnn.hh"
+
+namespace rapidnn::bench {
+
+/** Scale settings derived from the environment. */
+struct BenchScale
+{
+    double widthScale;    //!< hidden-width multiplier on Table 2
+    size_t samples;       //!< dataset size (0 = generator default)
+    size_t trainEpochs;
+    size_t evalCap;       //!< validation samples used for error rates
+
+    static BenchScale
+    fromEnv()
+    {
+        const char *full = std::getenv("RAPIDNN_FULL");
+        if (full != nullptr && full[0] == '1')
+            return {1.0, 0, 8, 300};
+        return {0.25, 700, 6, 175};
+    }
+
+    core::BenchmarkOptions
+    options(uint64_t seed = 77) const
+    {
+        core::BenchmarkOptions o;
+        o.samples = samples;
+        o.trainEpochs = trainEpochs;
+        o.widthScale = widthScale;
+        o.seed = seed;
+        return o;
+    }
+};
+
+/** Standard bench banner: what is being reproduced and at what scale. */
+inline void
+banner(const std::string &title, const BenchScale &scale,
+       bool usesStandIns = true)
+{
+    std::cout << "==========================================================\n"
+              << title << "\n"
+              << "==========================================================\n";
+    if (usesStandIns) {
+        std::cout << "stand-in scale: widthScale=" << scale.widthScale
+                  << " samples=" << (scale.samples ? scale.samples : 0)
+                  << " epochs=" << scale.trainEpochs
+                  << " (set RAPIDNN_FULL=1 for Table 2 widths)\n";
+    }
+    std::cout << "\n";
+}
+
+/** Cap a validation set for bounded error-rate evaluation. */
+inline nn::Dataset
+cappedValidation(const nn::Dataset &validation, size_t cap,
+                 uint64_t seed = 5)
+{
+    Rng rng(seed);
+    if (cap == 0 || validation.size() <= cap)
+        return validation.subset(validation.size(), rng);
+    return validation.subset(cap, rng);
+}
+
+/** Pretty "123.4x" ratio formatting. */
+inline std::string
+times(double ratio, int precision = 1)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, ratio);
+    return buf;
+}
+
+} // namespace rapidnn::bench
+
+#endif // RAPIDNN_BENCH_BENCH_UTIL_HH

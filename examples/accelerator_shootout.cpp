@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accelerator shoot-out: run the four published ImageNet topologies
+ * through every platform model in the repository — GPU roofline,
+ * DaDianNao, ISAAC, PipeLayer, Eyeriss, SnaPEA, and RAPIDNN in 1-chip
+ * and 8-chip deployments — and print per-network time/energy plus the
+ * throughput-density summary (the programme behind Figures 15/16).
+ *
+ *   build/examples/accelerator_shootout
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/gpu_model.hh"
+#include "baselines/published_models.hh"
+#include "core/rapidnn.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    std::vector<baselines::AcceleratorModelPtr> platforms;
+    platforms.push_back(std::make_unique<baselines::GpuModel>());
+    for (const auto &params :
+         {baselines::dadiannaoParams(), baselines::isaacParams(),
+          baselines::pipelayerParams(), baselines::eyerissParams(),
+          baselines::snapeaParams()})
+        platforms.push_back(
+            std::make_unique<baselines::PublishedModel>(params));
+
+    rna::RnaPerfModel rapid1({.cost = {}, .chips = 1},
+                             rna::PerfModelConfig{});
+    rna::RnaPerfModel rapid8({.cost = {}, .chips = 8},
+                             rna::PerfModelConfig{});
+
+    for (auto m : nn::allImageNetModels()) {
+        const nn::NetworkShape shape = nn::imageNetShape(m);
+        std::printf("%s  (%.2f G MACs, %.1f M params)\n",
+                    nn::imageNetModelName(m).c_str(),
+                    double(shape.totalMacs()) / 1e9,
+                    double(shape.totalParams()) / 1e6);
+        std::printf("  %-18s %14s %14s\n", "platform", "latency",
+                    "energy/inf");
+        for (const auto &platform : platforms) {
+            const auto report = platform->estimate(shape);
+            std::printf("  %-18s %11.3f ms %11.3f mJ\n",
+                        platform->name().c_str(),
+                        report.latency.ms(), report.energy.mj());
+        }
+        const auto r1 = rapid1.estimate(shape);
+        const auto r8 = rapid8.estimate(shape);
+        std::printf("  %-18s %11.3f ms %11.3f mJ  (stage %.1f us)\n",
+                    "RAPIDNN (1-chip)", r1.latency.ms(),
+                    r1.energy.mj(), r1.stageTime.us());
+        std::printf("  %-18s %11.3f ms %11.3f mJ  (stage %.1f us)\n\n",
+                    "RAPIDNN (8-chip)", r8.latency.ms(),
+                    r8.energy.mj(), r8.stageTime.us());
+    }
+
+    const auto vgg = nn::imageNetShape(nn::ImageNetModel::Vgg16);
+    std::printf("throughput density: RAPIDNN %.0f GOPS/mm^2, "
+                "%.0f GOPS/W\n", rapid1.gopsPerMm2(vgg),
+                rapid1.gopsPerWatt(vgg));
+    std::printf("                    (ISAAC 479.0 / 380.7, PipeLayer "
+                "1485.1 / 142.9 published)\n");
+    return 0;
+}

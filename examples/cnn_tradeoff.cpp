@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accuracy-efficiency trade-off exploration on a convolutional
+ * workload: sweep the codebook tree level (the accelerator's runtime
+ * knob, Section 3.1) and report delta-e, per-inference energy, EDP
+ * and table memory for each configuration — the programme behind the
+ * paper's Figures 10-12.
+ *
+ *   build/examples/cnn_tradeoff
+ */
+
+#include <cstdio>
+
+#include "core/rapidnn.hh"
+#include "rna/perf_model.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    // A CIFAR-like stand-in CNN.
+    core::BenchmarkOptions options;
+    options.samples = 500;
+    options.trainEpochs = 6;
+    options.widthScale = 0.25;
+    options.seed = 1200;
+    core::BenchmarkModel bm =
+        core::buildBenchmarkModel(nn::Benchmark::Cifar10, options);
+    std::printf("model: %s\n", bm.network.describe().c_str());
+    std::printf("float error: %.1f%%\n\n", bm.baselineError * 100.0);
+
+    const nn::NetworkShape paperShape =
+        nn::paperBenchmarkShape(nn::Benchmark::Cifar10);
+
+    std::printf("%-10s %-10s %-12s %-12s %-12s\n", "(w, u)",
+                "delta-e", "energy (mJ)", "norm. EDP", "memory (MB)");
+    double referenceEdp = 0.0;
+    for (size_t entries : {64, 32, 16, 8, 4}) {
+        composer::ComposerConfig cc;
+        cc.weightClusters = entries;
+        cc.inputClusters = entries;
+        cc.treeDepth = 6;
+        composer::Composer comp(cc);
+        composer::ReinterpretedModel model =
+            comp.reinterpret(bm.network, bm.train);
+        const double deltaE =
+            model.errorRate(bm.validation) - bm.baselineError;
+
+        rna::PerfModelConfig pm;
+        pm.weightEntries = entries;
+        pm.inputEntries = entries;
+        rna::RnaPerfModel perf(rna::ChipConfig{}, pm);
+        const rna::PerfReport report = perf.estimate(paperShape);
+        if (referenceEdp == 0.0)
+            referenceEdp = report.edp();
+
+        std::printf("(%2zu, %2zu)   %+8.1f%% %12.2f %12.3f %12.1f\n",
+                    entries, entries, deltaE * 100.0,
+                    report.energy.mj(), report.edp() / referenceEdp,
+                    double(perf.memoryBytes(paperShape))
+                        / (1024.0 * 1024.0));
+    }
+
+    std::printf("\nShrinking the codebooks walks down the tree one "
+                "level at a time:\neach level halves table rows "
+                "(memory, energy) and gives back a little\naccuracy — "
+                "the dynamic tunability the tree codebook exists "
+                "for.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Type-1 workload walk-through: the paper's three fully-connected
+ * benchmarks (MNIST / ISOLET / HAR stand-ins) end to end — train,
+ * compose, accelerate — with a side-by-side GPU-model comparison. This
+ * is the scenario the paper's introduction motivates: small dense
+ * classifiers whose GPU execution is dominated by overheads.
+ *
+ *   build/examples/fc_workloads
+ */
+
+#include <cstdio>
+
+#include "baselines/gpu_model.hh"
+#include "core/rapidnn.hh"
+
+using namespace rapidnn;
+
+int
+main()
+{
+    const std::vector<nn::Benchmark> apps = {
+        nn::Benchmark::Mnist, nn::Benchmark::Isolet,
+        nn::Benchmark::Har};
+    baselines::GpuModel gpu;
+
+    std::printf("%-8s %-10s %-10s %-10s %-12s %-12s\n", "app",
+                "float err", "rapid err", "delta-e", "speed vs GPU",
+                "energy vs GPU");
+
+    size_t seed = 900;
+    for (nn::Benchmark app : apps) {
+        // Reduced-scale stand-in (widthScale 0.25 => 128-wide hidden
+        // layers); raise to 1.0 to train the paper's exact topology.
+        core::BenchmarkOptions options;
+        options.samples = 600;
+        options.trainEpochs = 6;
+        options.widthScale = 0.25;
+        options.seed = seed++;
+        core::BenchmarkModel bm =
+            core::buildBenchmarkModel(app, options);
+
+        core::RapidnnConfig config;
+        config.composer.weightClusters = 64;
+        config.composer.inputClusters = 64;
+        config.composer.treeDepth = 6;
+        config.composer.maxIterations = 3;
+        config.composer.retrainEpochs = 1;
+        core::Rapidnn rapid(config);
+        core::RunReport report =
+            rapid.run(bm.network, bm.train, bm.validation);
+
+        // Hardware comparison at paper scale: shapes only.
+        const nn::NetworkShape shape = nn::paperBenchmarkShape(app);
+        const auto gpuReport = gpu.estimate(shape);
+        rna::RnaPerfModel perf(rna::ChipConfig{},
+                               rna::PerfModelConfig{});
+        const rna::PerfReport rapidReport = perf.estimate(shape);
+
+        std::printf("%-8s %8.1f%% %8.1f%% %+8.1f%% %11.0fx %11.0fx\n",
+                    nn::benchmarkName(app).c_str(),
+                    report.compose.baselineError * 100.0,
+                    report.acceleratorError * 100.0,
+                    report.deltaE() * 100.0,
+                    gpuReport.latency.sec()
+                        / rapidReport.stageTime.sec(),
+                    gpuReport.energy.j() / rapidReport.energy.j());
+    }
+
+    std::printf("\nThe FC apps show the paper's headline behaviour: "
+                "table-based inference\nrecovers float accuracy at "
+                "w=u=64 while the in-memory pipeline dwarfs the\n"
+                "overhead-bound GPU on both axes.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Common interface for baseline accelerator cost models.
+ *
+ * The paper compares RAPIDNN against the best configurations *reported
+ * in the baselines' papers* (Section 5.5) rather than re-implementing
+ * them; these models do the same, turning each paper's published
+ * throughput/efficiency figures into per-network time and energy via
+ * per-layer operation counts.
+ */
+
+#ifndef RAPIDNN_BASELINES_ACCELERATOR_MODEL_HH
+#define RAPIDNN_BASELINES_ACCELERATOR_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "nn/topology.hh"
+
+namespace rapidnn::baselines {
+
+/** Time/energy estimate of one inference on a baseline platform. */
+struct BaselineReport
+{
+    Time latency{};
+    Energy energy{};
+    uint64_t totalOps = 0;
+
+    double
+    gops() const
+    {
+        return latency.sec() > 0
+            ? static_cast<double>(totalOps) / latency.sec() / 1e9 : 0.0;
+    }
+};
+
+/**
+ * Abstract baseline platform.
+ */
+class AcceleratorModel
+{
+  public:
+    virtual ~AcceleratorModel() = default;
+
+    /** Platform name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Estimate one inference of the given network shape. */
+    virtual BaselineReport estimate(
+        const nn::NetworkShape &shape) const = 0;
+
+    /** Die area used for iso-area comparisons (mm^2). */
+    virtual double areaMm2() const = 0;
+};
+
+using AcceleratorModelPtr = std::unique_ptr<AcceleratorModel>;
+
+} // namespace rapidnn::baselines
+
+#endif // RAPIDNN_BASELINES_ACCELERATOR_MODEL_HH

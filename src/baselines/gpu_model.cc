@@ -1,0 +1,32 @@
+#include "baselines/gpu_model.hh"
+
+#include <algorithm>
+
+namespace rapidnn::baselines {
+
+BaselineReport
+GpuModel::estimate(const nn::NetworkShape &shape) const
+{
+    BaselineReport report;
+    report.totalOps = shape.totalOps();
+
+    double seconds = 0.0;
+    for (const auto &layer : shape.layers) {
+        const double flops = 2.0 * static_cast<double>(layer.macs());
+        // Weight + activation traffic at FP32.
+        const double bytes = 4.0 * (static_cast<double>(layer.params)
+                                    + static_cast<double>(layer.neurons)
+                                    + static_cast<double>(layer.fanIn));
+        const double compute =
+            flops / (_params.peakFlops * _params.sustainedFraction);
+        const double memory = bytes / _params.memoryBandwidth;
+        seconds += std::max(compute, memory)
+                 + _params.perLayerOverhead.sec();
+    }
+
+    report.latency = Time::seconds(seconds);
+    report.energy = Energy::joules(seconds * _params.boardPowerW);
+    return report;
+}
+
+} // namespace rapidnn::baselines

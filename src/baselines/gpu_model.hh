@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Roofline + launch-overhead model of the GTX 1080 GPU baseline.
+ *
+ * The paper measured GPU time/power with nvidia-smi on TensorFlow
+ * implementations. This model captures the two regimes that shape the
+ * paper's GPU comparison: big CNN layers approach the compute roof,
+ * while the small fully-connected workloads are dominated by kernel
+ * launch / framework overhead and memory traffic — which is exactly why
+ * RAPIDNN's speedups are largest on the Type-1 (FC) applications.
+ */
+
+#ifndef RAPIDNN_BASELINES_GPU_MODEL_HH
+#define RAPIDNN_BASELINES_GPU_MODEL_HH
+
+#include "baselines/accelerator_model.hh"
+
+namespace rapidnn::baselines {
+
+/** GPU device parameters (defaults: NVIDIA GTX 1080). */
+struct GpuParams
+{
+    double peakFlops = 8.873e12;     //!< FP32 peak
+    double sustainedFraction = 0.35; //!< achievable fraction on GEMM
+    double memoryBandwidth = 320e9;  //!< bytes/s
+    double boardPowerW = 180.0;      //!< TDP-class draw under load
+    Time perLayerOverhead = Time::microseconds(25.0); //!< launch+framework
+    double dieAreaMm2 = 314.0;
+};
+
+/**
+ * Per-layer roofline: time = max(flops/peak, bytes/bw) + overhead.
+ */
+class GpuModel : public AcceleratorModel
+{
+  public:
+    explicit GpuModel(GpuParams params = {}) : _params(params) {}
+
+    std::string name() const override { return "GPU (GTX 1080)"; }
+    BaselineReport estimate(const nn::NetworkShape &shape) const override;
+    double areaMm2() const override { return _params.dieAreaMm2; }
+
+    const GpuParams &params() const { return _params; }
+
+  private:
+    GpuParams _params;
+};
+
+} // namespace rapidnn::baselines
+
+#endif // RAPIDNN_BASELINES_GPU_MODEL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the accelerator models: power-of-two
+ * decomposition of repeat counters and the canonical signed-digit (CSD)
+ * form that implements the paper's "longest run of ones" optimization
+ * (e.g. a counter value of 15 = b1111 becomes 16 - 1: two addends
+ * instead of four).
+ */
+
+#ifndef RAPIDNN_COMMON_BITOPS_HH
+#define RAPIDNN_COMMON_BITOPS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rapidnn {
+
+/** One term of a shift-add decomposition: value << shift, added or
+ *  subtracted. */
+struct ShiftTerm
+{
+    uint8_t shift;   //!< left-shift amount (power of two)
+    bool negative;   //!< true when the term is subtracted
+
+    bool operator==(const ShiftTerm &) const = default;
+};
+
+/**
+ * Plain binary decomposition: one positive term per set bit.
+ * A counter of 9 (b1001) yields shifts {0, 3}.
+ */
+inline std::vector<ShiftTerm>
+binaryDecompose(uint64_t n)
+{
+    std::vector<ShiftTerm> terms;
+    for (uint8_t bit = 0; n != 0; ++bit, n >>= 1)
+        if (n & 1)
+            terms.push_back({bit, false});
+    return terms;
+}
+
+/**
+ * Canonical signed-digit decomposition. Runs of consecutive ones are
+ * collapsed into (2^(k+1) - 2^j), which generalizes the paper's
+ * run-of-ones rewriting and is provably minimal in nonzero digits.
+ * A counter of 15 (b1111) yields {+16, -1}: shifts {(4,+), (0,-)}.
+ */
+inline std::vector<ShiftTerm>
+csdDecompose(uint64_t n)
+{
+    std::vector<ShiftTerm> terms;
+    uint8_t bit = 0;
+    while (n != 0) {
+        if (n & 1) {
+            // Signed digit is +1 when the next bit is 0, else -1 and the
+            // carry ripples up (standard non-adjacent-form recoding).
+            if ((n & 3) == 3) {
+                terms.push_back({bit, true});
+                n += 1; // carry
+            } else {
+                terms.push_back({bit, false});
+                n -= 1;
+            }
+        }
+        n >>= 1;
+        ++bit;
+    }
+    return terms;
+}
+
+/** Evaluate a decomposition back to its integer value (for checking). */
+inline int64_t
+evaluateDecomposition(const std::vector<ShiftTerm> &terms)
+{
+    int64_t value = 0;
+    for (const auto &t : terms) {
+        int64_t term = static_cast<int64_t>(1) << t.shift;
+        value += t.negative ? -term : term;
+    }
+    return value;
+}
+
+/** Integer ceil(log2(n)) with ceilLog2(1) == 0. */
+inline uint32_t
+ceilLog2(uint64_t n)
+{
+    uint32_t bits = 0;
+    uint64_t cap = 1;
+    while (cap < n) {
+        cap <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Number of bits needed to index n distinct values (at least 1). */
+inline uint32_t
+indexBits(uint64_t n)
+{
+    return n <= 2 ? 1 : ceilLog2(n);
+}
+
+} // namespace rapidnn
+
+#endif // RAPIDNN_COMMON_BITOPS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Status-message and error helpers in the style used by architecture
+ * simulators: inform() for status, warn() for recoverable oddities,
+ * fatal() for user errors (clean exit), panic() for internal bugs (abort).
+ */
+
+#ifndef RAPIDNN_COMMON_LOGGING_HH
+#define RAPIDNN_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rapidnn {
+
+/** Verbosity levels for runtime status output. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/**
+ * Process-wide logging configuration.
+ *
+ * A single mutable level keeps the interface trivial; simulators are
+ * single-threaded per experiment in this codebase.
+ */
+class Logger
+{
+  public:
+    /** Get the process-wide verbosity. */
+    static LogLevel level() { return instance()._level; }
+
+    /** Set the process-wide verbosity. */
+    static void setLevel(LogLevel lvl) { instance()._level = lvl; }
+
+  private:
+    static Logger &
+    instance()
+    {
+        static Logger logger;
+        return logger;
+    }
+
+    LogLevel _level = LogLevel::Warn;
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational status message (level Info and above). */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    if (Logger::level() >= LogLevel::Info)
+        std::cerr << "info: " << detail::concat(args...) << "\n";
+}
+
+/** Print a debug trace message (level Debug only). */
+template <typename... Args>
+void
+debugLog(const Args &...args)
+{
+    if (Logger::level() >= LogLevel::Debug)
+        std::cerr << "debug: " << detail::concat(args...) << "\n";
+}
+
+/** Warn about a condition that might indicate misuse but is survivable. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (Logger::level() >= LogLevel::Warn)
+        std::cerr << "warn: " << detail::concat(args...) << "\n";
+}
+
+/**
+ * Terminate due to a user-correctable condition (bad configuration,
+ * invalid arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::cerr << "fatal: " << detail::concat(args...) << "\n";
+    std::exit(1);
+}
+
+/**
+ * Terminate due to an internal invariant violation (a bug in this
+ * library, never the user's fault). Aborts so a core/backtrace is kept.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::cerr << "panic: " << detail::concat(args...) << "\n";
+    std::abort();
+}
+
+/** Panic unless a library invariant holds. */
+#define RAPIDNN_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rapidnn::panic("assertion '", #cond, "' failed at ",          \
+                             __FILE__, ":", __LINE__, ": ", __VA_ARGS__);   \
+    } while (0)
+
+} // namespace rapidnn
+
+#endif // RAPIDNN_COMMON_LOGGING_HH

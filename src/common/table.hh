@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style rows with aligned columns.
+ */
+
+#ifndef RAPIDNN_COMMON_TABLE_HH
+#define RAPIDNN_COMMON_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rapidnn {
+
+/**
+ * Accumulates rows of strings and prints them with per-column widths.
+ * Cells may be added as strings or formatted numbers.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : _header(std::move(header))
+    {
+    }
+
+    /** Begin a fresh row. */
+    TextTable &
+    newRow()
+    {
+        _rows.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    TextTable &
+    cell(const std::string &text)
+    {
+        _rows.back().push_back(text);
+        return *this;
+    }
+
+    /** Append a numeric cell with fixed precision. */
+    TextTable &
+    cell(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        _rows.back().push_back(os.str());
+        return *this;
+    }
+
+    /** Append an integer cell. */
+    TextTable &
+    cell(int64_t value)
+    {
+        _rows.back().push_back(std::to_string(value));
+        return *this;
+    }
+
+    /** Append any other integer type as an integer cell. */
+    template <typename T>
+        requires std::is_integral_v<T>
+    TextTable &
+    cell(T v)
+    {
+        return cell(static_cast<int64_t>(v));
+    }
+
+    /** Render the table with a header rule. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<size_t> widths(_header.size());
+        for (size_t c = 0; c < _header.size(); ++c)
+            widths[c] = _header[c].size();
+        for (const auto &row : _rows)
+            for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < widths.size(); ++c) {
+                const std::string &text = c < row.size() ? row[c] : "";
+                os << "| " << std::left << std::setw(
+                    static_cast<int>(widths[c])) << text << " ";
+            }
+            os << "|\n";
+        };
+
+        emit(_header);
+        for (size_t c = 0; c < widths.size(); ++c)
+            os << "|" << std::string(widths[c] + 2, '-');
+        os << "|\n";
+        for (const auto &row : _rows)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace rapidnn
+
+#endif // RAPIDNN_COMMON_TABLE_HH

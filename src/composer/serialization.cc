@@ -1,0 +1,324 @@
+#include "composer/serialization.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rapidnn::composer {
+
+namespace {
+
+// ------------------------------------------------------------- writers
+
+void
+writeDoubles(std::ostream &os, const std::string &tag,
+             const std::vector<double> &values)
+{
+    os << tag << " " << values.size();
+    os << std::setprecision(17);
+    for (double v : values)
+        os << " " << v;
+    os << "\n";
+}
+
+void
+writeCodes(std::ostream &os, const std::string &tag,
+           const std::vector<uint16_t> &codes)
+{
+    os << tag << " " << codes.size();
+    for (uint16_t c : codes)
+        os << " " << c;
+    os << "\n";
+}
+
+void
+writeCodebook(std::ostream &os, const std::string &tag,
+              const quant::Codebook &cb)
+{
+    writeDoubles(os, tag, cb.values());
+}
+
+void
+writeActivation(std::ostream &os, const quant::ActivationTable &table,
+                nn::ActKind kind)
+{
+    os << "activation " << static_cast<int>(kind) << "\n";
+    writeDoubles(os, "act_inputs", table.inputs());
+    writeDoubles(os, "act_outputs", table.outputs());
+}
+
+void
+writeLayer(std::ostream &os, const RLayer &layer)
+{
+    os << "layer " << static_cast<int>(layer.kind) << " "
+       << layer.inCount << " " << layer.outCount << " " << layer.kernel
+       << " " << layer.inChannels << " " << (layer.samePadding ? 1 : 0)
+       << " " << layer.poolWindow << " " << layer.steps << "\n";
+
+    if (!layer.inputCodebook.empty())
+        writeCodebook(os, "input_codebook", layer.inputCodebook);
+    os << "weight_codebooks " << layer.weightCodebooks.size() << "\n";
+    for (const auto &cb : layer.weightCodebooks)
+        writeCodebook(os, "wcb", cb);
+    os << "weight_codes " << layer.weightCodes.size() << "\n";
+    for (const auto &codes : layer.weightCodes)
+        writeCodes(os, "codes", codes);
+    std::vector<double> bias(layer.bias.begin(), layer.bias.end());
+    writeDoubles(os, "bias", bias);
+    os << "product_tables " << layer.productTables.size() << "\n";
+    for (const auto &table : layer.productTables)
+        writeDoubles(os, "table", table);
+
+    if (layer.activation) {
+        writeActivation(os, *layer.activation, layer.activationKind);
+    } else {
+        os << "no_activation\n";
+    }
+
+    if (!layer.outputEncoder.empty())
+        writeCodebook(os, "output_encoder",
+                      layer.outputEncoder.target());
+    else
+        os << "no_output_encoder\n";
+
+    // Recurrent feedback path.
+    if (!layer.stateCodebook.empty()) {
+        writeCodebook(os, "state_codebook", layer.stateCodebook);
+        os << "state_weight_codebooks "
+           << layer.stateWeightCodebooks.size() << "\n";
+        for (const auto &cb : layer.stateWeightCodebooks)
+            writeCodebook(os, "swcb", cb);
+        os << "state_weight_codes " << layer.stateWeightCodes.size()
+           << "\n";
+        for (const auto &codes : layer.stateWeightCodes)
+            writeCodes(os, "codes", codes);
+        os << "state_product_tables "
+           << layer.stateProductTables.size() << "\n";
+        for (const auto &table : layer.stateProductTables)
+            writeDoubles(os, "table", table);
+    } else {
+        os << "no_state\n";
+    }
+
+    // Nested residual layers.
+    os << "inner " << layer.inner.size() << "\n";
+    for (const RLayer &inner : layer.inner)
+        writeLayer(os, inner);
+    os << "end_layer\n";
+}
+
+// ------------------------------------------------------------- readers
+
+std::string
+expectTag(std::istream &is, const std::string &want)
+{
+    std::string tag;
+    is >> tag;
+    RAPIDNN_ASSERT(is.good() || is.eof(),
+                   "model stream read failure near '", want, "'");
+    if (tag != want)
+        fatal("model format: expected '", want, "' got '", tag, "'");
+    return tag;
+}
+
+std::vector<double>
+readDoubles(std::istream &is, const std::string &tag)
+{
+    expectTag(is, tag);
+    size_t n = 0;
+    is >> n;
+    std::vector<double> values(n);
+    for (double &v : values)
+        is >> v;
+    if (!is)
+        fatal("model format: truncated '", tag, "' block");
+    return values;
+}
+
+std::vector<uint16_t>
+readCodes(std::istream &is, const std::string &tag)
+{
+    expectTag(is, tag);
+    size_t n = 0;
+    is >> n;
+    std::vector<uint16_t> codes(n);
+    for (auto &c : codes) {
+        unsigned v;
+        is >> v;
+        c = static_cast<uint16_t>(v);
+    }
+    if (!is)
+        fatal("model format: truncated '", tag, "' block");
+    return codes;
+}
+
+quant::Codebook
+readCodebook(std::istream &is, const std::string &tag)
+{
+    return quant::Codebook(readDoubles(is, tag));
+}
+
+RLayer
+readLayer(std::istream &is)
+{
+    expectTag(is, "layer");
+    RLayer layer;
+    int kind = 0, same = 0;
+    is >> kind >> layer.inCount >> layer.outCount >> layer.kernel
+       >> layer.inChannels >> same >> layer.poolWindow >> layer.steps;
+    layer.kind = static_cast<RLayerKind>(kind);
+    layer.samePadding = same != 0;
+
+    std::string tag;
+    is >> tag;
+    if (tag == "input_codebook") {
+        size_t n = 0;
+        is >> n;
+        std::vector<double> values(n);
+        for (double &v : values)
+            is >> v;
+        layer.inputCodebook = quant::Codebook(std::move(values));
+        expectTag(is, "weight_codebooks");
+    } else if (tag != "weight_codebooks") {
+        fatal("model format: unexpected tag '", tag, "'");
+    }
+
+    size_t count = 0;
+    is >> count;
+    for (size_t i = 0; i < count; ++i)
+        layer.weightCodebooks.push_back(readCodebook(is, "wcb"));
+
+    expectTag(is, "weight_codes");
+    is >> count;
+    for (size_t i = 0; i < count; ++i)
+        layer.weightCodes.push_back(readCodes(is, "codes"));
+
+    const std::vector<double> bias = readDoubles(is, "bias");
+    layer.bias.assign(bias.begin(), bias.end());
+
+    expectTag(is, "product_tables");
+    is >> count;
+    for (size_t i = 0; i < count; ++i)
+        layer.productTables.push_back(readDoubles(is, "table"));
+
+    is >> tag;
+    if (tag == "activation") {
+        int actKind = 0;
+        is >> actKind;
+        layer.activationKind = static_cast<nn::ActKind>(actKind);
+        auto inputs = readDoubles(is, "act_inputs");
+        auto outputs = readDoubles(is, "act_outputs");
+        RAPIDNN_ASSERT(inputs.size() == outputs.size() &&
+                       inputs.size() >= 2,
+                       "malformed activation table");
+        layer.activation = quant::ActivationTable::fromRows(
+            std::move(inputs), std::move(outputs));
+    } else if (tag != "no_activation") {
+        fatal("model format: unexpected tag '", tag, "'");
+    }
+
+    is >> tag;
+    if (tag == "output_encoder") {
+        size_t n = 0;
+        is >> n;
+        std::vector<double> values(n);
+        for (double &v : values)
+            is >> v;
+        layer.outputEncoder =
+            quant::Encoder(quant::Codebook(std::move(values)));
+    } else if (tag != "no_output_encoder") {
+        fatal("model format: unexpected tag '", tag, "'");
+    }
+
+    is >> tag;
+    if (tag == "state_codebook") {
+        size_t n = 0;
+        is >> n;
+        std::vector<double> values(n);
+        for (double &v : values)
+            is >> v;
+        layer.stateCodebook = quant::Codebook(std::move(values));
+        expectTag(is, "state_weight_codebooks");
+        is >> count;
+        for (size_t i = 0; i < count; ++i)
+            layer.stateWeightCodebooks.push_back(
+                readCodebook(is, "swcb"));
+        expectTag(is, "state_weight_codes");
+        is >> count;
+        for (size_t i = 0; i < count; ++i)
+            layer.stateWeightCodes.push_back(readCodes(is, "codes"));
+        expectTag(is, "state_product_tables");
+        is >> count;
+        for (size_t i = 0; i < count; ++i)
+            layer.stateProductTables.push_back(
+                readDoubles(is, "table"));
+    } else if (tag != "no_state") {
+        fatal("model format: unexpected tag '", tag, "'");
+    }
+
+    expectTag(is, "inner");
+    is >> count;
+    for (size_t i = 0; i < count; ++i)
+        layer.inner.push_back(readLayer(is));
+    expectTag(is, "end_layer");
+    return layer;
+}
+
+} // namespace
+
+void
+saveModel(const ReinterpretedModel &model, std::ostream &os)
+{
+    os << "rapidnn_model " << kModelFormatVersion << "\n";
+    writeCodebook(os, "input_encoder", model.inputEncoder().target());
+    os << "layers " << model.layers().size() << "\n";
+    for (const RLayer &layer : model.layers())
+        writeLayer(os, layer);
+    os << "end_model\n";
+}
+
+ReinterpretedModel
+loadModel(std::istream &is)
+{
+    expectTag(is, "rapidnn_model");
+    int version = 0;
+    is >> version;
+    if (version != kModelFormatVersion)
+        fatal("model format version ", version, " unsupported (want ",
+              kModelFormatVersion, ")");
+
+    ReinterpretedModel model;
+    model.inputEncoder() =
+        quant::Encoder(readCodebook(is, "input_encoder"));
+    expectTag(is, "layers");
+    size_t count = 0;
+    is >> count;
+    for (size_t i = 0; i < count; ++i)
+        model.layers().push_back(readLayer(is));
+    expectTag(is, "end_model");
+    return model;
+}
+
+void
+saveModelFile(const ReinterpretedModel &model, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    saveModel(model, os);
+}
+
+ReinterpretedModel
+loadModelFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return loadModel(is);
+}
+
+} // namespace rapidnn::composer

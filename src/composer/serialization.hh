@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reinterpreted-model serialization.
+ *
+ * The composer runs once per model (Table 3); deployments then load
+ * the composed tables directly. This module round-trips a
+ * ReinterpretedModel through a line-oriented text format — every
+ * codebook, encoded-weight vector, product table, activation table and
+ * encoder, including nested residual blocks and recurrent feedback
+ * tables — with full double precision.
+ */
+
+#ifndef RAPIDNN_COMPOSER_SERIALIZATION_HH
+#define RAPIDNN_COMPOSER_SERIALIZATION_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "composer/reinterpreted_model.hh"
+
+namespace rapidnn::composer {
+
+/** Current on-disk format version. */
+constexpr int kModelFormatVersion = 1;
+
+/** Write a model to a stream. */
+void saveModel(const ReinterpretedModel &model, std::ostream &os);
+
+/** Read a model from a stream. Fatal on malformed input. */
+ReinterpretedModel loadModel(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveModelFile(const ReinterpretedModel &model,
+                   const std::string &path);
+ReinterpretedModel loadModelFile(const std::string &path);
+
+} // namespace rapidnn::composer
+
+#endif // RAPIDNN_COMPOSER_SERIALIZATION_HH

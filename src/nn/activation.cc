@@ -1,0 +1,114 @@
+#include "nn/activation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nn {
+
+double
+actForward(ActKind kind, double y)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return y > 0.0 ? y : 0.0;
+      case ActKind::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-y));
+      case ActKind::Tanh:
+        return std::tanh(y);
+      case ActKind::Softsign:
+        return y / (1.0 + std::abs(y));
+      case ActKind::Identity:
+        return y;
+    }
+    panic("unknown activation kind");
+}
+
+double
+actDerivative(ActKind kind, double y)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return y > 0.0 ? 1.0 : 0.0;
+      case ActKind::Sigmoid: {
+        double s = 1.0 / (1.0 + std::exp(-y));
+        return s * (1.0 - s);
+      }
+      case ActKind::Tanh: {
+        double t = std::tanh(y);
+        return 1.0 - t * t;
+      }
+      case ActKind::Softsign: {
+        double d = 1.0 + std::abs(y);
+        return 1.0 / (d * d);
+      }
+      case ActKind::Identity:
+        return 1.0;
+    }
+    panic("unknown activation kind");
+}
+
+std::string
+actName(ActKind kind)
+{
+    switch (kind) {
+      case ActKind::ReLU: return "relu";
+      case ActKind::Sigmoid: return "sigmoid";
+      case ActKind::Tanh: return "tanh";
+      case ActKind::Softsign: return "softsign";
+      case ActKind::Identity: return "identity";
+    }
+    panic("unknown activation kind");
+}
+
+void
+actDefaultDomain(ActKind kind, double &lo, double &hi)
+{
+    switch (kind) {
+      case ActKind::Sigmoid:
+        // Sigmoid saturates to within 2^-10 outside roughly [-7, 7].
+        lo = -7.0;
+        hi = 7.0;
+        return;
+      case ActKind::Tanh:
+        lo = -4.0;
+        hi = 4.0;
+        return;
+      case ActKind::Softsign:
+        // Softsign saturates slowly; clip where |phi| > 0.95.
+        lo = -20.0;
+        hi = 20.0;
+        return;
+      case ActKind::ReLU:
+      case ActKind::Identity:
+        // Unbounded; callers normally override from observed data.
+        lo = -8.0;
+        hi = 8.0;
+        return;
+    }
+    panic("unknown activation kind");
+}
+
+Tensor
+ActivationLayer::forward(const Tensor &x, bool)
+{
+    _lastInput = x;
+    Tensor out = x;
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] = static_cast<float>(actForward(_kind, out[i]));
+    return out;
+}
+
+Tensor
+ActivationLayer::backward(const Tensor &gradOut)
+{
+    RAPIDNN_ASSERT(gradOut.shape() == _lastInput.shape(),
+                   "activation backward shape mismatch");
+    Tensor gradIn = gradOut;
+    for (size_t i = 0; i < gradIn.numel(); ++i)
+        gradIn[i] *= static_cast<float>(
+            actDerivative(_kind, _lastInput[i]));
+    return gradIn;
+}
+
+} // namespace rapidnn::nn

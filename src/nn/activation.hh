@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Activation functions, both as scalar math (used by the quantization
+ * toolkit to build lookup tables) and as network layers with backward
+ * passes.
+ */
+
+#ifndef RAPIDNN_NN_ACTIVATION_HH
+#define RAPIDNN_NN_ACTIVATION_HH
+
+#include <functional>
+#include <string>
+
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/** The activation functions the paper discusses (Section 2.2). */
+enum class ActKind { ReLU, Sigmoid, Tanh, Softsign, Identity };
+
+/** Scalar forward evaluation of an activation function. */
+double actForward(ActKind kind, double y);
+
+/** Scalar derivative of an activation function at input y. */
+double actDerivative(ActKind kind, double y);
+
+/** Printable name ("relu", "sigmoid", ...). */
+std::string actName(ActKind kind);
+
+/**
+ * Default saturation bounds [A, B] outside of which the function is
+ * treated as flat for table building (paper Figure 2c). For unbounded
+ * functions (ReLU/identity) the bounds are wide data-driven defaults.
+ */
+void actDefaultDomain(ActKind kind, double &lo, double &hi);
+
+/**
+ * Elementwise activation layer.
+ */
+class ActivationLayer : public Layer
+{
+  public:
+    explicit ActivationLayer(ActKind kind) : _kind(kind) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+
+    std::string name() const override
+    {
+        return "act(" + actName(_kind) + ")";
+    }
+    LayerKind kind() const override { return LayerKind::Activation; }
+
+    ActKind actKind() const { return _kind; }
+
+  private:
+    ActKind _kind;
+    Tensor _lastInput;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_ACTIVATION_HH

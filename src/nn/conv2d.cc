@@ -1,0 +1,111 @@
+#include "nn/conv2d.hh"
+
+#include <cmath>
+
+namespace rapidnn::nn {
+
+Conv2DLayer::Conv2DLayer(size_t inC, size_t outC, size_t k, Padding pad,
+                         Rng &rng)
+    : _inC(inC), _outC(outC), _k(k), _pad(pad),
+      _w(Shape{outC, inC, k, k}), _b(Shape{outC})
+{
+    // He-style uniform init suits the ReLU networks used in the paper.
+    const double fanIn = double(inC) * double(k) * double(k);
+    const double limit = std::sqrt(6.0 / fanIn);
+    for (size_t i = 0; i < _w.value.numel(); ++i)
+        _w.value[i] = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+Tensor
+Conv2DLayer::forward(const Tensor &x, bool)
+{
+    RAPIDNN_ASSERT(x.ndim() == 4 && x.dim(1) == _inC,
+                   "conv forward: got ", shapeToString(x.shape()),
+                   " want [B, ", _inC, ", H, W]");
+    _lastInput = x;
+    const size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const size_t oh = outSize(h), ow = outSize(w);
+    // 'Same' padding offset: kernel centred on the output pixel.
+    const long off = _pad == Padding::Same ? -long(_k / 2) : 0;
+
+    Tensor out({batch, _outC, oh, ow});
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t oc = 0; oc < _outC; ++oc) {
+            const float bias = _b.value[oc];
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t xo = 0; xo < ow; ++xo) {
+                    float acc = bias;
+                    for (size_t ic = 0; ic < _inC; ++ic) {
+                        for (size_t ky = 0; ky < _k; ++ky) {
+                            const long iy = long(y) + long(ky) + off;
+                            if (iy < 0 || iy >= long(h))
+                                continue;
+                            for (size_t kx = 0; kx < _k; ++kx) {
+                                const long ix = long(xo) + long(kx) + off;
+                                if (ix < 0 || ix >= long(w))
+                                    continue;
+                                acc += x.at(n, ic, size_t(iy), size_t(ix))
+                                     * _w.value.at(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(n, oc, y, xo) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Conv2DLayer::backward(const Tensor &gradOut)
+{
+    const Tensor &x = _lastInput;
+    const size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const size_t oh = outSize(h), ow = outSize(w);
+    const long off = _pad == Padding::Same ? -long(_k / 2) : 0;
+    RAPIDNN_ASSERT(gradOut.ndim() == 4 && gradOut.dim(1) == _outC &&
+                   gradOut.dim(2) == oh && gradOut.dim(3) == ow,
+                   "conv backward shape mismatch");
+
+    Tensor gradIn(x.shape());
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t oc = 0; oc < _outC; ++oc) {
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t xo = 0; xo < ow; ++xo) {
+                    const float g = gradOut.at(n, oc, y, xo);
+                    if (g == 0.0f)
+                        continue;
+                    _b.grad[oc] += g;
+                    for (size_t ic = 0; ic < _inC; ++ic) {
+                        for (size_t ky = 0; ky < _k; ++ky) {
+                            const long iy = long(y) + long(ky) + off;
+                            if (iy < 0 || iy >= long(h))
+                                continue;
+                            for (size_t kx = 0; kx < _k; ++kx) {
+                                const long ix = long(xo) + long(kx) + off;
+                                if (ix < 0 || ix >= long(w))
+                                    continue;
+                                const float xv =
+                                    x.at(n, ic, size_t(iy), size_t(ix));
+                                _w.grad.at(oc, ic, ky, kx) += g * xv;
+                                gradIn.at(n, ic, size_t(iy), size_t(ix)) +=
+                                    g * _w.value.at(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return gradIn;
+}
+
+std::string
+Conv2DLayer::name() const
+{
+    return "conv(" + std::to_string(_inC) + "->" + std::to_string(_outC) +
+           ", " + std::to_string(_k) + "x" + std::to_string(_k) + ")";
+}
+
+} // namespace rapidnn::nn

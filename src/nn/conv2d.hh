@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 2-D convolution layer over [B, C, H, W] batches.
+ *
+ * Direct (non-im2col) loops with 'same' or 'valid' padding, stride 1.
+ * The weight tensor is [outC, inC, kH, kW]; the composer clusters it per
+ * output channel as the paper prescribes (Section 3.1).
+ */
+
+#ifndef RAPIDNN_NN_CONV2D_HH
+#define RAPIDNN_NN_CONV2D_HH
+
+#include "common/rng.hh"
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/** Padding policy for convolutions. */
+enum class Padding { Same, Valid };
+
+/**
+ * Convolution layer: stride-1 cross-correlation plus per-channel bias.
+ */
+class Conv2DLayer : public Layer
+{
+  public:
+    /**
+     * @param inC input channels.
+     * @param outC output channels.
+     * @param k square kernel edge length.
+     * @param pad padding policy.
+     * @param rng weight-initialization randomness (He uniform).
+     */
+    Conv2DLayer(size_t inC, size_t outC, size_t k, Padding pad, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::vector<Param *> parameters() override { return {&_w, &_b}; }
+    std::string name() const override;
+    LayerKind kind() const override { return LayerKind::Conv2D; }
+
+    size_t inChannels() const { return _inC; }
+    size_t outChannels() const { return _outC; }
+    size_t kernel() const { return _k; }
+    Padding padding() const { return _pad; }
+
+    /** [outC, inC, k, k] filter bank. */
+    Param &weights() { return _w; }
+    const Param &weights() const { return _w; }
+    Param &bias() { return _b; }
+    const Param &bias() const { return _b; }
+
+    /** Output spatial size for an input of h x w. */
+    size_t outSize(size_t in) const
+    {
+        return _pad == Padding::Same ? in : in - _k + 1;
+    }
+
+  private:
+    size_t _inC;
+    size_t _outC;
+    size_t _k;
+    Padding _pad;
+    Param _w;
+    Param _b;
+    Tensor _lastInput;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_CONV2D_HH

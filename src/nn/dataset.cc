@@ -1,0 +1,59 @@
+#include "nn/dataset.hh"
+
+namespace rapidnn::nn {
+
+std::pair<Tensor, std::vector<int>>
+Dataset::batch(const std::vector<size_t> &order, size_t start,
+               size_t count) const
+{
+    RAPIDNN_ASSERT(start < order.size(), "batch start past end");
+    const size_t end = std::min(start + count, order.size());
+    const size_t batchSize = end - start;
+
+    Shape featShape = featureShape();
+    Shape batchShape;
+    batchShape.push_back(batchSize);
+    for (size_t d : featShape)
+        batchShape.push_back(d);
+
+    Tensor batchX(batchShape);
+    std::vector<int> labels(batchSize);
+    const size_t stride = shapeNumel(featShape);
+    for (size_t i = 0; i < batchSize; ++i) {
+        const Sample &s = _samples[order[start + i]];
+        RAPIDNN_ASSERT(s.x.numel() == stride, "ragged dataset");
+        std::copy(s.x.data(), s.x.data() + stride,
+                  batchX.data() + i * stride);
+        labels[i] = s.label;
+    }
+    return {std::move(batchX), std::move(labels)};
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double holdoutFraction) const
+{
+    RAPIDNN_ASSERT(holdoutFraction > 0.0 && holdoutFraction < 1.0,
+                   "holdout fraction must be in (0, 1)");
+    const size_t holdout =
+        static_cast<size_t>(double(size()) * holdoutFraction);
+    const size_t keep = size() - holdout;
+
+    Dataset first(_name, _classes);
+    Dataset second(_name + "-holdout", _classes);
+    for (size_t i = 0; i < keep; ++i)
+        first.add(_samples[i].x, _samples[i].label);
+    for (size_t i = keep; i < size(); ++i)
+        second.add(_samples[i].x, _samples[i].label);
+    return {std::move(first), std::move(second)};
+}
+
+Dataset
+Dataset::subset(size_t n, Rng &rng) const
+{
+    Dataset out(_name + "-subset", _classes);
+    for (size_t i : rng.sampleIndices(size(), std::min(n, size())))
+        out.add(_samples[i].x, _samples[i].label);
+    return out;
+}
+
+} // namespace rapidnn::nn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * In-memory labelled dataset with train/validation/test splits and
+ * batch assembly.
+ */
+
+#ifndef RAPIDNN_NN_DATASET_HH
+#define RAPIDNN_NN_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+
+namespace rapidnn::nn {
+
+/** One labelled example. */
+struct Sample
+{
+    Tensor x;   //!< features: [F] for MLPs, [C, H, W] for CNNs
+    int label;  //!< class index
+};
+
+/**
+ * A named set of samples with a fixed class count. Provides batching and
+ * splitting; samples are stored by value (these datasets are small).
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    Dataset(std::string name, size_t classes)
+        : _name(std::move(name)), _classes(classes)
+    {
+    }
+
+    void add(Tensor x, int label) { _samples.push_back({std::move(x), label}); }
+
+    const std::string &name() const { return _name; }
+    size_t classes() const { return _classes; }
+    size_t size() const { return _samples.size(); }
+    const Sample &sample(size_t i) const { return _samples.at(i); }
+    const std::vector<Sample> &samples() const { return _samples; }
+
+    /** Shape of one sample's features. */
+    Shape
+    featureShape() const
+    {
+        RAPIDNN_ASSERT(!_samples.empty(), "featureShape of empty dataset");
+        return _samples.front().x.shape();
+    }
+
+    /**
+     * Assemble a batch tensor + labels for sample indices
+     * [start, start+count) (clamped to the dataset size).
+     */
+    std::pair<Tensor, std::vector<int>>
+    batch(const std::vector<size_t> &order, size_t start, size_t count) const;
+
+    /** Split off the last `fraction` of samples into a new dataset. */
+    std::pair<Dataset, Dataset> split(double holdoutFraction) const;
+
+    /** A random subset of n samples. */
+    Dataset subset(size_t n, Rng &rng) const;
+
+  private:
+    std::string _name;
+    size_t _classes = 0;
+    std::vector<Sample> _samples;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_DATASET_HH

@@ -1,0 +1,79 @@
+#include "nn/dense.hh"
+
+#include <cmath>
+
+namespace rapidnn::nn {
+
+DenseLayer::DenseLayer(size_t in, size_t out, Rng &rng)
+    : _in(in), _out(out), _w(Shape{in, out}), _b(Shape{out})
+{
+    // Glorot/Xavier uniform initialization keeps activations well scaled
+    // for both sigmoid- and relu-style networks at these sizes.
+    const double limit = std::sqrt(6.0 / (double(in) + double(out)));
+    for (size_t i = 0; i < _w.value.numel(); ++i)
+        _w.value[i] = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+Tensor
+DenseLayer::forward(const Tensor &x, bool)
+{
+    RAPIDNN_ASSERT(x.ndim() == 2 && x.dim(1) == _in,
+                   "dense forward: got ", shapeToString(x.shape()),
+                   " want [B, ", _in, "]");
+    _lastInput = x;
+    Tensor out = matmul(x, _w.value);
+    const size_t batch = out.dim(0);
+    for (size_t b = 0; b < batch; ++b)
+        for (size_t j = 0; j < _out; ++j)
+            out.at(b, j) += _b.value[j];
+    return out;
+}
+
+Tensor
+DenseLayer::backward(const Tensor &gradOut)
+{
+    const size_t batch = gradOut.dim(0);
+    RAPIDNN_ASSERT(gradOut.ndim() == 2 && gradOut.dim(1) == _out,
+                   "dense backward shape mismatch");
+
+    // dW[i][j] += sum_b x[b][i] * g[b][j]
+    for (size_t b = 0; b < batch; ++b) {
+        const float *xrow = _lastInput.data() + b * _in;
+        const float *grow = gradOut.data() + b * _out;
+        for (size_t i = 0; i < _in; ++i) {
+            const float xi = xrow[i];
+            if (xi == 0.0f)
+                continue;
+            float *wrow = _w.grad.data() + i * _out;
+            for (size_t j = 0; j < _out; ++j)
+                wrow[j] += xi * grow[j];
+        }
+    }
+    // db[j] += sum_b g[b][j]
+    for (size_t b = 0; b < batch; ++b)
+        for (size_t j = 0; j < _out; ++j)
+            _b.grad[j] += gradOut.at(b, j);
+
+    // dX = g W^T
+    Tensor gradIn({batch, _in});
+    for (size_t b = 0; b < batch; ++b) {
+        const float *grow = gradOut.data() + b * _out;
+        float *xrow = gradIn.data() + b * _in;
+        for (size_t i = 0; i < _in; ++i) {
+            const float *wrow = _w.value.data() + i * _out;
+            float acc = 0.0f;
+            for (size_t j = 0; j < _out; ++j)
+                acc += grow[j] * wrow[j];
+            xrow[i] = acc;
+        }
+    }
+    return gradIn;
+}
+
+std::string
+DenseLayer::name() const
+{
+    return "dense(" + std::to_string(_in) + "->" + std::to_string(_out) + ")";
+}
+
+} // namespace rapidnn::nn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fully-connected layer: y = x W + b with W stored [in, out].
+ */
+
+#ifndef RAPIDNN_NN_DENSE_HH
+#define RAPIDNN_NN_DENSE_HH
+
+#include "common/rng.hh"
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * Dense (fully-connected) layer over a [B, in] batch producing [B, out].
+ */
+class DenseLayer : public Layer
+{
+  public:
+    /**
+     * @param in fan-in.
+     * @param out number of output neurons.
+     * @param rng weight-initialization randomness (Glorot uniform).
+     */
+    DenseLayer(size_t in, size_t out, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::vector<Param *> parameters() override { return {&_w, &_b}; }
+    std::string name() const override;
+    LayerKind kind() const override { return LayerKind::Dense; }
+
+    size_t inFeatures() const { return _in; }
+    size_t outFeatures() const { return _out; }
+
+    /** The [in, out] weight matrix (composer reads and rewrites this). */
+    Param &weights() { return _w; }
+    const Param &weights() const { return _w; }
+    /** The [out] bias vector. */
+    Param &bias() { return _b; }
+    const Param &bias() const { return _b; }
+
+  private:
+    size_t _in;
+    size_t _out;
+    Param _w;
+    Param _b;
+    Tensor _lastInput;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_DENSE_HH

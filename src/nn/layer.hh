@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Layer interface for the NN substrate: forward/backward passes plus
+ * parameter exposure for the optimizer and for the DNN composer (which
+ * reads and rewrites weights during clustering/retraining).
+ */
+
+#ifndef RAPIDNN_NN_LAYER_HH
+#define RAPIDNN_NN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace rapidnn::nn {
+
+/** Coarse layer taxonomy used by the composer and the hardware mapper. */
+enum class LayerKind
+{
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    AvgPool2D,
+    Activation,
+    Dropout,
+    Flatten,
+    Softmax,
+    Residual,
+    Recurrent,
+};
+
+/** A trainable parameter tensor and its accumulated gradient. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+
+    explicit Param(Shape shape) : value(shape), grad(std::move(shape)) {}
+
+    void zeroGrad() { grad.fill(0.0f); }
+};
+
+/**
+ * Abstract network layer. Implementations cache whatever forward-pass
+ * state their backward pass needs; a backward() call must follow the
+ * forward() whose gradient it propagates.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Run the layer on a batch.
+     * @param x input batch.
+     * @param training true during training (enables dropout etc.).
+     * @return the layer output batch.
+     */
+    virtual Tensor forward(const Tensor &x, bool training) = 0;
+
+    /**
+     * Propagate gradients. Accumulates into parameter grads.
+     * @param gradOut dLoss/dOutput for the preceding forward().
+     * @return dLoss/dInput.
+     */
+    virtual Tensor backward(const Tensor &gradOut) = 0;
+
+    /** Mutable views of this layer's trainable parameters (may be empty). */
+    virtual std::vector<Param *> parameters() { return {}; }
+
+    /** A short printable description. */
+    virtual std::string name() const = 0;
+
+    /** Taxonomic kind for composer/mapper dispatch. */
+    virtual LayerKind kind() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_LAYER_HH

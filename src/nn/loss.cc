@@ -1,0 +1,60 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nn {
+
+Tensor
+softmax(const Tensor &logits)
+{
+    RAPIDNN_ASSERT(logits.ndim() == 2, "softmax needs [B, C]");
+    const size_t batch = logits.dim(0), classes = logits.dim(1);
+    Tensor out = logits;
+    for (size_t b = 0; b < batch; ++b) {
+        float *row = out.data() + b * classes;
+        float peak = row[0];
+        for (size_t c = 1; c < classes; ++c)
+            peak = std::max(peak, row[c]);
+        double total = 0.0;
+        for (size_t c = 0; c < classes; ++c) {
+            row[c] = std::exp(row[c] - peak);
+            total += row[c];
+        }
+        const float inv = static_cast<float>(1.0 / total);
+        for (size_t c = 0; c < classes; ++c)
+            row[c] *= inv;
+    }
+    return out;
+}
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const size_t batch = logits.dim(0), classes = logits.dim(1);
+    RAPIDNN_ASSERT(labels.size() == batch,
+                   "labels size ", labels.size(), " != batch ", batch);
+
+    Tensor probs = softmax(logits);
+    double loss = 0.0;
+    for (size_t b = 0; b < batch; ++b) {
+        const int label = labels[b];
+        RAPIDNN_ASSERT(label >= 0 && size_t(label) < classes,
+                       "label ", label, " out of range");
+        loss -= std::log(std::max(1e-12f,
+                                  probs.at(b, size_t(label))));
+    }
+    loss /= double(batch);
+
+    Tensor grad = probs;
+    const float invB = 1.0f / static_cast<float>(batch);
+    for (size_t b = 0; b < batch; ++b) {
+        grad.at(b, size_t(labels[b])) -= 1.0f;
+        for (size_t c = 0; c < classes; ++c)
+            grad.at(b, c) *= invB;
+    }
+    return {loss, std::move(grad)};
+}
+
+} // namespace rapidnn::nn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Softmax + cross-entropy loss, the output stage used by every model in
+ * the paper ("a Softmax function is applied to the output layer").
+ */
+
+#ifndef RAPIDNN_NN_LOSS_HH
+#define RAPIDNN_NN_LOSS_HH
+
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace rapidnn::nn {
+
+/** Row-wise softmax of a [B, C] logit matrix. */
+Tensor softmax(const Tensor &logits);
+
+/**
+ * Mean cross-entropy of [B, C] logits against integer labels, plus the
+ * gradient with respect to the logits (softmax - onehot) / B.
+ */
+struct LossResult
+{
+    double loss;      //!< mean negative log-likelihood
+    Tensor gradLogits; //!< [B, C] gradient
+};
+
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_LOSS_HH

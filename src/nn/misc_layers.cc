@@ -1,0 +1,81 @@
+#include "nn/misc_layers.hh"
+
+namespace rapidnn::nn {
+
+Tensor
+FlattenLayer::forward(const Tensor &x, bool)
+{
+    _lastShape = x.shape();
+    const size_t batch = x.dim(0);
+    return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor
+FlattenLayer::backward(const Tensor &gradOut)
+{
+    return gradOut.reshaped(_lastShape);
+}
+
+Tensor
+DropoutLayer::forward(const Tensor &x, bool training)
+{
+    if (!training || _p <= 0.0) {
+        _mask.clear();
+        return x;
+    }
+    const float keepInv = static_cast<float>(1.0 / (1.0 - _p));
+    _mask.assign(x.numel(), 0.0f);
+    Tensor out = x;
+    for (size_t i = 0; i < out.numel(); ++i) {
+        if (!_rng.bernoulli(_p)) {
+            _mask[i] = keepInv;
+            out[i] *= keepInv;
+        } else {
+            out[i] = 0.0f;
+        }
+    }
+    return out;
+}
+
+Tensor
+DropoutLayer::backward(const Tensor &gradOut)
+{
+    if (_mask.empty())
+        return gradOut;
+    Tensor gradIn = gradOut;
+    for (size_t i = 0; i < gradIn.numel(); ++i)
+        gradIn[i] *= _mask[i];
+    return gradIn;
+}
+
+Tensor
+ResidualLayer::forward(const Tensor &x, bool training)
+{
+    Tensor y = x;
+    for (auto &layer : _inner)
+        y = layer->forward(y, training);
+    RAPIDNN_ASSERT(y.shape() == x.shape(),
+                   "residual inner stack must preserve shape");
+    return add(y, x);
+}
+
+Tensor
+ResidualLayer::backward(const Tensor &gradOut)
+{
+    Tensor g = gradOut;
+    for (auto it = _inner.rbegin(); it != _inner.rend(); ++it)
+        g = (*it)->backward(g);
+    return add(g, gradOut);
+}
+
+std::vector<Param *>
+ResidualLayer::parameters()
+{
+    std::vector<Param *> params;
+    for (auto &layer : _inner)
+        for (Param *p : layer->parameters())
+            params.push_back(p);
+    return params;
+}
+
+} // namespace rapidnn::nn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small structural layers: Flatten, Dropout, and Residual (skip add).
+ */
+
+#ifndef RAPIDNN_NN_MISC_LAYERS_HH
+#define RAPIDNN_NN_MISC_LAYERS_HH
+
+#include "common/rng.hh"
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * Flatten [B, ...] to [B, prod(...)].
+ */
+class FlattenLayer : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::string name() const override { return "flatten"; }
+    LayerKind kind() const override { return LayerKind::Flatten; }
+
+  private:
+    Shape _lastShape;
+};
+
+/**
+ * Inverted dropout: during training each activation is zeroed with
+ * probability p and survivors scaled by 1/(1-p); inference is identity.
+ */
+class DropoutLayer : public Layer
+{
+  public:
+    DropoutLayer(double p, Rng &rng) : _p(p), _rng(rng.fork()) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::string name() const override
+    {
+        return "dropout(" + std::to_string(_p) + ")";
+    }
+    LayerKind kind() const override { return LayerKind::Dropout; }
+
+    double rate() const { return _p; }
+
+  private:
+    double _p;
+    Rng _rng;
+    std::vector<float> _mask;
+};
+
+/**
+ * Residual block wrapper: out = inner(x) + x.
+ *
+ * Models the skipped-connection dataflow the RAPIDNN controller must
+ * support (Section 4.3); the inner stack must preserve shape.
+ */
+class ResidualLayer : public Layer
+{
+  public:
+    explicit ResidualLayer(std::vector<LayerPtr> inner)
+        : _inner(std::move(inner))
+    {
+    }
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::vector<Param *> parameters() override;
+    std::string name() const override { return "residual"; }
+    LayerKind kind() const override { return LayerKind::Residual; }
+
+    const std::vector<LayerPtr> &inner() const { return _inner; }
+
+  private:
+    std::vector<LayerPtr> _inner;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_MISC_LAYERS_HH

@@ -1,0 +1,87 @@
+#include "nn/network.hh"
+
+#include <sstream>
+
+namespace rapidnn::nn {
+
+int
+Network::predict(const Tensor &x)
+{
+    Tensor input = x;
+    // Promote a single sample to a batch of one.
+    if (x.ndim() == 1)
+        input = x.reshaped({1, x.numel()});
+    else if (x.ndim() == 3)
+        input = x.reshaped({1, x.dim(0), x.dim(1), x.dim(2)});
+    Tensor logits = forward(input, false);
+    return static_cast<int>(logits.argmax());
+}
+
+std::string
+Network::describe() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < _layers.size(); ++i)
+        os << (i ? " | " : "") << _layers[i]->name();
+    return os.str();
+}
+
+size_t
+Network::parameterCount()
+{
+    size_t n = 0;
+    for (Param *p : parameters())
+        n += p->value.numel();
+    return n;
+}
+
+Network
+buildMlp(const MlpSpec &spec, Rng &rng)
+{
+    Network net;
+    size_t in = spec.inputs;
+    for (size_t width : spec.hidden) {
+        net.add(std::make_unique<DenseLayer>(in, width, rng));
+        net.add(std::make_unique<ActivationLayer>(spec.hiddenAct));
+        if (spec.dropout > 0.0)
+            net.add(std::make_unique<DropoutLayer>(spec.dropout, rng));
+        in = width;
+    }
+    net.add(std::make_unique<DenseLayer>(in, spec.outputs, rng));
+    return net;
+}
+
+Network
+buildCnn(const CnnSpec &spec, Rng &rng)
+{
+    Network net;
+    size_t channels = spec.channels;
+    size_t side = spec.height;
+    RAPIDNN_ASSERT(spec.height == spec.width,
+                   "buildCnn assumes square inputs");
+
+    for (size_t i = 0; i < spec.convChannels.size(); ++i) {
+        const size_t outC = spec.convChannels[i];
+        net.add(std::make_unique<Conv2DLayer>(channels, outC, spec.kernel,
+                                              Padding::Same, rng));
+        net.add(std::make_unique<ActivationLayer>(ActKind::ReLU));
+        channels = outC;
+        if (side % spec.poolWindow == 0 && side / spec.poolWindow >= 2) {
+            net.add(std::make_unique<MaxPool2DLayer>(spec.poolWindow));
+            side /= spec.poolWindow;
+        }
+    }
+    net.add(std::make_unique<FlattenLayer>());
+    size_t in = channels * side * side;
+    for (size_t width : spec.denseWidths) {
+        net.add(std::make_unique<DenseLayer>(in, width, rng));
+        net.add(std::make_unique<ActivationLayer>(ActKind::ReLU));
+        if (spec.dropout > 0.0)
+            net.add(std::make_unique<DropoutLayer>(spec.dropout, rng));
+        in = width;
+    }
+    net.add(std::make_unique<DenseLayer>(in, spec.outputs, rng));
+    return net;
+}
+
+} // namespace rapidnn::nn

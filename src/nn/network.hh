@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A sequential network: an ordered stack of layers plus convenience
+ * builders, prediction, and parameter traversal.
+ */
+
+#ifndef RAPIDNN_NN_NETWORK_HH
+#define RAPIDNN_NN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hh"
+#include "nn/conv2d.hh"
+#include "nn/dense.hh"
+#include "nn/layer.hh"
+#include "nn/misc_layers.hh"
+#include "nn/pooling.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * Sequential container of layers. Owns its layers; movable, not copyable.
+ */
+class Network
+{
+  public:
+    Network() = default;
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Append a layer. Returns *this for chaining. */
+    Network &
+    add(LayerPtr layer)
+    {
+        _layers.push_back(std::move(layer));
+        return *this;
+    }
+
+    /** Forward a batch through every layer. */
+    Tensor
+    forward(const Tensor &x, bool training = false)
+    {
+        Tensor y = x;
+        for (auto &layer : _layers)
+            y = layer->forward(y, training);
+        return y;
+    }
+
+    /** Backward pass; call immediately after a training forward(). */
+    Tensor
+    backward(const Tensor &gradOut)
+    {
+        Tensor g = gradOut;
+        for (auto it = _layers.rbegin(); it != _layers.rend(); ++it)
+            g = (*it)->backward(g);
+        return g;
+    }
+
+    /** All trainable parameters across layers. */
+    std::vector<Param *>
+    parameters()
+    {
+        std::vector<Param *> params;
+        for (auto &layer : _layers)
+            for (Param *p : layer->parameters())
+                params.push_back(p);
+        return params;
+    }
+
+    /** Zero every parameter gradient. */
+    void
+    zeroGrad()
+    {
+        for (Param *p : parameters())
+            p->zeroGrad();
+    }
+
+    size_t size() const { return _layers.size(); }
+    Layer &layer(size_t i) { return *_layers.at(i); }
+    const Layer &layer(size_t i) const { return *_layers.at(i); }
+    std::vector<LayerPtr> &layers() { return _layers; }
+    const std::vector<LayerPtr> &layers() const { return _layers; }
+
+    /** Predicted class of a single sample (adds a batch dim if needed). */
+    int predict(const Tensor &x);
+
+    /** One-line topology description, e.g. "dense(784->512) | relu ...". */
+    std::string describe() const;
+
+    /** Total trainable parameter count. */
+    size_t parameterCount();
+
+  private:
+    std::vector<LayerPtr> _layers;
+};
+
+/** Spec for one stage of a quickly-built MLP. */
+struct MlpSpec
+{
+    size_t inputs;                   //!< input feature count
+    std::vector<size_t> hidden;      //!< hidden layer widths
+    size_t outputs;                  //!< class count
+    ActKind hiddenAct = ActKind::ReLU;
+    double dropout = 0.0;            //!< dropout after each hidden layer
+};
+
+/** Build a fully-connected classifier per the spec. */
+Network buildMlp(const MlpSpec &spec, Rng &rng);
+
+/** Spec for the paper's CIFAR-style CNN (Table 2). */
+struct CnnSpec
+{
+    size_t channels = 3;
+    size_t height = 32;
+    size_t width = 32;
+    std::vector<size_t> convChannels = {32, 64};  //!< conv widths per stage
+    size_t kernel = 3;
+    size_t poolWindow = 2;
+    std::vector<size_t> denseWidths = {512};
+    size_t outputs = 10;
+    double dropout = 0.0;
+};
+
+/** Build conv->pool stages then dense stages per the spec. */
+Network buildCnn(const CnnSpec &spec, Rng &rng);
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_NETWORK_HH

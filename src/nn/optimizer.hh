@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Stochastic gradient descent with classical momentum, the training rule
+ * the paper uses for every model (Section 5.2).
+ */
+
+#ifndef RAPIDNN_NN_OPTIMIZER_HH
+#define RAPIDNN_NN_OPTIMIZER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * SGD with momentum: v = mu*v - lr*g; w += v. Velocity buffers are keyed
+ * by parameter address and created lazily, so the same optimizer can be
+ * reused across retraining rounds even as the composer rewrites weights.
+ */
+class SgdOptimizer
+{
+  public:
+    SgdOptimizer(double lr, double momentum = 0.9)
+        : _lr(lr), _momentum(momentum)
+    {
+    }
+
+    /** Apply one update to each parameter from its accumulated gradient. */
+    void
+    step(const std::vector<Param *> &params)
+    {
+        for (Param *p : params) {
+            auto &vel = _velocity[p];
+            if (vel.size() != p->value.numel())
+                vel.assign(p->value.numel(), 0.0f);
+            for (size_t i = 0; i < p->value.numel(); ++i) {
+                vel[i] = static_cast<float>(_momentum) * vel[i]
+                       - static_cast<float>(_lr) * p->grad[i];
+                p->value[i] += vel[i];
+            }
+        }
+    }
+
+    double learningRate() const { return _lr; }
+    void setLearningRate(double lr) { _lr = lr; }
+    double momentum() const { return _momentum; }
+
+    /** Drop all velocity state (e.g. between composer iterations). */
+    void reset() { _velocity.clear(); }
+
+  private:
+    double _lr;
+    double _momentum;
+    std::unordered_map<Param *, std::vector<float>> _velocity;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_OPTIMIZER_HH

@@ -1,0 +1,104 @@
+#include "nn/pooling.hh"
+
+#include <limits>
+
+namespace rapidnn::nn {
+
+Tensor
+MaxPool2DLayer::forward(const Tensor &x, bool)
+{
+    RAPIDNN_ASSERT(x.ndim() == 4, "maxpool needs [B, C, H, W]");
+    const size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+    RAPIDNN_ASSERT(h % _k == 0 && w % _k == 0,
+                   "maxpool: ", h, "x", w, " not divisible by ", _k);
+    const size_t oh = h / _k, ow = w / _k;
+
+    _lastInput = x;
+    Tensor out({batch, ch, oh, ow});
+    _argmax.assign(out.numel(), 0);
+    size_t oi = 0;
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < ch; ++c) {
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t xo = 0; xo < ow; ++xo, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    size_t bestIdx = 0;
+                    for (size_t ky = 0; ky < _k; ++ky) {
+                        for (size_t kx = 0; kx < _k; ++kx) {
+                            const size_t iy = y * _k + ky;
+                            const size_t ix = xo * _k + kx;
+                            const size_t flat =
+                                ((n * ch + c) * h + iy) * w + ix;
+                            if (x[flat] > best) {
+                                best = x[flat];
+                                bestIdx = flat;
+                            }
+                        }
+                    }
+                    out[oi] = best;
+                    _argmax[oi] = bestIdx;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPool2DLayer::backward(const Tensor &gradOut)
+{
+    RAPIDNN_ASSERT(gradOut.numel() == _argmax.size(),
+                   "maxpool backward shape mismatch");
+    Tensor gradIn(_lastInput.shape());
+    for (size_t i = 0; i < gradOut.numel(); ++i)
+        gradIn[_argmax[i]] += gradOut[i];
+    return gradIn;
+}
+
+Tensor
+AvgPool2DLayer::forward(const Tensor &x, bool)
+{
+    RAPIDNN_ASSERT(x.ndim() == 4, "avgpool needs [B, C, H, W]");
+    const size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+    RAPIDNN_ASSERT(h % _k == 0 && w % _k == 0,
+                   "avgpool: ", h, "x", w, " not divisible by ", _k);
+    const size_t oh = h / _k, ow = w / _k;
+    const float norm = 1.0f / static_cast<float>(_k * _k);
+
+    _lastShape = x.shape();
+    Tensor out({batch, ch, oh, ow});
+    for (size_t n = 0; n < batch; ++n)
+        for (size_t c = 0; c < ch; ++c)
+            for (size_t y = 0; y < oh; ++y)
+                for (size_t xo = 0; xo < ow; ++xo) {
+                    float acc = 0.0f;
+                    for (size_t ky = 0; ky < _k; ++ky)
+                        for (size_t kx = 0; kx < _k; ++kx)
+                            acc += x.at(n, c, y * _k + ky, xo * _k + kx);
+                    out.at(n, c, y, xo) = acc * norm;
+                }
+    return out;
+}
+
+Tensor
+AvgPool2DLayer::backward(const Tensor &gradOut)
+{
+    const size_t batch = _lastShape[0], ch = _lastShape[1];
+    const size_t h = _lastShape[2], w = _lastShape[3];
+    const size_t oh = h / _k, ow = w / _k;
+    const float norm = 1.0f / static_cast<float>(_k * _k);
+
+    Tensor gradIn(_lastShape);
+    for (size_t n = 0; n < batch; ++n)
+        for (size_t c = 0; c < ch; ++c)
+            for (size_t y = 0; y < oh; ++y)
+                for (size_t xo = 0; xo < ow; ++xo) {
+                    const float g = gradOut.at(n, c, y, xo) * norm;
+                    for (size_t ky = 0; ky < _k; ++ky)
+                        for (size_t kx = 0; kx < _k; ++kx)
+                            gradIn.at(n, c, y * _k + ky, xo * _k + kx) += g;
+                }
+    return gradIn;
+}
+
+} // namespace rapidnn::nn

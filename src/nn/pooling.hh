@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Max and average pooling layers over [B, C, H, W] batches.
+ */
+
+#ifndef RAPIDNN_NN_POOLING_HH
+#define RAPIDNN_NN_POOLING_HH
+
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * Non-overlapping k x k max pooling (stride == window).
+ */
+class MaxPool2DLayer : public Layer
+{
+  public:
+    explicit MaxPool2DLayer(size_t k) : _k(k) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::string name() const override
+    {
+        return "maxpool(" + std::to_string(_k) + "x" + std::to_string(_k)
+               + ")";
+    }
+    LayerKind kind() const override { return LayerKind::MaxPool2D; }
+
+    size_t window() const { return _k; }
+
+  private:
+    size_t _k;
+    Tensor _lastInput;
+    std::vector<size_t> _argmax; //!< flat input index feeding each output
+};
+
+/**
+ * Non-overlapping k x k average pooling (stride == window).
+ */
+class AvgPool2DLayer : public Layer
+{
+  public:
+    explicit AvgPool2DLayer(size_t k) : _k(k) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::string name() const override
+    {
+        return "avgpool(" + std::to_string(_k) + "x" + std::to_string(_k)
+               + ")";
+    }
+    LayerKind kind() const override { return LayerKind::AvgPool2D; }
+
+    size_t window() const { return _k; }
+
+  private:
+    size_t _k;
+    Shape _lastShape;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_POOLING_HH

@@ -1,0 +1,177 @@
+#include "nn/recurrent.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nn {
+
+ElmanLayer::ElmanLayer(size_t features, size_t hidden, size_t steps,
+                       ActKind act, Rng &rng)
+    : _features(features), _hidden(hidden), _steps(steps), _act(act),
+      _wx(Shape{features, hidden}), _wh(Shape{hidden, hidden}),
+      _b(Shape{hidden})
+{
+    RAPIDNN_ASSERT(steps >= 1, "Elman layer needs >= 1 step");
+    const double limitX = std::sqrt(6.0 / double(features + hidden));
+    for (size_t i = 0; i < _wx.value.numel(); ++i)
+        _wx.value[i] = float(rng.uniform(-limitX, limitX));
+    // Small-spectral-radius recurrent init keeps gradients stable.
+    const double limitH = std::sqrt(3.0 / double(hidden));
+    for (size_t i = 0; i < _wh.value.numel(); ++i)
+        _wh.value[i] = float(rng.uniform(-limitH, limitH) * 0.5);
+}
+
+Tensor
+ElmanLayer::forward(const Tensor &x, bool)
+{
+    RAPIDNN_ASSERT(x.ndim() == 2 && x.dim(1) == _steps * _features,
+                   "elman forward: got ", shapeToString(x.shape()),
+                   " want [B, ", _steps * _features, "]");
+    const size_t batch = x.dim(0);
+    _lastInput = x;
+    _preAct.assign(_steps, Tensor({batch, _hidden}));
+    _states.assign(_steps + 1, Tensor({batch, _hidden}));
+
+    for (size_t t = 0; t < _steps; ++t) {
+        Tensor &pre = _preAct[t];
+        const Tensor &prev = _states[t];
+        for (size_t bi = 0; bi < batch; ++bi) {
+            const float *xt = x.data() + bi * _steps * _features
+                            + t * _features;
+            float *row = pre.data() + bi * _hidden;
+            for (size_t h = 0; h < _hidden; ++h)
+                row[h] = _b.value[h];
+            for (size_t f = 0; f < _features; ++f) {
+                const float xv = xt[f];
+                if (xv == 0.0f)
+                    continue;
+                const float *wrow = _wx.value.data() + f * _hidden;
+                for (size_t h = 0; h < _hidden; ++h)
+                    row[h] += xv * wrow[h];
+            }
+            const float *prow = prev.data() + bi * _hidden;
+            for (size_t hp = 0; hp < _hidden; ++hp) {
+                const float hv = prow[hp];
+                if (hv == 0.0f)
+                    continue;
+                const float *wrow = _wh.value.data() + hp * _hidden;
+                for (size_t h = 0; h < _hidden; ++h)
+                    row[h] += hv * wrow[h];
+            }
+        }
+        Tensor &state = _states[t + 1];
+        for (size_t i = 0; i < pre.numel(); ++i)
+            state[i] = float(actForward(_act, pre[i]));
+    }
+    return _states[_steps];
+}
+
+Tensor
+ElmanLayer::backward(const Tensor &gradOut)
+{
+    const size_t batch = gradOut.dim(0);
+    RAPIDNN_ASSERT(gradOut.ndim() == 2 && gradOut.dim(1) == _hidden,
+                   "elman backward shape mismatch");
+
+    Tensor gradIn(_lastInput.shape());
+    Tensor gradState = gradOut;  // dLoss/dh_t, walked backwards
+
+    for (size_t t = _steps; t-- > 0;) {
+        // Through the nonlinearity: dLoss/dpre = dLoss/dh * phi'(pre).
+        Tensor gradPre({batch, _hidden});
+        for (size_t i = 0; i < gradPre.numel(); ++i)
+            gradPre[i] = gradState[i]
+                * float(actDerivative(_act, _preAct[t][i]));
+
+        const Tensor &prev = _states[t];
+        Tensor gradPrev({batch, _hidden});
+        for (size_t bi = 0; bi < batch; ++bi) {
+            const float *g = gradPre.data() + bi * _hidden;
+            const float *xt = _lastInput.data()
+                            + bi * _steps * _features + t * _features;
+            float *gx = gradIn.data() + bi * _steps * _features
+                      + t * _features;
+            // dWx[f][h] += x * g; dX = g Wx^T.
+            for (size_t f = 0; f < _features; ++f) {
+                float *wgrad = _wx.grad.data() + f * _hidden;
+                const float *wval = _wx.value.data() + f * _hidden;
+                float acc = 0.0f;
+                for (size_t h = 0; h < _hidden; ++h) {
+                    wgrad[h] += xt[f] * g[h];
+                    acc += g[h] * wval[h];
+                }
+                gx[f] = acc;
+            }
+            // dWh[hp][h] += h_prev * g; dh_prev = g Wh^T.
+            const float *prow = prev.data() + bi * _hidden;
+            float *gprev = gradPrev.data() + bi * _hidden;
+            for (size_t hp = 0; hp < _hidden; ++hp) {
+                float *wgrad = _wh.grad.data() + hp * _hidden;
+                const float *wval = _wh.value.data() + hp * _hidden;
+                float acc = 0.0f;
+                for (size_t h = 0; h < _hidden; ++h) {
+                    wgrad[h] += prow[hp] * g[h];
+                    acc += g[h] * wval[h];
+                }
+                gprev[hp] = acc;
+            }
+            for (size_t h = 0; h < _hidden; ++h)
+                _b.grad[h] += g[h];
+        }
+        gradState = std::move(gradPrev);
+    }
+    return gradIn;
+}
+
+std::string
+ElmanLayer::name() const
+{
+    return "elman(" + std::to_string(_features) + "x"
+         + std::to_string(_steps) + "->" + std::to_string(_hidden)
+         + ")";
+}
+
+Dataset
+makeSequenceTask(const SequenceTaskSpec &spec)
+{
+    Rng rng(spec.seed);
+    Dataset data(spec.name, spec.classes);
+
+    // Class prototypes: per-feature sinusoids with class-specific
+    // frequency and phase, so the discriminative signal is temporal.
+    struct Proto
+    {
+        double frequency;
+        double phase;
+        std::vector<double> gain;
+    };
+    std::vector<Proto> protos(spec.classes);
+    for (auto &p : protos) {
+        p.frequency = rng.uniform(0.3, 1.4);
+        p.phase = rng.uniform(0.0, 6.28318);
+        p.gain.resize(spec.features);
+        for (double &g : p.gain)
+            g = rng.gaussian(0.0, 1.0);
+    }
+
+    for (size_t s = 0; s < spec.samples; ++s) {
+        const int label = int(rng.uniformInt(
+            0, int64_t(spec.classes) - 1));
+        const Proto &p = protos[size_t(label)];
+        const double jitter = rng.gaussian(0.0, 0.15);
+        Tensor x({spec.steps * spec.features});
+        for (size_t t = 0; t < spec.steps; ++t) {
+            const double wave =
+                std::sin(p.frequency * double(t) + p.phase + jitter);
+            for (size_t f = 0; f < spec.features; ++f)
+                x[t * spec.features + f] = float(
+                    wave * p.gain[f]
+                    + rng.gaussian(0.0, spec.noise));
+        }
+        data.add(std::move(x), label);
+    }
+    return data;
+}
+
+} // namespace rapidnn::nn

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Recurrent (Elman) cell support.
+ *
+ * The RAPIDNN controller handles recurrent layers by feeding a
+ * neuron's previous-step encoded output back through its input FIFO
+ * (paper Section 4.3). The substrate here provides the float-domain
+ * counterpart: an Elman cell h_t = phi(W_x x_t + W_h h_{t-1} + b),
+ * trained with truncated back-propagation through time, plus a
+ * sequence classifier head and sequence dataset utilities.
+ */
+
+#ifndef RAPIDNN_NN_RECURRENT_HH
+#define RAPIDNN_NN_RECURRENT_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/activation.hh"
+#include "nn/dataset.hh"
+#include "nn/layer.hh"
+
+namespace rapidnn::nn {
+
+/**
+ * An Elman recurrent cell unrolled over a fixed sequence length.
+ *
+ * Input batches are [B, T * F] (T timesteps of F features,
+ * concatenated); the output is the final hidden state [B, H]. The
+ * backward pass implements full BPTT over the unrolled steps.
+ */
+class ElmanLayer : public Layer
+{
+  public:
+    /**
+     * @param features per-step input width F.
+     * @param hidden hidden-state width H.
+     * @param steps sequence length T.
+     * @param act hidden nonlinearity (tanh by default).
+     * @param rng weight initialization.
+     */
+    ElmanLayer(size_t features, size_t hidden, size_t steps,
+               ActKind act, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &gradOut) override;
+    std::vector<Param *> parameters() override
+    {
+        return {&_wx, &_wh, &_b};
+    }
+    std::string name() const override;
+    LayerKind kind() const override { return LayerKind::Recurrent; }
+
+    /** Hidden states of the last forward pass ([T+1] of [B, H]);
+     *  index 0 is the zero initial state. The composer samples these
+     *  to build the hidden-state codebook. */
+    const std::vector<Tensor> &lastStates() const { return _states; }
+
+    /** Pre-activations of the last forward pass ([T] of [B, H]). */
+    const std::vector<Tensor> &lastPreActivations() const
+    {
+        return _preAct;
+    }
+
+    size_t features() const { return _features; }
+    size_t hidden() const { return _hidden; }
+    size_t steps() const { return _steps; }
+    ActKind activation() const { return _act; }
+
+    /** Input-to-hidden weights [F, H]. */
+    Param &inputWeights() { return _wx; }
+    const Param &inputWeights() const { return _wx; }
+    /** Hidden-to-hidden weights [H, H]. */
+    Param &recurrentWeights() { return _wh; }
+    const Param &recurrentWeights() const { return _wh; }
+    Param &bias() { return _b; }
+    const Param &bias() const { return _b; }
+
+  private:
+    size_t _features;
+    size_t _hidden;
+    size_t _steps;
+    ActKind _act;
+    Param _wx;
+    Param _wh;
+    Param _b;
+
+    // BPTT caches from the last forward pass.
+    Tensor _lastInput;
+    std::vector<Tensor> _preAct;   //!< [T] of [B, H] pre-activations
+    std::vector<Tensor> _states;   //!< [T+1] of [B, H] hidden states
+};
+
+/** Options for synthetic sequence-classification tasks. */
+struct SequenceTaskSpec
+{
+    std::string name;
+    size_t features = 8;    //!< per-step width F
+    size_t steps = 12;      //!< sequence length T
+    size_t classes = 4;
+    size_t samples = 400;
+    double noise = 0.3;
+    uint64_t seed = 1;
+};
+
+/**
+ * A temporal-pattern task: each class is a distinct trajectory through
+ * feature space (phase-shifted sinusoidal prototypes); correct
+ * classification requires integrating over time, so a memoryless
+ * model underperforms the recurrent one. Samples are [T * F] vectors.
+ */
+Dataset makeSequenceTask(const SequenceTaskSpec &spec);
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_RECURRENT_HH

@@ -1,0 +1,213 @@
+#include "nn/synthetic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nn {
+
+Dataset
+makeVectorTask(const VectorTaskSpec &spec)
+{
+    Rng rng(spec.seed);
+    Dataset data(spec.name, spec.classes);
+
+    // Class prototypes: sparse-ish directions so classes overlap partially
+    // (a linearly-separable task would make quantization error invisible).
+    std::vector<std::vector<float>> prototypes(spec.classes);
+    for (auto &proto : prototypes) {
+        proto.resize(spec.features);
+        for (float &p : proto) {
+            p = rng.bernoulli(0.35)
+                    ? static_cast<float>(
+                          rng.gaussian(0.0, spec.prototypeScale))
+                    : 0.0f;
+        }
+    }
+
+    for (size_t i = 0; i < spec.samples; ++i) {
+        const int label = static_cast<int>(
+            rng.uniformInt(0, static_cast<int64_t>(spec.classes) - 1));
+        Tensor x({spec.features});
+        const auto &proto = prototypes[static_cast<size_t>(label)];
+        // A per-sample gain models intra-class variation with correlated
+        // structure (pure iid noise would be too easy to average out).
+        const float gain = static_cast<float>(rng.gaussian(1.0, 0.15));
+        for (size_t f = 0; f < spec.features; ++f)
+            x[f] = gain * proto[f]
+                 + static_cast<float>(rng.gaussian(0.0, spec.noise));
+        data.add(std::move(x), label);
+    }
+    return data;
+}
+
+namespace {
+
+/** Deterministic per-class texture parameters. */
+struct TextureParams
+{
+    double angle;       //!< grating orientation
+    double frequency;   //!< grating spatial frequency
+    double blobX;       //!< bright blob centre (fraction of side)
+    double blobY;
+    double blobRadius;
+    double channelMix[3];
+};
+
+TextureParams
+textureForClass(size_t label, Rng &rng)
+{
+    TextureParams t;
+    t.angle = rng.uniform(0.0, 3.14159265);
+    t.frequency = rng.uniform(0.2, 0.9);
+    t.blobX = rng.uniform(0.2, 0.8);
+    t.blobY = rng.uniform(0.2, 0.8);
+    t.blobRadius = rng.uniform(0.12, 0.3);
+    for (double &m : t.channelMix)
+        m = rng.uniform(0.3, 1.0);
+    (void)label;
+    return t;
+}
+
+} // namespace
+
+Dataset
+makeImageTask(const ImageTaskSpec &spec)
+{
+    Rng rng(spec.seed);
+    Dataset data(spec.name, spec.classes);
+
+    std::vector<TextureParams> textures;
+    textures.reserve(spec.classes);
+    for (size_t c = 0; c < spec.classes; ++c)
+        textures.push_back(textureForClass(c, rng));
+
+    const auto side = static_cast<double>(spec.side);
+    for (size_t i = 0; i < spec.samples; ++i) {
+        const int label = static_cast<int>(
+            rng.uniformInt(0, static_cast<int64_t>(spec.classes) - 1));
+        const TextureParams &t = textures[static_cast<size_t>(label)];
+
+        // Small random shifts make the task translation-sensitive enough
+        // that convolution + pooling genuinely help.
+        const double shiftX = rng.uniform(-2.0, 2.0);
+        const double shiftY = rng.uniform(-2.0, 2.0);
+        const double phase = rng.uniform(0.0, 6.28318);
+
+        Tensor x({spec.channels, spec.side, spec.side});
+        const double ca = std::cos(t.angle), sa = std::sin(t.angle);
+        for (size_t c = 0; c < spec.channels; ++c) {
+            const double mix = t.channelMix[c % 3];
+            for (size_t yy = 0; yy < spec.side; ++yy) {
+                for (size_t xx = 0; xx < spec.side; ++xx) {
+                    const double px = double(xx) + shiftX;
+                    const double py = double(yy) + shiftY;
+                    const double u = ca * px + sa * py;
+                    double value =
+                        0.5 * std::sin(t.frequency * u + phase) * mix;
+                    const double dx = px / side - t.blobX;
+                    const double dy = py / side - t.blobY;
+                    const double d2 = dx * dx + dy * dy;
+                    value += 0.9 * mix
+                           * std::exp(-d2 / (2.0 * t.blobRadius
+                                                  * t.blobRadius));
+                    value += rng.gaussian(0.0, spec.noise);
+                    x.at(c % spec.channels, yy, xx) =
+                        static_cast<float>(value);
+                }
+            }
+        }
+        data.add(std::move(x), label);
+    }
+    return data;
+}
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> all = {
+        Benchmark::Mnist, Benchmark::Isolet, Benchmark::Har,
+        Benchmark::Cifar10, Benchmark::Cifar100, Benchmark::ImageNet,
+    };
+    return all;
+}
+
+std::string
+benchmarkName(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::Mnist: return "MNIST";
+      case Benchmark::Isolet: return "ISOLET";
+      case Benchmark::Har: return "HAR";
+      case Benchmark::Cifar10: return "CIFAR-10";
+      case Benchmark::Cifar100: return "CIFAR-100";
+      case Benchmark::ImageNet: return "ImageNet";
+    }
+    panic("unknown benchmark");
+}
+
+bool
+benchmarkIsConvolutional(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::Mnist:
+      case Benchmark::Isolet:
+      case Benchmark::Har:
+        return false;
+      case Benchmark::Cifar10:
+      case Benchmark::Cifar100:
+      case Benchmark::ImageNet:
+        return true;
+    }
+    panic("unknown benchmark");
+}
+
+Dataset
+makeBenchmarkDataset(Benchmark b, size_t samples)
+{
+    switch (b) {
+      case Benchmark::Mnist:
+        return makeVectorTask({"MNIST", 784, 10,
+                               samples ? samples : 1200, 1.1, 0.55,
+                               101});
+      case Benchmark::Isolet:
+        return makeVectorTask({"ISOLET", 617, 26,
+                               samples ? samples : 1600, 0.95, 0.6,
+                               102});
+      case Benchmark::Har:
+        return makeVectorTask({"HAR", 561, 19,
+                               samples ? samples : 1400, 1.15, 0.55,
+                               103});
+      case Benchmark::Cifar10: {
+        ImageTaskSpec spec;
+        spec.name = "CIFAR-10";
+        spec.side = 16;  // reduced scale; topology proportions preserved
+        spec.classes = 10;
+        spec.samples = samples ? samples : 700;
+        spec.seed = 104;
+        return makeImageTask(spec);
+      }
+      case Benchmark::Cifar100: {
+        ImageTaskSpec spec;
+        spec.name = "CIFAR-100";
+        spec.side = 16;
+        spec.classes = 20;  // stand-in keeps many-class character
+        spec.samples = samples ? samples : 900;
+        spec.seed = 105;
+        return makeImageTask(spec);
+      }
+      case Benchmark::ImageNet: {
+        ImageTaskSpec spec;
+        spec.name = "ImageNet";
+        spec.side = 16;
+        spec.classes = 25;
+        spec.samples = samples ? samples : 1000;
+        spec.noise = 0.35;
+        spec.seed = 106;
+        return makeImageTask(spec);
+      }
+    }
+    panic("unknown benchmark");
+}
+
+} // namespace rapidnn::nn

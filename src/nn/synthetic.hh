@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's benchmarks.
+ *
+ * The paper evaluates on MNIST, ISOLET, HAR, CIFAR-10/100 and ImageNet.
+ * Those corpora are not available offline here, so each is substituted by
+ * a deterministic generator with the same input dimensionality and class
+ * count (see DESIGN.md, "Substitutions"). Vector tasks are drawn from
+ * per-class Gaussian prototypes with intra-class correlation; image tasks
+ * render per-class procedural textures (oriented gratings + blob layout)
+ * so convolutional structure is genuinely useful.
+ */
+
+#ifndef RAPIDNN_NN_SYNTHETIC_HH
+#define RAPIDNN_NN_SYNTHETIC_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "nn/dataset.hh"
+
+namespace rapidnn::nn {
+
+/** Options for vector (MLP) task synthesis. */
+struct VectorTaskSpec
+{
+    std::string name;
+    size_t features;
+    size_t classes;
+    size_t samples;
+    double noise = 0.45;       //!< additive Gaussian noise sigma
+    double prototypeScale = 1.0;
+    uint64_t seed = 1;
+};
+
+/** Options for image (CNN) task synthesis. */
+struct ImageTaskSpec
+{
+    std::string name;
+    size_t channels = 3;
+    size_t side = 32;
+    size_t classes;
+    size_t samples;
+    double noise = 0.25;
+    uint64_t seed = 1;
+};
+
+/** Per-class Gaussian-prototype vector task ([F] features). */
+Dataset makeVectorTask(const VectorTaskSpec &spec);
+
+/** Procedural-texture image task ([C, side, side] features). */
+Dataset makeImageTask(const ImageTaskSpec &spec);
+
+/**
+ * The six stand-in benchmarks, keyed by the paper's names. Sizes are
+ * scaled to train in seconds while keeping each topology's proportions.
+ */
+enum class Benchmark
+{
+    Mnist,     //!< 784 -> 10, FC topology
+    Isolet,    //!< 617 -> 26, FC topology
+    Har,       //!< 561 -> 19, FC topology
+    Cifar10,   //!< 32x32x3 -> 10, CNN topology
+    Cifar100,  //!< 32x32x3 -> 100, CNN topology
+    ImageNet,  //!< reduced-scale stand-in: 32x32x3 -> 100, deeper CNN
+};
+
+/** All six, in the paper's order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** The paper's name for a benchmark ("MNIST", "CIFAR-10", ...). */
+std::string benchmarkName(Benchmark b);
+
+/** Whether the benchmark's model is FC-only (Type 1) or CNN (Type 2). */
+bool benchmarkIsConvolutional(Benchmark b);
+
+/** Build the stand-in dataset for a benchmark. */
+Dataset makeBenchmarkDataset(Benchmark b, size_t samples = 0);
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_SYNTHETIC_HH

@@ -1,0 +1,101 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rapidnn::nn {
+
+size_t
+shapeNumel(const Shape &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        os << (i ? ", " : "") << shape[i];
+    os << "]";
+    return os.str();
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(_data.begin(), _data.end(), value);
+}
+
+double
+Tensor::sum() const
+{
+    double total = 0.0;
+    for (float x : _data)
+        total += x;
+    return total;
+}
+
+size_t
+Tensor::argmax() const
+{
+    RAPIDNN_ASSERT(!_data.empty(), "argmax of empty tensor");
+    return static_cast<size_t>(
+        std::max_element(_data.begin(), _data.end()) - _data.begin());
+}
+
+void
+Tensor::scale(float k)
+{
+    for (float &x : _data)
+        x *= k;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    RAPIDNN_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D args");
+    RAPIDNN_ASSERT(a.dim(1) == b.dim(0), "matmul inner dims mismatch: ",
+                   shapeToString(a.shape()), " x ", shapeToString(b.shape()));
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor out({m, n});
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t p = 0; p < k; ++p) {
+            const float aip = a.at(i, p);
+            if (aip == 0.0f)
+                continue;
+            const float *brow = b.data() + p * n;
+            float *orow = out.data() + i * n;
+            for (size_t j = 0; j < n; ++j)
+                orow[j] += aip * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    RAPIDNN_ASSERT(a.shape() == b.shape(), "add shape mismatch");
+    Tensor out = a;
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] += b[i];
+    return out;
+}
+
+double
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    RAPIDNN_ASSERT(a.shape() == b.shape(), "maxAbsDiff shape mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst, std::abs(double(a[i]) - double(b[i])));
+    return worst;
+}
+
+} // namespace rapidnn::nn

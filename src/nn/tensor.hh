@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Dense row-major float tensor used throughout the NN substrate.
+ *
+ * Deliberately minimal: contiguous storage, up to 4 dimensions, explicit
+ * indexing helpers for the shapes this library uses ([N], [B, F] and
+ * [B, C, H, W]). No views or broadcasting — the layers that need strided
+ * access write their own loops, which keeps behaviour obvious.
+ */
+
+#ifndef RAPIDNN_NN_TENSOR_HH
+#define RAPIDNN_NN_TENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nn {
+
+/** Shape of a tensor: a small vector of dimension extents. */
+using Shape = std::vector<size_t>;
+
+/** Total element count of a shape. */
+size_t shapeNumel(const Shape &shape);
+
+/** Human-readable "[a, b, c]" form of a shape. */
+std::string shapeToString(const Shape &shape);
+
+/**
+ * A dense float tensor. Copyable and movable; copies are deep.
+ */
+class Tensor
+{
+  public:
+    /** An empty (zero-element) tensor. */
+    Tensor() = default;
+
+    /** A zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape)
+        : _shape(std::move(shape)), _data(shapeNumel(_shape), 0.0f)
+    {
+    }
+
+    /** A tensor of the given shape with explicit contents. */
+    Tensor(Shape shape, std::vector<float> data)
+        : _shape(std::move(shape)), _data(std::move(data))
+    {
+        RAPIDNN_ASSERT(_data.size() == shapeNumel(_shape),
+                       "data size ", _data.size(), " != shape numel ",
+                       shapeNumel(_shape));
+    }
+
+    const Shape &shape() const { return _shape; }
+    size_t ndim() const { return _shape.size(); }
+    size_t numel() const { return _data.size(); }
+    size_t dim(size_t i) const { return _shape.at(i); }
+
+    float *data() { return _data.data(); }
+    const float *data() const { return _data.data(); }
+    std::vector<float> &vec() { return _data; }
+    const std::vector<float> &vec() const { return _data; }
+
+    float &operator[](size_t i) { return _data[i]; }
+    float operator[](size_t i) const { return _data[i]; }
+
+    /** 2-D access: [row, col] on a [R, C] tensor. */
+    float &
+    at(size_t r, size_t c)
+    {
+        return _data[r * _shape[1] + c];
+    }
+    float at(size_t r, size_t c) const
+    {
+        return _data[r * _shape[1] + c];
+    }
+
+    /** 3-D access: [c, h, w] on a [C, H, W] tensor. */
+    float &
+    at(size_t c, size_t h, size_t w)
+    {
+        return _data[(c * _shape[1] + h) * _shape[2] + w];
+    }
+    float
+    at(size_t c, size_t h, size_t w) const
+    {
+        return _data[(c * _shape[1] + h) * _shape[2] + w];
+    }
+
+    /** 4-D access: [n, c, h, w] on a [N, C, H, W] tensor. */
+    float &
+    at(size_t n, size_t c, size_t h, size_t w)
+    {
+        return _data[((n * _shape[1] + c) * _shape[2] + h) * _shape[3] + w];
+    }
+    float
+    at(size_t n, size_t c, size_t h, size_t w) const
+    {
+        return _data[((n * _shape[1] + c) * _shape[2] + h) * _shape[3] + w];
+    }
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor
+    reshaped(Shape shape) const
+    {
+        RAPIDNN_ASSERT(shapeNumel(shape) == numel(),
+                       "reshape ", shapeToString(_shape), " -> ",
+                       shapeToString(shape), " changes element count");
+        return Tensor(std::move(shape), _data);
+    }
+
+    /** Set every element to a constant. */
+    void fill(float value);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Index of the maximum element (first on ties). */
+    size_t argmax() const;
+
+    /** Elementwise in-place scale. */
+    void scale(float k);
+
+    /** True when shapes and all elements match exactly. */
+    bool operator==(const Tensor &o) const = default;
+
+  private:
+    Shape _shape;
+    std::vector<float> _data;
+};
+
+/** Matrix product: [M, K] x [K, N] -> [M, N]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Elementwise sum of equal-shaped tensors. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Maximum absolute elementwise difference between equal-shaped tensors. */
+double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_TENSOR_HH

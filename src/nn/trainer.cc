@@ -1,0 +1,82 @@
+#include "nn/trainer.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/loss.hh"
+
+namespace rapidnn::nn {
+
+std::vector<EpochStats>
+Trainer::train(Network &net, const Dataset &data)
+{
+    RAPIDNN_ASSERT(data.size() > 0, "training on empty dataset");
+    SgdOptimizer opt(_config.learningRate, _config.momentum);
+    Rng rng(_config.shuffleSeed);
+
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<EpochStats> history;
+    for (size_t epoch = 0; epoch < _config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double lossSum = 0.0;
+        size_t batches = 0;
+        size_t wrong = 0;
+
+        for (size_t start = 0; start < order.size();
+             start += _config.batchSize) {
+            auto [x, labels] = data.batch(order, start, _config.batchSize);
+            net.zeroGrad();
+            Tensor logits = net.forward(x, true);
+            auto result = softmaxCrossEntropy(logits, labels);
+            net.backward(result.gradLogits);
+            opt.step(net.parameters());
+
+            lossSum += result.loss;
+            ++batches;
+            for (size_t b = 0; b < labels.size(); ++b) {
+                const float *row = logits.data() + b * logits.dim(1);
+                size_t best = 0;
+                for (size_t c = 1; c < logits.dim(1); ++c)
+                    if (row[c] > row[best])
+                        best = c;
+                if (static_cast<int>(best) != labels[b])
+                    ++wrong;
+            }
+        }
+
+        history.push_back({epoch, lossSum / double(batches),
+                           double(wrong) / double(data.size())});
+        debugLog("epoch ", epoch, " loss ", history.back().meanLoss,
+                 " train-err ", history.back().trainErrorRate);
+    }
+    return history;
+}
+
+double
+Trainer::errorRate(Network &net, const Dataset &data)
+{
+    RAPIDNN_ASSERT(data.size() > 0, "errorRate on empty dataset");
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    size_t wrong = 0;
+    const size_t batchSize = 64;
+    for (size_t start = 0; start < order.size(); start += batchSize) {
+        auto [x, labels] = data.batch(order, start, batchSize);
+        Tensor logits = net.forward(x, false);
+        for (size_t b = 0; b < labels.size(); ++b) {
+            const float *row = logits.data() + b * logits.dim(1);
+            size_t best = 0;
+            for (size_t c = 1; c < logits.dim(1); ++c)
+                if (row[c] > row[best])
+                    best = c;
+            if (static_cast<int>(best) != labels[b])
+                ++wrong;
+        }
+    }
+    return double(wrong) / double(data.size());
+}
+
+} // namespace rapidnn::nn

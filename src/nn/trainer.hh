@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Mini-batch training loop and error-rate evaluation.
+ */
+
+#ifndef RAPIDNN_NN_TRAINER_HH
+#define RAPIDNN_NN_TRAINER_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "nn/dataset.hh"
+#include "nn/network.hh"
+#include "nn/optimizer.hh"
+
+namespace rapidnn::nn {
+
+/** Configuration for a training run. */
+struct TrainConfig
+{
+    size_t epochs = 10;
+    size_t batchSize = 32;
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    uint64_t shuffleSeed = 17;
+};
+
+/** Per-epoch progress record. */
+struct EpochStats
+{
+    size_t epoch;
+    double meanLoss;
+    double trainErrorRate;
+};
+
+/**
+ * Drives SGD over a dataset. Stateless between calls except for the
+ * caller-owned network; safe to re-enter for composer retraining rounds.
+ */
+class Trainer
+{
+  public:
+    explicit Trainer(TrainConfig config) : _config(config) {}
+
+    /**
+     * Train the network in place.
+     * @return per-epoch loss/error history.
+     */
+    std::vector<EpochStats> train(Network &net, const Dataset &data);
+
+    /** Classification error rate (fraction misclassified) on a dataset. */
+    static double errorRate(Network &net, const Dataset &data);
+
+    const TrainConfig &config() const { return _config; }
+
+  private:
+    TrainConfig _config;
+};
+
+} // namespace rapidnn::nn
+
+#endif // RAPIDNN_NN_TRAINER_HH

@@ -1,0 +1,51 @@
+#include "nvm/am_block.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nvm {
+
+AmBlock::AmBlock(const std::vector<double> &keys,
+                 const std::vector<double> &payloads, size_t keyBits,
+                 const CostModel &model, SearchMode mode)
+    : _cam(keyBits, model, mode), _model(model), _payloads(payloads)
+{
+    RAPIDNN_ASSERT(keys.size() == payloads.size(),
+                   "AM keys/payloads must be parallel");
+    RAPIDNN_ASSERT(!keys.empty(), "empty AM block");
+
+    const auto [lo, hi] = std::minmax_element(keys.begin(), keys.end());
+    // Widen a degenerate single-value domain so the codec is valid.
+    const double span = (*hi > *lo) ? 0.0 : std::max(1e-6, *lo * 1e-3);
+    _codec = FixedPointCodec(*lo - span, *hi + span + 1e-12, keyBits);
+
+    std::vector<uint32_t> quantized(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+        quantized[i] = _codec.quantize(keys[i]);
+    _cam.program(quantized);
+}
+
+size_t
+AmBlock::lookupRow(double key, OpCost &cost) const
+{
+    RAPIDNN_ASSERT(!empty(), "lookup on unconfigured AM block");
+    const size_t row = _cam.search(_codec.quantize(key), cost);
+    cost += {1, _model.amResultReadEnergy};
+    return row;
+}
+
+double
+AmBlock::lookup(double key, OpCost &cost) const
+{
+    return _payloads[lookupRow(key, cost)];
+}
+
+Area
+AmBlock::area() const
+{
+    // Table 1 reports 83.2 um^2 for a 64-row block; scale by rows.
+    return _model.amBlockArea * (static_cast<double>(rows()) / 64.0);
+}
+
+} // namespace rapidnn::nvm

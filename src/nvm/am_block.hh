@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Associative-memory block: an NDCAM keyed on lookup inputs plus a
+ * result crossbar holding the associated outputs (paper Figure 7b/c).
+ *
+ * Two AM blocks sit in every RNA: one models the activation function,
+ * one the encoding table (which doubles as the pooling unit). A lookup
+ * is one NDCAM search followed by one result-row read.
+ */
+
+#ifndef RAPIDNN_NVM_AM_BLOCK_HH
+#define RAPIDNN_NVM_AM_BLOCK_HH
+
+#include <vector>
+
+#include "nvm/cost_model.hh"
+#include "nvm/ndcam.hh"
+
+namespace rapidnn::nvm {
+
+/**
+ * A lookup table in associative memory: real-valued keys (quantized to
+ * the CAM's fixed-point code) mapped to arbitrary stored payloads.
+ */
+class AmBlock
+{
+  public:
+    AmBlock() = default;
+
+    /**
+     * Configure the block.
+     * @param keys table row keys (real values, e.g. activation inputs).
+     * @param payloads table row outputs, parallel to keys.
+     * @param keyBits CAM key width.
+     * @param model circuit-cost anchors.
+     * @param mode NDCAM search behaviour.
+     */
+    AmBlock(const std::vector<double> &keys,
+            const std::vector<double> &payloads, size_t keyBits,
+            const CostModel &model,
+            SearchMode mode = SearchMode::AbsoluteExact);
+
+    /** Nearest-key lookup: returns the payload, charging search+read. */
+    double lookup(double key, OpCost &cost) const;
+
+    /** Row index a key resolves to (for encoding: the row IS the code). */
+    size_t lookupRow(double key, OpCost &cost) const;
+
+    size_t rows() const { return _payloads.size(); }
+    bool empty() const { return _payloads.empty(); }
+
+    /** AM block silicon area (Table 1 anchor for 64-row blocks). */
+    Area area() const;
+    /** AM block standby power. */
+    Power power() const { return _model.amBlockPower; }
+
+    const Ndcam &cam() const { return _cam; }
+    const std::vector<double> &payloads() const { return _payloads; }
+    const FixedPointCodec &codec() const { return _codec; }
+
+  private:
+    Ndcam _cam{16, CostModel{}};
+    FixedPointCodec _codec;
+    CostModel _model;
+    std::vector<double> _payloads;
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_AM_BLOCK_HH

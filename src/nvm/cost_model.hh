@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Circuit-cost anchors for the RAPIDNN hardware models.
+ *
+ * The paper evaluated its circuits with HSPICE post-layout simulation at
+ * TSMC 45 nm and reported per-block (area, power, latency, energy)
+ * figures (Table 1 and Section 4.2.2). This repository substitutes a
+ * parameterized cost model seeded with those published figures; every
+ * architecture-level result is recomputed from these anchors. See
+ * DESIGN.md "Substitutions".
+ */
+
+#ifndef RAPIDNN_NVM_COST_MODEL_HH
+#define RAPIDNN_NVM_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "common/units.hh"
+#include "nvm/op_cost.hh"
+
+namespace rapidnn::nvm {
+
+/**
+ * Technology/circuit anchors. Defaults reproduce the paper's 45 nm
+ * numbers; all are overridable so design-space studies (and tests) can
+ * perturb them.
+ */
+struct CostModel
+{
+    /** Accelerator clock. One NOR operation completes in one cycle. */
+    Time cyclePeriod = Time::nanoseconds(1.0);
+
+    // ----- Crossbar (weighted-accumulation memory), per RNA block -----
+    /** 1K x 1K crossbar area / power (Table 1). */
+    Area crossbarArea = Area::squareMicrometers(3136.0);
+    Power crossbarPower = Power::milliwatts(3.7);
+    /** Energy of reading one crossbar row (product fetch). */
+    Energy crossbarReadEnergy = Energy::picojoules(1.1);
+    /** Energy of one bitwise NOR across a row slice (per bit). */
+    Energy norEnergyPerBit = Energy::femtojoules(2.0);
+    /** Cycles for one carry-save adder stage built from NORs (paper). */
+    size_t csaStageCycles = 13;
+    /** Cycles per bit of the final carry-propagate stage (paper: 13N). */
+    size_t carryPropagateCyclesPerBit = 13;
+
+    // ----- Counter bank (parallel counting), per RNA block -----
+    Area counterArea = Area::squareMicrometers(538.6);
+    Power counterPower = Power::milliwatts(0.7);
+    Energy counterIncrementEnergy = Energy::femtojoules(45.0);
+
+    // ----- NDCAM / AM blocks -----
+    /** Bits resolved per pipelined NDCAM search stage (paper: 8). */
+    size_t camStageBits = 8;
+    /** Latency of one search stage. */
+    Time camStageLatency = Time::nanoseconds(0.5);
+    /**
+     * Search energy anchor: the paper's 4x4 MAX-pool example (16 rows x
+     * 32 bits) costs 920 fJ; energy scales with rows x bits.
+     */
+    Energy camSearchEnergyAnchor = Energy::femtojoules(920.0);
+    size_t camAnchorRows = 16;
+    size_t camAnchorBits = 32;
+    /** Area anchor for the same 16x32 NDCAM: 24 um^2. */
+    Area camAreaAnchor = Area::squareMicrometers(24.0);
+    /** 64-row AM block (CAM + result crossbar) area/power (Table 1). */
+    Area amBlockArea = Area::squareMicrometers(83.2);
+    Power amBlockPower = Power::milliwatts(0.2);
+    /** Energy of reading the AM result row after a search. */
+    Energy amResultReadEnergy = Energy::femtojoules(180.0);
+    /** Energy of writing one CAM row (pooling loads values first). */
+    Energy camWriteEnergy = Energy::femtojoules(240.0);
+
+    // ----- CMOS comparison points (Section 4.2.2) -----
+    Area cmosMaxPoolArea = Area::squareMicrometers(374.0);
+    Time cmosMaxPoolLatency = Time::nanoseconds(1.2);
+    Energy cmosMaxPoolEnergy = Energy::femtojoules(378.0);
+
+    // ----- Tile / chip (Table 1) -----
+    size_t rnasPerTile = 1024;
+    size_t tilesPerChip = 32;
+    Area tileBufferArea = Area::squareMicrometers(37.6);
+    Power tileBufferPower = Power::milliwatts(2.8);
+    /** Energy of moving one bit through the broadcast buffer. */
+    Energy bufferBitEnergy = Energy::femtojoules(8.0);
+    /** Idle/leakage charge: fraction of block power while not active. */
+    double idleLeakageFraction = 0.10;
+
+    /** NDCAM search cost for a table of `rows` x `bits`. */
+    OpCost
+    camSearch(size_t rows, size_t bits) const
+    {
+        const size_t stages = (bits + camStageBits - 1) / camStageBits;
+        const double stageCycles =
+            camStageLatency.sec() / cyclePeriod.sec();
+        const auto cycles = static_cast<uint64_t>(
+            static_cast<double>(stages) * stageCycles + 0.999);
+        const double scale =
+            (static_cast<double>(rows) * static_cast<double>(bits))
+            / (static_cast<double>(camAnchorRows)
+               * static_cast<double>(camAnchorBits));
+        return {cycles < 1 ? 1 : cycles, camSearchEnergyAnchor * scale};
+    }
+
+    /** NDCAM area for a table of `rows` x `bits`. */
+    Area
+    camArea(size_t rows, size_t bits) const
+    {
+        const double scale =
+            (static_cast<double>(rows) * static_cast<double>(bits))
+            / (static_cast<double>(camAnchorRows)
+               * static_cast<double>(camAnchorBits));
+        return camAreaAnchor * scale;
+    }
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_COST_MODEL_HH

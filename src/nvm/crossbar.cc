@@ -1,0 +1,145 @@
+#include "nvm/crossbar.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nvm {
+
+CrossbarArray::CrossbarArray(size_t rows, size_t bits, const CostModel &model)
+    : _rows(rows), _bits(bits), _model(model), _data(rows, 0)
+{
+    RAPIDNN_ASSERT(bits >= 1 && bits <= 64, "crossbar word width 1..64");
+    RAPIDNN_ASSERT(rows >= 1, "crossbar needs at least one row");
+}
+
+void
+CrossbarArray::programRow(size_t row, uint64_t value)
+{
+    RAPIDNN_ASSERT(row < _rows, "programRow out of range");
+    _data[row] = value & mask();
+}
+
+uint64_t
+CrossbarArray::rowValue(size_t row) const
+{
+    RAPIDNN_ASSERT(row < _rows, "rowValue out of range");
+    return _data[row];
+}
+
+uint64_t
+CrossbarArray::readRow(size_t row, OpCost &cost) const
+{
+    cost += {1, _model.crossbarReadEnergy};
+    return rowValue(row);
+}
+
+void
+CrossbarArray::norRows(size_t a, size_t b, size_t dest, OpCost &cost)
+{
+    RAPIDNN_ASSERT(a < _rows && b < _rows && dest < _rows,
+                   "norRows out of range");
+    _data[dest] = ~(_data[a] | _data[b]) & mask();
+    cost += {1, _model.norEnergyPerBit * static_cast<double>(_bits)};
+}
+
+void
+CrossbarArray::csaStage(uint64_t a, uint64_t b, uint64_t c, uint64_t &sum,
+                        uint64_t &carry, size_t bits, const CostModel &model,
+                        OpCost &cost)
+{
+    // Functional 3:2 compression; all bit positions in parallel. The
+    // NOR-decomposed circuit the paper describes needs a fixed number of
+    // sequential NOR steps regardless of width (13 cycles): one NOR per
+    // bit slice per cycle switches.
+    sum = a ^ b ^ c;
+    carry = ((a & b) | (a & c) | (b & c)) << 1;
+    cost += {model.csaStageCycles,
+             model.norEnergyPerBit * static_cast<double>(bits)
+                 * static_cast<double>(model.csaStageCycles)};
+}
+
+size_t
+CrossbarArray::treeStages(size_t n)
+{
+    // Each stage turns groups of 3 partial results into 2: count
+    // iterations of n -> ceil(2n/3) until two operands remain.
+    size_t stages = 0;
+    while (n > 2) {
+        n = (2 * n + 2) / 3;
+        ++stages;
+    }
+    return stages;
+}
+
+int64_t
+CrossbarArray::addMany(const std::vector<int64_t> &addends,
+                       size_t resultBits, const CostModel &model,
+                       OpCost &cost)
+{
+    RAPIDNN_ASSERT(resultBits >= 1 && resultBits <= 64,
+                   "addMany result width 1..64");
+    if (addends.empty())
+        return 0;
+
+    // Functional sum (exact); signed values are handled natively, which
+    // matches two's-complement rows in the real array.
+    int64_t total = 0;
+    for (int64_t v : addends)
+        total += v;
+
+    if (addends.size() == 1) {
+        // Direct readout, no adder activity.
+        return total;
+    }
+
+    // Carry-save tree: fixed 13-cycle stages, one per reduction level.
+    std::vector<uint64_t> work;
+    work.reserve(addends.size());
+    for (int64_t v : addends)
+        work.push_back(static_cast<uint64_t>(v));
+    while (work.size() > 2) {
+        std::vector<uint64_t> next;
+        next.reserve((2 * work.size() + 2) / 3);
+        size_t i = 0;
+        OpCost stageCost;  // all groups in one stage run in parallel
+        bool charged = false;
+        for (; i + 2 < work.size(); i += 3) {
+            uint64_t sum, carry;
+            OpCost groupCost;
+            csaStage(work[i], work[i + 1], work[i + 2], sum, carry,
+                     resultBits, model, groupCost);
+            // Parallel groups: cycles once, energy per group.
+            if (!charged) {
+                stageCost.cycles = groupCost.cycles;
+                charged = true;
+            }
+            stageCost.energy += groupCost.energy;
+            next.push_back(sum);
+            next.push_back(carry);
+        }
+        for (; i < work.size(); ++i)
+            next.push_back(work[i]);
+        cost += stageCost;
+        work = std::move(next);
+    }
+
+    // Final carry-propagate addition of the two remaining operands.
+    cost += {model.carryPropagateCyclesPerBit * resultBits,
+             model.norEnergyPerBit
+                 * static_cast<double>(resultBits)
+                 * static_cast<double>(
+                       model.carryPropagateCyclesPerBit)};
+    return total;
+}
+
+Area
+CrossbarArray::area() const
+{
+    const double cells = static_cast<double>(_rows)
+                       * static_cast<double>(_bits);
+    // Anchor: 1K x 1K bits -> crossbarArea.
+    return _model.crossbarArea * (cells / (1024.0 * 1024.0));
+}
+
+} // namespace rapidnn::nvm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Digital memristive crossbar array with in-memory NOR logic.
+ *
+ * The crossbar is RAPIDNN's workhorse: it stores pre-computed
+ * multiplication results as plain binary rows and performs *addition*
+ * in place by decomposing it into NOR operations executed on the
+ * bitlines (MAGIC-style stateful logic; paper Section 4.1.2). A
+ * carry-save adder tree reduces many addends with log_{3/2} stages of
+ * fixed 13-cycle latency, followed by one 13*N-cycle carry-propagate
+ * stage.
+ *
+ * The model is functional + cost-accurate: values are computed with
+ * ordinary integer math while cycles and energy are charged according
+ * to the NOR-level schedule the paper describes.
+ */
+
+#ifndef RAPIDNN_NVM_CROSSBAR_HH
+#define RAPIDNN_NVM_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nvm/cost_model.hh"
+#include "nvm/op_cost.hh"
+
+namespace rapidnn::nvm {
+
+/**
+ * A rows x bits binary crossbar with an attached cost model.
+ */
+class CrossbarArray
+{
+  public:
+    /**
+     * @param rows number of word rows.
+     * @param bits word width in bits.
+     * @param model circuit-cost anchors.
+     */
+    CrossbarArray(size_t rows, size_t bits, const CostModel &model);
+
+    size_t rows() const { return _rows; }
+    size_t bits() const { return _bits; }
+
+    /** Program a row with a value (initialization; not charged). */
+    void programRow(size_t row, uint64_t value);
+
+    /** Raw stored value of a row. */
+    uint64_t rowValue(size_t row) const;
+
+    /** Read a row, charging read latency/energy. */
+    uint64_t readRow(size_t row, OpCost &cost) const;
+
+    /**
+     * One in-memory NOR across two rows into a destination row,
+     * charging one cycle and per-bit switch energy.
+     */
+    void norRows(size_t a, size_t b, size_t dest, OpCost &cost);
+
+    /**
+     * One carry-save (3:2 compressor) stage over arbitrary values:
+     * (a, b, c) -> (sum, carry). Functional result plus the paper's
+     * 13-cycle charge; all bit positions compress in parallel.
+     * @param bits word width the compressor operates on (energy scale).
+     */
+    static void csaStage(uint64_t a, uint64_t b, uint64_t c,
+                         uint64_t &sum, uint64_t &carry, size_t bits,
+                         const CostModel &model, OpCost &cost);
+
+    /**
+     * Reduce a list of addends with the in-memory carry-save tree and a
+     * final carry-propagate stage.
+     *
+     * @param addends values to sum (signed: subtraction enters as
+     *        two's-complement from the CSD decomposition).
+     * @param resultBits accumulator width N; the final propagate stage
+     *        costs 13*N cycles.
+     * @param model circuit-cost anchors.
+     * @param cost accumulates the full schedule's cost.
+     * @return the exact sum.
+     */
+    static int64_t addMany(const std::vector<int64_t> &addends,
+                           size_t resultBits, const CostModel &model,
+                           OpCost &cost);
+
+    /** Number of CSA stages the tree needs for n addends (paper's
+     *  log_{3/2} schedule; 0 when n <= 2). */
+    static size_t treeStages(size_t n);
+
+    /** Total area of this array (scaled from the 1K x 1K anchor). */
+    Area area() const;
+
+    const CostModel &model() const { return _model; }
+
+  private:
+    size_t _rows;
+    size_t _bits;
+    CostModel _model;
+    std::vector<uint64_t> _data;
+
+    uint64_t mask() const
+    {
+        return _bits >= 64 ? ~0ULL : ((1ULL << _bits) - 1);
+    }
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_CROSSBAR_HH

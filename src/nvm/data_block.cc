@@ -1,0 +1,64 @@
+#include "nvm/data_block.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nvm {
+
+DataBlock::DataBlock(size_t words, const CostModel &model)
+    : _store(words, 0), _model(model)
+{
+    RAPIDNN_ASSERT(words >= 1, "empty data block");
+}
+
+void
+DataBlock::write(size_t address, uint32_t word, OpCost &cost)
+{
+    RAPIDNN_ASSERT(address < _store.size(), "data block write OOB");
+    _store[address] = word;
+    // A word write switches up to 32 cells.
+    cost += {1, _model.norEnergyPerBit * 32.0};
+}
+
+uint32_t
+DataBlock::read(size_t address, OpCost &cost) const
+{
+    RAPIDNN_ASSERT(address < _store.size(), "data block read OOB");
+    cost += {1, _model.crossbarReadEnergy};
+    return _store[address];
+}
+
+void
+DataBlock::program(size_t address, const std::vector<uint32_t> &words)
+{
+    RAPIDNN_ASSERT(address + words.size() <= _store.size(),
+                   "data block program OOB");
+    std::copy(words.begin(), words.end(), _store.begin() + long(address));
+}
+
+OpCost
+DataBlock::streamOut(size_t words, size_t lanes) const
+{
+    RAPIDNN_ASSERT(lanes >= 1, "streamOut needs lanes");
+    const auto cycles = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(words) / static_cast<double>(lanes)));
+    return {cycles,
+            _model.crossbarReadEnergy * static_cast<double>(words)};
+}
+
+OpCost
+DataBlock::writeBack(size_t words) const
+{
+    return {static_cast<uint64_t>(words),
+            _model.norEnergyPerBit * (32.0 * double(words))};
+}
+
+Area
+DataBlock::area() const
+{
+    const double cells = static_cast<double>(_store.size()) * 32.0;
+    return _model.crossbarArea * (cells / (1024.0 * 1024.0));
+}
+
+} // namespace rapidnn::nvm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Data blocks: the conventional crossbar memories that hold the input
+ * dataset and receive the accelerator's results (paper Figure 1 and
+ * Section 2.1: "The data block is a typical crossbar memory which
+ * stores an input dataset... Once the inference is completed, the
+ * accelerator writes the computed results back to the crossbar
+ * memory").
+ *
+ * Functionally a word-addressable store; cost-wise it charges read
+ * energy per fetched input word and write energy per result word, the
+ * terms the chip model folds into its per-inference "other" phase.
+ */
+
+#ifndef RAPIDNN_NVM_DATA_BLOCK_HH
+#define RAPIDNN_NVM_DATA_BLOCK_HH
+
+#include <vector>
+
+#include "nvm/cost_model.hh"
+#include "nvm/op_cost.hh"
+
+namespace rapidnn::nvm {
+
+/**
+ * A data block storing fixed-point words with read/write accounting.
+ */
+class DataBlock
+{
+  public:
+    /**
+     * @param words capacity in 32-bit words.
+     * @param model circuit-cost anchors.
+     */
+    DataBlock(size_t words, const CostModel &model);
+
+    size_t capacity() const { return _store.size(); }
+
+    /** Store a word (charged). */
+    void write(size_t address, uint32_t word, OpCost &cost);
+
+    /** Fetch a word (charged). */
+    uint32_t read(size_t address, OpCost &cost) const;
+
+    /** Bulk-load a dataset row without cost (initialization DMA). */
+    void program(size_t address, const std::vector<uint32_t> &words);
+
+    /**
+     * Cost of streaming `words` words out over `lanes` parallel
+     * bitlines (input broadcast into the RNA FIFOs).
+     */
+    OpCost streamOut(size_t words, size_t lanes) const;
+
+    /** Cost of writing back `words` result words. */
+    OpCost writeBack(size_t words) const;
+
+    /** Silicon area (from the crossbar density anchor). */
+    Area area() const;
+
+  private:
+    std::vector<uint32_t> _store;
+    CostModel _model;
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_DATA_BLOCK_HH

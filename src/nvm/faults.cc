@@ -1,0 +1,94 @@
+#include "nvm/faults.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nvm {
+
+uint64_t
+stickBits(uint64_t word, size_t wordBits, double stuckBitRate,
+          double stuckAtOneFraction, Rng &rng, size_t &bitsFlipped)
+{
+    for (size_t bit = 0; bit < wordBits; ++bit) {
+        if (!rng.bernoulli(stuckBitRate))
+            continue;
+        const uint64_t mask = uint64_t(1) << bit;
+        const bool stuckOne = rng.bernoulli(stuckAtOneFraction);
+        const uint64_t stuck =
+            stuckOne ? (word | mask) : (word & ~mask);
+        if (stuck != word)
+            ++bitsFlipped;
+        word = stuck;
+    }
+    return word;
+}
+
+namespace {
+
+void
+injectIntoTables(std::vector<std::vector<double>> &tables,
+                 const FaultSpec &spec, Rng &rng, FaultReport &report)
+{
+    const double scale =
+        static_cast<double>(int64_t(1) << spec.fractionBits);
+    for (auto &table : tables) {
+        ++report.tablesVisited;
+        for (double &entry : table) {
+            const auto fixed = static_cast<int64_t>(
+                entry * scale + (entry >= 0 ? 0.5 : -0.5));
+            size_t flipped = 0;
+            const auto stuck = static_cast<int64_t>(stickBits(
+                static_cast<uint64_t>(fixed), spec.wordBits,
+                spec.stuckBitRate, spec.stuckAtOneFraction, rng,
+                flipped));
+            if (flipped == 0)
+                continue;
+            // Sign-extend the stored word back to a value.
+            int64_t value = stuck;
+            if (spec.wordBits < 64) {
+                const int64_t signBit = int64_t(1)
+                    << (spec.wordBits - 1);
+                if (value & signBit)
+                    value |= ~((int64_t(1) << spec.wordBits) - 1);
+                else
+                    value &= (int64_t(1) << spec.wordBits) - 1;
+            }
+            const double corrupted =
+                static_cast<double>(value) / scale;
+            report.worstEntryError = std::max(
+                report.worstEntryError, std::abs(corrupted - entry));
+            entry = corrupted;
+            ++report.entriesCorrupted;
+            report.bitsFlipped += flipped;
+        }
+    }
+}
+
+void
+injectIntoLayers(std::vector<composer::RLayer> &layers,
+                 const FaultSpec &spec, Rng &rng, FaultReport &report)
+{
+    for (auto &layer : layers) {
+        injectIntoTables(layer.productTables, spec, rng, report);
+        injectIntoTables(layer.stateProductTables, spec, rng, report);
+        if (!layer.inner.empty())
+            injectIntoLayers(layer.inner, spec, rng, report);
+    }
+}
+
+} // namespace
+
+FaultReport
+injectFaults(composer::ReinterpretedModel &model, const FaultSpec &spec)
+{
+    RAPIDNN_ASSERT(spec.wordBits >= spec.fractionBits + 2 &&
+                   spec.wordBits <= 64,
+                   "fault spec word layout invalid");
+    Rng rng(spec.seed);
+    FaultReport report;
+    injectIntoLayers(model.layers(), spec, rng, report);
+    return report;
+}
+
+} // namespace rapidnn::nvm

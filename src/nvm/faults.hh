@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NVM fault-injection model.
+ *
+ * Endurance and manufacturing defects leave memristor cells stuck at
+ * one resistance state. Because RAPIDNN stores *pre-computed products*
+ * rather than raw weights, a stuck cell corrupts one table entry — a
+ * bounded, analyzable error. This module injects stuck-at faults into
+ * a reinterpreted model's tables so the accuracy impact can be
+ * measured (see tests/faults_test.cc and bench_ablations).
+ */
+
+#ifndef RAPIDNN_NVM_FAULTS_HH
+#define RAPIDNN_NVM_FAULTS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "composer/reinterpreted_model.hh"
+
+namespace rapidnn::nvm {
+
+/** Fault-injection configuration. */
+struct FaultSpec
+{
+    /** Probability that any given stored bit is stuck. */
+    double stuckBitRate = 1e-4;
+    /** Stuck polarity mix: probability a stuck bit reads '1'. */
+    double stuckAtOneFraction = 0.5;
+    /** Fixed-point fraction bits of the stored product rows. */
+    size_t fractionBits = 16;
+    /** Stored word width. */
+    size_t wordBits = 32;
+    uint64_t seed = 99;
+};
+
+/** Result summary of an injection pass. */
+struct FaultReport
+{
+    size_t tablesVisited = 0;
+    size_t entriesCorrupted = 0;
+    size_t bitsFlipped = 0;
+    double worstEntryError = 0.0;  //!< max |corrupted - original|
+};
+
+/**
+ * Inject stuck-at faults into every product table of a reinterpreted
+ * model (in place). Each stored entry is quantized to fixed point,
+ * bits are stuck per the spec, and the entry is written back — exactly
+ * what a defective crossbar would serve at lookup time.
+ */
+FaultReport injectFaults(composer::ReinterpretedModel &model,
+                         const FaultSpec &spec);
+
+/** Apply stuck-at faults to a single fixed-point word (test hook). */
+uint64_t stickBits(uint64_t word, size_t wordBits, double stuckBitRate,
+                   double stuckAtOneFraction, Rng &rng,
+                   size_t &bitsFlipped);
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_FAULTS_HH

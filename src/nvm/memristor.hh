@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Behavioural model of a single-level bipolar memristor device.
+ *
+ * RAPIDNN's selling point is that it needs only *single-level* devices
+ * (two resistance states, as in commercial 3D XPoint-class parts) rather
+ * than the unreliable multi-level cells analog PIM designs require. This
+ * model captures what the architecture layers consume: the two resistive
+ * states, a switching threshold, switching latency/energy, and a simple
+ * process-variation hook used by the NDCAM Monte-Carlo margin study.
+ */
+
+#ifndef RAPIDNN_NVM_MEMRISTOR_HH
+#define RAPIDNN_NVM_MEMRISTOR_HH
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace rapidnn::nvm {
+
+/** Device-level parameters of the bipolar memristor. */
+struct MemristorParams
+{
+    double rOn = 10e3;        //!< low resistive state, ohms ('1')
+    double rOff = 10e6;       //!< high resistive state, ohms ('0')
+    double vThreshold = 1.1;  //!< switching threshold, volts
+    double vDrive = 2.0;      //!< applied drive voltage, volts
+    Time switchTime = Time::nanoseconds(1.1);
+    Energy switchEnergy = Energy::femtojoules(29.0);
+    double variationSigma = 0.10;  //!< 10 % process variation (paper)
+};
+
+/**
+ * A two-state resistive device. The logic built on top (MAGIC-style NOR)
+ * only needs state, conditional switching, and cost reporting.
+ */
+class Memristor
+{
+  public:
+    explicit Memristor(const MemristorParams &params = {},
+                       bool initialState = false)
+        : _params(params), _state(initialState)
+    {
+    }
+
+    /** Current logical state: true == low-resistance == '1'. */
+    bool state() const { return _state; }
+
+    /** Resistance in the present state (ohms). */
+    double
+    resistance() const
+    {
+        return _state ? _params.rOn : _params.rOff;
+    }
+
+    /**
+     * Apply a voltage across the device; it switches when |v| exceeds
+     * the threshold, toward ON for positive and OFF for negative drive
+     * (bipolar behaviour).
+     * @return true when the state actually toggled (energy was spent).
+     */
+    bool
+    applyVoltage(double v)
+    {
+        if (v >= _params.vThreshold && !_state) {
+            _state = true;
+            return true;
+        }
+        if (v <= -_params.vThreshold && _state) {
+            _state = false;
+            return true;
+        }
+        return false;
+    }
+
+    /** Unconditionally program the state (initialization writes). */
+    void program(bool on) { _state = on; }
+
+    const MemristorParams &params() const { return _params; }
+
+    /**
+     * A process-varied copy of the nominal parameters: resistances and
+     * threshold perturbed by the Gaussian variation sigma. Used by the
+     * Monte-Carlo NDCAM margin analysis.
+     */
+    static MemristorParams
+    vary(const MemristorParams &nominal, Rng &rng)
+    {
+        MemristorParams p = nominal;
+        p.rOn *= 1.0 + rng.gaussian(0.0, nominal.variationSigma);
+        p.rOff *= 1.0 + rng.gaussian(0.0, nominal.variationSigma);
+        p.vThreshold *= 1.0 + rng.gaussian(0.0, nominal.variationSigma);
+        return p;
+    }
+
+  private:
+    MemristorParams _params;
+    bool _state;
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_MEMRISTOR_HH

@@ -1,0 +1,175 @@
+#include "nvm/ndcam.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rapidnn::nvm {
+
+FixedPointCodec::FixedPointCodec(double lo, double hi, size_t bits)
+    : _lo(lo), _hi(hi), _bits(bits)
+{
+    RAPIDNN_ASSERT(hi > lo, "degenerate codec range");
+    RAPIDNN_ASSERT(bits >= 1 && bits <= 32, "codec width 1..32");
+}
+
+uint32_t
+FixedPointCodec::quantize(double x) const
+{
+    const double t = (x - _lo) / (_hi - _lo);
+    const double clamped = std::clamp(t, 0.0, 1.0);
+    const double scaled = clamped * static_cast<double>(maxKey());
+    return static_cast<uint32_t>(scaled + 0.5);
+}
+
+double
+FixedPointCodec::dequantize(uint32_t key) const
+{
+    return _lo + (_hi - _lo) * static_cast<double>(key)
+               / static_cast<double>(maxKey());
+}
+
+Ndcam::Ndcam(size_t bits, const CostModel &model, SearchMode mode)
+    : _bits(bits), _model(model), _mode(mode)
+{
+    RAPIDNN_ASSERT(bits >= 1 && bits <= 32, "NDCAM key width 1..32");
+}
+
+void
+Ndcam::load(const std::vector<uint32_t> &keys, OpCost &cost)
+{
+    program(keys);
+    cost += {1, _model.camWriteEnergy * static_cast<double>(keys.size())};
+}
+
+void
+Ndcam::program(const std::vector<uint32_t> &keys)
+{
+    const uint32_t top = _bits >= 32 ? ~0u : ((1u << _bits) - 1);
+    for (uint32_t k : keys)
+        RAPIDNN_ASSERT(k <= top, "key wider than the CAM");
+    _keys = keys;
+}
+
+size_t
+Ndcam::exactSearch(uint32_t query) const
+{
+    size_t best = 0;
+    uint32_t bestDist = ~0u;
+    for (size_t r = 0; r < _keys.size(); ++r) {
+        const uint32_t d = _keys[r] > query ? _keys[r] - query
+                                            : query - _keys[r];
+        if (d < bestDist) {
+            bestDist = d;
+            best = r;
+        }
+    }
+    return best;
+}
+
+size_t
+Ndcam::stagedSearch(uint32_t query, const std::vector<double> *noise) const
+{
+    // Byte-staged search, MSB first. In each stage the surviving rows
+    // race their match-line discharge: current is the weighted sum of
+    // matching bit positions within the stage's byte (transistors sized
+    // 2x per significance). Only the fastest rows survive to the next
+    // stage. `noise` perturbs per-row currents for Monte-Carlo studies.
+    std::vector<size_t> alive(_keys.size());
+    for (size_t r = 0; r < _keys.size(); ++r)
+        alive[r] = r;
+
+    const size_t stageBits = _model.camStageBits;
+    const size_t stages = (_bits + stageBits - 1) / stageBits;
+
+    for (size_t s = 0; s < stages && alive.size() > 1; ++s) {
+        // Stage s covers the s-th byte from the top.
+        const size_t hiBit = _bits - s * stageBits;
+        const size_t loBit = hiBit >= stageBits ? hiBit - stageBits : 0;
+        const uint32_t width = static_cast<uint32_t>(hiBit - loBit);
+        const uint32_t stageMask =
+            width >= 32 ? ~0u : ((1u << width) - 1u);
+
+        double bestCurrent = -1.0;
+        std::vector<size_t> winners;
+        for (size_t idx = 0; idx < alive.size(); ++idx) {
+            const size_t r = alive[idx];
+            const uint32_t stored = (_keys[r] >> loBit) & stageMask;
+            const uint32_t probe = (query >> loBit) & stageMask;
+            // Weighted matched-bit score == (2^w - 1) - (stored ^ probe).
+            const uint32_t maxScore = stageMask;
+            double current = static_cast<double>(
+                maxScore - (stored ^ probe));
+            if (noise)
+                current *= 1.0 + (*noise)[r * stages + s];
+            if (current > bestCurrent + 1e-12) {
+                bestCurrent = current;
+                winners.clear();
+                winners.push_back(r);
+            } else if (current >= bestCurrent - 1e-12) {
+                winners.push_back(r);
+            }
+        }
+        alive = std::move(winners);
+    }
+    return alive.front();
+}
+
+size_t
+Ndcam::search(uint32_t query, OpCost &cost) const
+{
+    RAPIDNN_ASSERT(!_keys.empty(), "search on empty NDCAM");
+    cost += _model.camSearch(rows(), _bits);
+    return _mode == SearchMode::AbsoluteExact ? exactSearch(query)
+                                              : stagedSearch(query, nullptr);
+}
+
+size_t
+Ndcam::searchMax(OpCost &cost) const
+{
+    RAPIDNN_ASSERT(!_keys.empty(), "searchMax on empty NDCAM");
+    cost += _model.camSearch(rows(), _bits);
+    // MAX pooling probes the all-ones pattern; with the weighted match
+    // score this always selects the numerically largest stored key.
+    return static_cast<size_t>(
+        std::max_element(_keys.begin(), _keys.end()) - _keys.begin());
+}
+
+size_t
+Ndcam::searchMin(OpCost &cost) const
+{
+    RAPIDNN_ASSERT(!_keys.empty(), "searchMin on empty NDCAM");
+    cost += _model.camSearch(rows(), _bits);
+    return static_cast<size_t>(
+        std::min_element(_keys.begin(), _keys.end()) - _keys.begin());
+}
+
+double
+Ndcam::varianceFailureRate(size_t trials, Rng &rng) const
+{
+    RAPIDNN_ASSERT(!_keys.empty(), "variance study on empty NDCAM");
+    const size_t stageBits = _model.camStageBits;
+    const size_t stages = (_bits + stageBits - 1) / stageBits;
+    const double sigma = MemristorParams{}.variationSigma;
+
+    size_t failures = 0;
+    for (size_t t = 0; t < trials; ++t) {
+        const uint32_t query = static_cast<uint32_t>(
+            rng.uniformInt(0, _bits >= 32 ? int64_t(~0u)
+                                          : (int64_t(1) << _bits) - 1));
+        std::vector<double> noise(_keys.size() * stages);
+        for (double &n : noise)
+            n = rng.gaussian(0.0, sigma)
+              / static_cast<double>(1u << stageBits);
+        // Variation shifts per-row current by a fraction of one LSB's
+        // weight; a failure is a different winner than nominal.
+        const size_t nominal = stagedSearch(query, nullptr);
+        const size_t varied = stagedSearch(query, &noise);
+        if (nominal != varied)
+            ++failures;
+    }
+    return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+} // namespace rapidnn::nvm

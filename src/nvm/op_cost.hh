@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cost accounting primitive shared by all circuit models: a (cycles,
+ * energy) pair that composes along sequential and parallel paths.
+ */
+
+#ifndef RAPIDNN_NVM_OP_COST_HH
+#define RAPIDNN_NVM_OP_COST_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace rapidnn::nvm {
+
+/**
+ * The cost of one hardware operation. Cycles accumulate serially via
+ * operator+= and in parallel via parallelWith (max of cycles, sum of
+ * energy).
+ */
+struct OpCost
+{
+    uint64_t cycles = 0;
+    Energy energy{};
+
+    /** Sequential composition: latencies and energies both add. */
+    OpCost &
+    operator+=(const OpCost &o)
+    {
+        cycles += o.cycles;
+        energy += o.energy;
+        return *this;
+    }
+
+    OpCost
+    operator+(const OpCost &o) const
+    {
+        OpCost r = *this;
+        r += o;
+        return r;
+    }
+
+    /** Parallel composition: latency is the max, energy still adds. */
+    OpCost
+    parallelWith(const OpCost &o) const
+    {
+        return {std::max(cycles, o.cycles), energy + o.energy};
+    }
+
+    /** Wall-clock time at a given clock period. */
+    Time
+    latency(Time cyclePeriod) const
+    {
+        return cyclePeriod * static_cast<double>(cycles);
+    }
+
+    bool operator==(const OpCost &) const = default;
+};
+
+} // namespace rapidnn::nvm
+
+#endif // RAPIDNN_NVM_OP_COST_HH

@@ -1,0 +1,132 @@
+#include "quant/activation_table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "quant/kmeans.hh"
+
+namespace rapidnn::quant {
+
+ActivationTable
+ActivationTable::fromRows(std::vector<double> inputs,
+                          std::vector<double> outputs)
+{
+    RAPIDNN_ASSERT(inputs.size() == outputs.size() &&
+                   inputs.size() >= 2,
+                   "fromRows needs >= 2 parallel rows");
+    for (size_t i = 1; i < inputs.size(); ++i)
+        RAPIDNN_ASSERT(inputs[i - 1] <= inputs[i],
+                       "fromRows inputs must be sorted");
+    ActivationTable table;
+    table._lo = inputs.front();
+    table._hi = inputs.back();
+    table._y = std::move(inputs);
+    table._z = std::move(outputs);
+    return table;
+}
+
+ActivationTable
+ActivationTable::buildCustom(const std::function<double(double)> &fn,
+                             const std::function<double(double)> &derivative,
+                             size_t rows, TableSpacing spacing, double lo,
+                             double hi)
+{
+    RAPIDNN_ASSERT(rows >= 2, "activation table needs >= 2 rows");
+    RAPIDNN_ASSERT(hi > lo, "degenerate activation domain");
+
+    ActivationTable table;
+    table._lo = lo;
+    table._hi = hi;
+    table._y.resize(rows);
+
+    if (spacing == TableSpacing::Linear) {
+        for (size_t i = 0; i < rows; ++i)
+            table._y[i] = lo + (hi - lo) * double(i) / double(rows - 1);
+    } else {
+        // Derivative-weighted placement: integrate |f'| numerically to
+        // get an importance CDF, then place rows at equal CDF quantiles.
+        // A small uniform floor keeps flat regions represented.
+        const size_t grid = 4096;
+        std::vector<double> cdf(grid + 1, 0.0);
+        const double step = (hi - lo) / double(grid);
+        double floorWeight = 0.0;
+        for (size_t i = 0; i < grid; ++i) {
+            const double y = lo + (double(i) + 0.5) * step;
+            floorWeight = std::max(floorWeight,
+                                   std::abs(derivative(y)));
+        }
+        floorWeight = std::max(1e-9, 0.02 * floorWeight);
+        for (size_t i = 0; i < grid; ++i) {
+            const double y = lo + (double(i) + 0.5) * step;
+            cdf[i + 1] = cdf[i]
+                       + std::max(std::abs(derivative(y)), floorWeight);
+        }
+        const double total = cdf.back();
+        size_t cursor = 0;
+        for (size_t i = 0; i < rows; ++i) {
+            const double target =
+                total * double(i) / double(rows - 1);
+            while (cursor < grid && cdf[cursor + 1] < target)
+                ++cursor;
+            // Linear interpolation within the grid cell.
+            const double cellLo = cdf[cursor];
+            const double cellHi = cdf[cursor + 1];
+            const double frac = cellHi > cellLo
+                ? (target - cellLo) / (cellHi - cellLo) : 0.0;
+            table._y[i] = lo + (double(cursor) + frac) * step;
+        }
+        table._y.front() = lo;
+        table._y.back() = hi;
+    }
+
+    table._z.resize(rows);
+    for (size_t i = 0; i < rows; ++i)
+        table._z[i] = fn(table._y[i]);
+    return table;
+}
+
+ActivationTable
+ActivationTable::build(nn::ActKind kind, size_t rows, TableSpacing spacing,
+                       double lo, double hi)
+{
+    return buildCustom(
+        [kind](double y) { return nn::actForward(kind, y); },
+        [kind](double y) { return nn::actDerivative(kind, y); },
+        rows, spacing, lo, hi);
+}
+
+ActivationTable
+ActivationTable::build(nn::ActKind kind, size_t rows, TableSpacing spacing)
+{
+    double lo, hi;
+    nn::actDefaultDomain(kind, lo, hi);
+    return build(kind, rows, spacing, lo, hi);
+}
+
+size_t
+ActivationTable::lookupRow(double y) const
+{
+    RAPIDNN_ASSERT(!_y.empty(), "lookup on unbuilt table");
+    return nearestCentroid(_y, y);
+}
+
+double
+ActivationTable::lookup(double y) const
+{
+    return _z[lookupRow(y)];
+}
+
+double
+ActivationTable::maxError(const std::function<double(double)> &fn,
+                          size_t probes) const
+{
+    double worst = 0.0;
+    for (size_t i = 0; i < probes; ++i) {
+        const double y =
+            _lo + (_hi - _lo) * double(i) / double(probes - 1);
+        worst = std::max(worst, std::abs(lookup(y) - fn(y)));
+    }
+    return worst;
+}
+
+} // namespace rapidnn::quant

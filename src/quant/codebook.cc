@@ -1,0 +1,92 @@
+#include "quant/codebook.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rapidnn::quant {
+
+Codebook::Codebook(std::vector<double> values) : _values(std::move(values))
+{
+    RAPIDNN_ASSERT(!_values.empty(), "empty codebook");
+    std::sort(_values.begin(), _values.end());
+}
+
+uint32_t
+Codebook::bits() const
+{
+    return indexBits(_values.size());
+}
+
+TreeCodebook::TreeCodebook(const std::vector<double> &samples, size_t depth,
+                           uint64_t seed)
+{
+    RAPIDNN_ASSERT(!samples.empty(), "TreeCodebook on empty samples");
+    RAPIDNN_ASSERT(depth >= 1 && depth <= 16, "unreasonable tree depth");
+
+    // Recursive binary splits. Level l is the sorted concatenation of the
+    // 2^l leaf centroids at that recursion depth. Because k-means in 1-D
+    // splits into two intervals around a threshold, sorting the leaf
+    // centroids preserves the left-to-right cluster order.
+    //
+    // We carry (sample subset) partitions level by level.
+    std::vector<std::vector<double>> partitions = {samples};
+    Rng seeder(seed);
+
+    for (size_t lvl = 1; lvl <= depth; ++lvl) {
+        std::vector<std::vector<double>> next;
+        std::vector<double> centroids;
+        next.reserve(partitions.size() * 2);
+
+        for (const auto &part : partitions) {
+            if (part.empty())
+                continue;
+            KMeansConfig config;
+            config.k = 2;
+            config.seed = seeder.engine()();
+            KMeansResult result = kmeans1d(part, config);
+
+            // Split the partition's samples by assignment. With k
+            // possibly collapsed to 1 (all-equal partition), keep one.
+            std::vector<std::vector<double>> split(result.centroids.size());
+            for (size_t i = 0; i < part.size(); ++i)
+                split[result.assignment[i]].push_back(part[i]);
+            for (size_t c = 0; c < result.centroids.size(); ++c) {
+                centroids.push_back(result.centroids[c]);
+                next.push_back(std::move(split[c]));
+            }
+        }
+        std::sort(centroids.begin(), centroids.end());
+        _levels.emplace_back(std::move(centroids));
+        partitions = std::move(next);
+    }
+}
+
+size_t
+TreeCodebook::levelForEntries(size_t entries) const
+{
+    // Deepest level whose entry count does not exceed the request, so a
+    // "w = 16" configuration never uses more than 16 table rows.
+    size_t chosen = 1;
+    for (size_t lvl = 1; lvl <= depth(); ++lvl) {
+        if (level(lvl).size() <= entries)
+            chosen = lvl;
+        else
+            break;
+    }
+    return chosen;
+}
+
+bool
+TreeCodebook::refinementHolds() const
+{
+    // Each level must be no coarser than its parent and per-level sorted
+    // (sortedness is a Codebook constructor invariant; check growth).
+    for (size_t lvl = 2; lvl <= depth(); ++lvl)
+        if (level(lvl).size() < level(lvl - 1).size())
+            return false;
+    return true;
+}
+
+} // namespace rapidnn::quant

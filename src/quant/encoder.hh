@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Encoding tables: the AM block that converts a neuron's activated
+ * output into the encoded index expected by the *next* layer's input
+ * codebook (paper Section 2.2, Figure 2d), plus the virtual input layer
+ * that encodes raw data before the first compute layer.
+ */
+
+#ifndef RAPIDNN_QUANT_ENCODER_HH
+#define RAPIDNN_QUANT_ENCODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/codebook.hh"
+
+namespace rapidnn::quant {
+
+/**
+ * Maps real activation outputs to encoded indices of a target codebook.
+ *
+ * Functionally this is "encode against the next layer's input codebook";
+ * in hardware it is an AM block whose nearest-distance CAM holds the
+ * codebook values and whose crossbar holds the indices.
+ */
+class Encoder
+{
+  public:
+    Encoder() = default;
+
+    /** Build an encoder targeting a codebook (copied). */
+    explicit Encoder(const Codebook &target) : _target(target) {}
+
+    /** Encoded index (row of the AM block) for a value. */
+    size_t
+    encode(double x) const
+    {
+        return _target.encode(x);
+    }
+
+    /** The representative value behind an encoded index. */
+    double
+    decode(size_t index) const
+    {
+        return _target.value(index);
+    }
+
+    /** Encode a whole vector. */
+    std::vector<uint16_t>
+    encodeAll(const std::vector<double> &xs) const
+    {
+        std::vector<uint16_t> out(xs.size());
+        for (size_t i = 0; i < xs.size(); ++i)
+            out[i] = static_cast<uint16_t>(encode(xs[i]));
+        return out;
+    }
+
+    const Codebook &target() const { return _target; }
+    size_t entries() const { return _target.size(); }
+    uint32_t bits() const { return _target.bits(); }
+    bool empty() const { return _target.empty(); }
+
+  private:
+    Codebook _target;
+};
+
+} // namespace rapidnn::quant
+
+#endif // RAPIDNN_QUANT_ENCODER_HH

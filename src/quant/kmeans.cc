@@ -1,0 +1,155 @@
+#include "quant/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace rapidnn::quant {
+
+namespace {
+
+/** k-means++ seeding: first pick uniform, then d^2-weighted picks. */
+std::vector<double>
+seedPlusPlus(const std::vector<double> &samples, size_t k, Rng &rng)
+{
+    std::vector<double> centroids;
+    centroids.reserve(k);
+    centroids.push_back(samples[static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(samples.size()) - 1))]);
+
+    std::vector<double> dist2(samples.size());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < samples.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (double c : centroids) {
+                const double d = samples[i] - c;
+                best = std::min(best, d * d);
+            }
+            dist2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All samples coincide with a centroid; duplicate one.
+            centroids.push_back(centroids.back());
+            continue;
+        }
+        double pick = rng.uniform(0.0, total);
+        size_t chosen = samples.size() - 1;
+        for (size_t i = 0; i < samples.size(); ++i) {
+            pick -= dist2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(samples[chosen]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+size_t
+nearestCentroid(const std::vector<double> &centroids, double x)
+{
+    RAPIDNN_ASSERT(!centroids.empty(), "nearestCentroid on empty codebook");
+    // Binary search on the sorted centroid list, then compare neighbours.
+    auto it = std::lower_bound(centroids.begin(), centroids.end(), x);
+    if (it == centroids.begin())
+        return 0;
+    if (it == centroids.end())
+        return centroids.size() - 1;
+    const size_t hi = static_cast<size_t>(it - centroids.begin());
+    const size_t lo = hi - 1;
+    return (x - centroids[lo]) <= (centroids[hi] - x) ? lo : hi;
+}
+
+double
+computeWcss(const std::vector<double> &samples,
+            const std::vector<double> &centroids,
+            const std::vector<size_t> &assignment)
+{
+    RAPIDNN_ASSERT(samples.size() == assignment.size(),
+                   "assignment size mismatch");
+    double wcss = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const double d = samples[i] - centroids[assignment[i]];
+        wcss += d * d;
+    }
+    return wcss;
+}
+
+KMeansResult
+kmeans1d(const std::vector<double> &samples, const KMeansConfig &config)
+{
+    RAPIDNN_ASSERT(!samples.empty(), "kmeans1d on empty sample set");
+    RAPIDNN_ASSERT(config.k >= 1, "kmeans1d needs k >= 1");
+
+    // Degenerate input: fewer distinct values than clusters requested.
+    std::set<double> distinct(samples.begin(), samples.end());
+    size_t k = std::min(config.k, distinct.size());
+
+    Rng rng(config.seed);
+    std::vector<double> centroids;
+    if (k == distinct.size()) {
+        centroids.assign(distinct.begin(), distinct.end());
+    } else {
+        centroids = seedPlusPlus(samples, k, rng);
+        std::sort(centroids.begin(), centroids.end());
+    }
+
+    std::vector<size_t> assignment(samples.size(), 0);
+    double prevWcss = std::numeric_limits<double>::max();
+    size_t iter = 0;
+    for (; iter < config.maxIterations; ++iter) {
+        // Assignment step.
+        for (size_t i = 0; i < samples.size(); ++i)
+            assignment[i] = nearestCentroid(centroids, samples[i]);
+
+        // Update step.
+        std::vector<double> sum(k, 0.0);
+        std::vector<size_t> count(k, 0);
+        for (size_t i = 0; i < samples.size(); ++i) {
+            sum[assignment[i]] += samples[i];
+            ++count[assignment[i]];
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (count[c] > 0) {
+                centroids[c] = sum[c] / double(count[c]);
+            } else {
+                // Reseed an empty cluster on the worst-served sample.
+                size_t worst = 0;
+                double worstDist = -1.0;
+                for (size_t i = 0; i < samples.size(); ++i) {
+                    const double d =
+                        std::abs(samples[i] - centroids[assignment[i]]);
+                    if (d > worstDist) {
+                        worstDist = d;
+                        worst = i;
+                    }
+                }
+                centroids[c] = samples[worst];
+            }
+        }
+        std::sort(centroids.begin(), centroids.end());
+
+        // Convergence check on WCSS improvement.
+        for (size_t i = 0; i < samples.size(); ++i)
+            assignment[i] = nearestCentroid(centroids, samples[i]);
+        const double wcss = computeWcss(samples, centroids, assignment);
+        if (prevWcss - wcss < config.tolerance) {
+            prevWcss = wcss;
+            ++iter;
+            break;
+        }
+        prevWcss = wcss;
+    }
+
+    return {std::move(centroids), std::move(assignment), prevWcss, iter};
+}
+
+} // namespace rapidnn::quant

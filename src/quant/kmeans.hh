@@ -1,0 +1,61 @@
+/**
+ * @file
+ * One-dimensional k-means (Lloyd's algorithm) with k-means++ seeding.
+ *
+ * The DNN composer clusters scalar populations — a layer's weights, or
+ * its sampled input activations — to pick the "best representatives"
+ * (Section 3.1 of the paper). Clustering is 1-D because each operand of
+ * an in-memory multiplication is a scalar.
+ */
+
+#ifndef RAPIDNN_QUANT_KMEANS_HH
+#define RAPIDNN_QUANT_KMEANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace rapidnn::quant {
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    std::vector<double> centroids;   //!< sorted ascending
+    std::vector<size_t> assignment;  //!< cluster index per input sample
+    double wcss;                     //!< within-cluster sum of squares
+    size_t iterations;               //!< Lloyd iterations executed
+};
+
+/** Parameters for a k-means run. */
+struct KMeansConfig
+{
+    size_t k = 16;
+    size_t maxIterations = 50;
+    double tolerance = 1e-7;   //!< stop when WCSS improves less than this
+    uint64_t seed = 42;
+};
+
+/**
+ * Cluster 1-D samples into k groups.
+ *
+ * Seeds with k-means++ (distance-squared weighted picks), then runs
+ * Lloyd iterations until convergence. Empty clusters are reseeded on the
+ * sample farthest from its centroid. If there are fewer distinct values
+ * than k, the result simply contains those distinct values (fewer
+ * centroids than requested).
+ */
+KMeansResult kmeans1d(const std::vector<double> &samples,
+                      const KMeansConfig &config);
+
+/** Index of the centroid nearest to x (centroids must be sorted). */
+size_t nearestCentroid(const std::vector<double> &centroids, double x);
+
+/** WCSS of an assignment (for testing invariants). */
+double computeWcss(const std::vector<double> &samples,
+                   const std::vector<double> &centroids,
+                   const std::vector<size_t> &assignment);
+
+} // namespace rapidnn::quant
+
+#endif // RAPIDNN_QUANT_KMEANS_HH

@@ -1,0 +1,86 @@
+#include "rna/accumulation.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rapidnn::rna {
+
+AccumulationEngine::AccumulationEngine(
+    const std::vector<double> &productTable, size_t w, size_t u,
+    const nvm::CostModel &model, AccumFormat format)
+    : _w(w), _u(u), _model(model), _format(format)
+{
+    RAPIDNN_ASSERT(productTable.size() == w * u,
+                   "product table size ", productTable.size(),
+                   " != w*u = ", w * u);
+    _fixedProducts.resize(productTable.size());
+    for (size_t i = 0; i < productTable.size(); ++i)
+        _fixedProducts[i] = _format.toFixed(productTable[i]);
+}
+
+AccumResult
+AccumulationEngine::run(const std::vector<uint16_t> &weightCodes,
+                        const std::vector<uint16_t> &inputCodes,
+                        double bias) const
+{
+    RAPIDNN_ASSERT(weightCodes.size() == inputCodes.size(),
+                   "weight/input code vectors must be parallel");
+    const size_t fanIn = weightCodes.size();
+
+    AccumResult result;
+
+    // --- Parallel counting (Section 4.1.1) ---
+    // One buffer per distinct weight; every cycle one index pops from
+    // each buffer, so the phase takes as long as the fullest buffer.
+    std::vector<uint32_t> counters(_w * _u, 0);
+    std::vector<uint32_t> bufferDepth(_w, 0);
+    for (size_t i = 0; i < fanIn; ++i) {
+        const uint16_t wc = weightCodes[i];
+        const uint16_t uc = inputCodes[i];
+        RAPIDNN_ASSERT(wc < _w && uc < _u, "code out of table range");
+        ++counters[size_t(wc) * _u + uc];
+        ++bufferDepth[wc];
+    }
+    result.countingCycles = bufferDepth.empty()
+        ? 0
+        : *std::max_element(bufferDepth.begin(), bufferDepth.end());
+    result.cost.counting.cycles = result.countingCycles;
+    result.cost.counting.energy =
+        _model.counterIncrementEnergy * static_cast<double>(fanIn);
+
+    // --- Shift-and-add scheduling (Section 4.1.1) ---
+    // Each nonzero counter contributes its product shifted by the
+    // signed-digit decomposition of the count (CSD subsumes the paper's
+    // run-of-ones rewrite, e.g. 15 -> 16 - 1).
+    std::vector<int64_t> addends;
+    for (size_t cell = 0; cell < counters.size(); ++cell) {
+        const uint32_t count = counters[cell];
+        if (count == 0)
+            continue;
+        ++result.distinctProducts;
+        const int64_t product = _fixedProducts[cell];
+        for (const ShiftTerm &term : csdDecompose(count)) {
+            const int64_t shifted = product << term.shift;
+            addends.push_back(term.negative ? -shifted : shifted);
+        }
+    }
+    result.addends = addends.size();
+
+    // One crossbar row read per distinct product used.
+    result.cost.fetch.cycles = result.distinctProducts;
+    result.cost.fetch.energy = _model.crossbarReadEnergy
+        * static_cast<double>(result.distinctProducts);
+
+    // Bias joins the reduction as one extra addend.
+    addends.push_back(_format.toFixed(bias));
+
+    // --- In-memory carry-save adder tree (Section 4.1.2) ---
+    const int64_t fixedSum = nvm::CrossbarArray::addMany(
+        addends, _format.accumulatorBits, _model, result.cost.adder);
+    result.value = _format.toReal(fixedSum);
+    return result;
+}
+
+} // namespace rapidnn::rna

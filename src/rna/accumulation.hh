@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The RNA weighted-accumulation engine (paper Section 4.1).
+ *
+ * Incoming (weight code, input code) pairs are tallied by the parallel
+ * counting hardware (w weight buffers, one pop per buffer per cycle),
+ * each tallied product is shifted according to the signed-digit
+ * decomposition of its repeat count, and the shifted addends are summed
+ * by the in-memory carry-save adder tree. The engine is functional +
+ * cost-accurate: the value is computed exactly in fixed point through
+ * the same addend list the hardware would reduce.
+ */
+
+#ifndef RAPIDNN_RNA_ACCUMULATION_HH
+#define RAPIDNN_RNA_ACCUMULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nvm/cost_model.hh"
+#include "nvm/crossbar.hh"
+#include "nvm/op_cost.hh"
+
+namespace rapidnn::rna {
+
+/** Per-phase cost breakdown of one neuron's weighted accumulation. */
+struct AccumCost
+{
+    nvm::OpCost counting;  //!< parallel counting of (w, u) pairs
+    nvm::OpCost fetch;     //!< product-row reads from the crossbar
+    nvm::OpCost adder;     //!< in-memory carry-save reduction
+
+    nvm::OpCost
+    total() const
+    {
+        return counting + fetch + adder;
+    }
+};
+
+/** Result of one neuron's weighted accumulation. */
+struct AccumResult
+{
+    double value = 0.0;     //!< weighted sum (including bias)
+    AccumCost cost;
+    size_t distinctProducts = 0;  //!< nonzero (w, u) counters
+    size_t addends = 0;           //!< shifted terms entering the tree
+    size_t countingCycles = 0;    //!< max weight-buffer occupancy
+};
+
+/**
+ * Fixed-point scaling used by the in-memory adder: products are stored
+ * as two's-complement integers at this many fraction bits.
+ */
+struct AccumFormat
+{
+    size_t fractionBits = 16;
+    size_t accumulatorBits = 32;  //!< N in the paper's 13*N propagate
+
+    int64_t
+    toFixed(double x) const
+    {
+        return static_cast<int64_t>(
+            x * static_cast<double>(int64_t(1) << fractionBits)
+            + (x >= 0 ? 0.5 : -0.5));
+    }
+
+    double
+    toReal(int64_t v) const
+    {
+        return static_cast<double>(v)
+             / static_cast<double>(int64_t(1) << fractionBits);
+    }
+};
+
+/**
+ * Executes weighted accumulations for one neuron configuration:
+ * a product table of w x u pre-computed values.
+ */
+class AccumulationEngine
+{
+  public:
+    /**
+     * @param productTable row-major [w][u] pre-computed products.
+     * @param w weight codebook entries.
+     * @param u input codebook entries.
+     * @param model circuit-cost anchors.
+     * @param format fixed-point layout of the crossbar rows.
+     */
+    AccumulationEngine(const std::vector<double> &productTable, size_t w,
+                       size_t u, const nvm::CostModel &model,
+                       AccumFormat format = {});
+
+    /**
+     * Accumulate one neuron's incoming edges.
+     * @param weightCodes per-edge weight codes (size = fan-in).
+     * @param inputCodes per-edge input codes (same size).
+     * @param bias bias term added as one extra addend.
+     */
+    AccumResult run(const std::vector<uint16_t> &weightCodes,
+                    const std::vector<uint16_t> &inputCodes,
+                    double bias) const;
+
+    size_t weightEntries() const { return _w; }
+    size_t inputEntries() const { return _u; }
+    const AccumFormat &format() const { return _format; }
+
+  private:
+    std::vector<int64_t> _fixedProducts;  //!< [w*u] fixed-point products
+    size_t _w;
+    size_t _u;
+    nvm::CostModel _model;
+    AccumFormat _format;
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_ACCUMULATION_HH

@@ -1,0 +1,602 @@
+#include "rna/chip.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "nvm/data_block.hh"
+
+namespace rapidnn::rna {
+
+using composer::EncodedTensor;
+using composer::RLayer;
+using composer::RLayerKind;
+
+void
+Chip::configure(const composer::ReinterpretedModel &model)
+{
+    _model = &model;
+    _contexts.clear();
+    _contextByLayer.clear();
+    configureLayers(model.layers());
+}
+
+void
+Chip::configureLayers(const std::vector<RLayer> &layers)
+{
+    for (const RLayer &layer : layers) {
+        if (layer.kind == RLayerKind::Dense ||
+            layer.kind == RLayerKind::Conv ||
+            layer.kind == RLayerKind::Recurrent) {
+            _contextByLayer[&layer] = _contexts.size();
+            _contexts.push_back(std::make_unique<RnaLayerContext>(
+                layer, _config.cost, _config.searchMode));
+        } else if (layer.kind == RLayerKind::Residual) {
+            configureLayers(layer.inner);
+        }
+    }
+}
+
+Chip::LayerRun
+Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
+               bool lastCompute)
+{
+    LayerRun run{};
+    run.stageCycles = 0;
+
+    switch (layer.kind) {
+      case RLayerKind::Dense: {
+        const RnaLayerContext &ctx =
+            *_contexts[_contextByLayer.at(&layer)];
+        run.output.shape = {layer.outCount};
+        if (!layer.outputEncoder.empty())
+            run.output.codes.resize(layer.outCount);
+        if (lastCompute)
+            run.raw.assign(layer.outCount, 0.0);
+
+        const auto &codes = layer.weightCodes[0];
+        uint64_t worstNeuron = 0;
+        std::vector<uint16_t> wcol(layer.inCount);
+        for (size_t j = 0; j < layer.outCount; ++j) {
+            for (size_t i = 0; i < layer.inCount; ++i)
+                wcol[i] = codes[i * layer.outCount + j];
+            NeuronResult r =
+                ctx.evaluate(0, wcol, in.codes, layer.bias[j]);
+            run.cost += r.cost;
+            worstNeuron = std::max(worstNeuron, r.cost.total().cycles);
+            if (r.encoded)
+                run.output.codes[j] = r.code;
+            if (lastCompute)
+                run.raw[j] = r.rawValue;
+        }
+        // All neurons run on parallel RNA blocks; waves when the layer
+        // exceeds the physical block count (or when sharing serializes).
+        const double effective =
+            static_cast<double>(_config.totalRnas())
+            * (1.0 - _config.rnaSharing);
+        const size_t waves = static_cast<size_t>(std::ceil(
+            static_cast<double>(layer.outCount)
+            / std::max(1.0, effective)));
+        run.stageCycles = worstNeuron * waves;
+        break;
+      }
+      case RLayerKind::Conv: {
+        const RnaLayerContext &ctx =
+            *_contexts[_contextByLayer.at(&layer)];
+        RAPIDNN_ASSERT(in.shape.size() == 3, "conv needs [C, H, W]");
+        const size_t inC = in.shape[0];
+        const size_t h = in.shape[1], w = in.shape[2];
+        const size_t k = layer.kernel;
+        const size_t oh = layer.samePadding ? h : h - k + 1;
+        const size_t ow = layer.samePadding ? w : w - k + 1;
+        const long off = layer.samePadding ? -long(k / 2) : 0;
+
+        run.output.shape = {layer.outCount, oh, ow};
+        if (!layer.outputEncoder.empty())
+            run.output.codes.resize(layer.outCount * oh * ow);
+        if (lastCompute)
+            run.raw.assign(layer.outCount * oh * ow, 0.0);
+
+        uint64_t worstNeuron = 0;
+        std::vector<uint16_t> wcodes, xcodes;
+        for (size_t oc = 0; oc < layer.outCount; ++oc) {
+            const auto &codes = layer.weightCodes[oc];
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t x = 0; x < ow; ++x) {
+                    wcodes.clear();
+                    xcodes.clear();
+                    for (size_t ic = 0; ic < inC; ++ic)
+                        for (size_t ky = 0; ky < k; ++ky) {
+                            const long iy = long(y) + long(ky) + off;
+                            if (iy < 0 || iy >= long(h))
+                                continue;
+                            for (size_t kx = 0; kx < k; ++kx) {
+                                const long ix =
+                                    long(x) + long(kx) + off;
+                                if (ix < 0 || ix >= long(w))
+                                    continue;
+                                wcodes.push_back(
+                                    codes[(ic * k + ky) * k + kx]);
+                                xcodes.push_back(
+                                    in.codes[(ic * h + size_t(iy)) * w
+                                             + size_t(ix)]);
+                            }
+                        }
+                    NeuronResult r = ctx.evaluate(oc, wcodes, xcodes,
+                                                  layer.bias[oc]);
+                    run.cost += r.cost;
+                    worstNeuron =
+                        std::max(worstNeuron, r.cost.total().cycles);
+                    const size_t oidx = (oc * oh + y) * ow + x;
+                    if (r.encoded)
+                        run.output.codes[oidx] = r.code;
+                    if (lastCompute)
+                        run.raw[oidx] = r.rawValue;
+                }
+            }
+        }
+        const double effective =
+            static_cast<double>(_config.totalRnas())
+            * (1.0 - _config.rnaSharing);
+        const size_t neurons = layer.outCount * oh * ow;
+        const size_t waves = static_cast<size_t>(std::ceil(
+            static_cast<double>(neurons) / std::max(1.0, effective)));
+        run.stageCycles = worstNeuron * waves;
+        break;
+      }
+      case RLayerKind::MaxPool: {
+        RAPIDNN_ASSERT(in.shape.size() == 3, "maxpool needs [C, H, W]");
+        const size_t ch = in.shape[0];
+        const size_t h = in.shape[1], w = in.shape[2];
+        const size_t win = layer.poolWindow;
+        const size_t oh = h / win, ow = w / win;
+
+        run.output.shape = {ch, oh, ow};
+        run.output.codes.resize(ch * oh * ow);
+        nvm::OpCost poolCost;
+        uint64_t worst = 0;
+        std::vector<uint16_t> window(win * win);
+        for (size_t c = 0; c < ch; ++c)
+            for (size_t y = 0; y < oh; ++y)
+                for (size_t x = 0; x < ow; ++x) {
+                    size_t wi = 0;
+                    for (size_t ky = 0; ky < win; ++ky)
+                        for (size_t kx = 0; kx < win; ++kx)
+                            window[wi++] = in.codes[
+                                (c * h + y * win + ky) * w + x * win
+                                + kx];
+                    nvm::OpCost one;
+                    run.output.codes[(c * oh + y) * ow + x] =
+                        RnaLayerContext::poolMax(window, _config.cost,
+                                                 one);
+                    worst = std::max(worst, one.cycles);
+                    poolCost += one;
+                }
+        run.cost.pooling = poolCost;
+        // Pooling windows run on parallel AM blocks.
+        const size_t windows = ch * oh * ow;
+        const size_t waves = static_cast<size_t>(std::ceil(
+            static_cast<double>(windows)
+            / static_cast<double>(_config.totalRnas())));
+        run.stageCycles = worst * waves;
+        break;
+      }
+      case RLayerKind::AvgPool: {
+        // Average pooling accumulates in the crossbar (division folded
+        // offline); modelled as one small in-memory addition per window.
+        RAPIDNN_ASSERT(in.shape.size() == 3, "avgpool needs [C, H, W]");
+        const size_t ch = in.shape[0];
+        const size_t h = in.shape[1], w = in.shape[2];
+        const size_t win = layer.poolWindow;
+        const size_t oh = h / win, ow = w / win;
+        const double norm = 1.0 / double(win * win);
+
+        run.output.shape = {ch, oh, ow};
+        run.output.codes.resize(ch * oh * ow);
+        nvm::OpCost poolCost;
+        uint64_t worst = 0;
+        for (size_t c = 0; c < ch; ++c)
+            for (size_t y = 0; y < oh; ++y)
+                for (size_t x = 0; x < ow; ++x) {
+                    std::vector<int64_t> addends;
+                    AccumFormat format;
+                    for (size_t ky = 0; ky < win; ++ky)
+                        for (size_t kx = 0; kx < win; ++kx) {
+                            const size_t idx =
+                                (c * h + y * win + ky) * w + x * win
+                                + kx;
+                            addends.push_back(format.toFixed(
+                                layer.inputCodebook.value(
+                                    in.codes[idx]) * norm));
+                        }
+                    nvm::OpCost one;
+                    const int64_t sum = nvm::CrossbarArray::addMany(
+                        addends, format.accumulatorBits, _config.cost,
+                        one);
+                    run.output.codes[(c * oh + y) * ow + x] =
+                        static_cast<uint16_t>(
+                            layer.inputCodebook.encode(
+                                format.toReal(sum)));
+                    worst = std::max(worst, one.cycles);
+                    poolCost += one;
+                }
+        run.cost.pooling = poolCost;
+        const size_t windows = ch * oh * ow;
+        const size_t waves = static_cast<size_t>(std::ceil(
+            static_cast<double>(windows)
+            / static_cast<double>(_config.totalRnas())));
+        run.stageCycles = worst * waves;
+        break;
+      }
+      case RLayerKind::Flatten: {
+        run.output.shape = {in.codes.size()};
+        run.output.codes = in.codes;
+        run.stageCycles = 0;
+        break;
+      }
+      case RLayerKind::Recurrent: {
+        // Elman cell: the neuron's previous encoded output loops back
+        // through the input FIFO; each unrolled step runs both
+        // operand paths on the RNA (paper Section 4.3).
+        const RnaLayerContext &ctx =
+            *_contexts[_contextByLayer.at(&layer)];
+        const size_t hidden = layer.outCount;
+        const size_t features = layer.inCount;
+        RAPIDNN_ASSERT(in.codes.size() == layer.steps * features,
+                       "recurrent layer code count mismatch");
+
+        nvm::OpCost zeroEncode;
+        std::vector<uint16_t> hCodes(
+            hidden, ctx.encodeState(0.0, zeroEncode));
+        std::vector<double> hRaw(hidden, 0.0);
+        run.cost.encoding += zeroEncode;
+
+        const auto &wxCodes = layer.weightCodes[0];
+        const auto &whCodes = layer.stateWeightCodes[0];
+        std::vector<uint16_t> wxCol(features), whCol(hidden);
+        std::vector<uint16_t> xStep(features);
+
+        uint64_t stepWorst = 0;
+        for (size_t t = 0; t < layer.steps; ++t) {
+            for (size_t f = 0; f < features; ++f)
+                xStep[f] = in.codes[t * features + f];
+            std::vector<uint16_t> next(hidden);
+            std::vector<double> nextRaw(hidden);
+            uint64_t worstNeuron = 0;
+            for (size_t h = 0; h < hidden; ++h) {
+                for (size_t f = 0; f < features; ++f)
+                    wxCol[f] = wxCodes[f * hidden + h];
+                for (size_t hp = 0; hp < hidden; ++hp)
+                    whCol[hp] = whCodes[hp * hidden + h];
+                NeuronResult r = ctx.evaluateRecurrentStep(
+                    wxCol, xStep, whCol, hCodes, layer.bias[h]);
+                run.cost += r.cost;
+                worstNeuron =
+                    std::max(worstNeuron, r.cost.total().cycles);
+                next[h] = r.code;
+                nextRaw[h] = r.rawValue;
+            }
+            // Steps are inherently sequential (the feedback hazard):
+            // neurons parallel within a step, steps serialized.
+            stepWorst += worstNeuron;
+            hCodes = std::move(next);
+            hRaw = std::move(nextRaw);
+        }
+        run.stageCycles = stepWorst;
+
+        run.output.shape = {hidden};
+        const bool last = layer.outputEncoder.empty();
+        if (lastCompute)
+            run.raw = hRaw;
+        if (!last) {
+            run.output.codes.resize(hidden);
+            // Re-encode the final state for the consumer layer.
+            nvm::OpCost encodeCost;
+            for (size_t h = 0; h < hidden; ++h)
+                run.output.codes[h] = static_cast<uint16_t>(
+                    layer.outputEncoder.encode(hRaw[h]));
+            encodeCost += _config.cost.camSearch(
+                layer.outputEncoder.entries(), 32);
+            run.cost.encoding += encodeCost;
+        }
+        break;
+      }
+      case RLayerKind::Residual: {
+        // Skip values wait in the input FIFO while the inner stack
+        // runs; the add folds into the crossbar as one extra
+        // carry-propagate stage per output lane (all lanes parallel).
+        EncodedTensor value = in;
+        std::vector<double> innerRaw;
+        for (size_t i = 0; i < layer.inner.size(); ++i) {
+            const bool lastInner = i + 1 == layer.inner.size();
+            LayerRun innerRun = runLayer(layer.inner[i], value,
+                                         lastInner);
+            run.cost += innerRun.cost;
+            run.stageCycles += innerRun.stageCycles;
+            if (lastInner)
+                innerRaw = std::move(innerRun.raw);
+            value = std::move(innerRun.output);
+        }
+        RAPIDNN_ASSERT(innerRaw.size() == in.codes.size(),
+                       "residual inner stack changed shape");
+
+        AccumFormat format;
+        const nvm::CostModel &m = _config.cost;
+        nvm::OpCost addCost{
+            m.carryPropagateCyclesPerBit * format.accumulatorBits,
+            m.norEnergyPerBit
+                * double(format.accumulatorBits
+                         * m.carryPropagateCyclesPerBit)
+                * double(in.codes.size())};
+        run.cost.weightedAccum += addCost;
+        run.stageCycles += addCost.cycles;
+
+        run.output.shape = in.shape;
+        const bool last = layer.outputEncoder.empty();
+        if (!last)
+            run.output.codes.resize(innerRaw.size());
+        if (lastCompute)
+            run.raw.resize(innerRaw.size());
+        for (size_t i = 0; i < innerRaw.size(); ++i) {
+            // Fixed-point sum, exactly as the crossbar computes it.
+            const int64_t sum = format.toFixed(innerRaw[i])
+                + format.toFixed(
+                      layer.inputCodebook.value(in.codes[i]));
+            double summed = format.toReal(sum);
+            if (layer.activation)
+                summed = layer.activation->lookup(summed);
+            if (lastCompute)
+                run.raw[i] = summed;
+            if (!last)
+                run.output.codes[i] = static_cast<uint16_t>(
+                    layer.outputEncoder.encode(summed));
+        }
+        break;
+      }
+    }
+    return run;
+}
+
+std::vector<double>
+Chip::infer(const nn::Tensor &x, PerfReport &report)
+{
+    RAPIDNN_ASSERT(_model != nullptr, "chip not configured");
+    const auto &model = *_model;
+    const Time cycle = _config.cost.cyclePeriod;
+
+    // Virtual input layer: encode raw data (charged as AM searches on
+    // the input-encoding block, all lanes in parallel).
+    EncodedTensor enc;
+    enc.shape = x.shape();
+    enc.codes.resize(x.numel());
+    for (size_t i = 0; i < x.numel(); ++i)
+        enc.codes[i] = static_cast<uint16_t>(
+            model.inputEncoder().encode(x[i]));
+    nvm::OpCost inputEncode =
+        _config.cost.camSearch(model.inputEncoder().entries(), 32);
+    inputEncode.energy = inputEncode.energy
+        * static_cast<double>(x.numel());
+
+    // Data-block traffic (paper Figure 1): the raw sample streams out
+    // of the crossbar data block into the virtual-layer encoders, and
+    // at the end the logits write back.
+    nvm::DataBlock dataBlock(
+        std::max<size_t>(x.numel() + 64, 1024), _config.cost);
+    inputEncode += dataBlock.streamOut(
+        x.numel(), _config.cost.rnasPerTile);
+
+    report = PerfReport{};
+    uint64_t latencyCycles = inputEncode.cycles;
+    uint64_t worstStage = inputEncode.cycles;
+    Energy totalEnergy = inputEncode.energy;
+    NeuronCost totals;
+    uint64_t bufferCycles = 0;
+    Energy bufferEnergy{};
+
+    std::vector<double> logits;
+    size_t lastCompute = model.layers().size();
+    for (size_t l = model.layers().size(); l-- > 0;) {
+        const RLayerKind kind = model.layers()[l].kind;
+        if (kind == RLayerKind::Dense || kind == RLayerKind::Conv ||
+            kind == RLayerKind::Residual ||
+            kind == RLayerKind::Recurrent) {
+            lastCompute = l;
+            break;
+        }
+    }
+
+    for (size_t l = 0; l < model.layers().size(); ++l) {
+        LayerRun run = runLayer(model.layers()[l], enc,
+                                l == lastCompute);
+        totals += run.cost;
+        latencyCycles += run.stageCycles;
+        worstStage = std::max(worstStage, run.stageCycles);
+        totalEnergy += run.cost.total().energy;
+
+        // Broadcast-buffer transfer: the layer's encoded outputs move
+        // bit-serially over the tile lanes to the next layer's FIFO.
+        if (l != lastCompute && !run.output.codes.empty()) {
+            const RLayer &layer = model.layers()[l];
+            const uint32_t bits = layer.inputCodebook.empty()
+                ? 6 : layer.inputCodebook.bits();
+            const size_t lanes =
+                _config.cost.rnasPerTile * _config.cost.tilesPerChip
+                * _config.chips;
+            const uint64_t cyclesHere = static_cast<uint64_t>(
+                std::ceil(static_cast<double>(run.output.codes.size())
+                          / static_cast<double>(lanes)))
+                * bits;
+            bufferCycles += cyclesHere;
+            bufferEnergy += _config.cost.bufferBitEnergy
+                * (static_cast<double>(run.output.codes.size())
+                   * bits);
+        }
+
+        if (l == lastCompute)
+            logits = std::move(run.raw);
+        enc = std::move(run.output);
+    }
+
+    // Result write-back into the data block.
+    const nvm::OpCost writeBack = dataBlock.writeBack(logits.size());
+    bufferCycles += writeBack.cycles;
+    bufferEnergy += writeBack.energy;
+
+    latencyCycles += bufferCycles;
+    totalEnergy += bufferEnergy;
+
+    // Per-block active-power energy (the paper's Table 1 power figures
+    // describe running blocks; its Figure 13 energy shares mirror the
+    // block power ratio). Each busy cycle of a block draws that
+    // block's power on top of the switching energies accounted above.
+    const nvm::CostModel &m = _config.cost;
+    const Energy accumActive =
+        (m.crossbarPower.over(cycle)
+         * double(totals.weightedAccum.cycles));
+    const Energy counterActive =
+        m.counterPower.over(cycle)
+        * double(totals.weightedAccum.cycles);
+    const Energy actActive =
+        m.amBlockPower.over(cycle) * double(totals.activation.cycles);
+    const Energy encActive =
+        m.amBlockPower.over(cycle) * double(totals.encoding.cycles);
+    const Energy poolActive =
+        m.amBlockPower.over(cycle) * double(totals.pooling.cycles);
+    totalEnergy += accumActive + counterActive + actActive + encActive
+                 + poolActive;
+
+    // Idle/leakage for the active window, scaled by the fraction of
+    // RNA blocks this model occupies (unoccupied tiles clock gate).
+    std::function<size_t(const std::vector<RLayer> &)> countOccupied =
+        [&](const std::vector<RLayer> &layers) {
+            size_t n = 0;
+            for (const auto &layer : layers) {
+                if (layer.kind == RLayerKind::Dense ||
+                    layer.kind == RLayerKind::Conv ||
+                    layer.kind == RLayerKind::Recurrent)
+                    n += layer.outCount;
+                else if (layer.kind == RLayerKind::Residual)
+                    n += countOccupied(layer.inner);
+            }
+            return n;
+        };
+    size_t occupied = countOccupied(model.layers());
+    occupied = std::max<size_t>(1,
+        std::min(occupied, _config.totalRnas()));
+    const double occupancy = static_cast<double>(occupied)
+        / static_cast<double>(_config.totalRnas());
+    const Power leakage = chipPower() * occupancy
+        * _config.cost.idleLeakageFraction;
+    const Energy leakEnergy =
+        leakage.over(cycle * double(latencyCycles));
+    totalEnergy += leakEnergy;
+
+    report.latency = cycle * static_cast<double>(latencyCycles);
+    report.stageTime = cycle * static_cast<double>(
+        std::max<uint64_t>(worstStage, 1));
+    report.energy = totalEnergy;
+    report.addCategory("weighted_accum",
+                       cycle * double(totals.weightedAccum.cycles),
+                       totals.weightedAccum.energy + accumActive);
+    report.addCategory("activation",
+                       cycle * double(totals.activation.cycles),
+                       totals.activation.energy + actActive);
+    report.addCategory("encoding",
+                       cycle * double(totals.encoding.cycles),
+                       totals.encoding.energy + encActive);
+    report.addCategory("pooling",
+                       cycle * double(totals.pooling.cycles),
+                       totals.pooling.energy + poolActive);
+    report.addCategory("other",
+                       cycle * double(bufferCycles + inputEncode.cycles),
+                       bufferEnergy + inputEncode.energy
+                           + counterActive + leakEnergy);
+    return logits;
+}
+
+double
+Chip::errorRate(const nn::Dataset &data, PerfReport &avgReport)
+{
+    RAPIDNN_ASSERT(data.size() > 0, "errorRate on empty dataset");
+    size_t wrong = 0;
+    avgReport = PerfReport{};
+    Time latencySum{};
+    Time stageSum{};
+    Energy energySum{};
+
+    for (const auto &sample : data.samples()) {
+        PerfReport one;
+        std::vector<double> logits = infer(sample.x, one);
+        const size_t best = static_cast<size_t>(
+            std::max_element(logits.begin(), logits.end())
+            - logits.begin());
+        if (static_cast<int>(best) != sample.label)
+            ++wrong;
+        latencySum += one.latency;
+        stageSum += one.stageTime;
+        energySum += one.energy;
+        for (const auto &cat : one.breakdown)
+            avgReport.addCategory(cat.name, cat.time, cat.energy);
+    }
+    const double n = static_cast<double>(data.size());
+    avgReport.latency = latencySum * (1.0 / n);
+    avgReport.stageTime = stageSum * (1.0 / n);
+    avgReport.energy = energySum * (1.0 / n);
+    for (auto &cat : avgReport.breakdown) {
+        cat.time = cat.time * (1.0 / n);
+        cat.energy = cat.energy * (1.0 / n);
+    }
+    return static_cast<double>(wrong) / n;
+}
+
+RnaAreaBreakdown
+Chip::rnaArea() const
+{
+    const nvm::CostModel &m = _config.cost;
+    RnaAreaBreakdown a;
+    a.crossbar = m.crossbarArea;
+    a.counter = m.counterArea;
+    a.activationAm = m.amBlockArea;
+    a.encodingAm = m.amBlockArea;
+    // MUX / drivers / glue: remainder to the paper's 3841 um^2 block.
+    const Area anchor = Area::squareMicrometers(3841.0);
+    const Area partial = a.crossbar + a.counter + a.activationAm
+                       + a.encodingAm;
+    a.other = anchor.um2() > partial.um2()
+        ? Area::squareMicrometers(anchor.um2() - partial.um2())
+        : Area{};
+    return a;
+}
+
+ChipAreaBreakdown
+Chip::chipArea() const
+{
+    const nvm::CostModel &m = _config.cost;
+    const double rnas = static_cast<double>(m.rnasPerTile)
+                      * static_cast<double>(m.tilesPerChip);
+    ChipAreaBreakdown a;
+    a.rna = rnaArea().total() * rnas;
+    // Data blocks (paper Figure 14): memory is 38.2 % of the chip while
+    // RNAs are 56.7 %; scale from the RNA roll-up.
+    a.memory = a.rna * (38.2 / 56.7);
+    a.buffer = a.rna * (3.4 / 56.7);
+    a.controller = a.rna * (1.7 / 56.7);
+    a.other = a.rna * (1.2 / 56.7);
+    return a;
+}
+
+Power
+Chip::chipPower() const
+{
+    const nvm::CostModel &m = _config.cost;
+    const Power rna = m.crossbarPower + m.counterPower
+                    + m.amBlockPower + m.amBlockPower
+                    + Power::milliwatts(0.0);
+    const Power tile = rna * static_cast<double>(m.rnasPerTile)
+                     + m.tileBufferPower;
+    return tile * static_cast<double>(m.tilesPerChip)
+         * static_cast<double>(_config.chips);
+}
+
+} // namespace rapidnn::rna

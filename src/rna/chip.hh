@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The RAPIDNN chip model: tiles of RNA blocks plus broadcast buffers
+ * and a controller that maps reinterpreted layers onto them (paper
+ * Section 4.3, Figure 9, Table 1).
+ *
+ * The simulator runs a reinterpreted model sample-by-sample through the
+ * per-neuron RNA engines, scheduling neurons onto the available RNA
+ * blocks in waves and pipelining layers across tiles. It produces both
+ * the functional output (identical to the software reinterpreted model,
+ * which tests assert) and a cycle/energy report.
+ */
+
+#ifndef RAPIDNN_RNA_CHIP_HH
+#define RAPIDNN_RNA_CHIP_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "composer/reinterpreted_model.hh"
+#include "rna/perf_report.hh"
+#include "rna/rna_block.hh"
+
+namespace rapidnn::rna {
+
+/** Chip-level configuration. */
+struct ChipConfig
+{
+    nvm::CostModel cost;
+    size_t chips = 1;          //!< 1-chip or 8-chip deployments (Fig 15)
+    /** Fraction of same-layer neurons sharing one RNA block
+     *  (Section 5.6, Table 4). Shared neurons serialize. */
+    double rnaSharing = 0.0;
+    nvm::SearchMode searchMode = nvm::SearchMode::AbsoluteExact;
+
+    size_t totalRnas() const
+    {
+        return cost.rnasPerTile * cost.tilesPerChip * chips;
+    }
+};
+
+/** Area roll-up of one RNA block (Figure 14 inner ring). */
+struct RnaAreaBreakdown
+{
+    Area crossbar{};
+    Area counter{};
+    Area activationAm{};
+    Area encodingAm{};
+    Area other{};
+
+    Area
+    total() const
+    {
+        return crossbar + counter + activationAm + encodingAm + other;
+    }
+};
+
+/** Area roll-up of the whole chip (Figure 14 outer ring, Table 1). */
+struct ChipAreaBreakdown
+{
+    Area rna{};        //!< all RNA blocks
+    Area memory{};     //!< data blocks (input/output crossbar storage)
+    Area buffer{};
+    Area controller{};
+    Area other{};
+
+    Area
+    total() const
+    {
+        return rna + memory + buffer + controller + other;
+    }
+};
+
+/**
+ * The chip simulator.
+ */
+class Chip
+{
+  public:
+    explicit Chip(ChipConfig config) : _config(config) {}
+
+    /**
+     * Configure the chip with a reinterpreted model. Keeps a reference;
+     * the model must outlive the chip.
+     */
+    void configure(const composer::ReinterpretedModel &model);
+
+    /**
+     * Run one sample. Returns raw logits (bit-identical to the software
+     * reinterpreted model) and fills the report.
+     */
+    std::vector<double> infer(const nn::Tensor &x, PerfReport &report);
+
+    /** Classification error rate with cost accounting folded into one
+     *  averaged report. */
+    double errorRate(const nn::Dataset &data, PerfReport &avgReport);
+
+    /** Per-RNA area breakdown (Figure 14). */
+    RnaAreaBreakdown rnaArea() const;
+
+    /** Whole-chip area breakdown (Figure 14, Table 1). */
+    ChipAreaBreakdown chipArea() const;
+
+    /** Peak chip power (Table 1 roll-up). */
+    Power chipPower() const;
+
+    const ChipConfig &config() const { return _config; }
+
+  private:
+    ChipConfig _config;
+    const composer::ReinterpretedModel *_model = nullptr;
+    /** One hardware context per compute layer (including layers nested
+     *  inside residual blocks), keyed by the RLayer's address. */
+    std::vector<std::unique_ptr<RnaLayerContext>> _contexts;
+    std::map<const composer::RLayer *, size_t> _contextByLayer;
+
+    struct LayerRun
+    {
+        composer::EncodedTensor output;
+        std::vector<double> raw;
+        NeuronCost cost;        //!< summed over all neurons
+        uint64_t stageCycles;   //!< wall cycles with RNA parallelism
+    };
+
+    void configureLayers(const std::vector<composer::RLayer> &layers);
+
+    LayerRun runLayer(const composer::RLayer &layer,
+                      const composer::EncodedTensor &in,
+                      bool lastCompute);
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_CHIP_HH

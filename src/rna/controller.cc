@@ -1,0 +1,177 @@
+#include "rna/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rapidnn::rna {
+
+using composer::RLayer;
+using composer::RLayerKind;
+
+namespace {
+
+std::string
+layerDescription(const RLayer &layer)
+{
+    std::ostringstream os;
+    switch (layer.kind) {
+      case RLayerKind::Dense:
+        os << "dense(" << layer.inCount << "->" << layer.outCount
+           << ")";
+        break;
+      case RLayerKind::Conv:
+        os << "conv(" << layer.inChannels << "->" << layer.outCount
+           << "," << layer.kernel << "x" << layer.kernel << ")";
+        break;
+      case RLayerKind::MaxPool:
+        os << "maxpool(" << layer.poolWindow << ")";
+        break;
+      case RLayerKind::AvgPool:
+        os << "avgpool(" << layer.poolWindow << ")";
+        break;
+      case RLayerKind::Flatten:
+        os << "flatten";
+        break;
+      case RLayerKind::Residual:
+        os << "residual{" << layer.inner.size() << "}";
+        break;
+      case RLayerKind::Recurrent:
+        os << "elman(" << layer.inCount << "x" << layer.steps << "->"
+           << layer.outCount << ")";
+        break;
+    }
+    return os.str();
+}
+
+/** Logical neuron evaluations a layer performs per inference. The
+ *  conv spatial extent is unknown without an input shape, so the plan
+ *  counts distinct table sets (channels); waves at run time follow the
+ *  actual feature-map size. */
+size_t
+logicalNeurons(const RLayer &layer)
+{
+    switch (layer.kind) {
+      case RLayerKind::Dense:
+      case RLayerKind::Conv:
+      case RLayerKind::Recurrent:
+        return layer.outCount;
+      case RLayerKind::MaxPool:
+      case RLayerKind::AvgPool:
+      case RLayerKind::Flatten:
+      case RLayerKind::Residual:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+void
+Controller::planLayers(const std::vector<RLayer> &layers, size_t depth,
+                       size_t &nextTileSlot, MappingPlan &out) const
+{
+    const size_t rnasPerTile = _config.cost.rnasPerTile;
+
+    for (const RLayer &layer : layers) {
+        LayerAssignment a;
+        a.description = layerDescription(layer);
+        a.kind = layer.kind;
+        a.depth = depth;
+
+        if (layer.kind == RLayerKind::Residual) {
+            a.skipRoute = true;
+            a.fifoDepth = 1;  // the skip value parks one entry deep
+            out.assignments.push_back(a);
+            planLayers(layer.inner, depth + 1, nextTileSlot, out);
+            continue;
+        }
+
+        a.neurons = logicalNeurons(layer);
+        if (a.neurons > 0) {
+            const size_t available = _config.totalRnas();
+            a.rnaBlocks = std::min(a.neurons, available);
+            a.waves = (a.neurons + available - 1) / available;
+            a.fifoDepth = layer.inCount;
+            if (layer.kind == RLayerKind::Recurrent) {
+                a.feedbackLoop = true;
+                // The FIFO also holds the fed-back hidden state.
+                a.fifoDepth += layer.outCount;
+            }
+            if (!layer.outputEncoder.empty())
+                a.broadcastBits =
+                    indexBits(layer.outputEncoder.entries());
+
+            a.firstTile = nextTileSlot / rnasPerTile;
+            nextTileSlot += a.rnaBlocks;
+            a.lastTile = (nextTileSlot - 1) / rnasPerTile;
+
+            out.totalRnasUsed += a.rnaBlocks;
+            out.maxFifoDepth = std::max(out.maxFifoDepth, a.fifoDepth);
+        } else if (layer.kind == RLayerKind::MaxPool ||
+                   layer.kind == RLayerKind::AvgPool) {
+            // Pooling reuses the upstream layer's encoding AM blocks.
+            a.fifoDepth = layer.poolWindow * layer.poolWindow;
+            out.maxFifoDepth = std::max(out.maxFifoDepth, a.fifoDepth);
+        }
+        out.assignments.push_back(a);
+    }
+}
+
+MappingPlan
+Controller::plan(const composer::ReinterpretedModel &model) const
+{
+    RAPIDNN_ASSERT(!model.layers().empty(), "planning an empty model");
+
+    MappingPlan out;
+    size_t nextTileSlot = 0;
+    planLayers(model.layers(), 0, nextTileSlot, out);
+
+    const size_t rnasPerTile = _config.cost.rnasPerTile;
+    const size_t rnasPerChip = rnasPerTile * _config.cost.tilesPerChip;
+    out.tilesUsed = (nextTileSlot + rnasPerTile - 1) / rnasPerTile;
+    out.chipsUsed = std::max<size_t>(
+        1, (nextTileSlot + rnasPerChip - 1) / rnasPerChip);
+    out.chipsUsed = std::min(out.chipsUsed, _config.chips);
+    out.utilization = static_cast<double>(out.totalRnasUsed)
+        / static_cast<double>(_config.totalRnas());
+    out.fits = true;
+    for (const auto &a : out.assignments)
+        if (a.waves > 1)
+            out.fits = false;
+    return out;
+}
+
+std::string
+MappingPlan::describe() const
+{
+    std::ostringstream os;
+    os << "mapping plan: " << totalRnasUsed << " RNA blocks over "
+       << tilesUsed << " tiles (" << chipsUsed << " chip"
+       << (chipsUsed == 1 ? "" : "s") << "), utilization "
+       << utilization * 100.0 << "%, max FIFO depth " << maxFifoDepth
+       << (fits ? ", fully resident" : ", wave-scheduled") << "\n";
+    for (const auto &a : assignments) {
+        os << std::string(2 + 2 * a.depth, ' ') << a.description;
+        if (a.neurons > 0) {
+            os << ": " << a.rnaBlocks << " blocks, tiles ["
+               << a.firstTile << ", " << a.lastTile << "], waves "
+               << a.waves << ", fifo " << a.fifoDepth;
+            if (a.broadcastBits > 0)
+                os << ", " << a.broadcastBits << "-bit broadcast";
+            if (a.feedbackLoop)
+                os << ", feedback loop";
+        } else if (a.skipRoute) {
+            os << ": skip FIFO parked";
+        } else if (a.fifoDepth > 0) {
+            os << ": pooling window fifo " << a.fifoDepth;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rapidnn::rna

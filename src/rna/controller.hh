@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The RAPIDNN controller's mapping plan (paper Section 4.3).
+ *
+ * The controller "maps the computation of different DNN layers into
+ * RNA blocks", assigns per-tile configuration registers, sizes the
+ * input FIFOs (whose depth is set by the largest layer's fan-in),
+ * routes residual skip values and recurrent feedback, and sequences
+ * the layer pipeline. This module makes that plan explicit and
+ * inspectable: given a reinterpreted model and a chip configuration it
+ * produces per-layer block assignments, tile ranges, wave counts,
+ * FIFO depths and transfer schedules, with validation.
+ */
+
+#ifndef RAPIDNN_RNA_CONTROLLER_HH
+#define RAPIDNN_RNA_CONTROLLER_HH
+
+#include <string>
+#include <vector>
+
+#include "composer/reinterpreted_model.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn::rna {
+
+/** How a reinterpreted layer maps onto the fabric. */
+struct LayerAssignment
+{
+    std::string description;      //!< e.g. "dense(784->512)"
+    composer::RLayerKind kind;
+    size_t neurons = 0;           //!< logical neurons to evaluate
+    size_t rnaBlocks = 0;         //!< physical blocks assigned
+    size_t waves = 1;             //!< sequential passes over blocks
+    size_t firstTile = 0;         //!< tile range [firstTile, lastTile]
+    size_t lastTile = 0;
+    size_t fifoDepth = 0;         //!< input FIFO entries per block
+    size_t broadcastBits = 0;     //!< encoded bits leaving the layer
+    bool feedbackLoop = false;    //!< recurrent self-route
+    bool skipRoute = false;       //!< residual skip FIFO parked
+    size_t depth = 0;             //!< nesting depth (residual inner)
+};
+
+/** The whole mapping plan. */
+struct MappingPlan
+{
+    std::vector<LayerAssignment> assignments;
+    size_t totalRnasUsed = 0;     //!< peak concurrent block demand
+    size_t tilesUsed = 0;
+    size_t chipsUsed = 0;
+    size_t maxFifoDepth = 0;      //!< controller FIFO sizing
+    double utilization = 0.0;     //!< peak blocks / available blocks
+    bool fits = false;            //!< true when no layer needs waves
+
+    /** Multi-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/**
+ * The controller: plans layer-to-block mappings for a chip
+ * configuration.
+ */
+class Controller
+{
+  public:
+    explicit Controller(ChipConfig config) : _config(config) {}
+
+    /** Build the mapping plan for a composed model. */
+    MappingPlan plan(const composer::ReinterpretedModel &model) const;
+
+    const ChipConfig &config() const { return _config; }
+
+  private:
+    ChipConfig _config;
+
+    void planLayers(const std::vector<composer::RLayer> &layers,
+                    size_t depth, size_t &nextTileSlot,
+                    MappingPlan &out) const;
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_CONTROLLER_HH

@@ -1,0 +1,27 @@
+#include "rna/perf_report.hh"
+
+namespace rapidnn::rna {
+
+CategoryCost
+PerfReport::category(const std::string &name) const
+{
+    for (const auto &c : breakdown)
+        if (c.name == name)
+            return c;
+    return {name, Time{}, Energy{}};
+}
+
+void
+PerfReport::addCategory(const std::string &name, Time t, Energy e)
+{
+    for (auto &c : breakdown) {
+        if (c.name == name) {
+            c.time += t;
+            c.energy += e;
+            return;
+        }
+    }
+    breakdown.push_back({name, t, e});
+}
+
+} // namespace rapidnn::rna

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aggregated performance/energy report for an inference run, broken
+ * down by the paper's categories (Figure 13): weighted accumulation,
+ * activation function, encoding, pooling, and other (buffer,
+ * controller, interconnect).
+ */
+
+#ifndef RAPIDNN_RNA_PERF_REPORT_HH
+#define RAPIDNN_RNA_PERF_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "nvm/op_cost.hh"
+
+namespace rapidnn::rna {
+
+/** One breakdown category. */
+struct CategoryCost
+{
+    std::string name;
+    Time time{};
+    Energy energy{};
+};
+
+/** Report for one inference (or a batch; fields are totals). */
+struct PerfReport
+{
+    Time latency{};        //!< end-to-end latency per inference
+    Time stageTime{};      //!< slowest pipeline stage (throughput limit)
+    Energy energy{};       //!< total energy per inference
+    uint64_t totalOps = 0; //!< DNN operations represented
+    std::vector<CategoryCost> breakdown;
+
+    double
+    throughputOpsPerSec() const
+    {
+        return stageTime.sec() > 0
+            ? static_cast<double>(totalOps) / stageTime.sec() : 0.0;
+    }
+
+    double edp() const { return energy.j() * latency.sec(); }
+
+    /** Find a category by name (zeros when absent). */
+    CategoryCost category(const std::string &name) const;
+
+    /** Sum another report into this one (e.g. layer roll-up). */
+    void addCategory(const std::string &name, Time t, Energy e);
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_PERF_REPORT_HH

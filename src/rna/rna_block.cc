@@ -1,0 +1,140 @@
+#include "rna/rna_block.hh"
+
+#include "common/logging.hh"
+
+namespace rapidnn::rna {
+
+RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
+                                 const nvm::CostModel &model,
+                                 nvm::SearchMode mode)
+    : _layer(layer), _model(model)
+{
+    RAPIDNN_ASSERT(layer.kind == composer::RLayerKind::Dense ||
+                   layer.kind == composer::RLayerKind::Conv ||
+                   layer.kind == composer::RLayerKind::Recurrent,
+                   "RnaLayerContext needs a compute layer");
+
+    _engines.reserve(layer.productTables.size());
+    for (size_t c = 0; c < layer.productTables.size(); ++c)
+        _engines.emplace_back(layer.productTables[c],
+                              layer.weightCodebooks[c].size(),
+                              layer.inputEntries(), model);
+
+    if (layer.kind == composer::RLayerKind::Recurrent) {
+        _stateEngine.emplace(layer.stateProductTables[0],
+                             layer.stateWeightCodebooks[0].size(),
+                             layer.stateCodebook.size(), model);
+        const auto &values = layer.stateCodebook.values();
+        std::vector<double> rows(values.size());
+        for (size_t i = 0; i < values.size(); ++i)
+            rows[i] = static_cast<double>(i);
+        _stateEncodingAm.emplace(values, rows, 32, model, mode);
+    }
+
+    if (layer.activation) {
+        _activationAm.emplace(layer.activation->inputs(),
+                              layer.activation->outputs(), 32, model,
+                              mode);
+    }
+    if (!layer.outputEncoder.empty()) {
+        // Encoding AM: keys are the target codebook values; the row
+        // index found by the search IS the encoded value.
+        const auto &values = layer.outputEncoder.target().values();
+        std::vector<double> rows(values.size());
+        for (size_t i = 0; i < values.size(); ++i)
+            rows[i] = static_cast<double>(i);
+        _encodingAm.emplace(values, rows, 32, model, mode);
+    }
+}
+
+NeuronResult
+RnaLayerContext::evaluate(size_t channel,
+                          const std::vector<uint16_t> &weightCodes,
+                          const std::vector<uint16_t> &inputCodes,
+                          double bias) const
+{
+    RAPIDNN_ASSERT(channel < _engines.size(), "channel out of range");
+
+    NeuronResult result;
+    const AccumResult accum =
+        _engines[channel].run(weightCodes, inputCodes, bias);
+    result.cost.weightedAccum = accum.cost.total();
+
+    double value = accum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    if (_encodingAm) {
+        result.code = static_cast<uint16_t>(
+            _encodingAm->lookupRow(value, result.cost.encoding));
+        result.encoded = true;
+    }
+    return result;
+}
+
+NeuronResult
+RnaLayerContext::evaluateRecurrentStep(
+    const std::vector<uint16_t> &xWeightCodes,
+    const std::vector<uint16_t> &xCodes,
+    const std::vector<uint16_t> &hWeightCodes,
+    const std::vector<uint16_t> &hCodes, double bias) const
+{
+    RAPIDNN_ASSERT(_stateEngine.has_value(),
+                   "evaluateRecurrentStep on a non-recurrent layer");
+
+    NeuronResult result;
+    // Both operand paths tally in the same crossbar; the feedback
+    // products join the same adder tree, so costs simply add.
+    const AccumResult xAccum =
+        _engines[0].run(xWeightCodes, xCodes, bias);
+    const AccumResult hAccum =
+        _stateEngine->run(hWeightCodes, hCodes, 0.0);
+    result.cost.weightedAccum =
+        xAccum.cost.total() + hAccum.cost.total();
+
+    double value = xAccum.value + hAccum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    result.code = static_cast<uint16_t>(
+        _stateEncodingAm->lookupRow(value, result.cost.encoding));
+    result.encoded = true;
+    return result;
+}
+
+uint16_t
+RnaLayerContext::encodeState(double value, nvm::OpCost &cost) const
+{
+    RAPIDNN_ASSERT(_stateEncodingAm.has_value(),
+                   "encodeState on a non-recurrent layer");
+    return static_cast<uint16_t>(
+        _stateEncodingAm->lookupRow(value, cost));
+}
+
+uint16_t
+RnaLayerContext::poolMax(const std::vector<uint16_t> &codes,
+                         const nvm::CostModel &model, nvm::OpCost &cost)
+{
+    RAPIDNN_ASSERT(!codes.empty(), "poolMax on empty window");
+    // The pooling AM is loaded with the window's encoded values, then a
+    // single MAX search returns the winner. Codes are order-preserving
+    // (sorted codebooks), so max code == max value.
+    nvm::Ndcam cam(16, model);
+    std::vector<uint32_t> keys(codes.begin(), codes.end());
+    cam.load(keys, cost);
+    const size_t row = cam.searchMax(cost);
+    return codes[row];
+}
+
+size_t
+RnaLayerContext::productRows() const
+{
+    size_t rows = 0;
+    for (const auto &table : _layer.productTables)
+        rows += table.size();
+    return rows;
+}
+
+} // namespace rapidnn::rna

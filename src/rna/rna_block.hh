@@ -1,0 +1,126 @@
+/**
+ * @file
+ * One RNA block: the hardware unit that executes one reinterpreted
+ * neuron (paper Figure 7). Combines the weighted-accumulation engine
+ * with the two AM blocks (activation function and encoding/pooling).
+ */
+
+#ifndef RAPIDNN_RNA_RNA_BLOCK_HH
+#define RAPIDNN_RNA_RNA_BLOCK_HH
+
+#include <memory>
+#include <optional>
+
+#include "composer/reinterpreted_model.hh"
+#include "nvm/am_block.hh"
+#include "rna/accumulation.hh"
+
+namespace rapidnn::rna {
+
+/** Per-phase cost breakdown of one neuron evaluation (Figure 13). */
+struct NeuronCost
+{
+    nvm::OpCost weightedAccum;
+    nvm::OpCost activation;
+    nvm::OpCost encoding;
+    nvm::OpCost pooling;
+
+    nvm::OpCost
+    total() const
+    {
+        return weightedAccum + activation + encoding + pooling;
+    }
+
+    NeuronCost &
+    operator+=(const NeuronCost &o)
+    {
+        weightedAccum += o.weightedAccum;
+        activation += o.activation;
+        encoding += o.encoding;
+        pooling += o.pooling;
+        return *this;
+    }
+};
+
+/** Output of one neuron evaluation. */
+struct NeuronResult
+{
+    double rawValue = 0.0;    //!< post-activation real value
+    uint16_t code = 0;        //!< encoded value (when an encoder exists)
+    bool encoded = false;
+    NeuronCost cost;
+};
+
+/**
+ * The per-layer hardware context shared by all RNA blocks computing
+ * neurons of the same reinterpreted layer: the accumulation engine per
+ * weight codebook, the activation AM and the encoding AM.
+ */
+class RnaLayerContext
+{
+  public:
+    /**
+     * Build the context for a compute layer.
+     * @param layer reinterpreted Dense/Conv layer.
+     * @param model circuit-cost anchors.
+     * @param mode NDCAM search behaviour.
+     */
+    RnaLayerContext(const composer::RLayer &layer,
+                    const nvm::CostModel &model,
+                    nvm::SearchMode mode = nvm::SearchMode::AbsoluteExact);
+
+    /**
+     * Evaluate one neuron.
+     * @param channel weight-codebook index (0 for dense layers).
+     * @param weightCodes the neuron's encoded weights.
+     * @param inputCodes encoded inputs, parallel to weightCodes.
+     * @param bias the neuron's bias.
+     */
+    NeuronResult evaluate(size_t channel,
+                          const std::vector<uint16_t> &weightCodes,
+                          const std::vector<uint16_t> &inputCodes,
+                          double bias) const;
+
+    /**
+     * Max-pool a window of encoded values by loading them into the
+     * encoding/pooling AM and issuing one MAX search (Section 4.2.1).
+     */
+    static uint16_t poolMax(const std::vector<uint16_t> &codes,
+                            const nvm::CostModel &model,
+                            nvm::OpCost &cost);
+
+    /**
+     * One unrolled step of a recurrent neuron: accumulate the x-path
+     * products plus the feedback-path products (the previous step's
+     * encoded output from the input FIFO), apply the activation table,
+     * and encode the new hidden state into the state codebook.
+     * Only valid on Recurrent layers.
+     */
+    NeuronResult evaluateRecurrentStep(
+        const std::vector<uint16_t> &xWeightCodes,
+        const std::vector<uint16_t> &xCodes,
+        const std::vector<uint16_t> &hWeightCodes,
+        const std::vector<uint16_t> &hCodes, double bias) const;
+
+    /** Encode a raw value into the recurrent state codebook. */
+    uint16_t encodeState(double value, nvm::OpCost &cost) const;
+
+    const composer::RLayer &layer() const { return _layer; }
+
+    /** Crossbar rows this layer's product tables occupy. */
+    size_t productRows() const;
+
+  private:
+    const composer::RLayer &_layer;
+    nvm::CostModel _model;
+    std::vector<AccumulationEngine> _engines;  //!< one per codebook
+    std::optional<nvm::AmBlock> _activationAm;
+    std::optional<nvm::AmBlock> _encodingAm;
+    /** Feedback-path engine and state-encoding AM (recurrent only). */
+    std::optional<AccumulationEngine> _stateEngine;
+    std::optional<nvm::AmBlock> _stateEncodingAm;
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_RNA_BLOCK_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the baseline accelerator cost models: GPU roofline and the
+ * published-figure models (DaDianNao, ISAAC, PipeLayer, Eyeriss,
+ * SnaPEA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.hh"
+#include "baselines/published_models.hh"
+#include "nn/topology.hh"
+
+namespace rapidnn::baselines {
+namespace {
+
+nn::NetworkShape
+tinyFcShape()
+{
+    nn::NetworkShape shape{"tiny", {}};
+    shape.layers.push_back({nn::LayerKind::Dense, 512, 784,
+                            784 * 512 + 512, 512});
+    shape.layers.push_back({nn::LayerKind::Dense, 10, 512,
+                            512 * 10 + 10, 10});
+    return shape;
+}
+
+// ------------------------------------------------------------- GPU model
+
+TEST(GpuModel, SmallNetDominatedByLaunchOverhead)
+{
+    GpuModel gpu;
+    const auto report = gpu.estimate(tinyFcShape());
+    // Two layers x 25 us floor ~= 50 us minimum.
+    EXPECT_GE(report.latency.us(),
+              2.0 * gpu.params().perLayerOverhead.us() * 0.99);
+    // Pure compute time for 0.4 MMACs would be well under 1 us: the
+    // overhead must dominate (this is what RAPIDNN exploits).
+    const double computeOnly = 2.0 * 406528.0
+        / (gpu.params().peakFlops * gpu.params().sustainedFraction);
+    EXPECT_GT(report.latency.sec(), 20.0 * computeOnly);
+}
+
+TEST(GpuModel, BigCnnApproachesComputeRoof)
+{
+    GpuModel gpu;
+    const auto vgg = nn::imageNetShape(nn::ImageNetModel::Vgg16);
+    const auto report = gpu.estimate(vgg);
+    const double roof = 2.0 * double(vgg.totalMacs())
+        / (gpu.params().peakFlops * gpu.params().sustainedFraction);
+    EXPECT_GT(report.latency.sec(), roof);          // can't beat the roof
+    EXPECT_LT(report.latency.sec(), 4.0 * roof);    // but close-ish
+}
+
+TEST(GpuModel, EnergyIsPowerTimesTime)
+{
+    GpuModel gpu;
+    const auto report = gpu.estimate(tinyFcShape());
+    EXPECT_NEAR(report.energy.j(),
+                report.latency.sec() * gpu.params().boardPowerW, 1e-12);
+}
+
+TEST(GpuModel, MoreOpsMoreTime)
+{
+    GpuModel gpu;
+    const auto small = gpu.estimate(
+        nn::imageNetShape(nn::ImageNetModel::AlexNet));
+    const auto large = gpu.estimate(
+        nn::imageNetShape(nn::ImageNetModel::Vgg16));
+    EXPECT_LT(small.latency.sec(), large.latency.sec());
+}
+
+// ------------------------------------------------------ published models
+
+TEST(PublishedModels, ParameterTablesMatchPaperQuotes)
+{
+    // Section 5.5 quotes these numbers explicitly.
+    EXPECT_DOUBLE_EQ(isaacParams().gopsPerMm2, 479.0);
+    EXPECT_DOUBLE_EQ(isaacParams().gopsPerWatt, 380.7);
+    EXPECT_DOUBLE_EQ(pipelayerParams().gopsPerMm2, 1485.1);
+    EXPECT_DOUBLE_EQ(pipelayerParams().gopsPerWatt, 142.9);
+}
+
+class PublishedModelCase
+    : public ::testing::TestWithParam<PublishedParams>
+{
+};
+
+TEST_P(PublishedModelCase, EstimatesArePositiveAndScale)
+{
+    PublishedModel model(GetParam());
+    const auto alexnet = model.estimate(
+        nn::imageNetShape(nn::ImageNetModel::AlexNet));
+    const auto vgg = model.estimate(
+        nn::imageNetShape(nn::ImageNetModel::Vgg16));
+    EXPECT_GT(alexnet.latency.sec(), 0.0);
+    EXPECT_GT(alexnet.energy.j(), 0.0);
+    // VGG has ~14x the MACs; time and energy must grow accordingly.
+    EXPECT_GT(vgg.latency.sec(), 3.0 * alexnet.latency.sec());
+    EXPECT_GT(vgg.energy.j(), 5.0 * alexnet.energy.j());
+}
+
+TEST_P(PublishedModelCase, UtilizationPenalizesTinyLayers)
+{
+    PublishedModel model(GetParam());
+    // Same total ops split into many tiny layers vs one big layer.
+    nn::NetworkShape big{"big", {}};
+    big.layers.push_back({nn::LayerKind::Dense, 4096, 4096,
+                          4096 * 4096, 4096});
+    nn::NetworkShape tiny{"tiny", {}};
+    for (int i = 0; i < 256; ++i)
+        tiny.layers.push_back({nn::LayerKind::Dense, 256, 256,
+                               256 * 256, 256});
+    const auto bigReport = model.estimate(big);
+    const auto tinyReport = model.estimate(tiny);
+    EXPECT_GT(tinyReport.latency.sec(), bigReport.latency.sec());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PublishedModelCase,
+    ::testing::Values(dadiannaoParams(), isaacParams(),
+                      pipelayerParams(), eyerissParams(),
+                      snapeaParams()),
+    [](const ::testing::TestParamInfo<PublishedParams> &info) {
+        return info.param.name;
+    });
+
+TEST(PublishedModels, PimClassOrderingOnAlexNet)
+{
+    // Peak ordering the paper reports: PipeLayer is the fastest
+    // baseline, ISAAC next, DaDianNao slowest of the three.
+    const auto shape = nn::imageNetShape(nn::ImageNetModel::AlexNet);
+    PublishedModel dadiannao(dadiannaoParams());
+    PublishedModel isaac(isaacParams());
+    PublishedModel pipelayer(pipelayerParams());
+    const double tDad = dadiannao.estimate(shape).latency.sec();
+    const double tIsaac = isaac.estimate(shape).latency.sec();
+    const double tPipe = pipelayer.estimate(shape).latency.sec();
+    EXPECT_LT(tPipe, tIsaac);
+    EXPECT_LT(tIsaac, tDad);
+}
+
+TEST(PublishedModels, IsaacBeatsPipelayerOnEnergy)
+{
+    // ISAAC's GOPS/W exceeds PipeLayer's, so its energy is lower.
+    const auto shape = nn::imageNetShape(nn::ImageNetModel::AlexNet);
+    PublishedModel isaac(isaacParams());
+    PublishedModel pipelayer(pipelayerParams());
+    EXPECT_LT(isaac.estimate(shape).energy.j(),
+              pipelayer.estimate(shape).energy.j());
+}
+
+} // namespace
+} // namespace rapidnn::baselines

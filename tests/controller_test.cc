@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Controller mapping-plan tests: block/tile assignment, wave
+ * scheduling, FIFO sizing, residual skip routing and recurrent
+ * feedback flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "composer/composer.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/controller.hh"
+
+namespace rapidnn::rna {
+namespace {
+
+using composer::Composer;
+using composer::ReinterpretedModel;
+using composer::RLayerKind;
+
+struct PlannedMlp
+{
+    nn::Dataset data;
+    nn::Network net;
+    ReinterpretedModel model;
+
+    PlannedMlp()
+    {
+        data = nn::makeVectorTask({"plan", 20, 4, 200, 0.3, 1.0, 901});
+        Rng rng(902);
+        net = nn::buildMlp({.inputs = 20, .hidden = {16, 12},
+                            .outputs = 4}, rng);
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05}).train(net, data);
+        Composer comp({});
+        model = comp.reinterpret(net, data);
+    }
+};
+
+TEST(Controller, MlpAssignmentsAndResidency)
+{
+    PlannedMlp fx;
+    Controller controller(ChipConfig{});
+    const MappingPlan plan = controller.plan(fx.model);
+
+    ASSERT_EQ(plan.assignments.size(), 3u);
+    EXPECT_EQ(plan.assignments[0].neurons, 16u);
+    EXPECT_EQ(plan.assignments[0].rnaBlocks, 16u);
+    EXPECT_EQ(plan.assignments[0].waves, 1u);
+    EXPECT_EQ(plan.assignments[0].fifoDepth, 20u);
+    EXPECT_EQ(plan.totalRnasUsed, 16u + 12u + 4u);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_EQ(plan.tilesUsed, 1u);
+    EXPECT_EQ(plan.chipsUsed, 1u);
+    EXPECT_GT(plan.utilization, 0.0);
+    EXPECT_LT(plan.utilization, 0.01);
+    // The FIFO must hold the largest fan-in (paper Section 4.1.1).
+    EXPECT_EQ(plan.maxFifoDepth, 20u);
+}
+
+TEST(Controller, TinyChipForcesWaves)
+{
+    PlannedMlp fx;
+    ChipConfig config;
+    config.cost.rnasPerTile = 8;
+    config.cost.tilesPerChip = 1;
+    Controller controller(config);
+    const MappingPlan plan = controller.plan(fx.model);
+    EXPECT_FALSE(plan.fits);
+    EXPECT_EQ(plan.assignments[0].waves, 2u);  // 16 neurons on 8 RNAs
+    EXPECT_EQ(plan.assignments[0].rnaBlocks, 8u);
+}
+
+TEST(Controller, BroadcastBitsMatchConsumerCodebook)
+{
+    PlannedMlp fx;
+    Controller controller(ChipConfig{});
+    const MappingPlan plan = controller.plan(fx.model);
+    // Inner layers broadcast log2(u) bits; the final layer emits raw.
+    EXPECT_GT(plan.assignments[0].broadcastBits, 0u);
+    EXPECT_EQ(plan.assignments[2].broadcastBits, 0u);
+}
+
+TEST(Controller, RecurrentFeedbackFlaggedAndFifoSized)
+{
+    nn::SequenceTaskSpec spec;
+    spec.name = "plan-seq";
+    spec.features = 5;
+    spec.steps = 6;
+    spec.classes = 3;
+    spec.samples = 150;
+    spec.seed = 903;
+    nn::Dataset data = nn::makeSequenceTask(spec);
+    Rng rng(904);
+    nn::Network net;
+    net.add(std::make_unique<nn::ElmanLayer>(
+        5, 10, 6, nn::ActKind::Tanh, rng));
+    net.add(std::make_unique<nn::DenseLayer>(10, 3, rng));
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+
+    Controller controller(ChipConfig{});
+    const MappingPlan plan = controller.plan(model);
+    ASSERT_GE(plan.assignments.size(), 2u);
+    const auto &rec = plan.assignments[0];
+    EXPECT_TRUE(rec.feedbackLoop);
+    // FIFO holds the x operands plus the fed-back hidden state.
+    EXPECT_EQ(rec.fifoDepth, 5u + 10u);
+    EXPECT_NE(plan.describe().find("feedback loop"),
+              std::string::npos);
+}
+
+TEST(Controller, ResidualSkipRouting)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"plan-res", 12, 3, 150, 0.3, 1.0, 905});
+    Rng rng(906);
+    nn::Network net;
+    net.add(std::make_unique<nn::DenseLayer>(12, 8, rng));
+    net.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    std::vector<nn::LayerPtr> inner;
+    inner.push_back(std::make_unique<nn::DenseLayer>(8, 8, rng));
+    net.add(std::make_unique<nn::ResidualLayer>(std::move(inner)));
+    net.add(std::make_unique<nn::DenseLayer>(8, 3, rng));
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+
+    Controller controller(ChipConfig{});
+    const MappingPlan plan = controller.plan(model);
+    bool sawSkip = false, sawInner = false;
+    for (const auto &a : plan.assignments) {
+        if (a.skipRoute)
+            sawSkip = true;
+        if (a.depth > 0) {
+            sawInner = true;
+            EXPECT_GT(a.rnaBlocks, 0u);
+        }
+    }
+    EXPECT_TRUE(sawSkip);
+    EXPECT_TRUE(sawInner);
+    EXPECT_NE(plan.describe().find("skip FIFO"), std::string::npos);
+}
+
+TEST(Controller, PoolingReusesEncodingAm)
+{
+    nn::ImageTaskSpec spec;
+    spec.name = "plan-img";
+    spec.side = 8;
+    spec.classes = 3;
+    spec.samples = 120;
+    spec.seed = 907;
+    nn::Dataset data = nn::makeImageTask(spec);
+    Rng rng(908);
+    nn::CnnSpec cnn;
+    cnn.channels = 3;
+    cnn.height = cnn.width = 8;
+    cnn.convChannels = {4};
+    cnn.denseWidths = {};
+    cnn.outputs = 3;
+    nn::Network net = nn::buildCnn(cnn, rng);
+    nn::Trainer({.epochs = 2, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+
+    Controller controller(ChipConfig{});
+    const MappingPlan plan = controller.plan(model);
+    bool sawPooling = false;
+    for (const auto &a : plan.assignments)
+        if (a.kind == RLayerKind::MaxPool) {
+            sawPooling = true;
+            EXPECT_EQ(a.rnaBlocks, 0u);     // no dedicated blocks
+            EXPECT_EQ(a.fifoDepth, 4u);     // 2x2 window
+        }
+    EXPECT_TRUE(sawPooling);
+}
+
+TEST(Controller, DescribeIsReadable)
+{
+    PlannedMlp fx;
+    Controller controller(ChipConfig{});
+    const std::string text = controller.plan(fx.model).describe();
+    EXPECT_NE(text.find("mapping plan"), std::string::npos);
+    EXPECT_NE(text.find("dense(20->16)"), std::string::npos);
+    EXPECT_NE(text.find("fully resident"), std::string::npos);
+}
+
+} // namespace
+} // namespace rapidnn::rna

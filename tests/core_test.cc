@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the top-level RAPIDNN facade and the benchmark builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rapidnn.hh"
+
+namespace rapidnn::core {
+namespace {
+
+TEST(Rapidnn, OneShotEndToEnd)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"toy", 16, 3, 260, 0.35, 1.0, 201});
+    auto [train, validation] = data.split(0.25);
+    Rng rng(202);
+    nn::Network net = nn::buildMlp({.inputs = 16, .hidden = {12},
+                                    .outputs = 3}, rng);
+    nn::Trainer trainer({.epochs = 10, .batchSize = 16,
+                         .learningRate = 0.05});
+    trainer.train(net, train);
+
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    Rapidnn rapid(config);
+    RunReport report = rapid.runOneShot(net, train, validation);
+
+    EXPECT_GE(report.compose.baselineError, 0.0);
+    EXPECT_GE(report.acceleratorError, 0.0);
+    // The chip measurement equals the software model's error.
+    EXPECT_NEAR(report.acceleratorError, report.compose.clusteredError,
+                0.02);
+    EXPECT_GT(report.perf.latency.ns(), 0.0);
+    EXPECT_GT(report.perf.energy.j(), 0.0);
+    EXPECT_GT(report.memoryBytes, 0u);
+}
+
+TEST(Rapidnn, FullComposeEndToEnd)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"toy", 16, 3, 260, 0.35, 1.0, 203});
+    auto [train, validation] = data.split(0.25);
+    Rng rng(204);
+    nn::Network net = nn::buildMlp({.inputs = 16, .hidden = {12},
+                                    .outputs = 3}, rng);
+    nn::Trainer trainer({.epochs = 10, .batchSize = 16,
+                         .learningRate = 0.05});
+    trainer.train(net, train);
+
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    config.composer.maxIterations = 2;
+    config.composer.retrainEpochs = 1;
+    Rapidnn rapid(config);
+    RunReport report = rapid.run(net, train, validation);
+    EXPECT_FALSE(report.compose.history.empty());
+    EXPECT_LE(report.deltaE(), 0.5);
+}
+
+TEST(BenchmarkModel, MnistStandInTrains)
+{
+    BenchmarkOptions options;
+    options.samples = 300;
+    options.trainEpochs = 3;
+    options.widthScale = 0.1;  // 51-wide hidden layers for test speed
+    BenchmarkModel bm = buildBenchmarkModel(nn::Benchmark::Mnist,
+                                            options);
+    EXPECT_EQ(bm.train.featureShape(), (nn::Shape{784}));
+    // Better than chance (10 classes -> 0.9 error).
+    EXPECT_LT(bm.baselineError, 0.6);
+    EXPECT_EQ(bm.shape.layers.size(), 3u);
+    EXPECT_EQ(bm.shape.layers[0].fanIn, 784u);
+}
+
+TEST(BenchmarkModel, CifarStandInIsConvolutional)
+{
+    BenchmarkOptions options;
+    options.samples = 200;
+    options.trainEpochs = 2;
+    options.widthScale = 0.25;
+    BenchmarkModel bm = buildBenchmarkModel(nn::Benchmark::Cifar10,
+                                            options);
+    EXPECT_TRUE(bm.shape.hasConvolution());
+    EXPECT_EQ(bm.train.featureShape().size(), 3u);
+}
+
+TEST(BenchmarkModel, WidthScaleShrinksParameters)
+{
+    BenchmarkOptions wide;
+    wide.samples = 120;
+    wide.trainEpochs = 1;
+    wide.widthScale = 0.5;
+    BenchmarkOptions narrow = wide;
+    narrow.widthScale = 0.1;
+    BenchmarkModel a = buildBenchmarkModel(nn::Benchmark::Har, wide);
+    BenchmarkModel b = buildBenchmarkModel(nn::Benchmark::Har, narrow);
+    EXPECT_GT(a.shape.totalParams(), b.shape.totalParams());
+}
+
+TEST(BenchmarkModel, TopologyStringsMatchTableTwo)
+{
+    EXPECT_EQ(benchmarkTopologyString(nn::Benchmark::Mnist),
+              "IN:784, FC:512, FC:512, FC:10");
+    EXPECT_EQ(benchmarkTopologyString(nn::Benchmark::Isolet),
+              "IN:617, FC:512, FC:512, FC:26");
+    EXPECT_EQ(benchmarkTopologyString(nn::Benchmark::Har),
+              "IN:561, FC:512, FC:512, FC:19");
+}
+
+} // namespace
+} // namespace rapidnn::core

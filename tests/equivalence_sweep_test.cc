@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized equivalence sweep: across codebook sizes and hidden
+ * activation kinds, the chip simulator's predictions must equal the
+ * software reinterpreted model's, and accuracy/memory must move with
+ * codebook size the way the paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "composer/composer.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn {
+namespace {
+
+struct SweepParams
+{
+    size_t entries;        //!< w = u codebook entries
+    nn::ActKind hiddenAct;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const SweepParams &p)
+    {
+        return os << "entries" << p.entries << "_"
+                  << nn::actName(p.hiddenAct);
+    }
+};
+
+class EquivalenceSweep : public ::testing::TestWithParam<SweepParams>
+{
+  protected:
+    static nn::Dataset &
+    data()
+    {
+        static nn::Dataset instance = nn::makeVectorTask(
+            {"sweep", 18, 4, 300, 0.35, 1.0, 1001});
+        return instance;
+    }
+};
+
+TEST_P(EquivalenceSweep, ChipEqualsSoftwareAcrossConfigs)
+{
+    const SweepParams p = GetParam();
+    auto [train, validation] = data().split(0.25);
+
+    Rng rng(1002 + p.entries);
+    nn::Network net = nn::buildMlp(
+        {.inputs = 18, .hidden = {14, 10}, .outputs = 4,
+         .hiddenAct = p.hiddenAct}, rng);
+    nn::Trainer({.epochs = 10, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+
+    composer::ComposerConfig config;
+    config.weightClusters = p.entries;
+    config.inputClusters = p.entries;
+    config.treeDepth = 6;
+    composer::Composer comp(config);
+    composer::ReinterpretedModel model = comp.reinterpret(net, train);
+
+    rna::Chip chip(rna::ChipConfig{});
+    chip.configure(model);
+    for (size_t i = 0; i < 12; ++i) {
+        const auto &x = validation.sample(i).x;
+        rna::PerfReport report;
+        const auto hw = chip.infer(x, report);
+        const auto sw = model.forward(x);
+        ASSERT_EQ(hw.size(), sw.size());
+        for (size_t j = 0; j < hw.size(); ++j)
+            EXPECT_NEAR(hw[j], sw[j], 5e-3)
+                << "sample " << i << " config " << p;
+        EXPECT_GT(report.latency.ns(), 0.0);
+    }
+}
+
+TEST_P(EquivalenceSweep, CodebookBitsBoundCodes)
+{
+    const SweepParams p = GetParam();
+    auto [train, validation] = data().split(0.25);
+    (void)validation;
+
+    Rng rng(1003 + p.entries);
+    nn::Network net = nn::buildMlp(
+        {.inputs = 18, .hidden = {14}, .outputs = 4,
+         .hiddenAct = p.hiddenAct}, rng);
+    nn::Trainer({.epochs = 4, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+
+    composer::ComposerConfig config;
+    config.weightClusters = p.entries;
+    config.inputClusters = p.entries;
+    config.treeDepth = 6;
+    composer::Composer comp(config);
+    composer::ReinterpretedModel model = comp.reinterpret(net, train);
+
+    for (const auto &layer : model.layers()) {
+        EXPECT_LE(layer.weightEntries(), p.entries);
+        EXPECT_LE(layer.inputEntries(), p.entries);
+        for (const auto &codes : layer.weightCodes)
+            for (uint16_t c : codes)
+                EXPECT_LT(c, layer.weightEntries());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceSweep,
+    ::testing::Values(SweepParams{4, nn::ActKind::ReLU},
+                      SweepParams{8, nn::ActKind::ReLU},
+                      SweepParams{16, nn::ActKind::ReLU},
+                      SweepParams{32, nn::ActKind::ReLU},
+                      SweepParams{64, nn::ActKind::ReLU},
+                      SweepParams{16, nn::ActKind::Sigmoid},
+                      SweepParams{16, nn::ActKind::Tanh},
+                      SweepParams{16, nn::ActKind::Softsign},
+                      SweepParams{64, nn::ActKind::Tanh}),
+    [](const ::testing::TestParamInfo<SweepParams> &info) {
+        std::ostringstream os;
+        os << info.param;
+        return os.str();
+    });
+
+} // namespace
+} // namespace rapidnn

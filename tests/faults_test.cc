@@ -1,0 +1,156 @@
+/**
+ * @file
+ * NVM fault injection: stuck-at bits in stored product tables and
+ * their effect on encoded-model accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "composer/composer.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "nvm/faults.hh"
+
+namespace rapidnn::nvm {
+namespace {
+
+TEST(StickBits, ZeroRateIsIdentity)
+{
+    Rng rng(1);
+    size_t flipped = 0;
+    EXPECT_EQ(stickBits(0xDEADBEEF, 32, 0.0, 0.5, rng, flipped),
+              0xDEADBEEFu);
+    EXPECT_EQ(flipped, 0u);
+}
+
+TEST(StickBits, FullRateStuckAtOneSetsEverything)
+{
+    Rng rng(2);
+    size_t flipped = 0;
+    EXPECT_EQ(stickBits(0, 16, 1.0, 1.0, rng, flipped), 0xFFFFu);
+    EXPECT_EQ(flipped, 16u);
+}
+
+TEST(StickBits, FullRateStuckAtZeroClearsEverything)
+{
+    Rng rng(3);
+    size_t flipped = 0;
+    EXPECT_EQ(stickBits(0xFFFF, 16, 1.0, 0.0, rng, flipped), 0u);
+    EXPECT_EQ(flipped, 16u);
+}
+
+TEST(StickBits, RateControlsExpectedFlips)
+{
+    Rng rng(4);
+    size_t flipped = 0;
+    size_t words = 0;
+    for (int i = 0; i < 2000; ++i) {
+        stickBits(0xAAAAAAAA, 32, 0.01, 0.5, rng, flipped);
+        ++words;
+    }
+    // E[flips] = words * bits * rate * P(polarity differs) = 320.
+    EXPECT_NEAR(double(flipped), 320.0, 80.0);
+}
+
+struct FaultFixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    nn::Network net;
+    double baseline;
+
+    FaultFixture()
+    {
+        nn::Dataset all =
+            nn::makeVectorTask({"flt", 24, 4, 360, 0.35, 1.0, 601});
+        auto [tr, va] = all.split(0.25);
+        train = std::move(tr);
+        validation = std::move(va);
+        Rng rng(602);
+        net = nn::buildMlp({.inputs = 24, .hidden = {20, 14},
+                            .outputs = 4}, rng);
+        nn::Trainer trainer({.epochs = 12, .batchSize = 16,
+                             .learningRate = 0.05});
+        trainer.train(net, train);
+        baseline = nn::Trainer::errorRate(net, validation);
+    }
+};
+
+TEST(InjectFaults, ZeroRateLeavesModelIntact)
+{
+    FaultFixture fx;
+    composer::Composer comp({});
+    auto model = comp.reinterpret(fx.net, fx.train);
+    const double before = model.errorRate(fx.validation);
+    FaultSpec spec;
+    spec.stuckBitRate = 0.0;
+    const FaultReport report = injectFaults(model, spec);
+    EXPECT_EQ(report.entriesCorrupted, 0u);
+    EXPECT_DOUBLE_EQ(model.errorRate(fx.validation), before);
+}
+
+TEST(InjectFaults, ReportsCorruption)
+{
+    FaultFixture fx;
+    composer::Composer comp({});
+    auto model = comp.reinterpret(fx.net, fx.train);
+    FaultSpec spec;
+    spec.stuckBitRate = 0.01;
+    spec.seed = 603;
+    const FaultReport report = injectFaults(model, spec);
+    EXPECT_GT(report.tablesVisited, 0u);
+    EXPECT_GT(report.entriesCorrupted, 0u);
+    EXPECT_GT(report.bitsFlipped, 0u);
+    EXPECT_GT(report.worstEntryError, 0.0);
+}
+
+TEST(InjectFaults, LowRateBarelyMovesAccuracy)
+{
+    FaultFixture fx;
+    composer::ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    composer::Composer comp(config);
+    auto model = comp.reinterpret(fx.net, fx.train);
+    const double clean = model.errorRate(fx.validation);
+
+    FaultSpec spec;
+    spec.stuckBitRate = 1e-5;
+    spec.seed = 604;
+    injectFaults(model, spec);
+    const double faulty = model.errorRate(fx.validation);
+    EXPECT_LE(faulty - clean, 0.05)
+        << "a 1e-5 stuck-bit rate must be nearly harmless";
+}
+
+TEST(InjectFaults, AccuracyDegradesMonotonicallyOnAverage)
+{
+    FaultFixture fx;
+    composer::ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    composer::Composer comp(config);
+
+    double lowRateError = 0.0, highRateError = 0.0;
+    // Average over seeds: single injections are high-variance.
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        auto low = comp.reinterpret(fx.net, fx.train);
+        FaultSpec lowSpec;
+        lowSpec.stuckBitRate = 1e-5;
+        lowSpec.seed = 700 + seed;
+        injectFaults(low, lowSpec);
+        lowRateError += low.errorRate(fx.validation);
+
+        auto high = comp.reinterpret(fx.net, fx.train);
+        FaultSpec highSpec;
+        highSpec.stuckBitRate = 3e-2;
+        highSpec.seed = 700 + seed;
+        injectFaults(high, highSpec);
+        highRateError += high.errorRate(fx.validation);
+    }
+    EXPECT_GE(highRateError, lowRateError)
+        << "3 % stuck bits must hurt at least as much as 0.001 %";
+}
+
+} // namespace
+} // namespace rapidnn::nvm

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-module integration tests: the full train -> compose ->
+ * accelerate pipeline on MLP and CNN workloads, with the functional
+ * equivalences and accuracy/efficiency trends the paper depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gpu_model.hh"
+#include "core/rapidnn.hh"
+
+namespace rapidnn {
+namespace {
+
+using core::Rapidnn;
+using core::RapidnnConfig;
+using core::RunReport;
+
+/** Train a modest MLP on a learnable task. */
+struct Pipeline
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    nn::Network net;
+
+    explicit Pipeline(uint64_t seed, size_t features = 24,
+                      size_t classes = 4)
+    {
+        nn::Dataset all = nn::makeVectorTask(
+            {"task", features, classes, 400, 0.35, 1.0, seed});
+        auto [tr, va] = all.split(0.25);
+        train = std::move(tr);
+        validation = std::move(va);
+        Rng rng(seed + 1);
+        net = nn::buildMlp({.inputs = features,
+                            .hidden = {20, 16},
+                            .outputs = classes}, rng);
+        nn::Trainer trainer({.epochs = 12, .batchSize = 16,
+                             .learningRate = 0.05,
+                             .shuffleSeed = seed + 2});
+        trainer.train(net, train);
+    }
+};
+
+TEST(Integration, AccuracyRecoversWithLargeCodebooks)
+{
+    // The paper's central accuracy claim: with enough representatives
+    // the reinterpreted model matches the float baseline.
+    Pipeline p(301);
+    RapidnnConfig config;
+    config.composer.weightClusters = 64;
+    config.composer.inputClusters = 64;
+    config.composer.treeDepth = 6;
+    config.composer.maxIterations = 3;
+    config.composer.retrainEpochs = 2;
+    Rapidnn rapid(config);
+    RunReport report = rapid.run(p.net, p.train, p.validation);
+    EXPECT_LE(report.deltaE(), 0.03)
+        << "large codebooks should recover baseline accuracy";
+}
+
+TEST(Integration, CoarseCodebooksDegradeGracefully)
+{
+    Pipeline fine(302), coarse(302);
+
+    RapidnnConfig fineConfig;
+    fineConfig.composer.weightClusters = 64;
+    fineConfig.composer.inputClusters = 64;
+    fineConfig.composer.treeDepth = 6;
+    Rapidnn fineRapid(fineConfig);
+    RunReport fineReport =
+        fineRapid.runOneShot(fine.net, fine.train, fine.validation);
+
+    RapidnnConfig coarseConfig;
+    coarseConfig.composer.weightClusters = 4;
+    coarseConfig.composer.inputClusters = 4;
+    coarseConfig.composer.treeDepth = 2;
+    Rapidnn coarseRapid(coarseConfig);
+    RunReport coarseReport = coarseRapid.runOneShot(
+        coarse.net, coarse.train, coarse.validation);
+
+    // Coarse quantization can't beat fine by a margin; typically worse.
+    EXPECT_GE(coarseReport.compose.clusteredError,
+              fineReport.compose.clusteredError - 0.05);
+    // But it is cheaper in both memory and energy.
+    EXPECT_LT(coarseReport.memoryBytes, fineReport.memoryBytes);
+    EXPECT_LT(coarseReport.perf.energy.j(),
+              fineReport.perf.energy.j());
+}
+
+TEST(Integration, ChipAndSoftwareModelAgreeExactlyOnPredictions)
+{
+    Pipeline p(303);
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    Rapidnn rapid(config);
+    rapid.runOneShot(p.net, p.train, p.validation);
+
+    const auto &model = rapid.model();
+    auto &chip = rapid.chip();
+    for (size_t i = 0; i < std::min<size_t>(30, p.validation.size());
+         ++i) {
+        rna::PerfReport report;
+        const auto logits =
+            chip.infer(p.validation.sample(i).x, report);
+        const int hwPred = int(std::max_element(logits.begin(),
+                                                logits.end())
+                               - logits.begin());
+        EXPECT_EQ(hwPred, model.predict(p.validation.sample(i).x));
+    }
+}
+
+TEST(Integration, RapidnnBeatsGpuModelOnFcWorkload)
+{
+    // Type-1 (FC) workloads are where the paper's GPU speedups are
+    // biggest: launch overhead dwarfs the tiny layers.
+    Pipeline p(304);
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    Rapidnn rapid(config);
+    RunReport report = rapid.runOneShot(p.net, p.train, p.validation);
+
+    baselines::GpuModel gpu;
+    const nn::NetworkShape shape =
+        nn::shapeOfNetwork(p.net, {24}, "task");
+    const auto gpuReport = gpu.estimate(shape);
+
+    EXPECT_GT(gpuReport.latency.sec() / report.perf.latency.sec(), 5.0);
+    EXPECT_GT(gpuReport.energy.j() / report.perf.energy.j(), 5.0);
+}
+
+TEST(Integration, CnnPipelineEndToEnd)
+{
+    nn::ImageTaskSpec ispec;
+    ispec.name = "img";
+    ispec.side = 8;
+    ispec.classes = 3;
+    ispec.samples = 240;
+    ispec.seed = 305;
+    nn::Dataset data = nn::makeImageTask(ispec);
+    auto [train, validation] = data.split(0.25);
+
+    Rng rng(306);
+    nn::CnnSpec spec;
+    spec.channels = 3;
+    spec.height = spec.width = 8;
+    spec.convChannels = {6, 8};
+    spec.denseWidths = {24};
+    spec.outputs = 3;
+    nn::Network net = nn::buildCnn(spec, rng);
+    nn::Trainer trainer({.epochs = 8, .batchSize = 16,
+                         .learningRate = 0.05});
+    trainer.train(net, train);
+
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    Rapidnn rapid(config);
+    RunReport report = rapid.runOneShot(net, train, validation);
+
+    // Functional equivalence between chip and software model.
+    EXPECT_NEAR(report.acceleratorError, report.compose.clusteredError,
+                0.02);
+    // Pooling hardware was exercised.
+    EXPECT_GT(report.perf.category("pooling").energy.j(), 0.0);
+    EXPECT_GT(report.perf.category("weighted_accum").energy.j(), 0.0);
+}
+
+TEST(Integration, MemoryScalesWithModelAndCodebooks)
+{
+    Pipeline small(307, 12, 3);
+    Pipeline large(308, 48, 3);
+
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+
+    Rapidnn a(config), b(config);
+    RunReport smallReport =
+        a.runOneShot(small.net, small.train, small.validation);
+    RunReport largeReport =
+        b.runOneShot(large.net, large.train, large.validation);
+    // 4x the input features -> more encoded weights -> more memory.
+    EXPECT_GT(largeReport.memoryBytes, smallReport.memoryBytes);
+}
+
+TEST(Integration, EdpImprovesWithAccuracyBudget)
+{
+    // Figure 12's trend: relaxing the accuracy budget (smaller
+    // codebooks) buys EDP and memory.
+    Pipeline p(309);
+    double prevEdp = -1.0;
+    size_t prevMem = 0;
+    for (size_t entries : {64, 16, 4}) {
+        Pipeline copy(309);
+        RapidnnConfig config;
+        config.composer.weightClusters = entries;
+        config.composer.inputClusters = entries;
+        config.composer.treeDepth = 6;
+        Rapidnn rapid(config);
+        RunReport report =
+            rapid.runOneShot(copy.net, copy.train, copy.validation);
+        const double currentEdp = report.perf.edp();
+        if (prevEdp >= 0.0) {
+            EXPECT_LT(currentEdp, prevEdp)
+                << "smaller codebooks must cut EDP";
+            EXPECT_LT(report.memoryBytes, prevMem);
+        }
+        prevEdp = currentEdp;
+        prevMem = report.memoryBytes;
+    }
+}
+
+} // namespace
+} // namespace rapidnn

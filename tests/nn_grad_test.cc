@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Gradient correctness: every trainable layer's backward pass is
+ * checked against central finite differences of a scalar loss, and
+ * the optimizer's update rule is verified analytically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/loss.hh"
+#include "nn/network.hh"
+#include "nn/optimizer.hh"
+
+namespace rapidnn::nn {
+namespace {
+
+/** Scalar loss: sum of squares of the layer output. */
+double
+sumSquares(const Tensor &y)
+{
+    double total = 0.0;
+    for (size_t i = 0; i < y.numel(); ++i)
+        total += 0.5 * double(y[i]) * double(y[i]);
+    return total;
+}
+
+/** dLoss/dy for the sum-of-squares loss. */
+Tensor
+sumSquaresGrad(const Tensor &y)
+{
+    return y;
+}
+
+/**
+ * Check dLoss/dInput and dLoss/dParams of a layer against finite
+ * differences at a random point.
+ */
+void
+checkLayerGradients(Layer &layer, Tensor x, double tol = 2e-2)
+{
+    // Analytic gradients.
+    layer.forward(x, true);
+    Tensor y = layer.forward(x, true);  // re-run to set caches
+    for (Param *p : layer.parameters())
+        p->zeroGrad();
+    Tensor gradIn = layer.backward(sumSquaresGrad(y));
+
+    const double h = 1e-3;
+
+    // Input gradient.
+    for (size_t i = 0; i < x.numel(); ++i) {
+        Tensor plus = x, minus = x;
+        plus[i] += float(h);
+        minus[i] -= float(h);
+        const double numeric = (sumSquares(layer.forward(plus, true))
+                                - sumSquares(layer.forward(minus, true)))
+                               / (2 * h);
+        EXPECT_NEAR(gradIn[i], numeric,
+                    tol * std::max(1.0, std::abs(numeric)))
+            << "input grad " << i;
+    }
+
+    // Parameter gradients (probe a bounded subset for speed).
+    for (Param *p : layer.parameters()) {
+        const size_t probes = std::min<size_t>(p->value.numel(), 24);
+        for (size_t i = 0; i < probes; ++i) {
+            const float saved = p->value[i];
+            p->value[i] = saved + float(h);
+            const double up = sumSquares(layer.forward(x, true));
+            p->value[i] = saved - float(h);
+            const double down = sumSquares(layer.forward(x, true));
+            p->value[i] = saved;
+            const double numeric = (up - down) / (2 * h);
+            EXPECT_NEAR(p->grad[i], numeric,
+                        tol * std::max(1.0, std::abs(numeric)))
+                << "param grad " << i;
+        }
+    }
+}
+
+TEST(Gradients, DenseLayer)
+{
+    Rng rng(101);
+    DenseLayer dense(5, 4, rng);
+    Tensor x({3, 5});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    checkLayerGradients(dense, x);
+}
+
+TEST(Gradients, Conv2DSamePadding)
+{
+    Rng rng(102);
+    Conv2DLayer conv(2, 3, 3, Padding::Same, rng);
+    Tensor x({2, 2, 5, 5});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    checkLayerGradients(conv, x);
+}
+
+TEST(Gradients, Conv2DValidPadding)
+{
+    Rng rng(103);
+    Conv2DLayer conv(1, 2, 3, Padding::Valid, rng);
+    Tensor x({1, 1, 6, 6});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    checkLayerGradients(conv, x);
+}
+
+class ActivationGrad : public ::testing::TestWithParam<ActKind>
+{
+};
+
+TEST_P(ActivationGrad, MatchesFiniteDifference)
+{
+    Rng rng(104);
+    ActivationLayer act(GetParam());
+    Tensor x({2, 6});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0.3, 1.0));  // avoid relu kink at 0
+    checkLayerGradients(act, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ActivationGrad,
+    ::testing::Values(ActKind::Sigmoid, ActKind::Tanh,
+                      ActKind::Softsign, ActKind::Identity));
+
+TEST(Gradients, MaxPoolRoutesToArgmax)
+{
+    Rng rng(105);
+    MaxPool2DLayer pool(2);
+    Tensor x({1, 2, 4, 4});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    checkLayerGradients(pool, x, 5e-2);
+}
+
+TEST(Gradients, AvgPool)
+{
+    Rng rng(106);
+    AvgPool2DLayer pool(2);
+    Tensor x({1, 2, 4, 4});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    checkLayerGradients(pool, x);
+}
+
+TEST(Gradients, ResidualStack)
+{
+    Rng rng(107);
+    std::vector<LayerPtr> inner;
+    inner.push_back(std::make_unique<DenseLayer>(4, 4, rng));
+    inner.push_back(std::make_unique<ActivationLayer>(ActKind::Tanh));
+    ResidualLayer res(std::move(inner));
+    Tensor x({2, 4});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 0.5));
+    checkLayerGradients(res, x);
+}
+
+TEST(Gradients, WholeNetworkEndToEnd)
+{
+    Rng rng(108);
+    Network net = buildMlp({.inputs = 6, .hidden = {5},
+                            .outputs = 3, .hiddenAct = ActKind::Tanh},
+                           rng);
+    Tensor x({2, 6});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 1));
+    std::vector<int> labels = {0, 2};
+
+    net.zeroGrad();
+    Tensor logits = net.forward(x, true);
+    auto r = softmaxCrossEntropy(logits, labels);
+    net.backward(r.gradLogits);
+
+    const double h = 1e-3;
+    auto params = net.parameters();
+    ASSERT_FALSE(params.empty());
+    for (Param *p : params) {
+        const size_t probes = std::min<size_t>(p->value.numel(), 10);
+        for (size_t i = 0; i < probes; ++i) {
+            const float saved = p->value[i];
+            p->value[i] = saved + float(h);
+            const double up =
+                softmaxCrossEntropy(net.forward(x, true), labels).loss;
+            p->value[i] = saved - float(h);
+            const double down =
+                softmaxCrossEntropy(net.forward(x, true), labels).loss;
+            p->value[i] = saved;
+            EXPECT_NEAR(p->grad[i], (up - down) / (2 * h), 2e-2);
+        }
+    }
+}
+
+TEST(Optimizer, SgdMomentumUpdateRule)
+{
+    Param p(Shape{2});
+    p.value[0] = 1.0f;
+    p.value[1] = -1.0f;
+    p.grad[0] = 0.5f;
+    p.grad[1] = -0.25f;
+
+    SgdOptimizer opt(0.1, 0.9);
+    opt.step({&p});
+    // v = -lr * g; w += v.
+    EXPECT_NEAR(p.value[0], 1.0 - 0.05, 1e-6);
+    EXPECT_NEAR(p.value[1], -1.0 + 0.025, 1e-6);
+
+    // Second step with the same gradient: v = 0.9*v - lr*g.
+    opt.step({&p});
+    EXPECT_NEAR(p.value[0], 1.0 - 0.05 + (0.9 * -0.05 - 0.05), 1e-6);
+}
+
+TEST(Optimizer, ResetClearsVelocity)
+{
+    Param p(Shape{1});
+    p.grad[0] = 1.0f;
+    SgdOptimizer opt(0.1, 0.9);
+    opt.step({&p});
+    opt.reset();
+    const float before = p.value[0];
+    p.grad[0] = 0.0f;
+    opt.step({&p});
+    // With zero gradient and no velocity, nothing moves.
+    EXPECT_FLOAT_EQ(p.value[0], before);
+}
+
+} // namespace
+} // namespace rapidnn::nn

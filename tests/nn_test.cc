@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Unit tests for the NN substrate: tensors, layers, losses, datasets,
+ * synthetic generators, and topology extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hh"
+#include "nn/network.hh"
+#include "nn/synthetic.hh"
+#include "nn/topology.hh"
+#include "nn/trainer.hh"
+
+namespace rapidnn::nn {
+namespace {
+
+// ---------------------------------------------------------------- tensor
+
+TEST(Tensor, ShapeAndFill)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6u);
+    EXPECT_EQ(t.ndim(), 2u);
+    t.fill(2.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 15.0);
+    t.scale(2.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), 30.0);
+}
+
+TEST(Tensor, IndexingConsistency)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 7.0f;
+    // Row-major layout: flat index must match.
+    EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+
+    Tensor u({2, 3, 4});
+    u.at(size_t(1), size_t(2), size_t(3)) = 5.0f;
+    EXPECT_FLOAT_EQ(u[(1 * 3 + 2) * 4 + 3], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    for (size_t i = 0; i < t.numel(); ++i)
+        t[i] = float(i);
+    Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.dim(0), 3u);
+    for (size_t i = 0; i < r.numel(); ++i)
+        EXPECT_FLOAT_EQ(r[i], float(i));
+}
+
+TEST(Tensor, MatmulAgainstManual)
+{
+    Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies)
+{
+    Tensor t({4}, {1.0f, 3.0f, 3.0f, 2.0f});
+    EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a({3}, {1, 2, 3});
+    Tensor b({3}, {1, 2.5, 2});
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+// ---------------------------------------------------------------- layers
+
+TEST(DenseLayer, ForwardMatchesManual)
+{
+    Rng rng(1);
+    DenseLayer dense(2, 2, rng);
+    dense.weights().value = Tensor({2, 2}, {1, 2, 3, 4});
+    dense.bias().value = Tensor({2}, {0.5, -0.5});
+    Tensor x({1, 2}, {1, 1});
+    Tensor y = dense.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 4.5f);   // 1*1 + 1*3 + 0.5
+    EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);   // 1*2 + 1*4 - 0.5
+}
+
+TEST(Conv2DLayer, IdentityKernelPassesThrough)
+{
+    Rng rng(2);
+    Conv2DLayer conv(1, 1, 3, Padding::Same, rng);
+    conv.weights().value.fill(0.0f);
+    conv.weights().value.at(0, 0, 1, 1) = 1.0f;  // centre tap
+    conv.bias().value.fill(0.0f);
+    Tensor x({1, 1, 4, 4});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(i);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), x.shape());
+    for (size_t i = 0; i < x.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2DLayer, ValidPaddingShrinksOutput)
+{
+    Rng rng(3);
+    Conv2DLayer conv(2, 3, 3, Padding::Valid, rng);
+    Tensor x({1, 2, 8, 8});
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{1, 3, 6, 6}));
+}
+
+TEST(Conv2DLayer, SumKernelComputesWindowSum)
+{
+    Rng rng(4);
+    Conv2DLayer conv(1, 1, 2, Padding::Valid, rng);
+    conv.weights().value.fill(1.0f);
+    conv.bias().value.fill(0.0f);
+    Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor y = conv.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 12.0f);  // 1+2+4+5
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 28.0f);  // 5+6+8+9
+}
+
+TEST(MaxPool2D, ForwardAndBackward)
+{
+    MaxPool2DLayer pool(2);
+    Tensor x({1, 1, 4, 4});
+    for (size_t i = 0; i < 16; ++i)
+        x[i] = float(i);
+    Tensor y = pool.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 15.0f);
+
+    Tensor g({1, 1, 2, 2});
+    g.fill(1.0f);
+    Tensor gi = pool.backward(g);
+    // Gradient routes only to the arg-max positions.
+    EXPECT_FLOAT_EQ(gi[5], 1.0f);
+    EXPECT_FLOAT_EQ(gi[0], 0.0f);
+    EXPECT_DOUBLE_EQ(gi.sum(), 4.0);
+}
+
+TEST(AvgPool2D, ForwardComputesMeans)
+{
+    AvgPool2DLayer pool(2);
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = pool.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+
+    Tensor g({1, 1, 1, 1});
+    g.fill(4.0f);
+    Tensor gi = pool.backward(g);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(gi[i], 1.0f);
+}
+
+TEST(Dropout, InferenceIsIdentity)
+{
+    Rng rng(5);
+    DropoutLayer drop(0.5, rng);
+    Tensor x({1, 100});
+    x.fill(1.0f);
+    Tensor y = drop.forward(x, false);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(x, y), 0.0);
+}
+
+TEST(Dropout, TrainingScalesSurvivors)
+{
+    Rng rng(6);
+    DropoutLayer drop(0.5, rng);
+    Tensor x({1, 10000});
+    x.fill(1.0f);
+    Tensor y = drop.forward(x, true);
+    size_t zeros = 0;
+    for (size_t i = 0; i < y.numel(); ++i) {
+        if (y[i] == 0.0f)
+            ++zeros;
+        else
+            EXPECT_FLOAT_EQ(y[i], 2.0f);
+    }
+    EXPECT_NEAR(double(zeros) / double(y.numel()), 0.5, 0.03);
+    // Expectation preserved.
+    EXPECT_NEAR(y.sum() / double(y.numel()), 1.0, 0.05);
+}
+
+TEST(Flatten, RoundTrip)
+{
+    FlattenLayer flat;
+    Tensor x({2, 3, 4, 4});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(i);
+    Tensor y = flat.forward(x, false);
+    EXPECT_EQ(y.shape(), (Shape{2, 48}));
+    Tensor g = flat.backward(y);
+    EXPECT_EQ(g.shape(), x.shape());
+    EXPECT_DOUBLE_EQ(maxAbsDiff(g, x), 0.0);
+}
+
+TEST(Residual, AddsSkipPath)
+{
+    Rng rng(7);
+    std::vector<LayerPtr> inner;
+    inner.push_back(std::make_unique<ActivationLayer>(ActKind::Identity));
+    ResidualLayer res(std::move(inner));
+    Tensor x({1, 4}, {1, 2, 3, 4});
+    Tensor y = res.forward(x, false);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(y[i], 2.0f * x[i]);
+}
+
+// ------------------------------------------------------------------ loss
+
+TEST(Softmax, RowsSumToOne)
+{
+    Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+    Tensor p = softmax(logits);
+    for (size_t b = 0; b < 2; ++b) {
+        double total = 0.0;
+        for (size_t c = 0; c < 3; ++c) {
+            EXPECT_GT(p.at(b, c), 0.0f);
+            total += p.at(b, c);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+}
+
+TEST(Softmax, NumericallyStableAtLargeLogits)
+{
+    Tensor logits({1, 2}, {1000.0f, 1001.0f});
+    Tensor p = softmax(logits);
+    EXPECT_FALSE(std::isnan(p[0]));
+    EXPECT_NEAR(p[1], 1.0 / (1.0 + std::exp(-1.0)), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss)
+{
+    Tensor logits({1, 3}, {10.0f, -10.0f, -10.0f});
+    auto r = softmaxCrossEntropy(logits, {0});
+    EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference)
+{
+    Tensor logits({2, 4}, {0.3f, -0.2f, 0.9f, 0.1f,
+                           -0.5f, 0.4f, 0.0f, 0.2f});
+    std::vector<int> labels = {2, 1};
+    auto r = softmaxCrossEntropy(logits, labels);
+    const double h = 1e-4;
+    for (size_t i = 0; i < logits.numel(); ++i) {
+        Tensor plus = logits, minus = logits;
+        plus[i] += float(h);
+        minus[i] -= float(h);
+        const double numeric =
+            (softmaxCrossEntropy(plus, labels).loss
+             - softmaxCrossEntropy(minus, labels).loss) / (2 * h);
+        EXPECT_NEAR(r.gradLogits[i], numeric, 1e-3);
+    }
+}
+
+// --------------------------------------------------------------- dataset
+
+TEST(Dataset, BatchAssembly)
+{
+    Dataset d("t", 2);
+    for (int i = 0; i < 5; ++i) {
+        Tensor x({3});
+        x.fill(float(i));
+        d.add(std::move(x), i % 2);
+    }
+    std::vector<size_t> order = {4, 3, 2, 1, 0};
+    auto [x, labels] = d.batch(order, 1, 2);
+    EXPECT_EQ(x.shape(), (Shape{2, 3}));
+    EXPECT_FLOAT_EQ(x.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(x.at(1, 0), 2.0f);
+    EXPECT_EQ(labels[0], 1);
+    EXPECT_EQ(labels[1], 0);
+}
+
+TEST(Dataset, BatchClampsAtEnd)
+{
+    Dataset d("t", 2);
+    for (int i = 0; i < 5; ++i)
+        d.add(Tensor({2}), 0);
+    std::vector<size_t> order = {0, 1, 2, 3, 4};
+    auto [x, labels] = d.batch(order, 3, 10);
+    EXPECT_EQ(x.dim(0), 2u);
+    EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(Dataset, SplitFractions)
+{
+    Dataset d("t", 2);
+    for (int i = 0; i < 100; ++i)
+        d.add(Tensor({1}), 0);
+    auto [train, holdout] = d.split(0.25);
+    EXPECT_EQ(train.size(), 75u);
+    EXPECT_EQ(holdout.size(), 25u);
+}
+
+TEST(Dataset, SubsetSizeAndMembership)
+{
+    Dataset d("t", 3);
+    for (int i = 0; i < 50; ++i) {
+        Tensor x({1});
+        x[0] = float(i);
+        d.add(std::move(x), i % 3);
+    }
+    Rng rng(9);
+    Dataset sub = d.subset(20, rng);
+    EXPECT_EQ(sub.size(), 20u);
+    for (const auto &s : sub.samples())
+        EXPECT_LT(s.x[0], 50.0f);
+}
+
+// ------------------------------------------------------------- synthetic
+
+TEST(Synthetic, VectorTaskDeterministic)
+{
+    VectorTaskSpec spec{"a", 16, 4, 50, 0.3, 1.0, 42};
+    Dataset d1 = makeVectorTask(spec);
+    Dataset d2 = makeVectorTask(spec);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+        EXPECT_EQ(d1.sample(i).label, d2.sample(i).label);
+        EXPECT_DOUBLE_EQ(maxAbsDiff(d1.sample(i).x, d2.sample(i).x), 0.0);
+    }
+}
+
+TEST(Synthetic, VectorTaskIsLearnable)
+{
+    Dataset d = makeVectorTask({"a", 32, 4, 400, 0.3, 1.0, 43});
+    auto [train, val] = d.split(0.25);
+    Rng rng(1);
+    Network net = buildMlp({.inputs = 32, .hidden = {24},
+                            .outputs = 4}, rng);
+    Trainer trainer({.epochs = 15, .batchSize = 16,
+                     .learningRate = 0.05});
+    trainer.train(net, train);
+    // Better than chance by a wide margin.
+    EXPECT_LT(Trainer::errorRate(net, val), 0.4);
+}
+
+TEST(Synthetic, ImageTaskShapesAndLabels)
+{
+    ImageTaskSpec spec;
+    spec.name = "img";
+    spec.side = 12;
+    spec.classes = 5;
+    spec.samples = 40;
+    Dataset d = makeImageTask(spec);
+    EXPECT_EQ(d.size(), 40u);
+    EXPECT_EQ(d.featureShape(), (Shape{3, 12, 12}));
+    for (const auto &s : d.samples()) {
+        EXPECT_GE(s.label, 0);
+        EXPECT_LT(s.label, 5);
+    }
+}
+
+TEST(Synthetic, BenchmarkDimensionsMatchPaper)
+{
+    // Table 2 input dimensionalities for the FC benchmarks.
+    EXPECT_EQ(makeBenchmarkDataset(Benchmark::Mnist, 10).featureShape(),
+              (Shape{784}));
+    EXPECT_EQ(makeBenchmarkDataset(Benchmark::Isolet, 10).featureShape(),
+              (Shape{617}));
+    EXPECT_EQ(makeBenchmarkDataset(Benchmark::Har, 10).featureShape(),
+              (Shape{561}));
+}
+
+TEST(Synthetic, BenchmarkTaxonomy)
+{
+    EXPECT_FALSE(benchmarkIsConvolutional(Benchmark::Mnist));
+    EXPECT_FALSE(benchmarkIsConvolutional(Benchmark::Har));
+    EXPECT_TRUE(benchmarkIsConvolutional(Benchmark::Cifar10));
+    EXPECT_TRUE(benchmarkIsConvolutional(Benchmark::ImageNet));
+    EXPECT_EQ(allBenchmarks().size(), 6u);
+    EXPECT_EQ(benchmarkName(Benchmark::Cifar100), "CIFAR-100");
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(Network, BuildMlpTopology)
+{
+    Rng rng(11);
+    Network net = buildMlp({.inputs = 10, .hidden = {8, 6},
+                            .outputs = 3}, rng);
+    // dense, act, dense, act, dense.
+    EXPECT_EQ(net.size(), 5u);
+    Tensor x({2, 10});
+    Tensor y = net.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 3}));
+}
+
+TEST(Network, ParameterCount)
+{
+    Rng rng(12);
+    Network net = buildMlp({.inputs = 10, .hidden = {8},
+                            .outputs = 3}, rng);
+    // (10*8 + 8) + (8*3 + 3) = 115.
+    EXPECT_EQ(net.parameterCount(), 115u);
+}
+
+TEST(Network, PredictSingleSample)
+{
+    Rng rng(13);
+    Network net = buildMlp({.inputs = 4, .hidden = {},
+                            .outputs = 2}, rng);
+    Tensor x({4});
+    const int pred = net.predict(x);
+    EXPECT_TRUE(pred == 0 || pred == 1);
+}
+
+// --------------------------------------------------------------- trainer
+
+TEST(Trainer, LossDecreases)
+{
+    Dataset d = makeVectorTask({"t", 16, 3, 300, 0.25, 1.0, 51});
+    Rng rng(14);
+    Network net = buildMlp({.inputs = 16, .hidden = {12},
+                            .outputs = 3}, rng);
+    Trainer trainer({.epochs = 10, .batchSize = 16,
+                     .learningRate = 0.05});
+    auto history = trainer.train(net, d);
+    ASSERT_EQ(history.size(), 10u);
+    EXPECT_LT(history.back().meanLoss, history.front().meanLoss);
+}
+
+TEST(Trainer, ErrorRateBounds)
+{
+    Dataset d = makeVectorTask({"t", 8, 2, 60, 0.3, 1.0, 52});
+    Rng rng(15);
+    Network net = buildMlp({.inputs = 8, .hidden = {}, .outputs = 2},
+                           rng);
+    const double err = Trainer::errorRate(net, d);
+    EXPECT_GE(err, 0.0);
+    EXPECT_LE(err, 1.0);
+}
+
+// -------------------------------------------------------------- topology
+
+TEST(Topology, ShapeOfMlp)
+{
+    Rng rng(16);
+    Network net = buildMlp({.inputs = 20, .hidden = {10},
+                            .outputs = 5}, rng);
+    NetworkShape shape = shapeOfNetwork(net, {20}, "mlp");
+    ASSERT_EQ(shape.layers.size(), 2u);
+    EXPECT_EQ(shape.layers[0].neurons, 10u);
+    EXPECT_EQ(shape.layers[0].fanIn, 20u);
+    EXPECT_EQ(shape.layers[1].neurons, 5u);
+    EXPECT_EQ(shape.totalMacs(), 20u * 10u + 10u * 5u);
+    EXPECT_FALSE(shape.hasConvolution());
+}
+
+TEST(Topology, ShapeOfCnnTracksSpatialDims)
+{
+    Rng rng(17);
+    CnnSpec spec;
+    spec.channels = 3;
+    spec.height = spec.width = 8;
+    spec.convChannels = {4};
+    spec.denseWidths = {};
+    spec.outputs = 2;
+    Network net = buildCnn(spec, rng);
+    NetworkShape shape = shapeOfNetwork(net, {3, 8, 8}, "cnn");
+    // conv(3->4, same, 8x8) -> pool 2 -> dense.
+    ASSERT_GE(shape.layers.size(), 3u);
+    EXPECT_EQ(shape.layers[0].neurons, 4u * 8 * 8);
+    EXPECT_EQ(shape.layers[0].fanIn, 27u);
+    EXPECT_EQ(shape.layers[0].distinctNeurons, 4u);
+    EXPECT_TRUE(shape.hasConvolution());
+}
+
+TEST(Topology, AlexNetMacsInKnownRange)
+{
+    NetworkShape shape = imageNetShape(ImageNetModel::AlexNet);
+    // Single-tower AlexNet is ~0.7-1.3 G MACs depending on conventions.
+    EXPECT_GT(shape.totalMacs(), 0.6e9);
+    EXPECT_LT(shape.totalMacs(), 1.4e9);
+    EXPECT_GT(shape.totalParams(), 50e6);
+    EXPECT_LT(shape.totalParams(), 70e6);
+}
+
+TEST(Topology, Vgg16MacsInKnownRange)
+{
+    NetworkShape shape = imageNetShape(ImageNetModel::Vgg16);
+    EXPECT_GT(shape.totalMacs(), 14e9);
+    EXPECT_LT(shape.totalMacs(), 17e9);
+    // ~138 M parameters.
+    EXPECT_GT(shape.totalParams(), 125e6);
+    EXPECT_LT(shape.totalParams(), 150e6);
+}
+
+TEST(Topology, GoogLeNetSmallerThanVgg)
+{
+    const auto googlenet = imageNetShape(ImageNetModel::GoogLeNet);
+    const auto vgg = imageNetShape(ImageNetModel::Vgg16);
+    EXPECT_LT(googlenet.totalMacs(), vgg.totalMacs() / 5);
+    EXPECT_GT(googlenet.totalMacs(), 1e9);
+}
+
+TEST(Topology, ResNet152DeepAndHeavy)
+{
+    const auto resnet = imageNetShape(ImageNetModel::ResNet152);
+    EXPECT_GT(resnet.layers.size(), 140u);
+    EXPECT_GT(resnet.totalMacs(), 9e9);
+    EXPECT_LT(resnet.totalMacs(), 13e9);
+}
+
+TEST(Topology, AllModelsNamed)
+{
+    for (auto m : allImageNetModels())
+        EXPECT_FALSE(imageNetModelName(m).empty());
+    EXPECT_EQ(allImageNetModels().size(), 4u);
+}
+
+} // namespace
+} // namespace rapidnn::nn

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Unit and property tests for the quantization toolkit: k-means, tree
+ * codebooks, activation tables, and encoders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/activation.hh"
+#include "quant/activation_table.hh"
+#include "quant/codebook.hh"
+#include "quant/encoder.hh"
+#include "quant/kmeans.hh"
+
+namespace rapidnn::quant {
+namespace {
+
+std::vector<double>
+gaussianMixture(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> samples(n);
+    for (double &s : samples) {
+        const double centre = rng.bernoulli(0.5) ? -2.0 : 1.5;
+        s = rng.gaussian(centre, 0.4);
+    }
+    return samples;
+}
+
+// ---------------------------------------------------------------- kmeans
+
+TEST(KMeans, CentroidsSortedAndSized)
+{
+    const auto samples = gaussianMixture(500, 3);
+    const auto result = kmeans1d(samples, {.k = 8, .seed = 1});
+    ASSERT_EQ(result.centroids.size(), 8u);
+    for (size_t i = 1; i < result.centroids.size(); ++i)
+        EXPECT_LE(result.centroids[i - 1], result.centroids[i]);
+}
+
+TEST(KMeans, AssignmentIsNearest)
+{
+    const auto samples = gaussianMixture(300, 5);
+    const auto result = kmeans1d(samples, {.k = 6, .seed = 2});
+    for (size_t i = 0; i < samples.size(); ++i) {
+        // Brute-force nearest must agree with the recorded assignment.
+        size_t best = 0;
+        for (size_t c = 1; c < result.centroids.size(); ++c)
+            if (std::abs(samples[i] - result.centroids[c]) <
+                std::abs(samples[i] - result.centroids[best]))
+                best = c;
+        EXPECT_NEAR(std::abs(samples[i] - result.centroids[best]),
+                    std::abs(samples[i]
+                             - result.centroids[result.assignment[i]]),
+                    1e-12);
+    }
+}
+
+TEST(KMeans, WcssNotWorseThanSingleCluster)
+{
+    const auto samples = gaussianMixture(400, 7);
+    const auto one = kmeans1d(samples, {.k = 1, .seed = 3});
+    const auto many = kmeans1d(samples, {.k = 16, .seed = 3});
+    EXPECT_LT(many.wcss, one.wcss);
+}
+
+TEST(KMeans, MoreClustersNeverHurtMuch)
+{
+    const auto samples = gaussianMixture(400, 9);
+    double prev = 1e300;
+    for (size_t k : {2, 4, 8, 16, 32}) {
+        const auto result = kmeans1d(samples, {.k = k, .seed = 4});
+        // WCSS should broadly fall as k rises (allow tiny local noise).
+        EXPECT_LT(result.wcss, prev * 1.05);
+        prev = result.wcss;
+    }
+}
+
+TEST(KMeans, FewerDistinctValuesThanK)
+{
+    std::vector<double> samples = {1.0, 1.0, 2.0, 2.0, 3.0};
+    const auto result = kmeans1d(samples, {.k = 10, .seed = 5});
+    EXPECT_EQ(result.centroids.size(), 3u);
+    EXPECT_NEAR(result.wcss, 0.0, 1e-12);
+}
+
+TEST(KMeans, SingleValue)
+{
+    std::vector<double> samples(50, 4.25);
+    const auto result = kmeans1d(samples, {.k = 4, .seed = 6});
+    ASSERT_EQ(result.centroids.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.centroids[0], 4.25);
+}
+
+TEST(NearestCentroid, BinarySearchMatchesScan)
+{
+    Rng rng(12);
+    std::vector<double> centroids;
+    for (int i = 0; i < 33; ++i)
+        centroids.push_back(rng.uniform(-10, 10));
+    std::sort(centroids.begin(), centroids.end());
+    for (int probe = 0; probe < 500; ++probe) {
+        const double x = rng.uniform(-12, 12);
+        size_t best = 0;
+        for (size_t c = 1; c < centroids.size(); ++c)
+            if (std::abs(x - centroids[c]) < std::abs(x - centroids[best]))
+                best = c;
+        EXPECT_NEAR(std::abs(x - centroids[nearestCentroid(centroids, x)]),
+                    std::abs(x - centroids[best]), 1e-12);
+    }
+}
+
+// -------------------------------------------------------------- codebook
+
+TEST(Codebook, SortedAndEncodeDecode)
+{
+    Codebook cb({3.0, -1.0, 0.5});
+    EXPECT_EQ(cb.size(), 3u);
+    EXPECT_DOUBLE_EQ(cb.value(0), -1.0);
+    EXPECT_DOUBLE_EQ(cb.value(2), 3.0);
+    EXPECT_EQ(cb.encode(2.9), 2u);
+    EXPECT_DOUBLE_EQ(cb.quantize(-0.9), -1.0);
+    EXPECT_EQ(cb.bits(), 2u);
+}
+
+TEST(Codebook, EncodingIsOrderPreserving)
+{
+    // The property that lets the accelerator pool encoded data
+    // (paper Section 3.1): x <= y implies code(x) <= code(y).
+    const auto samples = gaussianMixture(1000, 21);
+    TreeCodebook tree(samples, 5, 1);
+    const Codebook &cb = tree.finest();
+    Rng rng(22);
+    for (int i = 0; i < 500; ++i) {
+        double a = rng.uniform(-4, 4), b = rng.uniform(-4, 4);
+        if (a > b)
+            std::swap(a, b);
+        EXPECT_LE(cb.encode(a), cb.encode(b))
+            << "order violated for " << a << " <= " << b;
+    }
+}
+
+class TreeCodebookDepth : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(TreeCodebookDepth, LevelsGrowAndRefine)
+{
+    const size_t depth = GetParam();
+    const auto samples = gaussianMixture(800, 31);
+    TreeCodebook tree(samples, depth, 2);
+    EXPECT_EQ(tree.depth(), depth);
+    EXPECT_TRUE(tree.refinementHolds());
+    for (size_t lvl = 1; lvl <= depth; ++lvl)
+        EXPECT_LE(tree.level(lvl).size(), size_t(1) << lvl);
+}
+
+TEST_P(TreeCodebookDepth, DeeperLevelsQuantizeBetter)
+{
+    const size_t depth = GetParam();
+    if (depth < 2)
+        return;
+    const auto samples = gaussianMixture(800, 33);
+    TreeCodebook tree(samples, depth, 3);
+    double prev = 1e300;
+    for (size_t lvl = 1; lvl <= depth; ++lvl) {
+        const Codebook &cb = tree.level(lvl);
+        double err = 0.0;
+        for (double s : samples) {
+            const double d = s - cb.quantize(s);
+            err += d * d;
+        }
+        EXPECT_LE(err, prev * 1.01);
+        prev = err;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeCodebookDepth,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+TEST(TreeCodebook, LevelForEntriesNeverOvershoots)
+{
+    const auto samples = gaussianMixture(600, 41);
+    TreeCodebook tree(samples, 7, 4);
+    for (size_t want : {2, 4, 8, 16, 64, 128, 1000}) {
+        const size_t lvl = tree.levelForEntries(want);
+        EXPECT_LE(tree.level(lvl).size(), std::max<size_t>(want, 2));
+    }
+}
+
+// ------------------------------------------------------ activation table
+
+TEST(ActivationTable, SigmoidEndpointsExact)
+{
+    auto table = ActivationTable::build(nn::ActKind::Sigmoid, 64,
+                                        TableSpacing::Linear);
+    EXPECT_NEAR(table.lookup(table.domainLo()),
+                nn::actForward(nn::ActKind::Sigmoid, table.domainLo()),
+                1e-9);
+    EXPECT_NEAR(table.lookup(table.domainHi()),
+                nn::actForward(nn::ActKind::Sigmoid, table.domainHi()),
+                1e-9);
+}
+
+class ActivationRows : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ActivationRows, ErrorShrinksWithRows)
+{
+    const size_t rows = GetParam();
+    auto coarse = ActivationTable::build(nn::ActKind::Sigmoid, rows,
+                                         TableSpacing::Linear);
+    auto fine = ActivationTable::build(nn::ActKind::Sigmoid, rows * 4,
+                                       TableSpacing::Linear);
+    auto fn = [](double y) {
+        return nn::actForward(nn::ActKind::Sigmoid, y);
+    };
+    EXPECT_LT(fine.maxError(fn), coarse.maxError(fn));
+}
+
+INSTANTIATE_TEST_SUITE_P(RowCounts, ActivationRows,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(ActivationTable, NonLinearBeatsLinearOnSigmoid)
+{
+    // Derivative-weighted placement concentrates rows where sigmoid
+    // bends, which is the paper's accuracy argument.
+    auto linear = ActivationTable::build(nn::ActKind::Sigmoid, 16,
+                                         TableSpacing::Linear);
+    auto weighted = ActivationTable::build(
+        nn::ActKind::Sigmoid, 16, TableSpacing::DerivativeWeighted);
+    auto fn = [](double y) {
+        return nn::actForward(nn::ActKind::Sigmoid, y);
+    };
+    EXPECT_LT(weighted.maxError(fn), linear.maxError(fn));
+}
+
+TEST(ActivationTable, SixtyFourRowsIsAccurate)
+{
+    // The paper reports 64 rows recover baseline accuracy; the table
+    // error must be tiny at that size.
+    auto table = ActivationTable::build(
+        nn::ActKind::Sigmoid, 64, TableSpacing::DerivativeWeighted);
+    auto fn = [](double y) {
+        return nn::actForward(nn::ActKind::Sigmoid, y);
+    };
+    EXPECT_LT(table.maxError(fn), 0.01);
+}
+
+class ActivationKinds : public ::testing::TestWithParam<nn::ActKind>
+{
+};
+
+TEST_P(ActivationKinds, TableTracksFunction)
+{
+    auto table = ActivationTable::build(
+        GetParam(), 64, TableSpacing::DerivativeWeighted);
+    auto fn = [this](double y) {
+        return nn::actForward(GetParam(), y);
+    };
+    const double span = table.domainHi() - table.domainLo();
+    EXPECT_LT(table.maxError(fn), 0.05 * std::max(1.0, span / 6.0));
+}
+
+TEST_P(ActivationKinds, DerivativeMatchesFiniteDifference)
+{
+    const nn::ActKind kind = GetParam();
+    for (double y : {-3.0, -1.0, -0.1, 0.1, 0.7, 2.5}) {
+        const double h = 1e-6;
+        const double numeric =
+            (nn::actForward(kind, y + h) - nn::actForward(kind, y - h))
+            / (2 * h);
+        EXPECT_NEAR(nn::actDerivative(kind, y), numeric, 1e-4)
+            << nn::actName(kind) << " at " << y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ActivationKinds,
+    ::testing::Values(nn::ActKind::ReLU, nn::ActKind::Sigmoid,
+                      nn::ActKind::Tanh, nn::ActKind::Softsign,
+                      nn::ActKind::Identity));
+
+TEST(ActivationTable, CustomFunction)
+{
+    auto table = ActivationTable::buildCustom(
+        [](double y) { return y * y; }, [](double y) { return 2 * y; },
+        128, TableSpacing::DerivativeWeighted, -2.0, 2.0);
+    EXPECT_NEAR(table.lookup(1.0), 1.0, 0.05);
+    EXPECT_NEAR(table.lookup(-1.5), 2.25, 0.15);
+}
+
+TEST(ActivationTable, LookupRowIsNearestInput)
+{
+    auto table = ActivationTable::build(nn::ActKind::Tanh, 32,
+                                        TableSpacing::Linear);
+    Rng rng(55);
+    for (int i = 0; i < 200; ++i) {
+        const double y = rng.uniform(-5, 5);
+        const size_t row = table.lookupRow(y);
+        for (size_t r = 0; r < table.rows(); ++r)
+            EXPECT_LE(std::abs(table.inputs()[row] - y),
+                      std::abs(table.inputs()[r] - y) + 1e-12);
+    }
+}
+
+// --------------------------------------------------------------- encoder
+
+TEST(Encoder, RoundTripHitsNearestRepresentative)
+{
+    Codebook cb({-1.0, 0.0, 2.0, 5.0});
+    Encoder enc(cb);
+    EXPECT_EQ(enc.encode(-0.9), 0u);
+    EXPECT_EQ(enc.encode(0.9), 1u);
+    EXPECT_EQ(enc.encode(4.0), 3u);
+    EXPECT_DOUBLE_EQ(enc.decode(2), 2.0);
+    EXPECT_EQ(enc.bits(), 2u);
+}
+
+TEST(Encoder, EncodeAllMatchesScalar)
+{
+    Codebook cb({-2.0, -0.5, 0.5, 2.0});
+    Encoder enc(cb);
+    std::vector<double> xs = {-3.0, -0.4, 0.0, 0.6, 10.0};
+    const auto codes = enc.encodeAll(xs);
+    ASSERT_EQ(codes.size(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(codes[i], enc.encode(xs[i]));
+}
+
+} // namespace
+} // namespace rapidnn::quant

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Recurrent (Elman) support per paper Section 4.3: BPTT gradient
+ * correctness, sequence-task learnability, composer reinterpretation
+ * with the feedback-path codebook, and software/chip equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "composer/composer.hh"
+#include "nn/loss.hh"
+#include "nn/recurrent.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn {
+namespace {
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+using composer::RLayerKind;
+
+// ---------------------------------------------------------- substrate
+
+TEST(Elman, ForwardShapeAndDeterminism)
+{
+    Rng rng(501);
+    nn::ElmanLayer cell(4, 6, 5, nn::ActKind::Tanh, rng);
+    nn::Tensor x({2, 20});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(i % 7) * 0.1f;
+    nn::Tensor h1 = cell.forward(x, false);
+    nn::Tensor h2 = cell.forward(x, false);
+    EXPECT_EQ(h1.shape(), (nn::Shape{2, 6}));
+    EXPECT_DOUBLE_EQ(nn::maxAbsDiff(h1, h2), 0.0);
+    EXPECT_EQ(cell.lastStates().size(), 6u);        // T + 1
+    EXPECT_EQ(cell.lastPreActivations().size(), 5u); // T
+}
+
+TEST(Elman, ZeroRecurrenceReducesToDense)
+{
+    // With Wh = 0 and one step, the cell is a dense layer + tanh.
+    Rng rng(502);
+    nn::ElmanLayer cell(3, 4, 1, nn::ActKind::Tanh, rng);
+    cell.recurrentWeights().value.fill(0.0f);
+
+    nn::Tensor x({1, 3}, {0.5f, -0.2f, 0.8f});
+    nn::Tensor h = cell.forward(x, false);
+    for (size_t j = 0; j < 4; ++j) {
+        double sum = cell.bias().value[j];
+        for (size_t f = 0; f < 3; ++f)
+            sum += x[f] * cell.inputWeights().value.at(f, j);
+        EXPECT_NEAR(h[j], std::tanh(sum), 1e-5);
+    }
+}
+
+TEST(Elman, BpttGradientsMatchFiniteDifference)
+{
+    Rng rng(503);
+    nn::ElmanLayer cell(3, 4, 4, nn::ActKind::Tanh, rng);
+    nn::Tensor x({2, 12});
+    for (size_t i = 0; i < x.numel(); ++i)
+        x[i] = float(rng.gaussian(0, 0.5));
+
+    auto loss = [&](nn::Tensor &input) {
+        nn::Tensor y = cell.forward(input, true);
+        double total = 0.0;
+        for (size_t i = 0; i < y.numel(); ++i)
+            total += 0.5 * double(y[i]) * double(y[i]);
+        return total;
+    };
+
+    nn::Tensor y = cell.forward(x, true);
+    for (nn::Param *p : cell.parameters())
+        p->zeroGrad();
+    nn::Tensor gradIn = cell.backward(y);
+
+    const double h = 1e-3;
+    // Input gradients through time.
+    for (size_t i = 0; i < x.numel(); i += 3) {
+        nn::Tensor plus = x, minus = x;
+        plus[i] += float(h);
+        minus[i] -= float(h);
+        const double numeric = (loss(plus) - loss(minus)) / (2 * h);
+        EXPECT_NEAR(gradIn[i], numeric,
+                    2e-2 * std::max(1.0, std::abs(numeric)))
+            << "input " << i;
+    }
+    // Parameter gradients (includes the recurrent matrix, which only
+    // BPTT can get right).
+    for (nn::Param *p : cell.parameters()) {
+        const size_t probes = std::min<size_t>(p->value.numel(), 12);
+        for (size_t i = 0; i < probes; ++i) {
+            const float saved = p->value[i];
+            p->value[i] = saved + float(h);
+            const double up = loss(x);
+            p->value[i] = saved - float(h);
+            const double down = loss(x);
+            p->value[i] = saved;
+            const double numeric = (up - down) / (2 * h);
+            EXPECT_NEAR(p->grad[i], numeric,
+                        2e-2 * std::max(1.0, std::abs(numeric)));
+        }
+    }
+}
+
+TEST(SequenceTask, DeterministicAndShaped)
+{
+    nn::SequenceTaskSpec spec;
+    spec.name = "seq";
+    spec.features = 4;
+    spec.steps = 6;
+    spec.classes = 3;
+    spec.samples = 30;
+    spec.seed = 504;
+    nn::Dataset a = nn::makeSequenceTask(spec);
+    nn::Dataset b = nn::makeSequenceTask(spec);
+    ASSERT_EQ(a.size(), 30u);
+    EXPECT_EQ(a.featureShape(), (nn::Shape{24}));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(nn::maxAbsDiff(a.sample(i).x, b.sample(i).x),
+                         0.0);
+}
+
+/** A trained recurrent classifier shared across the heavier tests. */
+struct TrainedRnn
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    nn::Network net;
+    double baseline;
+
+    TrainedRnn()
+    {
+        nn::SequenceTaskSpec spec;
+        spec.name = "seq";
+        spec.features = 6;
+        spec.steps = 8;
+        spec.classes = 4;
+        spec.samples = 420;
+        spec.noise = 0.25;
+        spec.seed = 505;
+        nn::Dataset all = nn::makeSequenceTask(spec);
+        auto [tr, va] = all.split(0.25);
+        train = std::move(tr);
+        validation = std::move(va);
+
+        Rng rng(506);
+        net.add(std::make_unique<nn::ElmanLayer>(
+            6, 16, 8, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(16, 4, rng));
+        nn::Trainer trainer({.epochs = 15, .batchSize = 16,
+                             .learningRate = 0.05});
+        trainer.train(net, train);
+        baseline = nn::Trainer::errorRate(net, validation);
+    }
+};
+
+TrainedRnn &
+trainedRnn()
+{
+    static TrainedRnn instance;
+    return instance;
+}
+
+TEST(ElmanTraining, LearnsTemporalTask)
+{
+    // Chance is 75 % error; the recurrent model must do far better.
+    EXPECT_LT(trainedRnn().baseline, 0.35);
+}
+
+// ------------------------------------------------------------ composer
+
+TEST(RecurrentCompose, BuildsFeedbackTables)
+{
+    auto &fx = trainedRnn();
+    ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+
+    ASSERT_EQ(model.layers().size(), 2u);
+    const auto &rec = model.layers()[0];
+    ASSERT_EQ(rec.kind, RLayerKind::Recurrent);
+    EXPECT_EQ(rec.steps, 8u);
+    EXPECT_EQ(rec.inCount, 6u);
+    EXPECT_EQ(rec.outCount, 16u);
+    EXPECT_FALSE(rec.stateCodebook.empty());
+    ASSERT_EQ(rec.stateWeightCodes.size(), 1u);
+    EXPECT_EQ(rec.stateWeightCodes[0].size(), 16u * 16u);
+    EXPECT_EQ(rec.stateProductTables[0].size(),
+              rec.stateWeightCodebooks[0].size()
+                  * rec.stateCodebook.size());
+    // Built-in tanh becomes the activation table.
+    ASSERT_TRUE(rec.activation.has_value());
+    EXPECT_EQ(rec.activationKind, nn::ActKind::Tanh);
+    // Feeds the dense head through an encoder.
+    EXPECT_FALSE(rec.outputEncoder.empty());
+    EXPECT_NE(model.describe().find("elman"), std::string::npos);
+}
+
+TEST(RecurrentCompose, AccuracyTracksFloatModel)
+{
+    auto &fx = trainedRnn();
+    ComposerConfig config;
+    config.weightClusters = 64;
+    config.inputClusters = 64;
+    config.treeDepth = 6;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+    const double clustered = model.errorRate(fx.validation);
+    EXPECT_LE(clustered - fx.baseline, 0.12)
+        << "encoded recurrent model should track the float baseline";
+}
+
+TEST(RecurrentCompose, ProjectionCoversBothMatrices)
+{
+    TrainedRnn fx;  // private copy (projection mutates)
+    ComposerConfig config;
+    config.weightClusters = 8;
+    Composer comp(config);
+    const size_t rewritten = comp.projectWeights(fx.net);
+    // Wx (6*16) + Wh (16*16) + dense (16*4).
+    EXPECT_GE(rewritten, 6u * 16 + 16u * 16 + 16u * 4);
+}
+
+TEST(RecurrentCompose, MemoryIncludesFeedbackTables)
+{
+    auto &fx = trainedRnn();
+    ComposerConfig config;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+    // Strictly larger than an equivalent feed-forward-only model.
+    Rng rng(507);
+    nn::Network flat;
+    flat.add(std::make_unique<nn::DenseLayer>(48, 16, rng));
+    flat.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    flat.add(std::make_unique<nn::DenseLayer>(16, 4, rng));
+    ReinterpretedModel without = comp.reinterpret(flat, fx.train);
+    EXPECT_GT(model.memoryBytes(), 0u);
+    EXPECT_GT(without.memoryBytes(), 0u);
+}
+
+// ---------------------------------------------------------------- chip
+
+TEST(RecurrentChip, MatchesSoftwareModel)
+{
+    auto &fx = trainedRnn();
+    ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+
+    rna::Chip chip(rna::ChipConfig{});
+    chip.configure(model);
+    for (size_t i = 0; i < 12; ++i) {
+        rna::PerfReport report;
+        const auto hw = chip.infer(fx.validation.sample(i).x, report);
+        const auto sw = model.forward(fx.validation.sample(i).x);
+        ASSERT_EQ(hw.size(), sw.size());
+        for (size_t j = 0; j < hw.size(); ++j)
+            EXPECT_NEAR(hw[j], sw[j], 1e-2) << "sample " << i;
+        EXPECT_GT(report.category("weighted_accum").time.sec(), 0.0);
+        EXPECT_GT(report.category("encoding").energy.j(), 0.0);
+    }
+}
+
+TEST(RecurrentChip, StepsSerializeInStageTime)
+{
+    // Doubling the sequence length roughly doubles the recurrent
+    // layer's stage cycles (the feedback hazard forbids step overlap).
+    nn::SequenceTaskSpec spec;
+    spec.name = "seq2";
+    spec.features = 4;
+    spec.steps = 4;
+    spec.classes = 3;
+    spec.samples = 120;
+    spec.seed = 508;
+    nn::Dataset shortData = nn::makeSequenceTask(spec);
+    spec.steps = 8;
+    spec.seed = 508;
+    nn::Dataset longData = nn::makeSequenceTask(spec);
+
+    auto measure = [](nn::Dataset &data, size_t steps) {
+        Rng rng(509);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            4, 8, steps, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(8, 3, rng));
+        nn::Trainer trainer({.epochs = 4, .batchSize = 16,
+                             .learningRate = 0.05});
+        trainer.train(net, data);
+        ComposerConfig config;
+        config.weightClusters = 16;
+        config.inputClusters = 16;
+        Composer comp(config);
+        static std::vector<std::unique_ptr<ReinterpretedModel>> keep;
+        keep.push_back(std::make_unique<ReinterpretedModel>(
+            comp.reinterpret(net, data)));
+        rna::Chip chip(rna::ChipConfig{});
+        chip.configure(*keep.back());
+        rna::PerfReport report;
+        chip.infer(data.sample(0).x, report);
+        return report.latency.sec();
+    };
+
+    const double shortTime = measure(shortData, 4);
+    const double longTime = measure(longData, 8);
+    EXPECT_GT(longTime, shortTime * 1.5);
+}
+
+} // namespace
+} // namespace rapidnn

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Residual-network support (paper Section 4.3: the controller keeps
+ * skip-connection values in the RNA input FIFOs): composer
+ * reinterpretation of residual blocks, software/chip equivalence, and
+ * the add-then-activation dataflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "composer/composer.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn {
+namespace {
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+using composer::RLayerKind;
+
+/** width -> residual(dense+tanh) -> relu -> dense(classes). */
+nn::Network
+buildResidualMlp(size_t features, size_t width, size_t classes,
+                 Rng &rng, bool postActivation)
+{
+    nn::Network net;
+    net.add(std::make_unique<nn::DenseLayer>(features, width, rng));
+    net.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+
+    std::vector<nn::LayerPtr> inner;
+    inner.push_back(std::make_unique<nn::DenseLayer>(width, width, rng));
+    inner.push_back(
+        std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    net.add(std::make_unique<nn::ResidualLayer>(std::move(inner)));
+    if (postActivation)
+        net.add(std::make_unique<nn::ActivationLayer>(
+            nn::ActKind::ReLU));
+    net.add(std::make_unique<nn::DenseLayer>(width, classes, rng));
+    return net;
+}
+
+struct ResidualFixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    nn::Network net;
+
+    explicit ResidualFixture(bool postActivation, uint64_t seed = 401)
+    {
+        nn::Dataset all =
+            nn::makeVectorTask({"res", 16, 4, 320, 0.35, 1.0, seed});
+        auto [tr, va] = all.split(0.25);
+        train = std::move(tr);
+        validation = std::move(va);
+        Rng rng(seed + 1);
+        net = buildResidualMlp(16, 14, 4, rng, postActivation);
+        nn::Trainer trainer({.epochs = 12, .batchSize = 16,
+                             .learningRate = 0.05});
+        trainer.train(net, train);
+    }
+};
+
+TEST(Residual, ReinterpretBuildsCompositeLayer)
+{
+    ResidualFixture fx(false);
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+
+    // dense | residual{dense} | dense.
+    ASSERT_EQ(model.layers().size(), 3u);
+    const auto &res = model.layers()[1];
+    ASSERT_EQ(res.kind, RLayerKind::Residual);
+    ASSERT_EQ(res.inner.size(), 1u);
+    EXPECT_EQ(res.inner[0].kind, RLayerKind::Dense);
+    // Inner last compute leaves raw values; the composite encodes.
+    EXPECT_TRUE(res.inner[0].outputEncoder.empty());
+    EXPECT_FALSE(res.outputEncoder.empty());
+    EXPECT_FALSE(res.inputCodebook.empty());
+    // Inner activation attached to the inner dense layer.
+    EXPECT_TRUE(res.inner[0].activation.has_value());
+}
+
+TEST(Residual, PostAddActivationAttachesToComposite)
+{
+    ResidualFixture fx(true);
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+    const auto &res = model.layers()[1];
+    ASSERT_EQ(res.kind, RLayerKind::Residual);
+    ASSERT_TRUE(res.activation.has_value());
+    EXPECT_EQ(res.activationKind, nn::ActKind::ReLU);
+}
+
+TEST(Residual, EncodedModelTracksFloatAccuracy)
+{
+    ResidualFixture fx(true);
+    const double baseline =
+        nn::Trainer::errorRate(fx.net, fx.validation);
+
+    ComposerConfig config;
+    config.weightClusters = 64;
+    config.inputClusters = 64;
+    config.treeDepth = 6;
+    Composer comp(config);
+    comp.projectWeights(fx.net);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+    const double clustered = model.errorRate(fx.validation);
+    EXPECT_LE(clustered - baseline, 0.08);
+}
+
+TEST(Residual, ChipMatchesSoftwareModel)
+{
+    ResidualFixture fx(true);
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer comp(config);
+    ReinterpretedModel model = comp.reinterpret(fx.net, fx.train);
+
+    rna::Chip chip(rna::ChipConfig{});
+    chip.configure(model);
+    for (size_t i = 0; i < 15; ++i) {
+        rna::PerfReport report;
+        const auto hw = chip.infer(fx.validation.sample(i).x, report);
+        const auto sw = model.forward(fx.validation.sample(i).x);
+        ASSERT_EQ(hw.size(), sw.size());
+        for (size_t j = 0; j < hw.size(); ++j)
+            EXPECT_NEAR(hw[j], sw[j], 5e-3) << "sample " << i;
+        // The skip add charges the weighted-accumulation path.
+        EXPECT_GT(report.category("weighted_accum").time.sec(), 0.0);
+    }
+}
+
+TEST(Residual, ComposeLoopHandlesResidualNetworks)
+{
+    ResidualFixture fx(false);
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    config.maxIterations = 2;
+    config.retrainEpochs = 1;
+    Composer comp(config);
+    auto result = comp.compose(fx.net, fx.train, fx.validation);
+    EXPECT_FALSE(result.history.empty());
+    EXPECT_LE(result.clusteredError, 1.0);
+    EXPECT_GT(result.model.memoryBytes(), 0u);
+    EXPECT_NE(result.model.describe().find("residual"),
+              std::string::npos);
+}
+
+TEST(Residual, EndingWithResidualBlockEmitsLogits)
+{
+    // A network whose last value-producing layer is the residual block
+    // itself (logit count == block width).
+    nn::Dataset all =
+        nn::makeVectorTask({"res", 12, 4, 240, 0.3, 1.0, 431});
+    auto [train, validation] = all.split(0.25);
+    Rng rng(432);
+    nn::Network net;
+    net.add(std::make_unique<nn::DenseLayer>(12, 4, rng));
+    net.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    std::vector<nn::LayerPtr> inner;
+    inner.push_back(std::make_unique<nn::DenseLayer>(4, 4, rng));
+    net.add(std::make_unique<nn::ResidualLayer>(std::move(inner)));
+    nn::Trainer trainer({.epochs = 8, .batchSize = 16,
+                         .learningRate = 0.05});
+    trainer.train(net, train);
+
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, train);
+    const auto logits = model.forward(validation.sample(0).x);
+    ASSERT_EQ(logits.size(), 4u);
+
+    rna::Chip chip(rna::ChipConfig{});
+    chip.configure(model);
+    rna::PerfReport report;
+    const auto hw = chip.infer(validation.sample(0).x, report);
+    for (size_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(hw[j], logits[j], 5e-3);
+}
+
+TEST(Residual, MemoryAccountsInnerLayers)
+{
+    ResidualFixture fx(false);
+    ComposerConfig config;
+    Composer comp(config);
+    ReinterpretedModel withRes = comp.reinterpret(fx.net, fx.train);
+
+    // The same topology minus the residual block must use less memory.
+    Rng rng(499);
+    nn::Network flat;
+    flat.add(std::make_unique<nn::DenseLayer>(16, 14, rng));
+    flat.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    flat.add(std::make_unique<nn::DenseLayer>(14, 4, rng));
+    ReinterpretedModel without = comp.reinterpret(flat, fx.train);
+    EXPECT_GT(withRes.memoryBytes(), without.memoryBytes());
+}
+
+} // namespace
+} // namespace rapidnn

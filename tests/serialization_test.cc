@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Model serialization round trips: every layer kind (dense, conv,
+ * pooling, residual, recurrent) must survive save/load with identical
+ * inference behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "composer/composer.hh"
+#include "composer/serialization.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+
+namespace rapidnn::composer {
+namespace {
+
+/** Assert two models produce identical logits on a dataset sample. */
+void
+expectSameInference(const ReinterpretedModel &a,
+                    const ReinterpretedModel &b,
+                    const nn::Dataset &data, size_t samples = 20)
+{
+    for (size_t i = 0; i < std::min(samples, data.size()); ++i) {
+        const auto la = a.forward(data.sample(i).x);
+        const auto lb = b.forward(data.sample(i).x);
+        ASSERT_EQ(la.size(), lb.size());
+        for (size_t j = 0; j < la.size(); ++j)
+            EXPECT_NEAR(la[j], lb[j], 1e-12) << "sample " << i;
+    }
+}
+
+ReinterpretedModel
+roundTrip(const ReinterpretedModel &model)
+{
+    std::stringstream stream;
+    saveModel(model, stream);
+    return loadModel(stream);
+}
+
+TEST(Serialization, MlpRoundTrip)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"ser", 20, 4, 260, 0.35, 1.0, 801});
+    Rng rng(802);
+    nn::Network net = nn::buildMlp({.inputs = 20, .hidden = {16, 10},
+                                    .outputs = 4}, rng);
+    nn::Trainer({.epochs = 8, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+    ReinterpretedModel loaded = roundTrip(model);
+
+    EXPECT_EQ(loaded.layers().size(), model.layers().size());
+    EXPECT_EQ(loaded.describe(), model.describe());
+    EXPECT_EQ(loaded.memoryBytes(), model.memoryBytes());
+    expectSameInference(model, loaded, data);
+}
+
+TEST(Serialization, CnnWithPoolingRoundTrip)
+{
+    nn::ImageTaskSpec spec;
+    spec.name = "ser-img";
+    spec.side = 8;
+    spec.classes = 3;
+    spec.samples = 150;
+    spec.seed = 803;
+    nn::Dataset data = nn::makeImageTask(spec);
+    Rng rng(804);
+    nn::CnnSpec cnn;
+    cnn.channels = 3;
+    cnn.height = cnn.width = 8;
+    cnn.convChannels = {6};
+    cnn.denseWidths = {12};
+    cnn.outputs = 3;
+    nn::Network net = nn::buildCnn(cnn, rng);
+    nn::Trainer({.epochs = 4, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+    ReinterpretedModel loaded = roundTrip(model);
+    EXPECT_EQ(loaded.describe(), model.describe());
+    expectSameInference(model, loaded, data, 10);
+}
+
+TEST(Serialization, ResidualRoundTrip)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"ser-res", 12, 3, 200, 0.3, 1.0, 805});
+    Rng rng(806);
+    nn::Network net;
+    net.add(std::make_unique<nn::DenseLayer>(12, 10, rng));
+    net.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    std::vector<nn::LayerPtr> inner;
+    inner.push_back(std::make_unique<nn::DenseLayer>(10, 10, rng));
+    inner.push_back(
+        std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+    net.add(std::make_unique<nn::ResidualLayer>(std::move(inner)));
+    net.add(std::make_unique<nn::ActivationLayer>(nn::ActKind::ReLU));
+    net.add(std::make_unique<nn::DenseLayer>(10, 3, rng));
+    nn::Trainer({.epochs = 6, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+    ReinterpretedModel loaded = roundTrip(model);
+    // The residual block and its nested layers survive.
+    EXPECT_EQ(loaded.describe(), model.describe());
+    bool sawResidual = false;
+    for (const auto &layer : loaded.layers())
+        if (layer.kind == RLayerKind::Residual) {
+            sawResidual = true;
+            EXPECT_FALSE(layer.inner.empty());
+            EXPECT_TRUE(layer.activation.has_value());
+        }
+    EXPECT_TRUE(sawResidual);
+    expectSameInference(model, loaded, data);
+}
+
+TEST(Serialization, RecurrentRoundTrip)
+{
+    nn::SequenceTaskSpec spec;
+    spec.name = "ser-seq";
+    spec.features = 5;
+    spec.steps = 6;
+    spec.classes = 3;
+    spec.samples = 180;
+    spec.seed = 807;
+    nn::Dataset data = nn::makeSequenceTask(spec);
+    Rng rng(808);
+    nn::Network net;
+    net.add(std::make_unique<nn::ElmanLayer>(
+        5, 10, 6, nn::ActKind::Tanh, rng));
+    net.add(std::make_unique<nn::DenseLayer>(10, 3, rng));
+    nn::Trainer({.epochs = 6, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+    ReinterpretedModel loaded = roundTrip(model);
+    const auto &rec = loaded.layers()[0];
+    EXPECT_EQ(rec.kind, RLayerKind::Recurrent);
+    EXPECT_EQ(rec.steps, 6u);
+    EXPECT_FALSE(rec.stateCodebook.empty());
+    EXPECT_EQ(rec.stateProductTables.size(), 1u);
+    expectSameInference(model, loaded, data);
+}
+
+TEST(Serialization, FileRoundTrip)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"ser-f", 10, 3, 150, 0.3, 1.0, 809});
+    Rng rng(810);
+    nn::Network net = nn::buildMlp({.inputs = 10, .hidden = {8},
+                                    .outputs = 3}, rng);
+    nn::Trainer({.epochs = 4, .batchSize = 16, .learningRate = 0.05})
+        .train(net, data);
+    Composer comp({});
+    ReinterpretedModel model = comp.reinterpret(net, data);
+
+    const std::string path = "/tmp/rapidnn_model_roundtrip.txt";
+    saveModelFile(model, path);
+    ReinterpretedModel loaded = loadModelFile(path);
+    expectSameInference(model, loaded, data, 10);
+}
+
+TEST(Serialization, ActivationTableFromRowsExact)
+{
+    auto original = quant::ActivationTable::build(
+        nn::ActKind::Sigmoid, 32,
+        quant::TableSpacing::DerivativeWeighted);
+    auto rebuilt = quant::ActivationTable::fromRows(
+        original.inputs(), original.outputs());
+    Rng rng(811);
+    for (int i = 0; i < 300; ++i) {
+        const double y = rng.uniform(-8, 8);
+        EXPECT_DOUBLE_EQ(rebuilt.lookup(y), original.lookup(y));
+    }
+}
+
+} // namespace
+} // namespace rapidnn::composer
