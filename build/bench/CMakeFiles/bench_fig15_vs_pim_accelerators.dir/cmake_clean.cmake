@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_vs_pim_accelerators.dir/bench_fig15_vs_pim_accelerators.cc.o"
+  "CMakeFiles/bench_fig15_vs_pim_accelerators.dir/bench_fig15_vs_pim_accelerators.cc.o.d"
+  "bench_fig15_vs_pim_accelerators"
+  "bench_fig15_vs_pim_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_vs_pim_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

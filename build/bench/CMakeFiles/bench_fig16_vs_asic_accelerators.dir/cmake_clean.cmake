@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vs_asic_accelerators.dir/bench_fig16_vs_asic_accelerators.cc.o"
+  "CMakeFiles/bench_fig16_vs_asic_accelerators.dir/bench_fig16_vs_asic_accelerators.cc.o.d"
+  "bench_fig16_vs_asic_accelerators"
+  "bench_fig16_vs_asic_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vs_asic_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_retraining.dir/bench_fig6_retraining.cc.o"
+  "CMakeFiles/bench_fig6_retraining.dir/bench_fig6_retraining.cc.o.d"
+  "bench_fig6_retraining"
+  "bench_fig6_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

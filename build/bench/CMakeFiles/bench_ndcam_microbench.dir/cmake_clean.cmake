@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndcam_microbench.dir/bench_ndcam_microbench.cc.o"
+  "CMakeFiles/bench_ndcam_microbench.dir/bench_ndcam_microbench.cc.o.d"
+  "bench_ndcam_microbench"
+  "bench_ndcam_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndcam_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_shootout.dir/accelerator_shootout.cpp.o"
+  "CMakeFiles/accelerator_shootout.dir/accelerator_shootout.cpp.o.d"
+  "accelerator_shootout"
+  "accelerator_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_tradeoff.dir/cnn_tradeoff.cpp.o"
+  "CMakeFiles/cnn_tradeoff.dir/cnn_tradeoff.cpp.o.d"
+  "cnn_tradeoff"
+  "cnn_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_workloads.dir/fc_workloads.cpp.o"
+  "CMakeFiles/fc_workloads.dir/fc_workloads.cpp.o.d"
+  "fc_workloads"
+  "fc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

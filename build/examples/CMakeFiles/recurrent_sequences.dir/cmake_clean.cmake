@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_sequences.dir/recurrent_sequences.cpp.o"
+  "CMakeFiles/recurrent_sequences.dir/recurrent_sequences.cpp.o.d"
+  "recurrent_sequences"
+  "recurrent_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gpu_model.cc" "src/baselines/CMakeFiles/rapidnn_baselines.dir/gpu_model.cc.o" "gcc" "src/baselines/CMakeFiles/rapidnn_baselines.dir/gpu_model.cc.o.d"
+  "/root/repo/src/baselines/published_models.cc" "src/baselines/CMakeFiles/rapidnn_baselines.dir/published_models.cc.o" "gcc" "src/baselines/CMakeFiles/rapidnn_baselines.dir/published_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rapidnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

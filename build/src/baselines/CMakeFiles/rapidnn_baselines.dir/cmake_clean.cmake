@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_baselines.dir/gpu_model.cc.o"
+  "CMakeFiles/rapidnn_baselines.dir/gpu_model.cc.o.d"
+  "CMakeFiles/rapidnn_baselines.dir/published_models.cc.o"
+  "CMakeFiles/rapidnn_baselines.dir/published_models.cc.o.d"
+  "librapidnn_baselines.a"
+  "librapidnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

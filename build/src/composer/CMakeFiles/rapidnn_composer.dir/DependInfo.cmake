@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/composer/composer.cc" "src/composer/CMakeFiles/rapidnn_composer.dir/composer.cc.o" "gcc" "src/composer/CMakeFiles/rapidnn_composer.dir/composer.cc.o.d"
+  "/root/repo/src/composer/reinterpreted_model.cc" "src/composer/CMakeFiles/rapidnn_composer.dir/reinterpreted_model.cc.o" "gcc" "src/composer/CMakeFiles/rapidnn_composer.dir/reinterpreted_model.cc.o.d"
+  "/root/repo/src/composer/serialization.cc" "src/composer/CMakeFiles/rapidnn_composer.dir/serialization.cc.o" "gcc" "src/composer/CMakeFiles/rapidnn_composer.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rapidnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/rapidnn_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

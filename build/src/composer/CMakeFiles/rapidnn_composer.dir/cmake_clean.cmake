@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_composer.dir/composer.cc.o"
+  "CMakeFiles/rapidnn_composer.dir/composer.cc.o.d"
+  "CMakeFiles/rapidnn_composer.dir/reinterpreted_model.cc.o"
+  "CMakeFiles/rapidnn_composer.dir/reinterpreted_model.cc.o.d"
+  "CMakeFiles/rapidnn_composer.dir/serialization.cc.o"
+  "CMakeFiles/rapidnn_composer.dir/serialization.cc.o.d"
+  "librapidnn_composer.a"
+  "librapidnn_composer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_composer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

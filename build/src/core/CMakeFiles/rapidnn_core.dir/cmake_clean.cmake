@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_core.dir/rapidnn.cc.o"
+  "CMakeFiles/rapidnn_core.dir/rapidnn.cc.o.d"
+  "librapidnn_core.a"
+  "librapidnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dataset.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/dataset.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/dataset.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/misc_layers.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/misc_layers.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/misc_layers.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/recurrent.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/recurrent.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/recurrent.cc.o.d"
+  "/root/repo/src/nn/synthetic.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/synthetic.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/synthetic.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/topology.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/topology.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/topology.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/rapidnn_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/rapidnn_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_nn.dir/activation.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/activation.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/conv2d.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/dataset.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/dense.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/dense.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/loss.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/loss.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/misc_layers.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/misc_layers.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/network.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/network.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/pooling.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/recurrent.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/recurrent.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/synthetic.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/synthetic.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/tensor.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/topology.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/topology.cc.o.d"
+  "CMakeFiles/rapidnn_nn.dir/trainer.cc.o"
+  "CMakeFiles/rapidnn_nn.dir/trainer.cc.o.d"
+  "librapidnn_nn.a"
+  "librapidnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

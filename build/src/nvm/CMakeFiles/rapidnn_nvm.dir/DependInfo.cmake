@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/am_block.cc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/am_block.cc.o" "gcc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/am_block.cc.o.d"
+  "/root/repo/src/nvm/crossbar.cc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/crossbar.cc.o" "gcc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/crossbar.cc.o.d"
+  "/root/repo/src/nvm/data_block.cc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/data_block.cc.o" "gcc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/data_block.cc.o.d"
+  "/root/repo/src/nvm/faults.cc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/faults.cc.o" "gcc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/faults.cc.o.d"
+  "/root/repo/src/nvm/ndcam.cc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/ndcam.cc.o" "gcc" "src/nvm/CMakeFiles/rapidnn_nvm.dir/ndcam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/composer/CMakeFiles/rapidnn_composer.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/rapidnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rapidnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_nvm.dir/am_block.cc.o"
+  "CMakeFiles/rapidnn_nvm.dir/am_block.cc.o.d"
+  "CMakeFiles/rapidnn_nvm.dir/crossbar.cc.o"
+  "CMakeFiles/rapidnn_nvm.dir/crossbar.cc.o.d"
+  "CMakeFiles/rapidnn_nvm.dir/data_block.cc.o"
+  "CMakeFiles/rapidnn_nvm.dir/data_block.cc.o.d"
+  "CMakeFiles/rapidnn_nvm.dir/faults.cc.o"
+  "CMakeFiles/rapidnn_nvm.dir/faults.cc.o.d"
+  "CMakeFiles/rapidnn_nvm.dir/ndcam.cc.o"
+  "CMakeFiles/rapidnn_nvm.dir/ndcam.cc.o.d"
+  "librapidnn_nvm.a"
+  "librapidnn_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

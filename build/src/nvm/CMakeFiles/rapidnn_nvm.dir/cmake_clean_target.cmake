@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapidnn_nvm.a"
+)

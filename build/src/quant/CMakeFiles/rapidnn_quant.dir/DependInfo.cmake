@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/activation_table.cc" "src/quant/CMakeFiles/rapidnn_quant.dir/activation_table.cc.o" "gcc" "src/quant/CMakeFiles/rapidnn_quant.dir/activation_table.cc.o.d"
+  "/root/repo/src/quant/codebook.cc" "src/quant/CMakeFiles/rapidnn_quant.dir/codebook.cc.o" "gcc" "src/quant/CMakeFiles/rapidnn_quant.dir/codebook.cc.o.d"
+  "/root/repo/src/quant/kmeans.cc" "src/quant/CMakeFiles/rapidnn_quant.dir/kmeans.cc.o" "gcc" "src/quant/CMakeFiles/rapidnn_quant.dir/kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rapidnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

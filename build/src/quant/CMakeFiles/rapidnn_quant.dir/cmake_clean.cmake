@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_quant.dir/activation_table.cc.o"
+  "CMakeFiles/rapidnn_quant.dir/activation_table.cc.o.d"
+  "CMakeFiles/rapidnn_quant.dir/codebook.cc.o"
+  "CMakeFiles/rapidnn_quant.dir/codebook.cc.o.d"
+  "CMakeFiles/rapidnn_quant.dir/kmeans.cc.o"
+  "CMakeFiles/rapidnn_quant.dir/kmeans.cc.o.d"
+  "librapidnn_quant.a"
+  "librapidnn_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rapidnn_quant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rna/accumulation.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/accumulation.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/accumulation.cc.o.d"
+  "/root/repo/src/rna/chip.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/chip.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/chip.cc.o.d"
+  "/root/repo/src/rna/controller.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/controller.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/controller.cc.o.d"
+  "/root/repo/src/rna/perf_model.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/perf_model.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/perf_model.cc.o.d"
+  "/root/repo/src/rna/perf_report.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/perf_report.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/perf_report.cc.o.d"
+  "/root/repo/src/rna/rna_block.cc" "src/rna/CMakeFiles/rapidnn_rna.dir/rna_block.cc.o" "gcc" "src/rna/CMakeFiles/rapidnn_rna.dir/rna_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rapidnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/rapidnn_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/rapidnn_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/composer/CMakeFiles/rapidnn_composer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapidnn_rna.dir/accumulation.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/accumulation.cc.o.d"
+  "CMakeFiles/rapidnn_rna.dir/chip.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/chip.cc.o.d"
+  "CMakeFiles/rapidnn_rna.dir/controller.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/controller.cc.o.d"
+  "CMakeFiles/rapidnn_rna.dir/perf_model.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/perf_model.cc.o.d"
+  "CMakeFiles/rapidnn_rna.dir/perf_report.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/perf_report.cc.o.d"
+  "CMakeFiles/rapidnn_rna.dir/rna_block.cc.o"
+  "CMakeFiles/rapidnn_rna.dir/rna_block.cc.o.d"
+  "librapidnn_rna.a"
+  "librapidnn_rna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapidnn_rna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

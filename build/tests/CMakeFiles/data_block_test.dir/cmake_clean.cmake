@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_block_test.dir/data_block_test.cc.o"
+  "CMakeFiles/data_block_test.dir/data_block_test.cc.o.d"
+  "data_block_test"
+  "data_block_test.pdb"
+  "data_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

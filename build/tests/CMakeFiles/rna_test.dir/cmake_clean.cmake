@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rna_test.dir/rna_test.cc.o"
+  "CMakeFiles/rna_test.dir/rna_test.cc.o.d"
+  "rna_test"
+  "rna_test.pdb"
+  "rna_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rna_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
