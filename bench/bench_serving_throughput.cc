@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Serving-throughput bench: drives the batched multi-threaded runtime
+ * over Table 2 benchmark models and reports how deployment throughput
+ * scales from 1 to 8 chip-replica workers.
+ *
+ * Two throughput columns are printed. "modeled" divides completed
+ * requests by the busiest replica's simulated chip time — the paper's
+ * replicated-accelerator deployment metric, independent of how many
+ * host cores the simulator gets. "wall" is host-side requests/second,
+ * which additionally depends on host parallelism. The ≥3x acceptance
+ * target applies to the modeled deployment scaling.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "composer/composer.hh"
+#include "runtime/serving_engine.hh"
+
+namespace {
+
+using namespace rapidnn;
+
+struct ServeResult
+{
+    double modeledRps;
+    double wallRps;
+    double p50Us, p95Us, p99Us;
+    double meanBatch;
+};
+
+ServeResult
+serveOnce(const composer::ReinterpretedModel &model,
+          const nn::Dataset &validation, size_t workers,
+          size_t requests, size_t maxBatch)
+{
+    runtime::ServingConfig serving;
+    serving.workers = workers;
+    serving.maxBatch = maxBatch;
+    serving.maxLatencyUs = 500;
+    serving.queueCapacity = 2 * requests;
+    // Round-robin sharding pins the request distribution to exactly
+    // 1/N per replica, so the scaling measurement is deterministic
+    // regardless of how the host schedules the worker threads.
+    serving.dispatch = runtime::DispatchPolicy::RoundRobin;
+    runtime::ServingEngine engine(model, rna::ChipConfig{}, serving);
+
+    std::vector<std::future<runtime::InferResult>> futures;
+    futures.reserve(requests);
+    for (size_t i = 0; i < requests; ++i)
+        futures.push_back(
+            engine.submit(validation.sample(i % validation.size()).x));
+    for (auto &future : futures)
+        future.get();
+    engine.drain();
+
+    const runtime::ServerStats stats = engine.stats();
+    return {stats.modeledThroughputRps(), stats.throughputRps(),
+            stats.p50LatencyUs, stats.p95LatencyUs, stats.p99LatencyUs,
+            stats.batchSizes.summary().mean()};
+}
+
+} // namespace
+
+int
+main()
+{
+    using bench::BenchScale;
+
+    const BenchScale scale = BenchScale::fromEnv();
+    bench::banner("Serving throughput: batched multi-threaded runtime "
+                  "over Table 2 models",
+                  scale);
+
+    std::vector<nn::Benchmark> benchmarks = {
+        nn::Benchmark::Mnist, nn::Benchmark::Isolet,
+        nn::Benchmark::Har};
+    if (std::getenv("RAPIDNN_FULL") != nullptr &&
+        std::getenv("RAPIDNN_FULL")[0] == '1') {
+        benchmarks.push_back(nn::Benchmark::Cifar10);
+        benchmarks.push_back(nn::Benchmark::Cifar100);
+    }
+
+    const size_t requests = 48;
+    std::cout << std::left << std::setw(10) << "model"
+              << std::right << std::setw(14) << "modeled@1"
+              << std::setw(14) << "modeled@8" << std::setw(10)
+              << "speedup" << std::setw(12) << "wall@8"
+              << std::setw(10) << "p50 us" << std::setw(10)
+              << "p99 us" << std::setw(10) << "batch" << "\n";
+
+    bool allPass = true;
+    for (nn::Benchmark benchmark : benchmarks) {
+        core::BenchmarkModel bm =
+            core::buildBenchmarkModel(benchmark, scale.options());
+        composer::Composer composer(composer::ComposerConfig{});
+        composer::ReinterpretedModel model =
+            composer.reinterpret(bm.network, bm.train);
+        const nn::Dataset validation =
+            bench::cappedValidation(bm.validation, 64);
+
+        // Replica-scaling measurement at batch size 1 (so the speedup
+        // isolates replication), plus a batched 8-worker run for the
+        // latency/batch columns.
+        const ServeResult one =
+            serveOnce(model, validation, 1, requests, 1);
+        const ServeResult eightScaling =
+            serveOnce(model, validation, 8, requests, 1);
+        const ServeResult eight =
+            serveOnce(model, validation, 8, requests, 8);
+        const double speedup = one.modeledRps > 0.0
+            ? eightScaling.modeledRps / one.modeledRps : 0.0;
+        allPass = allPass && speedup >= 3.0;
+
+        std::cout << std::left << std::setw(10)
+                  << nn::benchmarkName(benchmark) << std::right
+                  << std::fixed << std::setprecision(0)
+                  << std::setw(14) << one.modeledRps << std::setw(14)
+                  << eightScaling.modeledRps << std::setw(10)
+                  << bench::times(speedup) << std::setw(12)
+                  << eight.wallRps << std::setprecision(1)
+                  << std::setw(10) << eight.p50Us << std::setw(10)
+                  << eight.p99Us << std::setw(10) << eight.meanBatch
+                  << "\n";
+    }
+
+    std::cout << "\nmodeled deployment speedup at 8 workers vs 1: "
+              << (allPass ? "PASS (>= 3.0x on every model)"
+                          : "FAIL (< 3.0x somewhere)")
+              << "\n";
+    return allPass ? 0 : 1;
+}

@@ -8,8 +8,10 @@
 #ifndef RAPIDNN_COMMON_LOGGING_HH
 #define RAPIDNN_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -21,17 +23,24 @@ enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
 /**
  * Process-wide logging configuration.
  *
- * A single mutable level keeps the interface trivial; simulators are
- * single-threaded per experiment in this codebase.
+ * The level is atomic and every message is emitted as one serialized
+ * write, so the serving runtime's worker threads can log concurrently
+ * without tearing lines.
  */
 class Logger
 {
   public:
     /** Get the process-wide verbosity. */
-    static LogLevel level() { return instance()._level; }
+    static LogLevel level()
+    {
+        return instance()._level.load(std::memory_order_relaxed);
+    }
 
     /** Set the process-wide verbosity. */
-    static void setLevel(LogLevel lvl) { instance()._level = lvl; }
+    static void setLevel(LogLevel lvl)
+    {
+        instance()._level.store(lvl, std::memory_order_relaxed);
+    }
 
   private:
     static Logger &
@@ -41,7 +50,7 @@ class Logger
         return logger;
     }
 
-    LogLevel _level = LogLevel::Warn;
+    std::atomic<LogLevel> _level{LogLevel::Warn};
 };
 
 namespace detail {
@@ -68,6 +77,15 @@ concat(const Args &...args)
     return os.str();
 }
 
+/** One serialized line on stderr; never interleaves across threads. */
+inline void
+emit(const char *prefix, const std::string &message)
+{
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::cerr << prefix << message << "\n";
+}
+
 } // namespace detail
 
 /** Print an informational status message (level Info and above). */
@@ -76,7 +94,7 @@ void
 inform(const Args &...args)
 {
     if (Logger::level() >= LogLevel::Info)
-        std::cerr << "info: " << detail::concat(args...) << "\n";
+        detail::emit("info: ", detail::concat(args...));
 }
 
 /** Print a debug trace message (level Debug only). */
@@ -85,7 +103,7 @@ void
 debugLog(const Args &...args)
 {
     if (Logger::level() >= LogLevel::Debug)
-        std::cerr << "debug: " << detail::concat(args...) << "\n";
+        detail::emit("debug: ", detail::concat(args...));
 }
 
 /** Warn about a condition that might indicate misuse but is survivable. */
@@ -94,7 +112,7 @@ void
 warn(const Args &...args)
 {
     if (Logger::level() >= LogLevel::Warn)
-        std::cerr << "warn: " << detail::concat(args...) << "\n";
+        detail::emit("warn: ", detail::concat(args...));
 }
 
 /**
@@ -105,7 +123,7 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
-    std::cerr << "fatal: " << detail::concat(args...) << "\n";
+    detail::emit("fatal: ", detail::concat(args...));
     std::exit(1);
 }
 
@@ -117,7 +135,7 @@ template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
-    std::cerr << "panic: " << detail::concat(args...) << "\n";
+    detail::emit("panic: ", detail::concat(args...));
     std::abort();
 }
 

@@ -81,6 +81,25 @@ class Summary
     double _max = 0.0;
 };
 
+/**
+ * Exact q-quantile (0 <= q <= 1) of a sample, with linear
+ * interpolation between order statistics. Sorts a copy; meant for
+ * end-of-run roll-ups (latency p50/p95/p99), not hot paths.
+ */
+inline double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
 /** Fixed-range linear histogram. */
 class Histogram
 {

@@ -22,6 +22,16 @@ Rapidnn::measure(composer::ComposeResult compose,
     return report;
 }
 
+std::unique_ptr<runtime::ServingEngine>
+Rapidnn::serve(const runtime::ServingConfig &serving) const
+{
+    if (_model.layers().empty())
+        fatal("Rapidnn::serve() needs a composed model; "
+              "call run() or runOneShot() first");
+    return std::make_unique<runtime::ServingEngine>(
+        _model, _config.chip, serving);
+}
+
 RunReport
 Rapidnn::run(nn::Network &net, const nn::Dataset &train,
              const nn::Dataset &validation)

@@ -19,6 +19,7 @@
 #include "nn/topology.hh"
 #include "rna/chip.hh"
 #include "rna/perf_model.hh"
+#include "runtime/serving_engine.hh"
 
 namespace rapidnn::core {
 
@@ -67,6 +68,15 @@ class Rapidnn
 
     /** The chip simulator (valid after run/runOneShot). */
     rna::Chip &chip() { return *_chip; }
+
+    /**
+     * Start a batched multi-threaded serving engine over the composed
+     * model (valid after run/runOneShot). The engine reads this
+     * deployment's model in place, so the Rapidnn object must outlive
+     * it.
+     */
+    std::unique_ptr<runtime::ServingEngine>
+    serve(const runtime::ServingConfig &serving = {}) const;
 
     /** The composed model (valid after run/runOneShot). */
     const composer::ReinterpretedModel &model() const { return _model; }

@@ -38,9 +38,18 @@ Chip::configureLayers(const std::vector<RLayer> &layers)
     }
 }
 
+Chip
+Chip::clone() const
+{
+    Chip replica(_config);
+    if (_model != nullptr)
+        replica.configure(*_model);
+    return replica;
+}
+
 Chip::LayerRun
 Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
-               bool lastCompute)
+               bool lastCompute) const
 {
     LayerRun run{};
     run.stageCycles = 0;
@@ -359,7 +368,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 }
 
 std::vector<double>
-Chip::infer(const nn::Tensor &x, PerfReport &report)
+Chip::infer(const nn::Tensor &x, PerfReport &report) const
 {
     RAPIDNN_ASSERT(_model != nullptr, "chip not configured");
     const auto &model = *_model;
@@ -516,7 +525,7 @@ Chip::infer(const nn::Tensor &x, PerfReport &report)
 }
 
 double
-Chip::errorRate(const nn::Dataset &data, PerfReport &avgReport)
+Chip::errorRate(const nn::Dataset &data, PerfReport &avgReport) const
 {
     RAPIDNN_ASSERT(data.size() > 0, "errorRate on empty dataset");
     size_t wrong = 0;

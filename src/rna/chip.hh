@@ -88,13 +88,23 @@ class Chip
 
     /**
      * Run one sample. Returns raw logits (bit-identical to the software
-     * reinterpreted model) and fills the report.
+     * reinterpreted model) and fills the report. Const and free of
+     * shared mutable state: concurrent calls on one chip (or on
+     * clones) produce bitwise-identical results to serial calls.
      */
-    std::vector<double> infer(const nn::Tensor &x, PerfReport &report);
+    std::vector<double> infer(const nn::Tensor &x,
+                              PerfReport &report) const;
 
     /** Classification error rate with cost accounting folded into one
      *  averaged report. */
-    double errorRate(const nn::Dataset &data, PerfReport &avgReport);
+    double errorRate(const nn::Dataset &data, PerfReport &avgReport) const;
+
+    /**
+     * A fresh chip with the same configuration, wired to the same
+     * (shared, read-only) reinterpreted model — one replica per
+     * serving-runtime worker.
+     */
+    Chip clone() const;
 
     /** Per-RNA area breakdown (Figure 14). */
     RnaAreaBreakdown rnaArea() const;
@@ -127,7 +137,7 @@ class Chip
 
     LayerRun runLayer(const composer::RLayer &layer,
                       const composer::EncodedTensor &in,
-                      bool lastCompute);
+                      bool lastCompute) const;
 };
 
 } // namespace rapidnn::rna

@@ -1,5 +1,7 @@
 #include "rna/perf_report.hh"
 
+#include <algorithm>
+
 namespace rapidnn::rna {
 
 CategoryCost
@@ -9,6 +11,18 @@ PerfReport::category(const std::string &name) const
         if (c.name == name)
             return c;
     return {name, Time{}, Energy{}};
+}
+
+void
+PerfReport::merge(const PerfReport &o)
+{
+    latency += o.latency;
+    stageTime = std::max(stageTime, o.stageTime);
+    energy += o.energy;
+    totalOps += o.totalOps;
+    inferences += o.inferences > 0 ? o.inferences : 1;
+    for (const auto &cat : o.breakdown)
+        addCategory(cat.name, cat.time, cat.energy);
 }
 
 void

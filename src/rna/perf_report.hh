@@ -32,6 +32,7 @@ struct PerfReport
     Time stageTime{};      //!< slowest pipeline stage (throughput limit)
     Energy energy{};       //!< total energy per inference
     uint64_t totalOps = 0; //!< DNN operations represented
+    uint64_t inferences = 0; //!< samples folded into this report
     std::vector<CategoryCost> breakdown;
 
     double
@@ -48,6 +49,15 @@ struct PerfReport
 
     /** Sum another report into this one (e.g. layer roll-up). */
     void addCategory(const std::string &name, Time t, Energy e);
+
+    /**
+     * Accumulate another report into this one (per-worker roll-up in
+     * the serving runtime). Times, energies, op and inference counts
+     * sum; stageTime keeps the max since it is a throughput limit, not
+     * a total. A single-inference report counts as one inference even
+     * if its `inferences` field was left at zero.
+     */
+    void merge(const PerfReport &o);
 };
 
 } // namespace rapidnn::rna

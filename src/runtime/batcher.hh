@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Micro-batching scheduler: turns the stream of single requests in the
+ * admission queue into batches for the worker pool. A batch flushes
+ * when it reaches `maxBatch` requests or when `maxLatency` has elapsed
+ * since its first request was claimed, whichever comes first — the
+ * classic throughput/latency trade-off knob of serving systems.
+ *
+ * The batcher is shared by all workers: each worker claims its next
+ * batch directly (no dedicated batcher thread to bottleneck on), and
+ * the underlying MPMC queue makes concurrent claims safe.
+ */
+
+#ifndef RAPIDNN_RUNTIME_BATCHER_HH
+#define RAPIDNN_RUNTIME_BATCHER_HH
+
+#include <chrono>
+#include <vector>
+
+#include "runtime/request_queue.hh"
+
+namespace rapidnn::runtime {
+
+template <typename T>
+class MicroBatcher
+{
+  public:
+    MicroBatcher(BoundedQueue<T> &queue, size_t maxBatch,
+                 std::chrono::microseconds maxLatency)
+        : _queue(queue), _maxBatch(maxBatch), _maxLatency(maxLatency)
+    {
+        RAPIDNN_ASSERT(maxBatch > 0, "maxBatch must be positive");
+    }
+
+    /**
+     * Claim the next batch, blocking until at least one request is
+     * available. An empty batch signals the queue is closed and fully
+     * drained — the caller should exit its serve loop.
+     */
+    std::vector<T>
+    nextBatch()
+    {
+        std::vector<T> batch;
+        std::optional<T> first = _queue.pop();
+        if (!first)
+            return batch;
+        batch.reserve(_maxBatch);
+        batch.push_back(std::move(*first));
+
+        const auto deadline =
+            std::chrono::steady_clock::now() + _maxLatency;
+        while (batch.size() < _maxBatch) {
+            std::optional<T> next = _queue.popUntil(deadline);
+            if (!next)
+                break;  // deadline passed or closed-and-drained
+            batch.push_back(std::move(*next));
+        }
+        return batch;
+    }
+
+    size_t maxBatch() const { return _maxBatch; }
+    std::chrono::microseconds maxLatency() const { return _maxLatency; }
+
+  private:
+    BoundedQueue<T> &_queue;
+    const size_t _maxBatch;
+    const std::chrono::microseconds _maxLatency;
+};
+
+} // namespace rapidnn::runtime
+
+#endif // RAPIDNN_RUNTIME_BATCHER_HH

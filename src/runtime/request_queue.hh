@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer queue with blocking
+ * backpressure, the front door of the serving runtime. Producers block
+ * (or fail fast via tryPush) when the queue is full, so a flood of
+ * requests degrades into admission latency instead of unbounded memory
+ * growth. close() lets consumers drain remaining items and then
+ * observe end-of-stream.
+ */
+
+#ifndef RAPIDNN_RUNTIME_REQUEST_QUEUE_HH
+#define RAPIDNN_RUNTIME_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace rapidnn::runtime {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : _capacity(capacity)
+    {
+        RAPIDNN_ASSERT(capacity > 0, "queue capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue, blocking while the queue is full (backpressure).
+     * @return false when the queue was closed instead.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _notFull.wait(lock, [this] {
+            return _closed || _items.size() < _capacity;
+        });
+        if (_closed)
+            return false;
+        _items.push_back(std::move(item));
+        lock.unlock();
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /** Enqueue without blocking; false when full or closed. */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (_closed || _items.size() >= _capacity)
+                return false;
+            _items.push_back(std::move(item));
+        }
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking while empty. Returns nullopt once the queue is
+     * closed and fully drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _notEmpty.wait(lock, [this] {
+            return _closed || !_items.empty();
+        });
+        return takeFront(lock);
+    }
+
+    /**
+     * Dequeue, waiting at most until `deadline`. Returns nullopt on
+     * timeout or on closed-and-drained.
+     */
+    std::optional<T>
+    popUntil(std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _notEmpty.wait_until(lock, deadline, [this] {
+            return _closed || !_items.empty();
+        });
+        return takeFront(lock);
+    }
+
+    /** Dequeue without blocking; nullopt when nothing is available. */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        return takeFront(lock);
+    }
+
+    /**
+     * Refuse new items. Blocked producers wake and fail; consumers
+     * drain the remainder and then see end-of-stream.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _closed = true;
+        }
+        _notFull.notify_all();
+        _notEmpty.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _closed;
+    }
+
+    /** Instantaneous depth (racy by nature; for stats snapshots). */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _items.size();
+    }
+
+    size_t capacity() const { return _capacity; }
+
+  private:
+    /** Pop the front under `lock` held; nullopt when empty. */
+    std::optional<T>
+    takeFront(std::unique_lock<std::mutex> &lock)
+    {
+        if (_items.empty())
+            return std::nullopt;
+        T item = std::move(_items.front());
+        _items.pop_front();
+        lock.unlock();
+        _notFull.notify_one();
+        return item;
+    }
+
+    mutable std::mutex _mutex;
+    std::condition_variable _notFull;
+    std::condition_variable _notEmpty;
+    std::deque<T> _items;
+    const size_t _capacity;
+    bool _closed = false;
+};
+
+} // namespace rapidnn::runtime
+
+#endif // RAPIDNN_RUNTIME_REQUEST_QUEUE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Serving-runtime statistics: a thread-safe collector the workers feed
+ * and an immutable ServerStats snapshot (throughput, latency
+ * percentiles, queue depth, batch-size histogram) built on the
+ * Summary/Histogram/percentile primitives in common/stats.hh.
+ *
+ * Two clocks coexist deliberately. *Host wall time* measures the
+ * runtime itself (queue wait, service time, end-to-end latency of this
+ * process). *Modeled chip time* accumulates the simulated RAPIDNN
+ * latency each worker's chip replica would spend, so throughput
+ * scaling across workers reflects the paper's replicated-accelerator
+ * deployment rather than how many host cores the simulator happens to
+ * run on.
+ */
+
+#ifndef RAPIDNN_RUNTIME_SERVER_STATS_HH
+#define RAPIDNN_RUNTIME_SERVER_STATS_HH
+
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace rapidnn::runtime {
+
+/** Point-in-time snapshot of a serving engine. */
+struct ServerStats
+{
+    uint64_t submitted = 0;   //!< accepted into the queue
+    uint64_t rejected = 0;    //!< refused by trySubmit (queue full)
+    uint64_t completed = 0;   //!< results delivered
+    uint64_t batches = 0;     //!< batches executed
+    size_t queueDepth = 0;    //!< requests waiting at snapshot time
+    size_t workers = 0;
+
+    Summary queueWaitUs;      //!< host wall: admission -> claimed
+    Summary serviceUs;        //!< host wall: claimed -> result ready
+    Histogram batchSizes;     //!< requests per executed batch
+
+    double p50LatencyUs = 0.0;  //!< host wall end-to-end percentiles
+    double p95LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+
+    double wallSeconds = 0.0;   //!< engine uptime at snapshot
+    /** Busiest replica's accumulated simulated chip time. */
+    Time modeledChipTime{};
+
+    /** Host-side requests/second over the engine's lifetime. */
+    double
+    throughputRps() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(completed) / wallSeconds : 0.0;
+    }
+
+    /**
+     * Modeled requests/second of the simulated deployment: completed
+     * requests over the busiest chip replica's simulated busy time.
+     * This is the number that scales with worker (replica) count.
+     */
+    double
+    modeledThroughputRps() const
+    {
+        return modeledChipTime.sec() > 0.0
+            ? static_cast<double>(completed) / modeledChipTime.sec()
+            : 0.0;
+    }
+};
+
+/** Thread-safe accumulator behind ServerStats snapshots. */
+class StatsCollector
+{
+  public:
+    explicit StatsCollector(size_t maxBatch)
+        : _batchSizes(0.5, static_cast<double>(maxBatch) + 0.5, maxBatch)
+    {
+    }
+
+    void
+    recordSubmitted()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_submitted;
+    }
+
+    void
+    recordRejected()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_rejected;
+    }
+
+    void
+    recordBatch(size_t batchSize)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_batches;
+        _batchSizes.add(static_cast<double>(batchSize));
+    }
+
+    void
+    recordRequest(double queueWaitUs, double serviceUs,
+                  double latencyUs)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_completed;
+        _queueWaitUs.add(queueWaitUs);
+        _serviceUs.add(serviceUs);
+        _latenciesUs.push_back(latencyUs);
+    }
+
+    /** Fill the collector-owned fields of a snapshot. */
+    void
+    snapshotInto(ServerStats &stats) const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        stats.submitted = _submitted;
+        stats.rejected = _rejected;
+        stats.completed = _completed;
+        stats.batches = _batches;
+        stats.queueWaitUs = _queueWaitUs;
+        stats.serviceUs = _serviceUs;
+        stats.batchSizes = _batchSizes;
+        stats.p50LatencyUs = percentile(_latenciesUs, 0.50);
+        stats.p95LatencyUs = percentile(_latenciesUs, 0.95);
+        stats.p99LatencyUs = percentile(_latenciesUs, 0.99);
+    }
+
+  private:
+    mutable std::mutex _mutex;
+    uint64_t _submitted = 0;
+    uint64_t _rejected = 0;
+    uint64_t _completed = 0;
+    uint64_t _batches = 0;
+    Summary _queueWaitUs;
+    Summary _serviceUs;
+    Histogram _batchSizes;
+    std::vector<double> _latenciesUs;
+};
+
+} // namespace rapidnn::runtime
+
+#endif // RAPIDNN_RUNTIME_SERVER_STATS_HH

@@ -1,0 +1,227 @@
+#include "runtime/serving_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rapidnn::runtime {
+
+namespace {
+
+double
+elapsedUs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(const composer::ReinterpretedModel &model,
+                             const rna::ChipConfig &chipConfig,
+                             const ServingConfig &config)
+    : _config(config),
+      _queue(std::max<size_t>(1, config.queueCapacity)),
+      _batcher(_queue, std::max<size_t>(1, config.maxBatch),
+               std::chrono::microseconds(config.maxLatencyUs)),
+      _stats(std::max<size_t>(1, config.maxBatch)),
+      _start(std::chrono::steady_clock::now())
+{
+    RAPIDNN_ASSERT(_config.workers > 0, "need at least one worker");
+
+    // One configured prototype, cloned per worker: every replica reads
+    // the same const model, none shares mutable state.
+    rna::Chip prototype(chipConfig);
+    prototype.configure(model);
+    const size_t shardCapacity = std::max<size_t>(
+        1, _queue.capacity() / _config.workers);
+    _workers.reserve(_config.workers);
+    for (size_t i = 0; i < _config.workers; ++i)
+        _workers.push_back(std::make_unique<Worker>(
+            prototype.clone(), shardCapacity,
+            std::max<size_t>(1, config.maxBatch),
+            std::chrono::microseconds(config.maxLatencyUs)));
+    for (size_t i = 0; i < _config.workers; ++i)
+        _workers[i]->thread =
+            std::thread([this, i] { workerMain(i); });
+    inform("serving engine up: ", _config.workers, " workers, batch<=",
+           _config.maxBatch, ", flush<=", _config.maxLatencyUs,
+           "us, queue<=", _queue.capacity());
+}
+
+ServingEngine::~ServingEngine()
+{
+    shutdown();
+}
+
+BoundedQueue<ServingEngine::Request> &
+ServingEngine::targetQueue()
+{
+    if (_config.dispatch == DispatchPolicy::RoundRobin) {
+        const size_t shard =
+            _rrNext.fetch_add(1, std::memory_order_relaxed)
+            % _workers.size();
+        return _workers[shard]->queue;
+    }
+    return _queue;
+}
+
+std::future<InferResult>
+ServingEngine::admit(Request request, bool &accepted, bool blocking)
+{
+    std::future<InferResult> future = request.promise.get_future();
+    {
+        // Pre-count so drain() can never observe finished > accepted;
+        // rolled back when admission fails.
+        std::lock_guard<std::mutex> lock(_inflightMutex);
+        ++_accepted;
+    }
+    BoundedQueue<Request> &queue = targetQueue();
+    accepted = blocking ? queue.push(std::move(request))
+                        : queue.tryPush(std::move(request));
+    if (accepted) {
+        _stats.recordSubmitted();
+    } else {
+        std::lock_guard<std::mutex> lock(_inflightMutex);
+        --_accepted;
+    }
+    return future;
+}
+
+std::future<InferResult>
+ServingEngine::submit(nn::Tensor input)
+{
+    Request request{std::move(input), {},
+                    std::chrono::steady_clock::now()};
+    bool accepted = false;
+    // When the queue is closed the promise dies unfulfilled and the
+    // future reports broken_promise, as documented.
+    return admit(std::move(request), accepted, /*blocking=*/true);
+}
+
+std::optional<std::future<InferResult>>
+ServingEngine::trySubmit(nn::Tensor input)
+{
+    Request request{std::move(input), {},
+                    std::chrono::steady_clock::now()};
+    bool accepted = false;
+    std::future<InferResult> future =
+        admit(std::move(request), accepted, /*blocking=*/false);
+    if (!accepted) {
+        _stats.recordRejected();
+        return std::nullopt;
+    }
+    return future;
+}
+
+void
+ServingEngine::workerMain(size_t index)
+{
+    Worker &worker = *_workers[index];
+    MicroBatcher<Request> &batcher =
+        _config.dispatch == DispatchPolicy::RoundRobin
+            ? worker.batcher : _batcher;
+    for (;;) {
+        std::vector<Request> batch = batcher.nextBatch();
+        if (batch.empty())
+            return;  // queue closed and drained
+        const auto claimed = std::chrono::steady_clock::now();
+        _stats.recordBatch(batch.size());
+
+        // Run the whole batch first...
+        std::vector<InferResult> results(batch.size());
+        Time batchChipTime{};
+        rna::PerfReport batchPerf;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            InferResult &result = results[i];
+            result.logits = worker.chip.infer(batch[i].input,
+                                              result.perf);
+            result.perf.inferences = 1;
+            result.batchSize = batch.size();
+            result.workerId = index;
+
+            // Pipelined replica accounting: the batch's first sample
+            // pays full chip latency, later samples stream behind it
+            // at the slowest-stage interval (paper Section 4.3).
+            batchChipTime += i == 0 ? result.perf.latency
+                                    : result.perf.stageTime;
+            batchPerf.merge(result.perf);
+        }
+
+        // ...then commit the worker's accounting BEFORE fulfilling any
+        // promise, so once drain() observes finished == accepted the
+        // perfReport()/stats() roll-ups are complete.
+        {
+            std::lock_guard<std::mutex> lock(_perfMutex);
+            worker.busyChipTime += batchChipTime;
+            worker.perf.merge(batchPerf);
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const auto done = std::chrono::steady_clock::now();
+            _stats.recordRequest(
+                elapsedUs(batch[i].enqueued, claimed),
+                elapsedUs(claimed, done),
+                elapsedUs(batch[i].enqueued, done));
+            batch[i].promise.set_value(std::move(results[i]));
+            {
+                std::lock_guard<std::mutex> lock(_inflightMutex);
+                ++_finished;
+            }
+            _inflightCv.notify_all();
+        }
+    }
+}
+
+void
+ServingEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(_inflightMutex);
+    _inflightCv.wait(lock, [this] { return _finished >= _accepted; });
+}
+
+void
+ServingEngine::shutdown()
+{
+    bool expected = false;
+    if (_shutdown.compare_exchange_strong(expected, true)) {
+        // close() refuses new work; workers drain what was accepted
+        // and exit on end-of-stream.
+        _queue.close();
+        for (auto &worker : _workers)
+            worker->queue.close();
+    }
+    for (auto &worker : _workers)
+        if (worker->thread.joinable())
+            worker->thread.join();
+}
+
+ServerStats
+ServingEngine::stats() const
+{
+    ServerStats stats;
+    _stats.snapshotInto(stats);
+    stats.queueDepth = _queue.size();
+    for (const auto &worker : _workers)
+        stats.queueDepth += worker->queue.size();
+    stats.workers = _workers.size();
+    stats.wallSeconds =
+        elapsedUs(_start, std::chrono::steady_clock::now()) * 1e-6;
+    std::lock_guard<std::mutex> lock(_perfMutex);
+    for (const auto &worker : _workers)
+        stats.modeledChipTime =
+            std::max(stats.modeledChipTime, worker->busyChipTime);
+    return stats;
+}
+
+rna::PerfReport
+ServingEngine::perfReport() const
+{
+    rna::PerfReport merged;
+    std::lock_guard<std::mutex> lock(_perfMutex);
+    for (const auto &worker : _workers)
+        if (worker->perf.inferences > 0)
+            merged.merge(worker->perf);
+    return merged;
+}
+
+} // namespace rapidnn::runtime

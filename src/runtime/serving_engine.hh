@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The batched multi-threaded serving engine: asynchronous inference
+ * requests flow through a bounded admission queue into a micro-batcher
+ * and onto a pool of worker threads, each owning an rna::Chip replica
+ * configured from one shared, read-only reinterpreted model. This is
+ * the software analogue of the paper's block-level parallelism: a
+ * deployment replicates RNA chips and schedules independent requests
+ * across them, so serving throughput scales with replicas while each
+ * request keeps single-chip latency.
+ *
+ * Determinism guarantee: Chip::infer is const and replicas share no
+ * mutable state, so for a fixed request set the logits are bitwise
+ * identical to serial single-chip inference regardless of worker
+ * count, batch boundaries, or scheduling order.
+ */
+
+#ifndef RAPIDNN_RUNTIME_SERVING_ENGINE_HH
+#define RAPIDNN_RUNTIME_SERVING_ENGINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "composer/reinterpreted_model.hh"
+#include "nn/tensor.hh"
+#include "rna/chip.hh"
+#include "rna/perf_report.hh"
+#include "runtime/batcher.hh"
+#include "runtime/request_queue.hh"
+#include "runtime/server_stats.hh"
+
+namespace rapidnn::runtime {
+
+/** How requests reach the worker pool. */
+enum class DispatchPolicy
+{
+    /** All workers claim batches from one shared queue: adapts to
+     *  uneven request costs, but distribution across replicas is up
+     *  to the host scheduler. */
+    WorkStealing,
+    /** Requests shard round-robin across per-worker queues: exact
+     *  1/N distribution (the metric a replicated deployment sizes
+     *  against), at the cost of not rebalancing around slow
+     *  requests. */
+    RoundRobin,
+};
+
+/** Serving-engine knobs. */
+struct ServingConfig
+{
+    size_t workers = 2;          //!< chip replicas / worker threads
+    size_t maxBatch = 8;         //!< flush a batch at this size...
+    uint64_t maxLatencyUs = 200; //!< ...or this long after its first
+                                 //!< request, whichever comes first
+    size_t queueCapacity = 64;   //!< admission-queue bound (backpressure)
+    DispatchPolicy dispatch = DispatchPolicy::WorkStealing;
+};
+
+/** What a completed request resolves to. */
+struct InferResult
+{
+    std::vector<double> logits;  //!< bit-identical to serial Chip::infer
+    rna::PerfReport perf;        //!< simulated chip cost of this sample
+    size_t batchSize = 0;        //!< size of the batch it rode in
+    size_t workerId = 0;         //!< replica that served it
+};
+
+class ServingEngine
+{
+  public:
+    /**
+     * Spin up the worker pool. The model must outlive the engine; it
+     * is shared read-only by every replica.
+     */
+    ServingEngine(const composer::ReinterpretedModel &model,
+                  const rna::ChipConfig &chipConfig,
+                  const ServingConfig &config = {});
+
+    /** Graceful: drains in-flight work, then joins the pool. */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueue a request, blocking while the queue is full
+     * (backpressure). After shutdown() the returned future fails with
+     * std::future_error (broken_promise).
+     */
+    std::future<InferResult> submit(nn::Tensor input);
+
+    /** Non-blocking admission; nullopt when the queue is full. */
+    std::optional<std::future<InferResult>> trySubmit(nn::Tensor input);
+
+    /** Block until every accepted request has completed. */
+    void drain();
+
+    /**
+     * Graceful shutdown: refuse new requests, finish everything
+     * already accepted, join the workers. Idempotent.
+     */
+    void shutdown();
+
+    /** Point-in-time statistics snapshot. */
+    ServerStats stats() const;
+
+    /** Per-worker PerfReports merged into one deployment roll-up. */
+    rna::PerfReport perfReport() const;
+
+    const ServingConfig &config() const { return _config; }
+
+  private:
+    struct Request
+    {
+        nn::Tensor input;
+        std::promise<InferResult> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    struct Worker
+    {
+        Worker(rna::Chip replica, size_t queueCapacity,
+               size_t maxBatch, std::chrono::microseconds maxLatency)
+            : chip(std::move(replica)), queue(queueCapacity),
+              batcher(queue, maxBatch, maxLatency)
+        {
+        }
+
+        rna::Chip chip;
+        BoundedQueue<Request> queue;     //!< RoundRobin shard
+        MicroBatcher<Request> batcher;   //!< RoundRobin shard
+        rna::PerfReport perf;  //!< merged sample reports (_perfMutex)
+        Time busyChipTime{};   //!< simulated busy time (_perfMutex)
+        std::thread thread;
+    };
+
+    void workerMain(size_t index);
+    BoundedQueue<Request> &targetQueue();
+    std::future<InferResult> admit(Request request, bool &accepted,
+                                   bool blocking);
+
+    ServingConfig _config;
+    BoundedQueue<Request> _queue;
+    MicroBatcher<Request> _batcher;
+    std::atomic<uint64_t> _rrNext{0};  //!< RoundRobin shard cursor
+    StatsCollector _stats;
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::chrono::steady_clock::time_point _start;
+
+    /** Guards per-worker perf accounting (batch granularity). */
+    mutable std::mutex _perfMutex;
+
+    /** accepted/finished counters for drain(). */
+    mutable std::mutex _inflightMutex;
+    std::condition_variable _inflightCv;
+    uint64_t _accepted = 0;
+    uint64_t _finished = 0;
+
+    std::atomic<bool> _shutdown{false};
+};
+
+} // namespace rapidnn::runtime
+
+#endif // RAPIDNN_RUNTIME_SERVING_ENGINE_HH
