@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Inference hot-path bench: host wall-clock samples/second through
+ * Chip::infer for dense, conv and recurrent models, comparing the
+ * original allocating reference path (ChipConfig::fastPath = false)
+ * against the zero-allocation fused-lookup fast path (default).
+ *
+ * Both paths produce bitwise-identical results and PerfReports
+ * (tests/fastpath_equivalence_test.cc pins this); this bench measures
+ * only how fast the host simulates them. The acceptance gate is a
+ * >= 3x single-thread speedup on the conv model. A second section runs
+ * the batched serving engine with 4 replica workers under both flags.
+ *
+ * Results are also written to BENCH_inference_hotpath.json.
+ */
+
+#include <chrono>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "composer/composer.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+#include "runtime/serving_engine.hh"
+
+namespace {
+
+using namespace rapidnn;
+using Clock = std::chrono::steady_clock;
+
+struct BenchModel
+{
+    std::string name;
+    composer::ReinterpretedModel model;
+    nn::Dataset data;
+    size_t iters;  //!< timed single-thread inferences
+};
+
+composer::ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    composer::ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    composer::Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+BenchModel
+denseModel()
+{
+    nn::Dataset all = nn::makeVectorTask(
+        {"dense", 24, 4, 320, 0.35, 1.0, 61});
+    auto [train, validation] = all.split(0.25);
+    Rng rng(62);
+    nn::Network net = nn::buildMlp(
+        {.inputs = 24, .hidden = {32, 24}, .outputs = 4}, rng);
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"dense", compose(net, train), std::move(validation), 200};
+}
+
+BenchModel
+convModel()
+{
+    nn::ImageTaskSpec spec;
+    spec.name = "conv";
+    spec.side = 10;
+    spec.classes = 3;
+    spec.samples = 240;
+    spec.seed = 305;
+    nn::Dataset all = nn::makeImageTask(spec);
+    auto [train, validation] = all.split(0.25);
+    Rng rng(306);
+    nn::CnnSpec cnn;
+    cnn.channels = 3;
+    cnn.height = cnn.width = 10;
+    cnn.convChannels = {8, 8};
+    cnn.denseWidths = {32};
+    cnn.outputs = 3;
+    nn::Network net = nn::buildCnn(cnn, rng);
+    nn::Trainer({.epochs = 2, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"conv", compose(net, train), std::move(validation), 30};
+}
+
+BenchModel
+recurrentModel()
+{
+    nn::SequenceTaskSpec spec;
+    spec.name = "seq";
+    spec.features = 6;
+    spec.steps = 8;
+    spec.classes = 4;
+    spec.samples = 320;
+    spec.noise = 0.25;
+    spec.seed = 505;
+    nn::Dataset all = nn::makeSequenceTask(spec);
+    auto [train, validation] = all.split(0.25);
+    Rng rng(506);
+    nn::Network net;
+    net.add(std::make_unique<nn::ElmanLayer>(6, 16, 8,
+                                             nn::ActKind::Tanh, rng));
+    net.add(std::make_unique<nn::DenseLayer>(16, 4, rng));
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"recurrent", compose(net, train), std::move(validation),
+            120};
+}
+
+/** Single-thread host samples/second through Chip::infer. */
+double
+samplesPerSec(const BenchModel &bm, bool fastPath)
+{
+    rna::ChipConfig config;
+    config.fastPath = fastPath;
+    rna::Chip chip(config);
+    chip.configure(bm.model);
+
+    rna::PerfReport report;
+    for (size_t i = 0; i < 3; ++i)  // warmup (plans, caches)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < bm.iters; ++i)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+    const double sec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return static_cast<double>(bm.iters) / sec;
+}
+
+/** Measured (wall-clock) serving throughput with 4 replica workers. */
+double
+servingRps(const BenchModel &bm, bool fastPath)
+{
+    const size_t requests = 2 * bm.iters;
+    runtime::ServingConfig serving;
+    serving.workers = 4;
+    serving.maxBatch = 4;
+    serving.maxLatencyUs = 200;
+    serving.queueCapacity = 2 * requests;
+    serving.dispatch = runtime::DispatchPolicy::RoundRobin;
+    rna::ChipConfig chipConfig;
+    chipConfig.fastPath = fastPath;
+    runtime::ServingEngine engine(bm.model, chipConfig, serving);
+
+    std::vector<std::future<runtime::InferResult>> futures;
+    futures.reserve(requests);
+    for (size_t i = 0; i < requests; ++i)
+        futures.push_back(
+            engine.submit(bm.data.sample(i % bm.data.size()).x));
+    for (auto &future : futures)
+        future.get();
+    engine.drain();
+    return engine.stats().throughputRps();
+}
+
+} // namespace
+
+int
+main()
+{
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Inference hot path: reference vs zero-allocation "
+                  "fused-lookup fast path",
+                  scale, false);
+
+    std::vector<BenchModel> models;
+    models.push_back(denseModel());
+    models.push_back(convModel());
+    models.push_back(recurrentModel());
+
+    std::cout << std::left << std::setw(11) << "model"
+              << std::right << std::setw(13) << "ref sps"
+              << std::setw(13) << "fast sps" << std::setw(10)
+              << "speedup" << std::setw(13) << "serve ref"
+              << std::setw(13) << "serve fast" << std::setw(10)
+              << "speedup" << "\n";
+
+    std::vector<std::pair<std::string, double>> metrics;
+    double convSpeedup = 0.0;
+    for (const BenchModel &bm : models) {
+        const double refSps = samplesPerSec(bm, false);
+        const double fastSps = samplesPerSec(bm, true);
+        const double speedup = refSps > 0.0 ? fastSps / refSps : 0.0;
+        const double serveRef = servingRps(bm, false);
+        const double serveFast = servingRps(bm, true);
+        const double serveSpeedup =
+            serveRef > 0.0 ? serveFast / serveRef : 0.0;
+        if (bm.name == "conv")
+            convSpeedup = speedup;
+
+        std::cout << std::left << std::setw(11) << bm.name
+                  << std::right << std::fixed << std::setprecision(1)
+                  << std::setw(13) << refSps << std::setw(13)
+                  << fastSps << std::setw(10) << bench::times(speedup)
+                  << std::setw(13) << serveRef << std::setw(13)
+                  << serveFast << std::setw(10)
+                  << bench::times(serveSpeedup) << "\n";
+
+        metrics.emplace_back(bm.name + ".single_thread_sps_ref",
+                             refSps);
+        metrics.emplace_back(bm.name + ".single_thread_sps_fast",
+                             fastSps);
+        metrics.emplace_back(bm.name + ".single_thread_speedup",
+                             speedup);
+        metrics.emplace_back(bm.name + ".serving_rps_ref_4w",
+                             serveRef);
+        metrics.emplace_back(bm.name + ".serving_rps_fast_4w",
+                             serveFast);
+        metrics.emplace_back(bm.name + ".serving_speedup_4w",
+                             serveSpeedup);
+    }
+    bench::writeBenchJson("inference_hotpath", metrics);
+
+    const bool pass = convSpeedup >= 3.0;
+    std::cout << "\nconv single-thread fast-path speedup: "
+              << bench::times(convSpeedup)
+              << (pass ? "  PASS (>= 3.0x)" : "  FAIL (< 3.0x)")
+              << "\n";
+    return pass ? 0 : 1;
+}

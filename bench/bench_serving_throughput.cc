@@ -92,6 +92,7 @@ main()
               << "p99 us" << std::setw(10) << "batch" << "\n";
 
     bool allPass = true;
+    std::vector<std::pair<std::string, double>> metrics;
     for (nn::Benchmark benchmark : benchmarks) {
         core::BenchmarkModel bm =
             core::buildBenchmarkModel(benchmark, scale.options());
@@ -124,7 +125,18 @@ main()
                   << std::setw(10) << eight.p50Us << std::setw(10)
                   << eight.p99Us << std::setw(10) << eight.meanBatch
                   << "\n";
+
+        const std::string tag = nn::benchmarkName(benchmark);
+        metrics.emplace_back(tag + ".modeled_rps_1w", one.modeledRps);
+        metrics.emplace_back(tag + ".modeled_rps_8w",
+                             eightScaling.modeledRps);
+        metrics.emplace_back(tag + ".modeled_speedup_8w", speedup);
+        metrics.emplace_back(tag + ".wall_rps_8w", eight.wallRps);
+        metrics.emplace_back(tag + ".p50_us_8w", eight.p50Us);
+        metrics.emplace_back(tag + ".p99_us_8w", eight.p99Us);
+        metrics.emplace_back(tag + ".mean_batch_8w", eight.meanBatch);
     }
+    bench::writeBenchJson("serving_throughput", metrics);
 
     std::cout << "\nmodeled deployment speedup at 8 workers vs 1: "
               << (allPass ? "PASS (>= 3.0x on every model)"

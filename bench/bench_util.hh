@@ -14,9 +14,12 @@
 #ifndef RAPIDNN_BENCH_BENCH_UTIL_HH
 #define RAPIDNN_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rapidnn.hh"
@@ -87,6 +90,35 @@ times(double ratio, int precision = 1)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.*fx", precision, ratio);
     return buf;
+}
+
+/**
+ * Write a flat machine-readable metric dump as BENCH_<name>.json in the
+ * current directory, so CI and scripts can diff bench results without
+ * scraping stdout. Non-finite values serialize as null.
+ */
+inline void
+writeBenchJson(
+    const std::string &name,
+    const std::vector<std::pair<std::string, double>> &metrics)
+{
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: could not write " << path << "\n";
+        return;
+    }
+    out.precision(12);
+    out << "{\n  \"bench\": \"" << name << "\"";
+    for (const auto &[key, value] : metrics) {
+        out << ",\n  \"" << key << "\": ";
+        if (std::isfinite(value))
+            out << value;
+        else
+            out << "null";
+    }
+    out << "\n}\n";
+    std::cout << "\nwrote " << path << "\n";
 }
 
 } // namespace rapidnn::bench

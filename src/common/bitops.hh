@@ -68,6 +68,32 @@ csdDecompose(uint64_t n)
     return terms;
 }
 
+/**
+ * Visit the canonical signed-digit terms of n without materializing a
+ * vector — the hot-loop companion of csdDecompose. Both must produce
+ * the same terms in the same order (the fast-path equivalence test
+ * pins them together).
+ */
+template <typename Visitor>
+inline void
+csdForEach(uint64_t n, Visitor &&visit)
+{
+    uint8_t bit = 0;
+    while (n != 0) {
+        if (n & 1) {
+            if ((n & 3) == 3) {
+                visit(ShiftTerm{bit, true});
+                n += 1; // carry
+            } else {
+                visit(ShiftTerm{bit, false});
+                n -= 1;
+            }
+        }
+        n >>= 1;
+        ++bit;
+    }
+}
+
 /** Evaluate a decomposition back to its integer value (for checking). */
 inline int64_t
 evaluateDecomposition(const std::vector<ShiftTerm> &terms)

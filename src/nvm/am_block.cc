@@ -24,6 +24,9 @@ AmBlock::AmBlock(const std::vector<double> &keys,
     for (size_t i = 0; i < keys.size(); ++i)
         quantized[i] = _codec.quantize(keys[i]);
     _cam.program(quantized);
+    // Compile the exact-mode search into a direct-indexed table once,
+    // here at configure time; staged mode keeps the circuit model.
+    _cam.buildDirectIndex();
 }
 
 size_t

@@ -133,6 +133,47 @@ CrossbarArray::addMany(const std::vector<int64_t> &addends,
     return total;
 }
 
+void
+CrossbarArray::addManyCost(size_t addendCount, size_t resultBits,
+                           const CostModel &model, OpCost &cost)
+{
+    RAPIDNN_ASSERT(resultBits >= 1 && resultBits <= 64,
+                   "addManyCost result width 1..64");
+    if (addendCount <= 1)
+        return; // direct readout, no adder activity
+
+    // Mirror of addMany's tree walk: each stage compresses floor(n/3)
+    // groups of 3 into 2, charging cycles once and energy per group in
+    // the same sequence csaStage would.
+    size_t work = addendCount;
+    while (work > 2) {
+        const size_t groups = work / 3;
+        OpCost stageCost;
+        bool charged = false;
+        for (size_t g = 0; g < groups; ++g) {
+            OpCost groupCost;
+            groupCost += {model.csaStageCycles,
+                          model.norEnergyPerBit
+                              * static_cast<double>(resultBits)
+                              * static_cast<double>(
+                                    model.csaStageCycles)};
+            if (!charged) {
+                stageCost.cycles = groupCost.cycles;
+                charged = true;
+            }
+            stageCost.energy += groupCost.energy;
+        }
+        cost += stageCost;
+        work -= groups;
+    }
+
+    cost += {model.carryPropagateCyclesPerBit * resultBits,
+             model.norEnergyPerBit
+                 * static_cast<double>(resultBits)
+                 * static_cast<double>(
+                       model.carryPropagateCyclesPerBit)};
+}
+
 Area
 CrossbarArray::area() const
 {

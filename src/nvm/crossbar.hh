@@ -83,6 +83,17 @@ class CrossbarArray
                            size_t resultBits, const CostModel &model,
                            OpCost &cost);
 
+    /**
+     * Charge the exact cost addMany would for `addendCount` addends
+     * without materializing or reducing them. The fast inference path
+     * computes the sum inline and uses this for accounting; it must
+     * stay op-for-op identical to addMany's charging (including the
+     * floating-point accumulation order) — the fast-path equivalence
+     * test pins the two together.
+     */
+    static void addManyCost(size_t addendCount, size_t resultBits,
+                            const CostModel &model, OpCost &cost);
+
     /** Number of CSA stages the tree needs for n addends (paper's
      *  log_{3/2} schedule; 0 when n <= 2). */
     static size_t treeStages(size_t n);

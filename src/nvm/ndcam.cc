@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace rapidnn::nvm {
@@ -46,10 +48,90 @@ Ndcam::load(const std::vector<uint32_t> &keys, OpCost &cost)
 void
 Ndcam::program(const std::vector<uint32_t> &keys)
 {
-    const uint32_t top = _bits >= 32 ? ~0u : ((1u << _bits) - 1);
-    for (uint32_t k : keys)
-        RAPIDNN_ASSERT(k <= top, "key wider than the CAM");
     _keys = keys;
+    // Reprogramming invalidates the compiled direct index; the key
+    // width check happens when (if) the index is rebuilt, keeping this
+    // per-window path free of per-key validation.
+    _segments.clear();
+    _bucketSeg.clear();
+}
+
+void
+Ndcam::buildDirectIndex()
+{
+    _segments.clear();
+    _bucketSeg.clear();
+    if (_keys.empty() || _mode != SearchMode::AbsoluteExact)
+        return;
+
+    const uint32_t top = _bits >= 32 ? ~0u : ((1u << _bits) - 1);
+    for (uint32_t k : _keys)
+        RAPIDNN_ASSERT(k <= top, "key wider than the CAM");
+
+    // Winner for a stored key value is the lowest row holding it
+    // (exactSearch replaces only on strictly smaller distance).
+    std::vector<std::pair<uint32_t, uint32_t>> distinct;
+    {
+        std::vector<std::pair<uint32_t, uint32_t>> order;
+        order.reserve(_keys.size());
+        for (size_t r = 0; r < _keys.size(); ++r)
+            order.emplace_back(_keys[r], static_cast<uint32_t>(r));
+        std::sort(order.begin(), order.end());
+        for (const auto &kr : order)
+            if (distinct.empty() || distinct.back().first != kr.first)
+                distinct.push_back(kr);
+    }
+
+    // Piecewise-constant winner map: between adjacent stored keys the
+    // boundary sits at the midpoint, and an exact midpoint tie goes to
+    // the lower row index (exactSearch's scan order).
+    _segments.push_back({0, distinct[0].second});
+    for (size_t i = 1; i < distinct.size(); ++i) {
+        const auto [k0, r0] = distinct[i - 1];
+        const auto [k1, r1] = distinct[i];
+        const uint64_t s = static_cast<uint64_t>(k0) + k1;
+        uint32_t start;  // first query where the upper key wins
+        if (s % 2 != 0) {
+            start = static_cast<uint32_t>(s / 2 + 1);
+        } else {
+            const uint32_t mid = static_cast<uint32_t>(s / 2);
+            start = r0 < r1 ? mid + 1 : mid;
+        }
+        RAPIDNN_ASSERT(start > _segments.back().start,
+                       "direct-index segments must strictly advance");
+        _segments.push_back({start, r1});
+    }
+
+    // Bucket acceleration: the table maps the query's top bits to the
+    // segment live at the bucket's start, so a lookup only walks the
+    // (almost always zero or one) boundaries inside its bucket.
+    const size_t bucketBits =
+        std::min(_bits, static_cast<size_t>(
+                            indexBits(distinct.size()) + 6));
+    _bucketShift = _bits - bucketBits;
+    _bucketSeg.assign(size_t(1) << bucketBits, 0);
+    size_t seg = 0;
+    for (size_t b = 0; b < _bucketSeg.size(); ++b) {
+        const uint32_t bucketStart =
+            static_cast<uint32_t>(b << _bucketShift);
+        while (seg + 1 < _segments.size() &&
+               _segments[seg + 1].start <= bucketStart)
+            ++seg;
+        _bucketSeg[b] = static_cast<uint32_t>(seg);
+    }
+}
+
+size_t
+Ndcam::directLookup(uint32_t query) const
+{
+    const size_t bucket =
+        std::min(static_cast<size_t>(query >> _bucketShift),
+                 _bucketSeg.size() - 1);
+    size_t seg = _bucketSeg[bucket];
+    while (seg + 1 < _segments.size() &&
+           _segments[seg + 1].start <= query)
+        ++seg;
+    return _segments[seg].row;
 }
 
 size_t
@@ -121,8 +203,12 @@ Ndcam::search(uint32_t query, OpCost &cost) const
 {
     RAPIDNN_ASSERT(!_keys.empty(), "search on empty NDCAM");
     cost += _model.camSearch(rows(), _bits);
-    return _mode == SearchMode::AbsoluteExact ? exactSearch(query)
-                                              : stagedSearch(query, nullptr);
+    if (_mode != SearchMode::AbsoluteExact)
+        return stagedSearch(query, nullptr);
+    // The compiled direct index and the scan return identical rows for
+    // every query (tests pin this); the charged cost above is analytic
+    // and unchanged either way.
+    return _segments.empty() ? exactSearch(query) : directLookup(query);
 }
 
 size_t

@@ -83,8 +83,26 @@ class Ndcam
     /** Replace all stored rows (pooling rewrites per window). */
     void load(const std::vector<uint32_t> &keys, OpCost &cost);
 
-    /** Program rows without charging cost (offline configuration). */
+    /**
+     * Program rows without charging cost (offline configuration).
+     * Keys must fit the CAM's key width; the range check runs at
+     * configure time (buildDirectIndex), not per key here, so the
+     * reprogramming paths stay cheap.
+     */
     void program(const std::vector<uint32_t> &keys);
+
+    /**
+     * Compile the stored keys into a direct-indexed lookup table
+     * (quantized key -> winning row) so subsequent exact-mode searches
+     * resolve in O(1) instead of scanning every row. Functional-only:
+     * search() still charges the identical analytic staged-search cost.
+     * Call once after program() at configure time (AmBlock does); a
+     * no-op in CircuitStaged mode. program() invalidates the index.
+     */
+    void buildDirectIndex();
+
+    /** Whether exact searches resolve through the direct index. */
+    bool hasDirectIndex() const { return !_segments.empty(); }
 
     size_t rows() const { return _keys.size(); }
     size_t bits() const { return _bits; }
@@ -119,14 +137,26 @@ class Ndcam
     void setMode(SearchMode mode) { _mode = mode; }
 
   private:
+    /** One piece of the piecewise-constant query->row winner map:
+     *  queries in [start, next segment's start) resolve to `row`. */
+    struct Segment
+    {
+        uint32_t start;
+        uint32_t row;
+    };
+
     size_t _bits;
     CostModel _model;
     SearchMode _mode;
     std::vector<uint32_t> _keys;
+    std::vector<Segment> _segments;    //!< direct index (sorted starts)
+    std::vector<uint32_t> _bucketSeg;  //!< bucket -> first live segment
+    size_t _bucketShift = 0;
 
     size_t stagedSearch(uint32_t query,
                         const std::vector<double> *noise) const;
     size_t exactSearch(uint32_t query) const;
+    size_t directLookup(uint32_t query) const;
 };
 
 } // namespace rapidnn::nvm

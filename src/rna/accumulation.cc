@@ -36,10 +36,11 @@ AccumulationEngine::run(const std::vector<uint16_t> &weightCodes,
     // each buffer, so the phase takes as long as the fullest buffer.
     std::vector<uint32_t> counters(_w * _u, 0);
     std::vector<uint32_t> bufferDepth(_w, 0);
+    // Codes are validated against the table dimensions when the layer
+    // context is configured, not per edge here.
     for (size_t i = 0; i < fanIn; ++i) {
         const uint16_t wc = weightCodes[i];
         const uint16_t uc = inputCodes[i];
-        RAPIDNN_ASSERT(wc < _w && uc < _u, "code out of table range");
         ++counters[size_t(wc) * _u + uc];
         ++bufferDepth[wc];
     }
@@ -79,6 +80,67 @@ AccumulationEngine::run(const std::vector<uint16_t> &weightCodes,
     // --- In-memory carry-save adder tree (Section 4.1.2) ---
     const int64_t fixedSum = nvm::CrossbarArray::addMany(
         addends, _format.accumulatorBits, _model, result.cost.adder);
+    result.value = _format.toReal(fixedSum);
+    return result;
+}
+
+AccumResult
+AccumulationEngine::run(const uint16_t *weightCodes,
+                        const uint16_t *inputCodes, size_t fanIn,
+                        double bias, AccumScratch &scratch) const
+{
+    scratch.ensure(_w, _u);
+    AccumResult result;
+
+    // Parallel counting over the all-zero grid; record touched cells and
+    // weight buffers so only they need resetting afterwards, and keep a
+    // running max instead of scanning every buffer.
+    scratch.touchedCells.clear();
+    scratch.touchedWeights.clear();
+    uint32_t maxDepth = 0;
+    for (size_t i = 0; i < fanIn; ++i) {
+        const uint16_t wc = weightCodes[i];
+        const size_t cell = size_t(wc) * _u + inputCodes[i];
+        if (scratch.counters[cell]++ == 0)
+            scratch.touchedCells.push_back(static_cast<uint32_t>(cell));
+        if (scratch.bufferDepth[wc]++ == 0)
+            scratch.touchedWeights.push_back(wc);
+        maxDepth = std::max(maxDepth, scratch.bufferDepth[wc]);
+    }
+    result.countingCycles = maxDepth;
+    result.cost.counting.cycles = result.countingCycles;
+    result.cost.counting.energy =
+        _model.counterIncrementEnergy * static_cast<double>(fanIn);
+
+    // Shift-and-add terms are summed inline: the fixed-point total is
+    // order-independent, so no addend list needs materializing.
+    int64_t fixedSum = 0;
+    size_t addends = 0;
+    for (const uint32_t cell : scratch.touchedCells) {
+        const uint32_t count = scratch.counters[cell];
+        scratch.counters[cell] = 0;
+        const int64_t product = _fixedProducts[cell];
+        csdForEach(count, [&](ShiftTerm term) {
+            const int64_t shifted = product << term.shift;
+            fixedSum += term.negative ? -shifted : shifted;
+            ++addends;
+        });
+    }
+    result.distinctProducts = scratch.touchedCells.size();
+    result.addends = addends;
+    for (const uint16_t wc : scratch.touchedWeights)
+        scratch.bufferDepth[wc] = 0;
+
+    result.cost.fetch.cycles = result.distinctProducts;
+    result.cost.fetch.energy = _model.crossbarReadEnergy
+        * static_cast<double>(result.distinctProducts);
+
+    // Bias joins the reduction as one extra addend, exactly as the
+    // vector path pushes it before addMany.
+    fixedSum += _format.toFixed(bias);
+    nvm::CrossbarArray::addManyCost(result.addends + 1,
+                                    _format.accumulatorBits, _model,
+                                    result.cost.adder);
     result.value = _format.toReal(fixedSum);
     return result;
 }

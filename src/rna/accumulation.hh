@@ -73,6 +73,37 @@ struct AccumFormat
 };
 
 /**
+ * Reusable scratch state for the allocation-free accumulation path.
+ * The counter grid and buffer-depth array are kept all-zero between
+ * runs: each run records exactly the cells/buckets it touched and
+ * resets only those, so a neuron's cost is O(fan-in) regardless of the
+ * w x u table size. Sized once (Workspace::prepare / ensure) and then
+ * reused for every neuron, so the steady-state hot loop performs zero
+ * heap allocations.
+ */
+struct AccumScratch
+{
+    std::vector<uint32_t> counters;      //!< [w*u] grid, all-zero at rest
+    std::vector<uint32_t> bufferDepth;   //!< [w], all-zero at rest
+    std::vector<uint32_t> touchedCells;  //!< cells hit by the last run
+    std::vector<uint16_t> touchedWeights;
+
+    /** Grow (never shrink) to cover a w x u product table. */
+    void
+    ensure(size_t w, size_t u)
+    {
+        if (counters.size() < w * u)
+            counters.resize(w * u, 0);
+        if (bufferDepth.size() < w)
+            bufferDepth.resize(w, 0);
+        if (touchedCells.capacity() < w * u)
+            touchedCells.reserve(w * u);
+        if (touchedWeights.capacity() < w)
+            touchedWeights.reserve(w);
+    }
+};
+
+/**
  * Executes weighted accumulations for one neuron configuration:
  * a product table of w x u pre-computed values.
  */
@@ -99,6 +130,17 @@ class AccumulationEngine
     AccumResult run(const std::vector<uint16_t> &weightCodes,
                     const std::vector<uint16_t> &inputCodes,
                     double bias) const;
+
+    /**
+     * Allocation-free accumulation over caller-owned code arrays.
+     * Bitwise-identical to the vector overload in every AccumResult
+     * field (the fixed-point sum is order-independent and the analytic
+     * costs depend only on counts), but performs no heap allocation and
+     * touches only the O(fan-in) cells it uses via `scratch`.
+     */
+    AccumResult run(const uint16_t *weightCodes,
+                    const uint16_t *inputCodes, size_t fanIn,
+                    double bias, AccumScratch &scratch) const;
 
     size_t weightEntries() const { return _w; }
     size_t inputEntries() const { return _u; }

@@ -13,6 +13,94 @@ using composer::EncodedTensor;
 using composer::RLayer;
 using composer::RLayerKind;
 
+namespace {
+
+/**
+ * Leases the chip's shared workspace for the duration of one infer()
+ * call. infer() is const and documented safe for concurrent calls on
+ * one chip, so the lease is a try-acquire: the winner reuses the
+ * pre-sized shared workspace (the steady-state allocation-free path),
+ * any concurrent loser gets a freshly allocated private spare.
+ */
+class WorkspaceLease
+{
+  public:
+    explicit WorkspaceLease(Workspace *shared)
+    {
+        if (shared != nullptr &&
+            !shared->busy.exchange(true, std::memory_order_acquire)) {
+            _ws = shared;
+        } else {
+            _spare = std::make_unique<Workspace>();
+            _ws = _spare.get();
+        }
+    }
+
+    ~WorkspaceLease()
+    {
+        if (_spare == nullptr)
+            _ws->busy.store(false, std::memory_order_release);
+    }
+
+    WorkspaceLease(const WorkspaceLease &) = delete;
+    WorkspaceLease &operator=(const WorkspaceLease &) = delete;
+
+    Workspace &get() { return *_ws; }
+
+  private:
+    Workspace *_ws;
+    std::unique_ptr<Workspace> _spare;
+};
+
+/**
+ * Build the im2col-style gather plan for a conv layer at one input
+ * shape. Slot order matches the reference gather loops exactly
+ * (channel, then in-bounds ky, then in-bounds kx).
+ */
+void
+buildConvPlan(ConvGatherPlan &plan, const RLayer &layer, size_t inC,
+              size_t h, size_t w)
+{
+    const size_t k = layer.kernel;
+    const size_t oh = layer.samePadding ? h : h - k + 1;
+    const size_t ow = layer.samePadding ? w : w - k + 1;
+    const long off = layer.samePadding ? -long(k / 2) : 0;
+
+    plan.inC = inC;
+    plan.inH = h;
+    plan.inW = w;
+    plan.outH = oh;
+    plan.outW = ow;
+    plan.start.assign(oh * ow + 1, 0);
+    plan.weightIdx.clear();
+    plan.inputIdx.clear();
+    plan.weightIdx.reserve(oh * ow * inC * k * k);
+    plan.inputIdx.reserve(oh * ow * inC * k * k);
+
+    for (size_t y = 0; y < oh; ++y)
+        for (size_t x = 0; x < ow; ++x) {
+            for (size_t ic = 0; ic < inC; ++ic)
+                for (size_t ky = 0; ky < k; ++ky) {
+                    const long iy = long(y) + long(ky) + off;
+                    if (iy < 0 || iy >= long(h))
+                        continue;
+                    for (size_t kx = 0; kx < k; ++kx) {
+                        const long ix = long(x) + long(kx) + off;
+                        if (ix < 0 || ix >= long(w))
+                            continue;
+                        plan.weightIdx.push_back(static_cast<uint32_t>(
+                            (ic * k + ky) * k + kx));
+                        plan.inputIdx.push_back(static_cast<uint32_t>(
+                            (ic * h + size_t(iy)) * w + size_t(ix)));
+                    }
+                }
+            plan.start[y * ow + x + 1] =
+                static_cast<uint32_t>(plan.weightIdx.size());
+        }
+}
+
+} // namespace
+
 void
 Chip::configure(const composer::ReinterpretedModel &model)
 {
@@ -20,6 +108,13 @@ Chip::configure(const composer::ReinterpretedModel &model)
     _contexts.clear();
     _contextByLayer.clear();
     configureLayers(model.layers());
+
+    // Build the shared inference workspace now so steady-state infer()
+    // calls never grow a buffer.
+    _workspace = std::make_unique<Workspace>();
+    _workspace->convPlans.resize(_contexts.size());
+    for (const auto &ctx : _contexts)
+        ctx->prepareWorkspace(*_workspace);
 }
 
 void
@@ -49,7 +144,7 @@ Chip::clone() const
 
 Chip::LayerRun
 Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
-               bool lastCompute) const
+               bool lastCompute, Workspace &ws) const
 {
     LayerRun run{};
     run.stageCycles = 0;
@@ -66,12 +161,22 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         const auto &codes = layer.weightCodes[0];
         uint64_t worstNeuron = 0;
-        std::vector<uint16_t> wcol(layer.inCount);
+        std::vector<uint16_t> wcol;
+        if (!_config.fastPath)
+            wcol.resize(layer.inCount);
         for (size_t j = 0; j < layer.outCount; ++j) {
-            for (size_t i = 0; i < layer.inCount; ++i)
-                wcol[i] = codes[i * layer.outCount + j];
-            NeuronResult r =
-                ctx.evaluate(0, wcol, in.codes, layer.bias[j]);
+            NeuronResult r;
+            if (_config.fastPath) {
+                // Transposed columns + direct input view: no gather,
+                // no allocation.
+                r = ctx.evaluateFast(0, ctx.denseColumn(j),
+                                     in.codes.data(), layer.inCount,
+                                     layer.bias[j], ws.accum);
+            } else {
+                for (size_t i = 0; i < layer.inCount; ++i)
+                    wcol[i] = codes[i * layer.outCount + j];
+                r = ctx.evaluate(0, wcol, in.codes, layer.bias[j]);
+            }
             run.cost += r.cost;
             worstNeuron = std::max(worstNeuron, r.cost.total().cycles);
             if (r.encoded)
@@ -107,33 +212,65 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         if (lastCompute)
             run.raw.assign(layer.outCount * oh * ow, 0.0);
 
+        // Fast path: the receptive-field gather per output position is
+        // compiled once per input shape into flat index maps, then the
+        // hot loop is two indexed copies plus the engine run.
+        ConvGatherPlan *plan = nullptr;
+        if (_config.fastPath) {
+            plan = &ws.convPlans[_contextByLayer.at(&layer)];
+            if (!plan->matches(inC, h, w))
+                buildConvPlan(*plan, layer, inC, h, w);
+            const size_t windowMax = layer.weightCodes[0].size();
+            if (ws.gatherW.size() < windowMax)
+                ws.gatherW.resize(windowMax);
+            if (ws.gatherX.size() < windowMax)
+                ws.gatherX.resize(windowMax);
+        }
+
         uint64_t worstNeuron = 0;
         std::vector<uint16_t> wcodes, xcodes;
         for (size_t oc = 0; oc < layer.outCount; ++oc) {
             const auto &codes = layer.weightCodes[oc];
             for (size_t y = 0; y < oh; ++y) {
                 for (size_t x = 0; x < ow; ++x) {
-                    wcodes.clear();
-                    xcodes.clear();
-                    for (size_t ic = 0; ic < inC; ++ic)
-                        for (size_t ky = 0; ky < k; ++ky) {
-                            const long iy = long(y) + long(ky) + off;
-                            if (iy < 0 || iy >= long(h))
-                                continue;
-                            for (size_t kx = 0; kx < k; ++kx) {
-                                const long ix =
-                                    long(x) + long(kx) + off;
-                                if (ix < 0 || ix >= long(w))
-                                    continue;
-                                wcodes.push_back(
-                                    codes[(ic * k + ky) * k + kx]);
-                                xcodes.push_back(
-                                    in.codes[(ic * h + size_t(iy)) * w
-                                             + size_t(ix)]);
-                            }
+                    NeuronResult r;
+                    if (plan != nullptr) {
+                        const size_t p = y * ow + x;
+                        const uint32_t s0 = plan->start[p];
+                        const size_t n = plan->start[p + 1] - s0;
+                        for (size_t s = 0; s < n; ++s) {
+                            ws.gatherW[s] =
+                                codes[plan->weightIdx[s0 + s]];
+                            ws.gatherX[s] =
+                                in.codes[plan->inputIdx[s0 + s]];
                         }
-                    NeuronResult r = ctx.evaluate(oc, wcodes, xcodes,
-                                                  layer.bias[oc]);
+                        r = ctx.evaluateFast(oc, ws.gatherW.data(),
+                                             ws.gatherX.data(), n,
+                                             layer.bias[oc], ws.accum);
+                    } else {
+                        wcodes.clear();
+                        xcodes.clear();
+                        for (size_t ic = 0; ic < inC; ++ic)
+                            for (size_t ky = 0; ky < k; ++ky) {
+                                const long iy =
+                                    long(y) + long(ky) + off;
+                                if (iy < 0 || iy >= long(h))
+                                    continue;
+                                for (size_t kx = 0; kx < k; ++kx) {
+                                    const long ix =
+                                        long(x) + long(kx) + off;
+                                    if (ix < 0 || ix >= long(w))
+                                        continue;
+                                    wcodes.push_back(
+                                        codes[(ic * k + ky) * k + kx]);
+                                    xcodes.push_back(
+                                        in.codes[(ic * h + size_t(iy))
+                                                 * w + size_t(ix)]);
+                                }
+                            }
+                        r = ctx.evaluate(oc, wcodes, xcodes,
+                                         layer.bias[oc]);
+                    }
                     run.cost += r.cost;
                     worstNeuron =
                         std::max(worstNeuron, r.cost.total().cycles);
@@ -176,9 +313,15 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                                 (c * h + y * win + ky) * w + x * win
                                 + kx];
                     nvm::OpCost one;
+                    // Fast path skips the per-window Ndcam object but
+                    // charges the identical load + MAX-search cost.
                     run.output.codes[(c * oh + y) * ow + x] =
-                        RnaLayerContext::poolMax(window, _config.cost,
-                                                 one);
+                        _config.fastPath
+                            ? RnaLayerContext::poolMaxFast(
+                                  window.data(), window.size(),
+                                  _config.cost, one)
+                            : RnaLayerContext::poolMax(
+                                  window, _config.cost, one);
                     worst = std::max(worst, one.cycles);
                     poolCost += one;
                 }
@@ -208,7 +351,12 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         for (size_t c = 0; c < ch; ++c)
             for (size_t y = 0; y < oh; ++y)
                 for (size_t x = 0; x < ow; ++x) {
-                    std::vector<int64_t> addends;
+                    // Fast path reuses the workspace addend buffer
+                    // instead of allocating one per window.
+                    std::vector<int64_t> local;
+                    std::vector<int64_t> &addends =
+                        _config.fastPath ? ws.addends : local;
+                    addends.clear();
                     AccumFormat format;
                     for (size_t ky = 0; ky < win; ++ky)
                         for (size_t kx = 0; kx < win; ++kx) {
@@ -256,42 +404,79 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                        "recurrent layer code count mismatch");
 
         nvm::OpCost zeroEncode;
-        std::vector<uint16_t> hCodes(
-            hidden, ctx.encodeState(0.0, zeroEncode));
-        std::vector<double> hRaw(hidden, 0.0);
+        const uint16_t zeroCode = ctx.encodeState(0.0, zeroEncode);
         run.cost.encoding += zeroEncode;
 
-        const auto &wxCodes = layer.weightCodes[0];
-        const auto &whCodes = layer.stateWeightCodes[0];
-        std::vector<uint16_t> wxCol(features), whCol(hidden);
-        std::vector<uint16_t> xStep(features);
-
+        std::vector<double> hRawLocal;
         uint64_t stepWorst = 0;
-        for (size_t t = 0; t < layer.steps; ++t) {
-            for (size_t f = 0; f < features; ++f)
-                xStep[f] = in.codes[t * features + f];
-            std::vector<uint16_t> next(hidden);
-            std::vector<double> nextRaw(hidden);
-            uint64_t worstNeuron = 0;
-            for (size_t h = 0; h < hidden; ++h) {
-                for (size_t f = 0; f < features; ++f)
-                    wxCol[f] = wxCodes[f * hidden + h];
-                for (size_t hp = 0; hp < hidden; ++hp)
-                    whCol[hp] = whCodes[hp * hidden + h];
-                NeuronResult r = ctx.evaluateRecurrentStep(
-                    wxCol, xStep, whCol, hCodes, layer.bias[h]);
-                run.cost += r.cost;
-                worstNeuron =
-                    std::max(worstNeuron, r.cost.total().cycles);
-                next[h] = r.code;
-                nextRaw[h] = r.rawValue;
+        if (_config.fastPath) {
+            // Transposed weight columns, direct step views into the
+            // input codes, and double-buffered hidden state: the step
+            // loop allocates nothing.
+            ws.hCodes.assign(hidden, zeroCode);
+            ws.hRaw.assign(hidden, 0.0);
+            ws.hNext.resize(hidden);
+            ws.hRawNext.resize(hidden);
+            for (size_t t = 0; t < layer.steps; ++t) {
+                const uint16_t *xStep = in.codes.data() + t * features;
+                uint64_t worstNeuron = 0;
+                for (size_t h = 0; h < hidden; ++h) {
+                    NeuronResult r = ctx.evaluateRecurrentStepFast(
+                        ctx.recurrentXColumn(h), xStep, features,
+                        ctx.recurrentHColumn(h), ws.hCodes.data(),
+                        hidden, layer.bias[h], ws.accum);
+                    run.cost += r.cost;
+                    worstNeuron =
+                        std::max(worstNeuron, r.cost.total().cycles);
+                    ws.hNext[h] = r.code;
+                    ws.hRawNext[h] = r.rawValue;
+                }
+                // Steps are inherently sequential (the feedback
+                // hazard): neurons parallel within a step, steps
+                // serialized.
+                stepWorst += worstNeuron;
+                std::swap(ws.hCodes, ws.hNext);
+                std::swap(ws.hRaw, ws.hRawNext);
             }
-            // Steps are inherently sequential (the feedback hazard):
-            // neurons parallel within a step, steps serialized.
-            stepWorst += worstNeuron;
-            hCodes = std::move(next);
-            hRaw = std::move(nextRaw);
+        } else {
+            std::vector<uint16_t> hCodes(hidden, zeroCode);
+            std::vector<double> hRaw(hidden, 0.0);
+
+            const auto &wxCodes = layer.weightCodes[0];
+            const auto &whCodes = layer.stateWeightCodes[0];
+            std::vector<uint16_t> wxCol(features), whCol(hidden);
+            std::vector<uint16_t> xStep(features);
+
+            for (size_t t = 0; t < layer.steps; ++t) {
+                for (size_t f = 0; f < features; ++f)
+                    xStep[f] = in.codes[t * features + f];
+                std::vector<uint16_t> next(hidden);
+                std::vector<double> nextRaw(hidden);
+                uint64_t worstNeuron = 0;
+                for (size_t h = 0; h < hidden; ++h) {
+                    for (size_t f = 0; f < features; ++f)
+                        wxCol[f] = wxCodes[f * hidden + h];
+                    for (size_t hp = 0; hp < hidden; ++hp)
+                        whCol[hp] = whCodes[hp * hidden + h];
+                    NeuronResult r = ctx.evaluateRecurrentStep(
+                        wxCol, xStep, whCol, hCodes, layer.bias[h]);
+                    run.cost += r.cost;
+                    worstNeuron =
+                        std::max(worstNeuron, r.cost.total().cycles);
+                    next[h] = r.code;
+                    nextRaw[h] = r.rawValue;
+                }
+                // Steps are inherently sequential (the feedback
+                // hazard): neurons parallel within a step, steps
+                // serialized.
+                stepWorst += worstNeuron;
+                hCodes = std::move(next);
+                hRaw = std::move(nextRaw);
+            }
+            hRawLocal = std::move(hRaw);
         }
+        const std::vector<double> &hRaw =
+            _config.fastPath ? ws.hRaw : hRawLocal;
         run.stageCycles = stepWorst;
 
         run.output.shape = {hidden};
@@ -320,7 +505,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         for (size_t i = 0; i < layer.inner.size(); ++i) {
             const bool lastInner = i + 1 == layer.inner.size();
             LayerRun innerRun = runLayer(layer.inner[i], value,
-                                         lastInner);
+                                         lastInner, ws);
             run.cost += innerRun.cost;
             run.stageCycles += innerRun.stageCycles;
             if (lastInner)
@@ -415,9 +600,16 @@ Chip::infer(const nn::Tensor &x, PerfReport &report) const
         }
     }
 
+    // Lease the shared workspace for this call; concurrent callers on
+    // the same chip fall back to private spares (see WorkspaceLease).
+    WorkspaceLease lease(_workspace.get());
+    Workspace &ws = lease.get();
+    if (ws.convPlans.size() < _contexts.size())
+        ws.convPlans.resize(_contexts.size());
+
     for (size_t l = 0; l < model.layers().size(); ++l) {
         LayerRun run = runLayer(model.layers()[l], enc,
-                                l == lastCompute);
+                                l == lastCompute, ws);
         totals += run.cost;
         latencyCycles += run.stageCycles;
         worstStage = std::max(worstStage, run.stageCycles);

@@ -21,6 +21,7 @@
 #include "composer/reinterpreted_model.hh"
 #include "rna/perf_report.hh"
 #include "rna/rna_block.hh"
+#include "rna/workspace.hh"
 
 namespace rapidnn::rna {
 
@@ -33,6 +34,14 @@ struct ChipConfig
      *  (Section 5.6, Table 4). Shared neurons serialize. */
     double rnaSharing = 0.0;
     nvm::SearchMode searchMode = nvm::SearchMode::AbsoluteExact;
+    /**
+     * Use the zero-allocation fused-lookup inference path. Results are
+     * bitwise-identical either way (values, codes, PerfReport —
+     * tests/fastpath_equivalence_test.cc pins this); false keeps the
+     * original allocating reference path, kept as the comparison
+     * baseline for benchmarks and the equivalence guard.
+     */
+    bool fastPath = true;
 
     size_t totalRnas() const
     {
@@ -124,6 +133,9 @@ class Chip
      *  inside residual blocks), keyed by the RLayer's address. */
     std::vector<std::unique_ptr<RnaLayerContext>> _contexts;
     std::map<const composer::RLayer *, size_t> _contextByLayer;
+    /** Shared inference workspace, built at configure time and leased
+     *  per infer() call (concurrent callers fall back to spares). */
+    mutable std::unique_ptr<Workspace> _workspace;
 
     struct LayerRun
     {
@@ -137,7 +149,7 @@ class Chip
 
     LayerRun runLayer(const composer::RLayer &layer,
                       const composer::EncodedTensor &in,
-                      bool lastCompute) const;
+                      bool lastCompute, Workspace &ws) const;
 };
 
 } // namespace rapidnn::rna

@@ -45,6 +45,44 @@ RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
             rows[i] = static_cast<double>(i);
         _encodingAm.emplace(values, rows, 32, model, mode);
     }
+
+    // Configure-time code-range validation: weight codes are checked
+    // against their product-table dimensions once here, so the
+    // per-edge hot loops can index without asserting. (Input codes are
+    // in range by construction: every encoder's row count equals its
+    // engine's input-entry count.)
+    for (size_t c = 0; c < layer.weightCodes.size(); ++c)
+        for (const uint16_t code : layer.weightCodes[c])
+            RAPIDNN_ASSERT(code < _engines[c].weightEntries(),
+                           "weight code out of table range");
+    if (_stateEngine)
+        for (const uint16_t code : layer.stateWeightCodes[0])
+            RAPIDNN_ASSERT(code < _stateEngine->weightEntries(),
+                           "state weight code out of table range");
+
+    // Transposed (neuron-major) weight-code copies for the fast path:
+    // built once so runLayer never re-gathers strided columns.
+    if (layer.kind == composer::RLayerKind::Dense) {
+        const auto &codes = layer.weightCodes[0];
+        _denseColumns.resize(codes.size());
+        for (size_t j = 0; j < layer.outCount; ++j)
+            for (size_t i = 0; i < layer.inCount; ++i)
+                _denseColumns[j * layer.inCount + i] =
+                    codes[i * layer.outCount + j];
+    } else if (layer.kind == composer::RLayerKind::Recurrent) {
+        const auto &wx = layer.weightCodes[0];
+        const auto &wh = layer.stateWeightCodes[0];
+        const size_t hidden = layer.outCount;
+        const size_t features = layer.inCount;
+        _recXColumns.resize(wx.size());
+        for (size_t h = 0; h < hidden; ++h)
+            for (size_t f = 0; f < features; ++f)
+                _recXColumns[h * features + f] = wx[f * hidden + h];
+        _recHColumns.resize(wh.size());
+        for (size_t h = 0; h < hidden; ++h)
+            for (size_t hp = 0; hp < hidden; ++hp)
+                _recHColumns[h * hidden + hp] = wh[hp * hidden + h];
+    }
 }
 
 NeuronResult
@@ -58,6 +96,30 @@ RnaLayerContext::evaluate(size_t channel,
     NeuronResult result;
     const AccumResult accum =
         _engines[channel].run(weightCodes, inputCodes, bias);
+    result.cost.weightedAccum = accum.cost.total();
+
+    double value = accum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    if (_encodingAm) {
+        result.code = static_cast<uint16_t>(
+            _encodingAm->lookupRow(value, result.cost.encoding));
+        result.encoded = true;
+    }
+    return result;
+}
+
+NeuronResult
+RnaLayerContext::evaluateFast(size_t channel,
+                              const uint16_t *weightCodes,
+                              const uint16_t *inputCodes, size_t fanIn,
+                              double bias, AccumScratch &scratch) const
+{
+    NeuronResult result;
+    const AccumResult accum = _engines[channel].run(
+        weightCodes, inputCodes, fanIn, bias, scratch);
     result.cost.weightedAccum = accum.cost.total();
 
     double value = accum.value;
@@ -104,6 +166,34 @@ RnaLayerContext::evaluateRecurrentStep(
     return result;
 }
 
+NeuronResult
+RnaLayerContext::evaluateRecurrentStepFast(
+    const uint16_t *xWeightCodes, const uint16_t *xCodes,
+    size_t features, const uint16_t *hWeightCodes,
+    const uint16_t *hCodes, size_t hidden, double bias,
+    AccumScratch &scratch) const
+{
+    NeuronResult result;
+    // Mirrors evaluateRecurrentStep: both operand paths tally in the
+    // same crossbar, costs add, values add.
+    const AccumResult xAccum =
+        _engines[0].run(xWeightCodes, xCodes, features, bias, scratch);
+    const AccumResult hAccum =
+        _stateEngine->run(hWeightCodes, hCodes, hidden, 0.0, scratch);
+    result.cost.weightedAccum =
+        xAccum.cost.total() + hAccum.cost.total();
+
+    double value = xAccum.value + hAccum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    result.code = static_cast<uint16_t>(
+        _stateEncodingAm->lookupRow(value, result.cost.encoding));
+    result.encoded = true;
+    return result;
+}
+
 uint16_t
 RnaLayerContext::encodeState(double value, nvm::OpCost &cost) const
 {
@@ -126,6 +216,49 @@ RnaLayerContext::poolMax(const std::vector<uint16_t> &codes,
     cam.load(keys, cost);
     const size_t row = cam.searchMax(cost);
     return codes[row];
+}
+
+uint16_t
+RnaLayerContext::poolMaxFast(const uint16_t *codes, size_t count,
+                             const nvm::CostModel &model,
+                             nvm::OpCost &cost)
+{
+    RAPIDNN_ASSERT(count > 0, "poolMax on empty window");
+    // Charge exactly what poolMax's Ndcam would: one load of `count`
+    // keys, then one MAX search over `count` 16-bit rows.
+    cost += {1, model.camWriteEnergy * static_cast<double>(count)};
+    cost += model.camSearch(count, 16);
+    // First occurrence of the maximum, matching std::max_element.
+    uint16_t best = codes[0];
+    for (size_t i = 1; i < count; ++i)
+        if (codes[i] > best)
+            best = codes[i];
+    return best;
+}
+
+void
+RnaLayerContext::prepareWorkspace(Workspace &ws) const
+{
+    for (const auto &engine : _engines)
+        ws.accum.ensure(engine.weightEntries(), engine.inputEntries());
+    if (_stateEngine)
+        ws.accum.ensure(_stateEngine->weightEntries(),
+                        _stateEngine->inputEntries());
+    if (_layer.kind == composer::RLayerKind::Conv) {
+        const size_t windowMax = _layer.weightCodes[0].size();
+        if (ws.gatherW.size() < windowMax)
+            ws.gatherW.resize(windowMax);
+        if (ws.gatherX.size() < windowMax)
+            ws.gatherX.resize(windowMax);
+    } else if (_layer.kind == composer::RLayerKind::Recurrent) {
+        const size_t hidden = _layer.outCount;
+        if (ws.hCodes.size() < hidden) {
+            ws.hCodes.resize(hidden);
+            ws.hNext.resize(hidden);
+            ws.hRaw.resize(hidden);
+            ws.hRawNext.resize(hidden);
+        }
+    }
 }
 
 size_t

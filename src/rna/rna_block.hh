@@ -14,6 +14,7 @@
 #include "composer/reinterpreted_model.hh"
 #include "nvm/am_block.hh"
 #include "rna/accumulation.hh"
+#include "rna/workspace.hh"
 
 namespace rapidnn::rna {
 
@@ -82,12 +83,31 @@ class RnaLayerContext
                           double bias) const;
 
     /**
+     * Allocation-free twin of evaluate() over caller-owned code arrays
+     * plus reusable counting scratch. Bitwise-identical results
+     * (value, code, every cost field); tests pin the equivalence.
+     */
+    NeuronResult evaluateFast(size_t channel,
+                              const uint16_t *weightCodes,
+                              const uint16_t *inputCodes, size_t fanIn,
+                              double bias, AccumScratch &scratch) const;
+
+    /**
      * Max-pool a window of encoded values by loading them into the
      * encoding/pooling AM and issuing one MAX search (Section 4.2.1).
      */
     static uint16_t poolMax(const std::vector<uint16_t> &codes,
                             const nvm::CostModel &model,
                             nvm::OpCost &cost);
+
+    /**
+     * Allocation-free twin of poolMax(): charges the identical load +
+     * MAX-search cost without materializing an Ndcam, and resolves the
+     * same winner (first occurrence of the maximum code).
+     */
+    static uint16_t poolMaxFast(const uint16_t *codes, size_t count,
+                                const nvm::CostModel &model,
+                                nvm::OpCost &cost);
 
     /**
      * One unrolled step of a recurrent neuron: accumulate the x-path
@@ -102,8 +122,44 @@ class RnaLayerContext
         const std::vector<uint16_t> &hWeightCodes,
         const std::vector<uint16_t> &hCodes, double bias) const;
 
+    /** Allocation-free twin of evaluateRecurrentStep(). */
+    NeuronResult evaluateRecurrentStepFast(
+        const uint16_t *xWeightCodes, const uint16_t *xCodes,
+        size_t features, const uint16_t *hWeightCodes,
+        const uint16_t *hCodes, size_t hidden, double bias,
+        AccumScratch &scratch) const;
+
     /** Encode a raw value into the recurrent state codebook. */
     uint16_t encodeState(double value, nvm::OpCost &cost) const;
+
+    /**
+     * Column-major (neuron-major) weight codes, transposed once at
+     * configure time so the fast path hands the engine a contiguous
+     * run instead of striding through the row-major layer arrays.
+     */
+    const uint16_t *
+    denseColumn(size_t j) const
+    {
+        return _denseColumns.data() + j * _layer.inCount;
+    }
+
+    /** Neuron-major input-path weight codes (recurrent layers). */
+    const uint16_t *
+    recurrentXColumn(size_t h) const
+    {
+        return _recXColumns.data() + h * _layer.inCount;
+    }
+
+    /** Neuron-major feedback-path weight codes (recurrent layers). */
+    const uint16_t *
+    recurrentHColumn(size_t h) const
+    {
+        return _recHColumns.data() + h * _layer.outCount;
+    }
+
+    /** Pre-size a workspace's buffers for this layer (configure time),
+     *  so steady-state inference never grows them. */
+    void prepareWorkspace(Workspace &ws) const;
 
     const composer::RLayer &layer() const { return _layer; }
 
@@ -119,6 +175,10 @@ class RnaLayerContext
     /** Feedback-path engine and state-encoding AM (recurrent only). */
     std::optional<AccumulationEngine> _stateEngine;
     std::optional<nvm::AmBlock> _stateEncodingAm;
+    /** Transposed weight-code matrices for the fast path. */
+    std::vector<uint16_t> _denseColumns;
+    std::vector<uint16_t> _recXColumns;
+    std::vector<uint16_t> _recHColumns;
 };
 
 } // namespace rapidnn::rna

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reusable per-chip inference workspace.
+ *
+ * One Workspace is built at Chip::configure time and leased to each
+ * infer() call, so the steady-state per-neuron hot loop performs zero
+ * heap allocations: the counting scratch resets sparsely, the conv
+ * gather buffers and recurrent state double-buffers are sized up front,
+ * and conv im2col-style index plans are cached per input shape.
+ * The busy flag lets concurrent infer() calls on one chip stay safe:
+ * the loser of the exchange falls back to a private spare workspace.
+ */
+
+#ifndef RAPIDNN_RNA_WORKSPACE_HH
+#define RAPIDNN_RNA_WORKSPACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "rna/accumulation.hh"
+
+namespace rapidnn::rna {
+
+/**
+ * Cached im2col-style gather plan for one conv layer at one input
+ * shape: flat index maps from each output position's receptive-field
+ * window into the layer's per-channel weight codes and into the input
+ * tensor, with same-padding boundary clipping folded in. Built on the
+ * first infer (input H/W are unknown at configure) and reused while the
+ * shape matches. Slot order mirrors the reference gather loops
+ * (channel, then valid ky, then valid kx) so results stay identical.
+ */
+struct ConvGatherPlan
+{
+    size_t inC = 0;
+    size_t inH = 0;
+    size_t inW = 0;
+    size_t outH = 0;
+    size_t outW = 0;
+    /** Prefix offsets into the index arrays: window for output
+     *  position p spans slots [start[p], start[p + 1]). */
+    std::vector<uint32_t> start;
+    std::vector<uint32_t> weightIdx;  //!< slot -> per-channel weight code
+    std::vector<uint32_t> inputIdx;   //!< slot -> input tensor code
+
+    bool
+    matches(size_t c, size_t h, size_t w) const
+    {
+        return c == inC && h == inH && w == inW;
+    }
+};
+
+/** All mutable scratch one infer() call needs, reusable across calls. */
+struct Workspace
+{
+    AccumScratch accum;
+
+    /** Conv/pool window gather targets (sized to the widest window). */
+    std::vector<uint16_t> gatherW;
+    std::vector<uint16_t> gatherX;
+
+    /** Recurrent hidden-state double buffers. */
+    std::vector<uint16_t> hCodes;
+    std::vector<uint16_t> hNext;
+    std::vector<double> hRaw;
+    std::vector<double> hRawNext;
+
+    /** AvgPool fixed-point addend reuse. */
+    std::vector<int64_t> addends;
+
+    /** One cached conv plan per layer context index. */
+    std::vector<ConvGatherPlan> convPlans;
+
+    /** Lease flag: set while an infer() call owns this workspace. */
+    std::atomic<bool> busy{false};
+};
+
+} // namespace rapidnn::rna
+
+#endif // RAPIDNN_RNA_WORKSPACE_HH

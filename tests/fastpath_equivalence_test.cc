@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Bitwise-equivalence guard for the zero-allocation fused-lookup
+ * inference fast path (ChipConfig::fastPath).
+ *
+ * The invariant: cost accounting is analytic, so the functional path is
+ * free to change — but only if every observable is bit-identical.
+ * These tests run dense, conv and recurrent models through the original
+ * reference path (fastPath = false) and the fast path (true) and
+ * require identical logits, output codes, and PerfReport totals and
+ * breakdowns, in both exact and circuit-staged search modes. A
+ * per-neuron test pins evaluate() against evaluateFast() field by
+ * field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "composer/composer.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn::rna {
+namespace {
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+
+composer::ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+struct Fixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    ReinterpretedModel model;
+};
+
+Fixture &
+denseFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::Dataset all = nn::makeVectorTask(
+            {"fp-dense", 18, 4, 280, 0.35, 1.0, 71});
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(72);
+        nn::Network net = nn::buildMlp(
+            {.inputs = 18, .hidden = {20, 14}, .outputs = 4}, rng);
+        nn::Trainer({.epochs = 5, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+convFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::ImageTaskSpec spec;
+        spec.name = "fp-conv";
+        spec.side = 8;
+        spec.classes = 3;
+        spec.samples = 220;
+        spec.seed = 73;
+        nn::Dataset all = nn::makeImageTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(74);
+        nn::CnnSpec cnn;
+        cnn.channels = 3;
+        cnn.height = cnn.width = 8;
+        cnn.convChannels = {5, 6};
+        cnn.denseWidths = {20};
+        cnn.outputs = 3;
+        nn::Network net = nn::buildCnn(cnn, rng);
+        nn::Trainer({.epochs = 3, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+recurrentFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::SequenceTaskSpec spec;
+        spec.name = "fp-seq";
+        spec.features = 5;
+        spec.steps = 7;
+        spec.classes = 3;
+        spec.samples = 260;
+        spec.noise = 0.25;
+        spec.seed = 75;
+        nn::Dataset all = nn::makeSequenceTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(76);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            5, 12, 7, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(12, 3, rng));
+        nn::Trainer({.epochs = 5, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+/** Every observable of both paths must be bit-identical. */
+void
+expectBitwiseEqual(const Fixture &fx, nvm::SearchMode mode,
+                   size_t samples = 12)
+{
+    ChipConfig refConfig;
+    refConfig.fastPath = false;
+    refConfig.searchMode = mode;
+    Chip reference(refConfig);
+    reference.configure(fx.model);
+
+    ChipConfig fastConfig;
+    fastConfig.fastPath = true;
+    fastConfig.searchMode = mode;
+    Chip fast(fastConfig);
+    fast.configure(fx.model);
+
+    for (size_t s = 0; s < samples && s < fx.validation.size(); ++s) {
+        const nn::Tensor &x = fx.validation.sample(s).x;
+        PerfReport refReport, fastReport;
+        const std::vector<double> refLogits =
+            reference.infer(x, refReport);
+        const std::vector<double> fastLogits = fast.infer(x, fastReport);
+
+        ASSERT_EQ(refLogits.size(), fastLogits.size());
+        for (size_t j = 0; j < refLogits.size(); ++j)
+            EXPECT_EQ(refLogits[j], fastLogits[j])
+                << "logit " << j << " sample " << s;
+
+        EXPECT_EQ(refReport.latency.ns(), fastReport.latency.ns());
+        EXPECT_EQ(refReport.stageTime.ns(), fastReport.stageTime.ns());
+        EXPECT_EQ(refReport.energy.j(), fastReport.energy.j());
+        ASSERT_EQ(refReport.breakdown.size(),
+                  fastReport.breakdown.size());
+        for (size_t c = 0; c < refReport.breakdown.size(); ++c) {
+            EXPECT_EQ(refReport.breakdown[c].name,
+                      fastReport.breakdown[c].name);
+            EXPECT_EQ(refReport.breakdown[c].time.ns(),
+                      fastReport.breakdown[c].time.ns())
+                << refReport.breakdown[c].name;
+            EXPECT_EQ(refReport.breakdown[c].energy.j(),
+                      fastReport.breakdown[c].energy.j())
+                << refReport.breakdown[c].name;
+        }
+    }
+}
+
+TEST(FastPathEquivalence, DenseBitwise)
+{
+    expectBitwiseEqual(denseFixture(), nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(FastPathEquivalence, ConvBitwise)
+{
+    expectBitwiseEqual(convFixture(), nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(FastPathEquivalence, RecurrentBitwise)
+{
+    expectBitwiseEqual(recurrentFixture(),
+                       nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(FastPathEquivalence, StagedSearchModeBitwise)
+{
+    // CircuitStaged keeps the staged circuit model on both paths (the
+    // direct index only compiles exact mode); the workspace and
+    // counting fast paths must still agree bit-for-bit.
+    expectBitwiseEqual(denseFixture(),
+                       nvm::SearchMode::CircuitStaged, 6);
+    expectBitwiseEqual(convFixture(),
+                       nvm::SearchMode::CircuitStaged, 4);
+}
+
+TEST(FastPathEquivalence, PerNeuronEvaluateMatchesFast)
+{
+    // Field-by-field per-neuron pin on the dense model's first layer.
+    const Fixture &fx = denseFixture();
+    const composer::RLayer &layer = fx.model.layers()[0];
+    ASSERT_EQ(layer.kind, composer::RLayerKind::Dense);
+    RnaLayerContext ctx(layer, nvm::CostModel{});
+    AccumScratch scratch;
+
+    // Encode a validation sample as the chip's virtual input layer
+    // would.
+    const nn::Tensor &x = fx.validation.sample(0).x;
+    std::vector<uint16_t> inCodes(x.numel());
+    for (size_t i = 0; i < x.numel(); ++i)
+        inCodes[i] = static_cast<uint16_t>(
+            fx.model.inputEncoder().encode(x[i]));
+
+    const auto &codes = layer.weightCodes[0];
+    std::vector<uint16_t> wcol(layer.inCount);
+    for (size_t j = 0; j < layer.outCount; ++j) {
+        for (size_t i = 0; i < layer.inCount; ++i)
+            wcol[i] = codes[i * layer.outCount + j];
+        const NeuronResult ref =
+            ctx.evaluate(0, wcol, inCodes, layer.bias[j]);
+        const NeuronResult fast = ctx.evaluateFast(
+            0, ctx.denseColumn(j), inCodes.data(), layer.inCount,
+            layer.bias[j], scratch);
+
+        EXPECT_EQ(ref.rawValue, fast.rawValue) << "neuron " << j;
+        EXPECT_EQ(ref.code, fast.code) << "neuron " << j;
+        EXPECT_EQ(ref.encoded, fast.encoded) << "neuron " << j;
+        EXPECT_EQ(ref.cost.weightedAccum, fast.cost.weightedAccum);
+        EXPECT_EQ(ref.cost.activation, fast.cost.activation);
+        EXPECT_EQ(ref.cost.encoding, fast.cost.encoding);
+        EXPECT_EQ(ref.cost.pooling, fast.cost.pooling);
+    }
+}
+
+TEST(FastPathEquivalence, ErrorRateIdentical)
+{
+    const Fixture &fx = convFixture();
+    ChipConfig refConfig;
+    refConfig.fastPath = false;
+    Chip reference(refConfig);
+    reference.configure(fx.model);
+    Chip fast{ChipConfig{}};
+    fast.configure(fx.model);
+
+    PerfReport refAvg, fastAvg;
+    const double refError = reference.errorRate(fx.validation, refAvg);
+    const double fastError = fast.errorRate(fx.validation, fastAvg);
+    EXPECT_EQ(refError, fastError);
+    EXPECT_EQ(refAvg.energy.j(), fastAvg.energy.j());
+    EXPECT_EQ(refAvg.latency.ns(), fastAvg.latency.ns());
+}
+
+} // namespace
+} // namespace rapidnn::rna

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hh"
@@ -411,6 +412,196 @@ TEST(AmBlock, NdcamBeatsCmosOnAreaAndLatency)
               model.cmosMaxPoolArea.um2());
     EXPECT_LT(model.camStageLatency.ns(),
               model.cmosMaxPoolLatency.ns());
+}
+
+// --------------------------------------------- codec width extremes
+
+TEST(FixedPointCodec, RoundTripAtOneBit)
+{
+    // One bit: two representable points, lo and hi.
+    FixedPointCodec codec(-1.0, 1.0, 1);
+    EXPECT_EQ(codec.maxKey(), 1u);
+    EXPECT_EQ(codec.quantize(-1.0), 0u);
+    EXPECT_EQ(codec.quantize(1.0), 1u);
+    EXPECT_DOUBLE_EQ(codec.dequantize(0), -1.0);
+    EXPECT_DOUBLE_EQ(codec.dequantize(1), 1.0);
+    // Clamping beyond the domain.
+    EXPECT_EQ(codec.quantize(-7.0), 0u);
+    EXPECT_EQ(codec.quantize(7.0), 1u);
+    // Monotone at the rounding boundary.
+    EXPECT_LE(codec.quantize(-0.6), codec.quantize(0.6));
+}
+
+TEST(FixedPointCodec, RoundTripAtThirtyTwoBits)
+{
+    FixedPointCodec codec(0.0, 1.0, 32);
+    EXPECT_EQ(codec.maxKey(), 0xffffffffu);
+    EXPECT_EQ(codec.quantize(0.0), 0u);
+    EXPECT_EQ(codec.quantize(1.0), 0xffffffffu);
+    EXPECT_EQ(codec.quantize(-3.0), 0u);       // clamps low
+    EXPECT_EQ(codec.quantize(9.0), 0xffffffffu);  // clamps high
+    // Dequantize(quantize(x)) lands within one step at 32 bits.
+    Rng rng(11);
+    uint32_t prev = 0;
+    for (int i = 0; i <= 100; ++i) {
+        const double x = double(i) / 100.0;
+        const uint32_t key = codec.quantize(x);
+        EXPECT_GE(key, prev);  // monotone
+        prev = key;
+        EXPECT_NEAR(codec.dequantize(key), x, 1.0 / 4.0e9 + 1e-12);
+    }
+}
+
+// ------------------------------------------- exact vs staged agreement
+
+TEST(Ndcam, ExactAndStagedAgreeOnRandomCodebookKeys)
+{
+    // Codebook-style keys (roughly even spacing with jitter, as a
+    // codec over a bounded value domain produces). The staged circuit
+    // must agree with the idealized exact mode at every stored key,
+    // and on the large majority of randomly perturbed lookups near
+    // stored keys — the AM regime, where the queried value sits close
+    // to some table sample. (Far-from-key queries disagree more often:
+    // byte staging is lexicographic; StagedValueErrorBoundedOnDense-
+    // Tables bounds the value error that introduces.)
+    CostModel model;
+    Rng rng(21);
+    const long spacing = 1024;
+    std::vector<uint32_t> keys;
+    for (long i = 0; i < 64; ++i)
+        keys.push_back(uint32_t(
+            std::clamp(i * spacing + rng.uniformInt(-200, 200), 0l,
+                       65535l)));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    Ndcam exact(16, model, SearchMode::AbsoluteExact);
+    Ndcam staged(16, model, SearchMode::CircuitStaged);
+    exact.program(keys);
+    staged.program(keys);
+
+    OpCost cost;
+    for (size_t r = 0; r < keys.size(); ++r) {
+        EXPECT_EQ(exact.search(keys[r], cost), r);
+        EXPECT_EQ(staged.search(keys[r], cost), r);
+    }
+
+    size_t agree = 0;
+    const size_t trials = 400;
+    for (size_t t = 0; t < trials; ++t) {
+        const size_t r = size_t(rng.uniformInt(0, keys.size() - 1));
+        const long q = std::clamp(
+            long(keys[r]) + rng.uniformInt(-spacing / 8, spacing / 8),
+            0l, 65535l);
+        const size_t e = exact.search(uint32_t(q), cost);
+        const size_t s = staged.search(uint32_t(q), cost);
+        if (e == s) {
+            ++agree;
+        } else {
+            // Disagreements still return a stored key no nearer than
+            // the exact winner's.
+            const auto dist = [&](size_t row) {
+                return keys[row] > uint32_t(q) ? keys[row] - uint32_t(q)
+                                               : uint32_t(q) - keys[row];
+            };
+            EXPECT_LE(dist(e), dist(s));
+        }
+    }
+    EXPECT_GE(double(agree) / double(trials), 0.8);
+}
+
+// ------------------------------------------------- direct-index LUT
+
+/** search() through a compiled index vs the uncompiled linear scan. */
+void
+expectDirectMatchesScan(const std::vector<uint32_t> &keys, size_t bits,
+                        Rng &rng)
+{
+    CostModel model;
+    Ndcam scan(bits, model, SearchMode::AbsoluteExact);
+    Ndcam direct(bits, model, SearchMode::AbsoluteExact);
+    scan.program(keys);
+    direct.program(keys);
+    direct.buildDirectIndex();
+    ASSERT_TRUE(direct.hasDirectIndex());
+    ASSERT_FALSE(scan.hasDirectIndex());
+
+    const uint64_t top =
+        bits >= 32 ? 0xffffffffull : ((1ull << bits) - 1);
+    std::vector<uint32_t> queries;
+    for (const uint32_t k : keys) {   // stored keys and neighbours
+        queries.push_back(k);
+        if (k > 0)
+            queries.push_back(k - 1);
+        if (k < top)
+            queries.push_back(k + 1);
+    }
+    for (size_t a = 0; a + 1 < keys.size(); ++a) {  // midpoints
+        const uint64_t mid =
+            (uint64_t(keys[a]) + uint64_t(keys[a + 1])) / 2;
+        queries.push_back(uint32_t(mid));
+        queries.push_back(uint32_t(std::min(mid + 1, top)));
+    }
+    for (int t = 0; t < 300; ++t)     // random probes
+        queries.push_back(
+            uint32_t(rng.uniformInt(0, int64_t(top))));
+
+    for (const uint32_t q : queries) {
+        OpCost costScan, costDirect;
+        const size_t rowScan = scan.search(q, costScan);
+        const size_t rowDirect = direct.search(q, costDirect);
+        EXPECT_EQ(rowScan, rowDirect) << "query " << q;
+        // The compiled index is functional-only: identical charge.
+        EXPECT_EQ(costScan.cycles, costDirect.cycles);
+        EXPECT_EQ(costScan.energy.j(), costDirect.energy.j());
+    }
+}
+
+TEST(Ndcam, DirectIndexMatchesExactScanOnRandomKeys)
+{
+    Rng rng(31);
+    for (const size_t bits : {8ul, 16ul, 32ul}) {
+        const uint64_t top =
+            bits >= 32 ? 0xffffffffull : ((1ull << bits) - 1);
+        std::vector<uint32_t> keys;
+        for (int i = 0; i < 40; ++i)
+            keys.push_back(uint32_t(rng.uniformInt(0, int64_t(top))));
+        // Duplicates must resolve to the lowest holding row.
+        keys.push_back(keys[3]);
+        keys.push_back(keys[7]);
+        expectDirectMatchesScan(keys, bits, rng);
+    }
+}
+
+TEST(Ndcam, DirectIndexHandlesDegenerateKeySets)
+{
+    Rng rng(32);
+    expectDirectMatchesScan({42}, 16, rng);            // single key
+    expectDirectMatchesScan({10, 11, 12, 13}, 16, rng);  // adjacent
+    expectDirectMatchesScan({5, 5, 5}, 8, rng);        // all equal
+    expectDirectMatchesScan({0, 255}, 8, rng);         // domain ends
+}
+
+TEST(Ndcam, DirectIndexInvalidatedByReprogram)
+{
+    CostModel model;
+    Ndcam cam(16, model, SearchMode::AbsoluteExact);
+    cam.program({100, 200});
+    cam.buildDirectIndex();
+    EXPECT_TRUE(cam.hasDirectIndex());
+    OpCost cost;
+    cam.load({300, 400}, cost);  // per-window reprogram (pooling path)
+    EXPECT_FALSE(cam.hasDirectIndex());
+    EXPECT_EQ(cam.search(350, cost), 0u);  // scan path still correct
+}
+
+TEST(Ndcam, StagedModeSkipsDirectIndex)
+{
+    CostModel model;
+    Ndcam cam(16, model, SearchMode::CircuitStaged);
+    cam.program({100, 200});
+    cam.buildDirectIndex();
+    EXPECT_FALSE(cam.hasDirectIndex());
 }
 
 } // namespace

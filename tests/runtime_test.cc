@@ -257,6 +257,44 @@ TEST(ServingEngine, ParallelMatchesSerialBitwise)
     }
 }
 
+TEST(ServingEngine, ConcurrentInferOnOneChipIsBitwiseIdentical)
+{
+    // infer() is const and documented safe for concurrent calls on one
+    // chip: the shared workspace is leased by one caller at a time and
+    // losers fall back to private spares. Hammer a single chip from
+    // several threads and require the serial answers.
+    auto &fx = composedMlp();
+    rna::Chip chip{rna::ChipConfig{}};
+    chip.configure(fx.model);
+
+    std::vector<std::vector<double>> expected;
+    for (const auto &sample : fx.validation.samples()) {
+        rna::PerfReport report;
+        expected.push_back(chip.infer(sample.x, report));
+    }
+
+    const size_t threads = 4;
+    std::vector<std::vector<std::vector<double>>> got(threads);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t)
+        pool.emplace_back([&, t] {
+            for (const auto &sample : fx.validation.samples()) {
+                rna::PerfReport report;
+                got[t].push_back(chip.infer(sample.x, report));
+            }
+        });
+    for (auto &worker : pool)
+        worker.join();
+
+    for (size_t t = 0; t < threads; ++t) {
+        ASSERT_EQ(got[t].size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i)
+            for (size_t j = 0; j < expected[i].size(); ++j)
+                EXPECT_EQ(got[t][i][j], expected[i][j])
+                    << "thread=" << t << " sample=" << i;
+    }
+}
+
 TEST(ServingEngine, GracefulShutdownCompletesInFlight)
 {
     auto &fx = composedMlp();
