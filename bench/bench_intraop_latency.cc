@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Intra-op latency bench: single-request Chip::infer wall latency vs
+ * ChipConfig::numThreads (1/2/4/8) for dense, conv and recurrent
+ * models. This measures the tentpole claim of the shared task pool:
+ * one request gets faster as pool lanes join its neuron shards, while
+ * the results stay bitwise identical (the bench spot-checks the
+ * logits at every thread count).
+ *
+ * Acceptance gate (host-adaptive, since thread speedups need cores):
+ *   >= 4 hardware threads: conv speedup at 4 threads must be >= 2x.
+ *   2-3 hardware threads:  conv speedup at 2 threads must be >= 1.2x.
+ *   1 hardware thread:     gate skipped (timeslicing cannot speed up).
+ * RAPIDNN_SMOKE=1 (or --smoke) shrinks the iteration counts and skips
+ * the gate — CI uses it to exercise the threaded path under a
+ * 2-thread budget without asserting on shared-runner timing.
+ *
+ * RAPIDNN_THREADS adds that lane count to the measured set; every
+ * result lands in BENCH_intraop_latency.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "bench_util.hh"
+#include "composer/composer.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+
+namespace {
+
+using namespace rapidnn;
+using Clock = std::chrono::steady_clock;
+
+struct BenchModel
+{
+    std::string name;
+    composer::ReinterpretedModel model;
+    nn::Dataset data;
+    size_t iters;  //!< timed inferences per thread count
+};
+
+composer::ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    composer::ComposerConfig config;
+    config.weightClusters = 32;
+    config.inputClusters = 32;
+    composer::Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+BenchModel
+denseModel(size_t iters)
+{
+    nn::Dataset all = nn::makeVectorTask(
+        {"dense", 24, 4, 320, 0.35, 1.0, 61});
+    auto [train, validation] = all.split(0.25);
+    Rng rng(62);
+    nn::Network net = nn::buildMlp(
+        {.inputs = 24, .hidden = {48, 32}, .outputs = 4}, rng);
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"dense", compose(net, train), std::move(validation),
+            iters};
+}
+
+BenchModel
+convModel(size_t iters)
+{
+    nn::ImageTaskSpec spec;
+    spec.name = "conv";
+    spec.side = 10;
+    spec.classes = 3;
+    spec.samples = 240;
+    spec.seed = 305;
+    nn::Dataset all = nn::makeImageTask(spec);
+    auto [train, validation] = all.split(0.25);
+    Rng rng(306);
+    nn::CnnSpec cnn;
+    cnn.channels = 3;
+    cnn.height = cnn.width = 10;
+    cnn.convChannels = {8, 8};
+    cnn.denseWidths = {32};
+    cnn.outputs = 3;
+    nn::Network net = nn::buildCnn(cnn, rng);
+    nn::Trainer({.epochs = 2, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"conv", compose(net, train), std::move(validation),
+            std::max<size_t>(1, iters / 6)};
+}
+
+BenchModel
+recurrentModel(size_t iters)
+{
+    nn::SequenceTaskSpec spec;
+    spec.name = "seq";
+    spec.features = 6;
+    spec.steps = 8;
+    spec.classes = 4;
+    spec.samples = 320;
+    spec.noise = 0.25;
+    spec.seed = 505;
+    nn::Dataset all = nn::makeSequenceTask(spec);
+    auto [train, validation] = all.split(0.25);
+    Rng rng(506);
+    nn::Network net;
+    net.add(std::make_unique<nn::ElmanLayer>(6, 24, 8,
+                                             nn::ActKind::Tanh, rng));
+    net.add(std::make_unique<nn::DenseLayer>(24, 4, rng));
+    nn::Trainer({.epochs = 3, .batchSize = 16, .learningRate = 0.05})
+        .train(net, train);
+    return {"recurrent", compose(net, train), std::move(validation),
+            std::max<size_t>(1, iters / 2)};
+}
+
+/** Mean single-request latency in microseconds at one lane budget,
+ *  plus a logits spot-check against the serial reference. */
+double
+meanLatencyUs(const BenchModel &bm, size_t threads,
+              const std::vector<double> &referenceLogits)
+{
+    rna::ChipConfig config;
+    config.numThreads = threads;
+    rna::Chip chip(config);
+    chip.configure(bm.model);
+
+    rna::PerfReport report;
+    const std::vector<double> logits =
+        chip.infer(bm.data.sample(0).x, report);
+    if (logits != referenceLogits) {
+        std::cerr << "FATAL: logits diverged at " << threads
+                  << " threads (determinism violation)\n";
+        std::exit(2);
+    }
+    for (size_t i = 0; i < 2; ++i)  // warmup (plans, lane scratch)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < bm.iters; ++i)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+    const double usec = std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count();
+    return usec / static_cast<double>(bm.iters);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    const char *smokeEnv = std::getenv("RAPIDNN_SMOKE");
+    if (smokeEnv != nullptr && smokeEnv[0] == '1')
+        smoke = true;
+
+    const bench::BenchScale scale = bench::BenchScale::fromEnv();
+    bench::banner("Intra-op parallelism: single-request latency vs "
+                  "task-pool lanes",
+                  scale, false);
+
+    const unsigned hw = std::max(1u,
+                                 std::thread::hardware_concurrency());
+    std::cout << "hardware threads: " << hw
+              << (smoke ? "  (smoke mode: gate off)" : "") << "\n\n";
+
+    std::vector<size_t> lanes = {1, 2, 4, 8};
+    const size_t envLanes = TaskPool::envThreadOverride();
+    if (envLanes != 0 &&
+        std::find(lanes.begin(), lanes.end(), envLanes) == lanes.end())
+        lanes.push_back(envLanes);
+
+    const size_t baseIters = smoke ? 20 : 160;
+    std::vector<BenchModel> models;
+    models.push_back(denseModel(baseIters));
+    models.push_back(convModel(baseIters));
+    models.push_back(recurrentModel(baseIters));
+
+    std::cout << std::left << std::setw(11) << "model";
+    for (const size_t n : lanes)
+        std::cout << std::right << std::setw(9)
+                  << (std::to_string(n) + "T us")
+                  << std::setw(9) << (std::to_string(n) + "T spd");
+    std::cout << "\n";
+
+    std::vector<std::pair<std::string, double>> metrics;
+    double convSpeedupAt2 = 0.0;
+    double convSpeedupAt4 = 0.0;
+    for (const BenchModel &bm : models) {
+        // Serial reference logits for the per-count bitwise check.
+        rna::Chip serial{rna::ChipConfig{}};
+        serial.configure(bm.model);
+        rna::PerfReport report;
+        const std::vector<double> reference =
+            serial.infer(bm.data.sample(0).x, report);
+
+        std::cout << std::left << std::setw(11) << bm.name
+                  << std::right << std::fixed << std::setprecision(1);
+        double serialUs = 0.0;
+        for (const size_t n : lanes) {
+            const double us = meanLatencyUs(bm, n, reference);
+            if (n == 1)
+                serialUs = us;
+            const double speedup = us > 0.0 ? serialUs / us : 0.0;
+            if (bm.name == "conv" && n == 2)
+                convSpeedupAt2 = speedup;
+            if (bm.name == "conv" && n == 4)
+                convSpeedupAt4 = speedup;
+            std::cout << std::setw(9) << us << std::setw(9)
+                      << bench::times(speedup);
+            metrics.emplace_back(bm.name + ".latency_us_"
+                                     + std::to_string(n) + "t",
+                                 us);
+            metrics.emplace_back(bm.name + ".speedup_"
+                                     + std::to_string(n) + "t",
+                                 speedup);
+        }
+        std::cout << "\n";
+    }
+    metrics.emplace_back("hardware_threads", double(hw));
+    metrics.emplace_back("smoke", smoke ? 1.0 : 0.0);
+    bench::writeBenchJson("intraop_latency", metrics);
+
+    // Host-adaptive acceptance gate (see file comment).
+    if (smoke) {
+        std::cout << "\nsmoke mode: acceptance gate skipped\n";
+        return 0;
+    }
+    if (hw >= 4) {
+        const bool pass = convSpeedupAt4 >= 2.0;
+        std::cout << "\nconv speedup at 4 threads: "
+                  << bench::times(convSpeedupAt4)
+                  << (pass ? "  PASS (>= 2.0x)" : "  FAIL (< 2.0x)")
+                  << "\n";
+        return pass ? 0 : 1;
+    }
+    if (hw >= 2) {
+        const bool pass = convSpeedupAt2 >= 1.2;
+        std::cout << "\nconv speedup at 2 threads: "
+                  << bench::times(convSpeedupAt2)
+                  << (pass ? "  PASS (>= 1.2x, 2-3 core host)"
+                           : "  FAIL (< 1.2x, 2-3 core host)")
+                  << "\n";
+        return pass ? 0 : 1;
+    }
+    std::cout << "\nsingle hardware thread: speedup gate skipped "
+                 "(timeslicing cannot beat serial)\n";
+    return 0;
+}

@@ -6,14 +6,46 @@
  * from-scratch CPU trainer at stand-in scale is slower per epoch, so
  * compare the *epoch counts* and the one-off nature of the cost, not
  * absolute seconds.
+ *
+ * A second section times the clustering stage (Composer::reinterpret)
+ * serially and with ComposerConfig::threads task-pool lanes. The
+ * parallel compose is deterministic — the composed model is
+ * byte-identical at any lane count (pinned by
+ * tests/intraop_determinism_test.cc) — so the speedup is free.
+ * RAPIDNN_THREADS picks the parallel lane count; all numbers land in
+ * BENCH_table3_composer_overhead.json.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 
 using namespace rapidnn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Wall seconds for one reinterpret() of `net` at a lane count. */
+double
+reinterpretSeconds(nn::Network &net, const nn::Dataset &train,
+                   const bench::BenchScale &scale, size_t threads)
+{
+    composer::ComposerConfig config;
+    config.weightClusters = 64;
+    config.inputClusters = 64;
+    config.treeDepth = 6;
+    config.validationCap = scale.evalCap;
+    config.threads = threads;
+    composer::Composer comp(config);
+    const auto t0 = Clock::now();
+    comp.reinterpret(net, train);
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
 
 int
 main()
@@ -27,7 +59,13 @@ main()
     const char *paperEpochs[] = {"5", "5", "5", "5", "5", "1"};
     const char *paperTime[] = {"51 s", "1.9 min", "2.3 min", "4.8 min",
                                "4.8 min", "24.3 min (VGG)"};
+    const size_t parallelLanes =
+        std::max<size_t>(2, TaskPool::defaultThreads());
+    TextTable clusterTable({"Benchmark", "serial (s)",
+                            std::to_string(parallelLanes) + " lanes (s)",
+                            "speedup"});
 
+    std::vector<std::pair<std::string, double>> metrics;
     size_t row = 0;
     for (nn::Benchmark b : nn::allBenchmarks()) {
         core::BenchmarkModel bm =
@@ -55,10 +93,44 @@ main()
             .cell(std::string(de))
             .cell(paperEpochs[row])
             .cell(paperTime[row]);
+
+        // Clustering stage, serial vs task-pool lanes, on the
+        // composed (projected + retrained) network.
+        const double serialSec =
+            reinterpretSeconds(bm.network, bm.train, scale, 1);
+        const double parallelSec = reinterpretSeconds(
+            bm.network, bm.train, scale, parallelLanes);
+        const double speedup =
+            parallelSec > 0.0 ? serialSec / parallelSec : 0.0;
+        clusterTable.newRow()
+            .cell(nn::benchmarkName(b))
+            .cell(serialSec, 2)
+            .cell(parallelSec, 2)
+            .cell(bench::times(speedup));
+
+        const std::string name = nn::benchmarkName(b);
+        metrics.emplace_back(name + ".compose_seconds",
+                             result.composeSeconds);
+        metrics.emplace_back(name + ".retrain_epochs",
+                             double(result.epochsRun));
+        metrics.emplace_back(name + ".delta_e", result.deltaE);
+        metrics.emplace_back(name + ".reinterpret_serial_s",
+                             serialSec);
+        metrics.emplace_back(name + ".reinterpret_parallel_s",
+                             parallelSec);
+        metrics.emplace_back(name + ".reinterpret_speedup", speedup);
         ++row;
     }
     table.print(std::cout);
+    std::cout << "\nClustering stage (Composer::reinterpret), serial "
+                 "vs "
+              << parallelLanes
+              << " task-pool lanes (identical output either way):\n";
+    clusterTable.print(std::cout);
     std::cout << "\nThe reinterpretation runs once per model; its cost"
                  " amortizes across all future inferences (paper 5.2).\n";
+
+    metrics.emplace_back("parallel_lanes", double(parallelLanes));
+    bench::writeBenchJson("table3_composer_overhead", metrics);
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/task_pool.hh"
 #include "core/rapidnn.hh"
 
 namespace rapidnn::bench {
@@ -95,12 +96,14 @@ times(double ratio, int precision = 1)
 /**
  * Write a flat machine-readable metric dump as BENCH_<name>.json in the
  * current directory, so CI and scripts can diff bench results without
- * scraping stdout. Non-finite values serialize as null.
+ * scraping stdout. Non-finite values serialize as null. Every dump
+ * records the RAPIDNN_THREADS override (0 = unset) and the resolved
+ * default lane budget, so thread-sensitive results are reproducible.
  */
 inline void
 writeBenchJson(
     const std::string &name,
-    const std::vector<std::pair<std::string, double>> &metrics)
+    const std::vector<std::pair<std::string, double>> &metricsIn)
 {
     const std::string path = "BENCH_" + name + ".json";
     std::ofstream out(path);
@@ -108,6 +111,11 @@ writeBenchJson(
         std::cerr << "warning: could not write " << path << "\n";
         return;
     }
+    std::vector<std::pair<std::string, double>> metrics = metricsIn;
+    metrics.emplace_back("rapidnn_threads",
+                         double(TaskPool::envThreadOverride()));
+    metrics.emplace_back("default_threads",
+                         double(TaskPool::defaultThreads()));
     out.precision(12);
     out << "{\n  \"bench\": \"" << name << "\"";
     for (const auto &[key, value] : metrics) {

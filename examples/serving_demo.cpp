@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "common/task_pool.hh"
 #include "core/rapidnn.hh"
 #include "nn/trainer.hh"
 #include "runtime/serving_engine.hh"
@@ -43,6 +44,11 @@ main()
     serving.maxBatch = 8;
     serving.maxLatencyUs = 300;
     serving.queueCapacity = 32;
+    // Borrow task-pool lanes for single requests whenever the queue is
+    // shallow; RAPIDNN_THREADS overrides the lane budget.
+    serving.intraOpThreads = TaskPool::defaultThreads();
+    std::cout << "intra-op lanes when queue is shallow: "
+              << serving.intraOpThreads << "\n";
     auto engine = rapid.serve(serving);
 
     std::vector<std::future<runtime::InferResult>> futures;

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 #include "nn/loss.hh"
 #include "nn/recurrent.hh"
 
@@ -42,14 +43,16 @@ isCompute(LayerKind kind)
            kind == LayerKind::Recurrent;
 }
 
-/** Build a codebook of `entries` representatives from samples. */
+/** Build a codebook of `entries` representatives from samples. The
+ *  tree build may shard across `threads` pool lanes; the codebook is
+ *  identical at any value. */
 quant::Codebook
 buildCodebook(const std::vector<double> &samples, size_t entries,
-              size_t treeDepth, uint64_t seed)
+              size_t treeDepth, uint64_t seed, size_t threads = 1)
 {
     RAPIDNN_ASSERT(!samples.empty(), "buildCodebook on empty samples");
-    quant::TreeCodebook tree(samples, std::max(treeDepth,
-                                               size_t(1)), seed);
+    quant::TreeCodebook tree(samples, std::max(treeDepth, size_t(1)),
+                             seed, threads);
     return tree.level(tree.levelForEntries(entries));
 }
 
@@ -199,6 +202,7 @@ Composer::captureLayerInputs(nn::Network &net, const nn::Dataset &train)
         (void)labels;
         size_t computeIdx = 0;
         size_t residualIdx = 0;
+        recurrentCaptureIdx = 0;
         walk(net.layers(), std::move(x), computeIdx, residualIdx);
     }
     return captures;
@@ -209,52 +213,49 @@ Composer::projectWeights(nn::Network &net)
 {
     size_t rewritten = 0;
     Rng seeder(_config.seed + 2);
+    const size_t threads = std::max<size_t>(1, _config.threads);
+
+    // Clustering jobs are collected in the exact traversal order the
+    // serial pipeline draws its seeds in, then run on the pool. Every
+    // job clusters and rewrites a disjoint weight range with a
+    // pre-drawn seed, so the projected network is identical at any
+    // thread count.
+    std::vector<std::function<void()>> jobs;
+    auto clusterRange = [&](nn::Tensor &w, size_t offset,
+                            size_t count) {
+        const uint64_t seed = seeder.engine()();
+        jobs.push_back([this, &w, offset, count, seed] {
+            std::vector<double> samples(count);
+            for (size_t i = 0; i < count; ++i)
+                samples[i] = w[offset + i];
+            quant::Codebook cb = buildCodebook(
+                samples, _config.weightClusters, _config.treeDepth,
+                seed);
+            for (size_t i = 0; i < count; ++i)
+                w[offset + i] =
+                    static_cast<float>(cb.quantize(w[offset + i]));
+        });
+        rewritten += count;
+    };
+
     for (auto &layerPtr : net.layers()) {
         nn::Layer &layer = *layerPtr;
         if (layer.kind() == LayerKind::Dense) {
             auto &dense = static_cast<nn::DenseLayer &>(layer);
             nn::Tensor &w = dense.weights().value;
-            std::vector<double> samples(w.numel());
-            for (size_t i = 0; i < w.numel(); ++i)
-                samples[i] = w[i];
-            quant::Codebook cb = buildCodebook(
-                samples, _config.weightClusters, _config.treeDepth,
-                seeder.engine()());
-            for (size_t i = 0; i < w.numel(); ++i)
-                w[i] = static_cast<float>(cb.quantize(w[i]));
-            rewritten += w.numel();
+            clusterRange(w, 0, w.numel());
         } else if (layer.kind() == LayerKind::Conv2D) {
             auto &conv = static_cast<nn::Conv2DLayer &>(layer);
             nn::Tensor &w = conv.weights().value;
             const size_t perChannel = w.numel() / conv.outChannels();
-            for (size_t oc = 0; oc < conv.outChannels(); ++oc) {
-                std::vector<double> samples(perChannel);
-                for (size_t i = 0; i < perChannel; ++i)
-                    samples[i] = w[oc * perChannel + i];
-                quant::Codebook cb = buildCodebook(
-                    samples, _config.weightClusters, _config.treeDepth,
-                    seeder.engine()());
-                for (size_t i = 0; i < perChannel; ++i)
-                    w[oc * perChannel + i] = static_cast<float>(
-                        cb.quantize(w[oc * perChannel + i]));
-            }
-            rewritten += w.numel();
+            for (size_t oc = 0; oc < conv.outChannels(); ++oc)
+                clusterRange(w, oc * perChannel, perChannel);
         } else if (layer.kind() == LayerKind::Recurrent) {
             auto &elman = static_cast<nn::ElmanLayer &>(layer);
             // Project both weight matrices onto their own codebooks.
             for (nn::Param *param : {&elman.inputWeights(),
-                                     &elman.recurrentWeights()}) {
-                nn::Tensor &w = param->value;
-                std::vector<double> samples(w.numel());
-                for (size_t i = 0; i < w.numel(); ++i)
-                    samples[i] = w[i];
-                quant::Codebook cb = buildCodebook(
-                    samples, _config.weightClusters,
-                    _config.treeDepth, seeder.engine()());
-                for (size_t i = 0; i < w.numel(); ++i)
-                    w[i] = static_cast<float>(cb.quantize(w[i]));
-                rewritten += w.numel();
-            }
+                                     &elman.recurrentWeights()})
+                clusterRange(param->value, 0, param->value.numel());
         } else if (layer.kind() == LayerKind::Residual) {
             // Projection recurses naturally through parameters(),
             // but clustering must stay per inner layer; reuse the
@@ -265,18 +266,19 @@ Composer::projectWeights(nn::Network &net)
                     auto &dense =
                         static_cast<nn::DenseLayer &>(*innerPtr);
                     nn::Tensor &w = dense.weights().value;
-                    std::vector<double> samples(w.numel());
-                    for (size_t i = 0; i < w.numel(); ++i)
-                        samples[i] = w[i];
-                    quant::Codebook cb = buildCodebook(
-                        samples, _config.weightClusters,
-                        _config.treeDepth, seeder.engine()());
-                    for (size_t i = 0; i < w.numel(); ++i)
-                        w[i] = static_cast<float>(cb.quantize(w[i]));
-                    rewritten += w.numel();
+                    clusterRange(w, 0, w.numel());
                 }
             }
         }
+    }
+
+    if (threads > 1 && jobs.size() > 1) {
+        TaskPool::shared().run(
+            jobs.size(), threads,
+            [&](size_t j, size_t /*lane*/) { jobs[j](); });
+    } else {
+        for (auto &job : jobs)
+            job();
     }
     return rewritten;
 }
@@ -357,14 +359,31 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
 {
     CaptureSet captures = captureLayerInputs(net, train);
     Rng seeder(_config.seed + 3);
+    const size_t threads = std::max<size_t>(1, _config.threads);
 
     // Input codebooks for every compute layer (shared per layer).
-    std::vector<quant::Codebook> inputCodebooks;
-    inputCodebooks.reserve(captures.compute.size());
-    for (const auto &cap : captures.compute)
-        inputCodebooks.push_back(buildCodebook(
-            cap.inputs, _config.inputClusters, _config.treeDepth,
-            seeder.engine()()));
+    // Seeds are pre-drawn serially in layer order (the exact order the
+    // serial pipeline draws them), then the independent clustering
+    // jobs run on the pool, each filling its own slot.
+    std::vector<quant::Codebook> inputCodebooks(
+        captures.compute.size());
+    std::vector<uint64_t> cbSeeds(captures.compute.size());
+    for (size_t i = 0; i < cbSeeds.size(); ++i)
+        cbSeeds[i] = seeder.engine()();
+    if (threads > 1 && inputCodebooks.size() > 1) {
+        TaskPool::shared().run(
+            inputCodebooks.size(), threads,
+            [&](size_t i, size_t /*lane*/) {
+                inputCodebooks[i] = buildCodebook(
+                    captures.compute[i].inputs, _config.inputClusters,
+                    _config.treeDepth, cbSeeds[i]);
+            });
+    } else {
+        for (size_t i = 0; i < inputCodebooks.size(); ++i)
+            inputCodebooks[i] = buildCodebook(
+                captures.compute[i].inputs, _config.inputClusters,
+                _config.treeDepth, cbSeeds[i], threads);
+    }
 
     ReinterpretedModel model;
     model.inputEncoder() = quant::Encoder(inputCodebooks.front());
@@ -397,7 +416,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                     samples[i] = w[i];
                 r.weightCodebooks.push_back(buildCodebook(
                     samples, _config.weightClusters,
-                    _config.treeDepth, seeder.engine()()));
+                    _config.treeDepth, seeder.engine()(), threads));
                 auto &codes = r.weightCodes.emplace_back(w.numel());
                 for (size_t i = 0; i < w.numel(); ++i)
                     codes[i] = static_cast<uint16_t>(
@@ -459,7 +478,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                         samples.push_back(0.0);
                     groupCodebooks[g] = buildCodebook(
                         samples, _config.weightClusters,
-                        _config.treeDepth, seeder.engine()());
+                        _config.treeDepth, seeder.engine()(), threads);
                 }
 
                 for (size_t oc = 0; oc < r.outCount; ++oc) {
@@ -563,7 +582,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                                "no hidden-state captures");
                 r.stateCodebook = buildCodebook(
                     stateSamples, _config.inputClusters,
-                    _config.treeDepth, seeder.engine()());
+                    _config.treeDepth, seeder.engine()(), threads);
 
                 // Input-path (Wx) codebook and product table.
                 const nn::Tensor &wx = elman.inputWeights().value;
@@ -572,7 +591,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                     wxSamples[i] = wx[i];
                 r.weightCodebooks.push_back(buildCodebook(
                     wxSamples, _config.weightClusters,
-                    _config.treeDepth, seeder.engine()()));
+                    _config.treeDepth, seeder.engine()(), threads));
                 auto &wxCodes =
                     r.weightCodes.emplace_back(wx.numel());
                 for (size_t i = 0; i < wx.numel(); ++i)
@@ -597,7 +616,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                     whSamples[i] = wh[i];
                 r.stateWeightCodebooks.push_back(buildCodebook(
                     whSamples, _config.weightClusters,
-                    _config.treeDepth, seeder.engine()()));
+                    _config.treeDepth, seeder.engine()(), threads));
                 auto &whCodes =
                     r.stateWeightCodes.emplace_back(wh.numel());
                 for (size_t i = 0; i < wh.numel(); ++i)

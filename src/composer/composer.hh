@@ -51,6 +51,15 @@ struct ComposerConfig
     /** Samples used for error estimation (0 = whole validation set). */
     size_t validationCap = 0;
     uint64_t seed = 7;
+    /**
+     * Task-pool lanes for the clustering stages (input codebooks,
+     * weight projection, codebook tree builds). Clustering seeds are
+     * pre-drawn in serial order and every job writes disjoint outputs,
+     * so the composed model is identical at any value
+     * (tests/intraop_determinism_test.cc pins this). 1 (default)
+     * keeps the fully serial pipeline.
+     */
+    size_t threads = 1;
 };
 
 /** One clustering/retraining iteration record (paper Figure 6d). */

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 
 namespace rapidnn::quant {
 
@@ -20,7 +21,7 @@ Codebook::bits() const
 }
 
 TreeCodebook::TreeCodebook(const std::vector<double> &samples, size_t depth,
-                           uint64_t seed)
+                           uint64_t seed, size_t threads)
 {
     RAPIDNN_ASSERT(!samples.empty(), "TreeCodebook on empty samples");
     RAPIDNN_ASSERT(depth >= 1 && depth <= 16, "unreasonable tree depth");
@@ -30,22 +31,52 @@ TreeCodebook::TreeCodebook(const std::vector<double> &samples, size_t depth,
     // splits into two intervals around a threshold, sorting the leaf
     // centroids preserves the left-to-right cluster order.
     //
-    // We carry (sample subset) partitions level by level.
+    // We carry (sample subset) partitions level by level. Per-level
+    // clusterings are independent given their seeds, so the seeds are
+    // drawn serially in partition order first (the exact order the
+    // serial build draws them), then the clusterings run on the pool
+    // and the results are stitched back serially in partition order —
+    // the tree is identical at any thread count.
     std::vector<std::vector<double>> partitions = {samples};
     Rng seeder(seed);
 
     for (size_t lvl = 1; lvl <= depth; ++lvl) {
-        std::vector<std::vector<double>> next;
-        std::vector<double> centroids;
-        next.reserve(partitions.size() * 2);
-
+        std::vector<const std::vector<double> *> parts;
+        std::vector<uint64_t> seeds;
+        parts.reserve(partitions.size());
+        seeds.reserve(partitions.size());
         for (const auto &part : partitions) {
             if (part.empty())
                 continue;
+            parts.push_back(&part);
+            seeds.push_back(seeder.engine()());
+        }
+
+        std::vector<KMeansResult> results(parts.size());
+        auto cluster = [&](size_t j, size_t kmeansThreads) {
             KMeansConfig config;
             config.k = 2;
-            config.seed = seeder.engine()();
-            KMeansResult result = kmeans1d(part, config);
+            config.seed = seeds[j];
+            config.threads = kmeansThreads;
+            results[j] = kmeans1d(*parts[j], config);
+        };
+        if (threads > 1 && parts.size() > 1) {
+            TaskPool::shared().run(
+                parts.size(), threads,
+                [&](size_t j, size_t /*lane*/) { cluster(j, 1); });
+        } else {
+            // Few partitions (the top of the tree): let the k-means
+            // assignment step itself shard instead.
+            for (size_t j = 0; j < parts.size(); ++j)
+                cluster(j, threads);
+        }
+
+        std::vector<std::vector<double>> next;
+        std::vector<double> centroids;
+        next.reserve(parts.size() * 2);
+        for (size_t j = 0; j < parts.size(); ++j) {
+            KMeansResult &result = results[j];
+            const std::vector<double> &part = *parts[j];
 
             // Split the partition's samples by assignment. With k
             // possibly collapsed to 1 (all-equal partition), keep one.

@@ -68,9 +68,14 @@ class TreeCodebook
      * @param samples scalar population to represent.
      * @param depth number of levels; the finest has 2^depth entries.
      * @param seed clustering seed.
+     * @param threads task-pool lanes for the per-partition 2-way
+     *   clusterings of each level. Seeds are pre-drawn serially in
+     *   partition order (the exact order the serial build draws them)
+     *   and every clustering writes its own slot, so the tree is
+     *   identical at any value. 1 (default) keeps the serial build.
      */
     TreeCodebook(const std::vector<double> &samples, size_t depth,
-                 uint64_t seed = 42);
+                 uint64_t seed = 42, size_t threads = 1);
 
     /** Number of levels (finest level == depth()). */
     size_t depth() const { return _levels.size(); }

@@ -6,10 +6,40 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 
 namespace rapidnn::quant {
 
 namespace {
+
+/**
+ * Assignment step, optionally sharded across pool lanes. Each sample's
+ * nearest centroid is an independent pure function of the (read-only)
+ * centroid list, and shards write disjoint assignment slots, so the
+ * result is identical at any thread count. Small inputs stay serial:
+ * below the cutoff the pool round-trip costs more than the loop.
+ */
+void
+assignAll(const std::vector<double> &samples,
+          const std::vector<double> &centroids,
+          std::vector<size_t> &assignment, size_t threads)
+{
+    const size_t n = samples.size();
+    constexpr size_t kParallelCutoff = 2048;
+    if (threads <= 1 || n < kParallelCutoff) {
+        for (size_t i = 0; i < n; ++i)
+            assignment[i] = nearestCentroid(centroids, samples[i]);
+        return;
+    }
+    const size_t shards = std::min<size_t>(n, 32);
+    TaskPool::shared().run(
+        shards, threads, [&](size_t shard, size_t /*lane*/) {
+            const size_t begin = n * shard / shards;
+            const size_t end = n * (shard + 1) / shards;
+            for (size_t i = begin; i < end; ++i)
+                assignment[i] = nearestCentroid(centroids, samples[i]);
+        });
+}
 
 /** k-means++ seeding: first pick uniform, then d^2-weighted picks. */
 std::vector<double>
@@ -107,8 +137,7 @@ kmeans1d(const std::vector<double> &samples, const KMeansConfig &config)
     size_t iter = 0;
     for (; iter < config.maxIterations; ++iter) {
         // Assignment step.
-        for (size_t i = 0; i < samples.size(); ++i)
-            assignment[i] = nearestCentroid(centroids, samples[i]);
+        assignAll(samples, centroids, assignment, config.threads);
 
         // Update step.
         std::vector<double> sum(k, 0.0);
@@ -138,8 +167,7 @@ kmeans1d(const std::vector<double> &samples, const KMeansConfig &config)
         std::sort(centroids.begin(), centroids.end());
 
         // Convergence check on WCSS improvement.
-        for (size_t i = 0; i < samples.size(); ++i)
-            assignment[i] = nearestCentroid(centroids, samples[i]);
+        assignAll(samples, centroids, assignment, config.threads);
         const double wcss = computeWcss(samples, centroids, assignment);
         if (prevWcss - wcss < config.tolerance) {
             prevWcss = wcss;

@@ -34,6 +34,13 @@ struct KMeansConfig
     size_t maxIterations = 50;
     double tolerance = 1e-7;   //!< stop when WCSS improves less than this
     uint64_t seed = 42;
+    /**
+     * Task-pool lanes for the assignment step (the only data-parallel
+     * phase: each sample's nearest centroid is independent). Seeding,
+     * centroid updates and WCSS stay serial, so results are identical
+     * at any value. 1 (default) keeps the fully serial path.
+     */
+    size_t threads = 1;
 };
 
 /**

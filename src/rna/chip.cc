@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 #include "nvm/data_block.hh"
 
 namespace rapidnn::rna {
@@ -14,6 +15,29 @@ using composer::RLayer;
 using composer::RLayerKind;
 
 namespace {
+
+/**
+ * Fixed intra-op shard grid. The grid is a constant — never derived
+ * from the thread count — so the shard boundaries, per-shard work and
+ * the post-shard reduction order are identical no matter how many pool
+ * lanes end up executing them. 32 shards keeps dynamic work stealing
+ * balanced up to well past 8 lanes while the per-shard claim stays one
+ * atomic increment.
+ */
+constexpr size_t kIntraOpShardGrid = 32;
+
+size_t
+shardCount(size_t items)
+{
+    return std::min(items, kIntraOpShardGrid);
+}
+
+/** Contiguous item range [begin, end) of one shard. */
+std::pair<size_t, size_t>
+shardRange(size_t items, size_t shard, size_t shards)
+{
+    return {items * shard / shards, items * (shard + 1) / shards};
+}
 
 /**
  * Leases the chip's shared workspace for the duration of one infer()
@@ -115,6 +139,21 @@ Chip::configure(const composer::ReinterpretedModel &model)
     _workspace->convPlans.resize(_contexts.size());
     for (const auto &ctx : _contexts)
         ctx->prepareWorkspace(*_workspace);
+
+    // Intra-op lanes: one private scratch slice per pool lane, sized
+    // now so sharded inference stays allocation-free. Per-neuron cost
+    // slots for conv layers grow on the first infer (output H/W are
+    // unknown until then), like the conv gather plans.
+    if (_config.numThreads > 1) {
+        _workspace->ensureLanes(_config.numThreads);
+        size_t maxNeurons = 1;
+        for (const auto &ctx : _contexts) {
+            for (auto &lane : _workspace->lanes)
+                ctx->prepareScratch(lane);
+            maxNeurons = std::max(maxNeurons, ctx->layer().outCount);
+        }
+        _workspace->neuronCosts.resize(maxNeurons);
+    }
 }
 
 void
@@ -144,10 +183,13 @@ Chip::clone() const
 
 Chip::LayerRun
 Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
-               bool lastCompute, Workspace &ws) const
+               bool lastCompute, Workspace &ws, size_t threads) const
 {
     LayerRun run{};
     run.stageCycles = 0;
+    // Only the fast path shards; the reference path stays serial as
+    // the bitwise comparison baseline.
+    const bool intraOp = threads > 1 && _config.fastPath;
 
     switch (layer.kind) {
       case RLayerKind::Dense: {
@@ -161,6 +203,37 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         const auto &codes = layer.weightCodes[0];
         uint64_t worstNeuron = 0;
+        if (intraOp) {
+            // Shard the output-neuron loop over the fixed grid. Each
+            // shard writes disjoint code/raw/cost slots with its
+            // lane's private scratch; the flat reduction below then
+            // replays the serial accumulation order exactly.
+            ws.ensureLanes(threads);
+            if (ws.neuronCosts.size() < layer.outCount)
+                ws.neuronCosts.resize(layer.outCount);
+            const size_t shards = shardCount(layer.outCount);
+            TaskPool::shared().run(
+                shards, threads, [&](size_t shard, size_t lane) {
+                    const auto [begin, end] =
+                        shardRange(layer.outCount, shard, shards);
+                    AccumScratch &scratch = ws.lanes[lane].accum;
+                    for (size_t j = begin; j < end; ++j) {
+                        NeuronResult r = ctx.evaluateFast(
+                            0, ctx.denseColumn(j), in.codes.data(),
+                            layer.inCount, layer.bias[j], scratch);
+                        ws.neuronCosts[j] = r.cost;
+                        if (r.encoded)
+                            run.output.codes[j] = r.code;
+                        if (lastCompute)
+                            run.raw[j] = r.rawValue;
+                    }
+                });
+            for (size_t j = 0; j < layer.outCount; ++j) {
+                run.cost += ws.neuronCosts[j];
+                worstNeuron = std::max(
+                    worstNeuron, ws.neuronCosts[j].total().cycles);
+            }
+        } else {
         std::vector<uint16_t> wcol;
         if (!_config.fastPath)
             wcol.resize(layer.inCount);
@@ -183,6 +256,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                 run.output.codes[j] = r.code;
             if (lastCompute)
                 run.raw[j] = r.rawValue;
+        }
         }
         // All neurons run on parallel RNA blocks; waves when the layer
         // exceeds the physical block count (or when sharing serializes).
@@ -228,6 +302,57 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         }
 
         uint64_t worstNeuron = 0;
+        const size_t flatNeurons = layer.outCount * oh * ow;
+        if (intraOp) {
+            // Shard over the flat neuron index (oc, y, x) so narrow
+            // feature maps still spread across lanes. Each shard's
+            // lane gathers into private buffers and writes disjoint
+            // code/raw/cost slots; the flat reduction below replays
+            // the serial (oc, y, x) accumulation order exactly.
+            ws.ensureLanes(threads);
+            if (ws.neuronCosts.size() < flatNeurons)
+                ws.neuronCosts.resize(flatNeurons);
+            const size_t windowMax = layer.weightCodes[0].size();
+            for (auto &lane : ws.lanes) {
+                if (lane.gatherW.size() < windowMax)
+                    lane.gatherW.resize(windowMax);
+                if (lane.gatherX.size() < windowMax)
+                    lane.gatherX.resize(windowMax);
+            }
+            const size_t shards = shardCount(flatNeurons);
+            TaskPool::shared().run(
+                shards, threads, [&](size_t shard, size_t lane) {
+                    const auto [begin, end] =
+                        shardRange(flatNeurons, shard, shards);
+                    IntraOpScratch &sc = ws.lanes[lane];
+                    for (size_t oidx = begin; oidx < end; ++oidx) {
+                        const size_t oc = oidx / (oh * ow);
+                        const size_t p = oidx % (oh * ow);
+                        const auto &codes = layer.weightCodes[oc];
+                        const uint32_t s0 = plan->start[p];
+                        const size_t n = plan->start[p + 1] - s0;
+                        for (size_t s = 0; s < n; ++s) {
+                            sc.gatherW[s] =
+                                codes[plan->weightIdx[s0 + s]];
+                            sc.gatherX[s] =
+                                in.codes[plan->inputIdx[s0 + s]];
+                        }
+                        NeuronResult r = ctx.evaluateFast(
+                            oc, sc.gatherW.data(), sc.gatherX.data(),
+                            n, layer.bias[oc], sc.accum);
+                        ws.neuronCosts[oidx] = r.cost;
+                        if (r.encoded)
+                            run.output.codes[oidx] = r.code;
+                        if (lastCompute)
+                            run.raw[oidx] = r.rawValue;
+                    }
+                });
+            for (size_t oidx = 0; oidx < flatNeurons; ++oidx) {
+                run.cost += ws.neuronCosts[oidx];
+                worstNeuron = std::max(
+                    worstNeuron, ws.neuronCosts[oidx].total().cycles);
+            }
+        } else {
         std::vector<uint16_t> wcodes, xcodes;
         for (size_t oc = 0; oc < layer.outCount; ++oc) {
             const auto &codes = layer.weightCodes[oc];
@@ -282,12 +407,13 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                 }
             }
         }
+        }
         const double effective =
             static_cast<double>(_config.totalRnas())
             * (1.0 - _config.rnaSharing);
-        const size_t neurons = layer.outCount * oh * ow;
         const size_t waves = static_cast<size_t>(std::ceil(
-            static_cast<double>(neurons) / std::max(1.0, effective)));
+            static_cast<double>(flatNeurons)
+            / std::max(1.0, effective)));
         run.stageCycles = worstNeuron * waves;
         break;
       }
@@ -409,7 +535,50 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         std::vector<double> hRawLocal;
         uint64_t stepWorst = 0;
-        if (_config.fastPath) {
+        if (intraOp) {
+            // Steps stay serial (the feedback hazard); within a step
+            // the hidden-neuron loop shards over the fixed grid. Each
+            // shard reads the frozen previous-state buffer and writes
+            // disjoint hNext/hRawNext/cost slots; the per-step flat
+            // reduction replays the serial order.
+            ws.ensureLanes(threads);
+            if (ws.neuronCosts.size() < hidden)
+                ws.neuronCosts.resize(hidden);
+            ws.hCodes.assign(hidden, zeroCode);
+            ws.hRaw.assign(hidden, 0.0);
+            ws.hNext.resize(hidden);
+            ws.hRawNext.resize(hidden);
+            const size_t shards = shardCount(hidden);
+            for (size_t t = 0; t < layer.steps; ++t) {
+                const uint16_t *xStep = in.codes.data() + t * features;
+                TaskPool::shared().run(
+                    shards, threads, [&](size_t shard, size_t lane) {
+                        const auto [begin, end] =
+                            shardRange(hidden, shard, shards);
+                        AccumScratch &scratch = ws.lanes[lane].accum;
+                        for (size_t h = begin; h < end; ++h) {
+                            NeuronResult r =
+                                ctx.evaluateRecurrentStepFast(
+                                    ctx.recurrentXColumn(h), xStep,
+                                    features, ctx.recurrentHColumn(h),
+                                    ws.hCodes.data(), hidden,
+                                    layer.bias[h], scratch);
+                            ws.neuronCosts[h] = r.cost;
+                            ws.hNext[h] = r.code;
+                            ws.hRawNext[h] = r.rawValue;
+                        }
+                    });
+                uint64_t worstNeuron = 0;
+                for (size_t h = 0; h < hidden; ++h) {
+                    run.cost += ws.neuronCosts[h];
+                    worstNeuron = std::max(
+                        worstNeuron, ws.neuronCosts[h].total().cycles);
+                }
+                stepWorst += worstNeuron;
+                std::swap(ws.hCodes, ws.hNext);
+                std::swap(ws.hRaw, ws.hRawNext);
+            }
+        } else if (_config.fastPath) {
             // Transposed weight columns, direct step views into the
             // input codes, and double-buffered hidden state: the step
             // loop allocates nothing.
@@ -505,7 +674,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         for (size_t i = 0; i < layer.inner.size(); ++i) {
             const bool lastInner = i + 1 == layer.inner.size();
             LayerRun innerRun = runLayer(layer.inner[i], value,
-                                         lastInner, ws);
+                                         lastInner, ws, threads);
             run.cost += innerRun.cost;
             run.stageCycles += innerRun.stageCycles;
             if (lastInner)
@@ -555,7 +724,18 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 std::vector<double>
 Chip::infer(const nn::Tensor &x, PerfReport &report) const
 {
+    return infer(x, report, 0);
+}
+
+std::vector<double>
+Chip::infer(const nn::Tensor &x, PerfReport &report,
+            size_t numThreadsOverride) const
+{
     RAPIDNN_ASSERT(_model != nullptr, "chip not configured");
+    const size_t threads = std::max<size_t>(
+        numThreadsOverride != 0 ? numThreadsOverride
+                                : _config.numThreads,
+        1);
     const auto &model = *_model;
     const Time cycle = _config.cost.cyclePeriod;
 
@@ -609,7 +789,7 @@ Chip::infer(const nn::Tensor &x, PerfReport &report) const
 
     for (size_t l = 0; l < model.layers().size(); ++l) {
         LayerRun run = runLayer(model.layers()[l], enc,
-                                l == lastCompute, ws);
+                                l == lastCompute, ws, threads);
         totals += run.cost;
         latencyCycles += run.stageCycles;
         worstStage = std::max(worstStage, run.stageCycles);

@@ -42,6 +42,19 @@ struct ChipConfig
      * baseline for benchmarks and the equivalence guard.
      */
     bool fastPath = true;
+    /**
+     * Intra-op parallelism: task-pool lanes one infer() call may use
+     * to run a layer's neuron shards concurrently (the host analogue
+     * of the chip's parallel RNA blocks). The shard grid is fixed and
+     * thread-count independent, every lane gets private scratch, and
+     * all floating-point reductions run serially in neuron order — so
+     * logits, codes, OpCost and PerfReport are bitwise identical at
+     * any value (tests/intraop_determinism_test.cc pins this).
+     * 1 (default) keeps the serial fast path. Only the fast path
+     * shards; the reference path (fastPath = false) stays serial as
+     * the comparison baseline.
+     */
+    size_t numThreads = 1;
 
     size_t totalRnas() const
     {
@@ -104,6 +117,16 @@ class Chip
     std::vector<double> infer(const nn::Tensor &x,
                               PerfReport &report) const;
 
+    /**
+     * infer() with a per-call intra-op thread budget: 0 uses
+     * ChipConfig::numThreads, any other value overrides it for this
+     * call only. The serving engine uses this to borrow pool lanes
+     * when its admission queue is shallow. Results are bitwise
+     * identical at any budget.
+     */
+    std::vector<double> infer(const nn::Tensor &x, PerfReport &report,
+                              size_t numThreadsOverride) const;
+
     /** Classification error rate with cost accounting folded into one
      *  averaged report. */
     double errorRate(const nn::Dataset &data, PerfReport &avgReport) const;
@@ -147,9 +170,11 @@ class Chip
 
     void configureLayers(const std::vector<composer::RLayer> &layers);
 
+    /** @param threads intra-op lane budget for this call (>= 1). */
     LayerRun runLayer(const composer::RLayer &layer,
                       const composer::EncodedTensor &in,
-                      bool lastCompute, Workspace &ws) const;
+                      bool lastCompute, Workspace &ws,
+                      size_t threads) const;
 };
 
 } // namespace rapidnn::rna

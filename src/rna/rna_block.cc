@@ -261,6 +261,24 @@ RnaLayerContext::prepareWorkspace(Workspace &ws) const
     }
 }
 
+void
+RnaLayerContext::prepareScratch(IntraOpScratch &scratch) const
+{
+    for (const auto &engine : _engines)
+        scratch.accum.ensure(engine.weightEntries(),
+                             engine.inputEntries());
+    if (_stateEngine)
+        scratch.accum.ensure(_stateEngine->weightEntries(),
+                             _stateEngine->inputEntries());
+    if (_layer.kind == composer::RLayerKind::Conv) {
+        const size_t windowMax = _layer.weightCodes[0].size();
+        if (scratch.gatherW.size() < windowMax)
+            scratch.gatherW.resize(windowMax);
+        if (scratch.gatherX.size() < windowMax)
+            scratch.gatherX.resize(windowMax);
+    }
+}
+
 size_t
 RnaLayerContext::productRows() const
 {

@@ -18,30 +18,10 @@
 
 namespace rapidnn::rna {
 
-/** Per-phase cost breakdown of one neuron evaluation (Figure 13). */
-struct NeuronCost
-{
-    nvm::OpCost weightedAccum;
-    nvm::OpCost activation;
-    nvm::OpCost encoding;
-    nvm::OpCost pooling;
-
-    nvm::OpCost
-    total() const
-    {
-        return weightedAccum + activation + encoding + pooling;
-    }
-
-    NeuronCost &
-    operator+=(const NeuronCost &o)
-    {
-        weightedAccum += o.weightedAccum;
-        activation += o.activation;
-        encoding += o.encoding;
-        pooling += o.pooling;
-        return *this;
-    }
-};
+// NeuronCost (the per-phase cost breakdown of one neuron evaluation,
+// Figure 13) is defined in rna/workspace.hh, which this header
+// includes: the workspace stores one per neuron for the deterministic
+// intra-op reduction.
 
 /** Output of one neuron evaluation. */
 struct NeuronResult
@@ -160,6 +140,10 @@ class RnaLayerContext
     /** Pre-size a workspace's buffers for this layer (configure time),
      *  so steady-state inference never grows them. */
     void prepareWorkspace(Workspace &ws) const;
+
+    /** Pre-size one intra-op lane's scratch for this layer (configure
+     *  time), the per-lane analogue of prepareWorkspace(). */
+    void prepareScratch(IntraOpScratch &scratch) const;
 
     const composer::RLayer &layer() const { return _layer; }
 

@@ -18,9 +18,40 @@
 #include <cstdint>
 #include <vector>
 
+#include "nvm/op_cost.hh"
 #include "rna/accumulation.hh"
 
 namespace rapidnn::rna {
+
+/**
+ * Per-phase cost breakdown of one neuron evaluation (Figure 13).
+ * Lives here (rather than rna_block.hh, which includes this header)
+ * because the workspace stores one per neuron for the deterministic
+ * intra-op reduction.
+ */
+struct NeuronCost
+{
+    nvm::OpCost weightedAccum;
+    nvm::OpCost activation;
+    nvm::OpCost encoding;
+    nvm::OpCost pooling;
+
+    nvm::OpCost
+    total() const
+    {
+        return weightedAccum + activation + encoding + pooling;
+    }
+
+    NeuronCost &
+    operator+=(const NeuronCost &o)
+    {
+        weightedAccum += o.weightedAccum;
+        activation += o.activation;
+        encoding += o.encoding;
+        pooling += o.pooling;
+        return *this;
+    }
+};
 
 /**
  * Cached im2col-style gather plan for one conv layer at one input
@@ -51,6 +82,19 @@ struct ConvGatherPlan
     }
 };
 
+/**
+ * Per-lane scratch for intra-op parallel shard execution: each task
+ * pool lane gets a private counting scratch and conv gather buffers,
+ * so shards never contend. Results cannot depend on which lane runs a
+ * shard — the scratch is reset-to-zero state, not carried data.
+ */
+struct IntraOpScratch
+{
+    AccumScratch accum;
+    std::vector<uint16_t> gatherW;
+    std::vector<uint16_t> gatherX;
+};
+
 /** All mutable scratch one infer() call needs, reusable across calls. */
 struct Workspace
 {
@@ -72,8 +116,28 @@ struct Workspace
     /** One cached conv plan per layer context index. */
     std::vector<ConvGatherPlan> convPlans;
 
+    /** One scratch slice per task-pool lane (intra-op parallelism). */
+    std::vector<IntraOpScratch> lanes;
+
+    /**
+     * Per-neuron costs of the layer currently being sharded. Shards
+     * fill disjoint slots; the caller then reduces the flat array in
+     * neuron order, reproducing the serial path's floating-point
+     * accumulation order exactly (bitwise-identical energies).
+     */
+    std::vector<NeuronCost> neuronCosts;
+
     /** Lease flag: set while an infer() call owns this workspace. */
     std::atomic<bool> busy{false};
+
+    /** Grow (never shrink) the per-lane scratch array. Must be called
+     *  before the parallel region — lanes must not resize inside it. */
+    void
+    ensureLanes(size_t n)
+    {
+        if (lanes.size() < n)
+            lanes.resize(n);
+    }
 };
 
 } // namespace rapidnn::rna

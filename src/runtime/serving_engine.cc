@@ -118,15 +118,28 @@ void
 ServingEngine::workerMain(size_t index)
 {
     Worker &worker = *_workers[index];
+    const bool sharded =
+        _config.dispatch == DispatchPolicy::RoundRobin;
     MicroBatcher<Request> &batcher =
-        _config.dispatch == DispatchPolicy::RoundRobin
-            ? worker.batcher : _batcher;
+        sharded ? worker.batcher : _batcher;
+    BoundedQueue<Request> &feed = sharded ? worker.queue : _queue;
     for (;;) {
         std::vector<Request> batch = batcher.nextBatch();
         if (batch.empty())
             return;  // queue closed and drained
         const auto claimed = std::chrono::steady_clock::now();
         _stats.recordBatch(batch.size());
+
+        // Adaptive intra-op policy: with a shallow backlog the pool
+        // has idle lanes, so borrow them inside each request for
+        // latency; with a deep backlog inter-request parallelism
+        // already fills the pool, so run serial for throughput.
+        // Either way the logits are bitwise identical (the chip's
+        // determinism guarantee), so the policy only moves time.
+        size_t lanes = 1;
+        if (_config.intraOpThreads > 1 &&
+            feed.size() <= _config.intraOpShallowQueue)
+            lanes = _config.intraOpThreads;
 
         // Run the whole batch first...
         std::vector<InferResult> results(batch.size());
@@ -135,7 +148,7 @@ ServingEngine::workerMain(size_t index)
         for (size_t i = 0; i < batch.size(); ++i) {
             InferResult &result = results[i];
             result.logits = worker.chip.infer(batch[i].input,
-                                              result.perf);
+                                              result.perf, lanes);
             result.perf.inferences = 1;
             result.batchSize = batch.size();
             result.workerId = index;

@@ -61,6 +61,19 @@ struct ServingConfig
                                  //!< request, whichever comes first
     size_t queueCapacity = 64;   //!< admission-queue bound (backpressure)
     DispatchPolicy dispatch = DispatchPolicy::WorkStealing;
+    /**
+     * Adaptive intra-op parallelism: pool lanes one request may borrow
+     * (via Chip::infer's per-call override) when the worker's admission
+     * queue is shallow. A shallow queue means replicas sit idle, so
+     * spending them inside one request cuts latency; a deep queue
+     * means inter-request parallelism already saturates the pool, so
+     * requests run serial for throughput. 1 (default) disables
+     * borrowing. Logits stay bitwise identical either way.
+     */
+    size_t intraOpThreads = 1;
+    /** Backlog at or below which a worker switches to latency mode
+     *  and borrows intraOpThreads lanes for each request. */
+    size_t intraOpShallowQueue = 2;
 };
 
 /** What a completed request resolves to. */

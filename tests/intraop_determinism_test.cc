@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Determinism guard for intra-op parallelism (ChipConfig::numThreads,
+ * ComposerConfig::threads, KMeansConfig::threads).
+ *
+ * The invariant: parallelism is structural, not scheduled. Work shards
+ * over a fixed thread-count-independent grid, every lane gets private
+ * scratch, shards write only disjoint output slots, and floating-point
+ * reductions run serially in flat order afterwards — so every
+ * observable (logits, codes, OpCost totals, PerfReport breakdowns,
+ * composed models) is bitwise identical at any thread count, including
+ * the untouched serial path at 1. These tests pin that across
+ * numThreads in {1, 2, 3, 8} for dense, conv and recurrent models,
+ * exercise the task pool directly, and run concurrent infer() calls
+ * with intra-op lanes on one chip (the TSan preset covers this file
+ * via the "runtime" label).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/task_pool.hh"
+#include "composer/composer.hh"
+#include "composer/serialization.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "quant/codebook.hh"
+#include "quant/kmeans.hh"
+#include "rna/chip.hh"
+
+namespace rapidnn::rna {
+namespace {
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+
+composer::ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+struct Fixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    ReinterpretedModel model;
+};
+
+Fixture &
+denseFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::Dataset all = nn::makeVectorTask(
+            {"iop-dense", 16, 4, 260, 0.35, 1.0, 81});
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(82);
+        nn::Network net = nn::buildMlp(
+            {.inputs = 16, .hidden = {22, 12}, .outputs = 4}, rng);
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+convFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::ImageTaskSpec spec;
+        spec.name = "iop-conv";
+        spec.side = 8;
+        spec.classes = 3;
+        spec.samples = 200;
+        spec.seed = 83;
+        nn::Dataset all = nn::makeImageTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(84);
+        nn::CnnSpec cnn;
+        cnn.channels = 3;
+        cnn.height = cnn.width = 8;
+        cnn.convChannels = {5, 6};
+        cnn.denseWidths = {18};
+        cnn.outputs = 3;
+        nn::Network net = nn::buildCnn(cnn, rng);
+        nn::Trainer({.epochs = 3, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+recurrentFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::SequenceTaskSpec spec;
+        spec.name = "iop-seq";
+        spec.features = 5;
+        spec.steps = 7;
+        spec.classes = 3;
+        spec.samples = 240;
+        spec.noise = 0.25;
+        spec.seed = 85;
+        nn::Dataset all = nn::makeSequenceTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(86);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            5, 12, 7, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(12, 3, rng));
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+void
+expectReportsEqual(const PerfReport &a, const PerfReport &b,
+                   size_t threads)
+{
+    EXPECT_EQ(a.latency.ns(), b.latency.ns()) << threads << " threads";
+    EXPECT_EQ(a.stageTime.ns(), b.stageTime.ns())
+        << threads << " threads";
+    EXPECT_EQ(a.energy.j(), b.energy.j()) << threads << " threads";
+    ASSERT_EQ(a.breakdown.size(), b.breakdown.size());
+    for (size_t c = 0; c < a.breakdown.size(); ++c) {
+        EXPECT_EQ(a.breakdown[c].name, b.breakdown[c].name);
+        EXPECT_EQ(a.breakdown[c].time.ns(), b.breakdown[c].time.ns())
+            << a.breakdown[c].name << " @ " << threads << " threads";
+        EXPECT_EQ(a.breakdown[c].energy.j(),
+                  b.breakdown[c].energy.j())
+            << a.breakdown[c].name << " @ " << threads << " threads";
+    }
+}
+
+/** Logits and full PerfReport must be bitwise identical to the serial
+ *  chip at every thread count. */
+void
+expectThreadCountInvariant(const Fixture &fx, size_t samples = 10)
+{
+    ChipConfig serialConfig;
+    serialConfig.numThreads = 1;
+    Chip serial(serialConfig);
+    serial.configure(fx.model);
+
+    for (const size_t threads : {size_t(2), size_t(3), size_t(8)}) {
+        ChipConfig config;
+        config.numThreads = threads;
+        Chip chip(config);
+        chip.configure(fx.model);
+
+        for (size_t s = 0; s < samples && s < fx.validation.size();
+             ++s) {
+            const nn::Tensor &x = fx.validation.sample(s).x;
+            PerfReport serialReport, threadedReport;
+            const std::vector<double> serialLogits =
+                serial.infer(x, serialReport);
+            const std::vector<double> threadedLogits =
+                chip.infer(x, threadedReport);
+
+            ASSERT_EQ(serialLogits.size(), threadedLogits.size());
+            for (size_t j = 0; j < serialLogits.size(); ++j)
+                EXPECT_EQ(serialLogits[j], threadedLogits[j])
+                    << "logit " << j << " sample " << s << " at "
+                    << threads << " threads";
+            expectReportsEqual(serialReport, threadedReport, threads);
+        }
+    }
+}
+
+TEST(IntraOpDeterminism, DenseBitwiseAcrossThreadCounts)
+{
+    expectThreadCountInvariant(denseFixture());
+}
+
+TEST(IntraOpDeterminism, ConvBitwiseAcrossThreadCounts)
+{
+    expectThreadCountInvariant(convFixture());
+}
+
+TEST(IntraOpDeterminism, RecurrentBitwiseAcrossThreadCounts)
+{
+    expectThreadCountInvariant(recurrentFixture());
+}
+
+TEST(IntraOpDeterminism, PerCallOverrideMatchesConfig)
+{
+    // infer(x, report, n) on a serial-configured chip must equal a
+    // chip configured with numThreads = n (and the serial baseline).
+    const Fixture &fx = denseFixture();
+    Chip chip{ChipConfig{}};
+    chip.configure(fx.model);
+
+    const nn::Tensor &x = fx.validation.sample(0).x;
+    PerfReport serialReport, overrideReport;
+    const std::vector<double> serialLogits = chip.infer(x, serialReport);
+    const std::vector<double> overrideLogits =
+        chip.infer(x, overrideReport, 4);
+    ASSERT_EQ(serialLogits.size(), overrideLogits.size());
+    for (size_t j = 0; j < serialLogits.size(); ++j)
+        EXPECT_EQ(serialLogits[j], overrideLogits[j]);
+    expectReportsEqual(serialReport, overrideReport, 4);
+}
+
+TEST(IntraOpDeterminism, ErrorRateIdenticalAcrossThreads)
+{
+    const Fixture &fx = convFixture();
+    Chip serial{ChipConfig{}};
+    serial.configure(fx.model);
+    ChipConfig threadedConfig;
+    threadedConfig.numThreads = 4;
+    Chip threaded(threadedConfig);
+    threaded.configure(fx.model);
+
+    PerfReport serialAvg, threadedAvg;
+    const double serialError =
+        serial.errorRate(fx.validation, serialAvg);
+    const double threadedError =
+        threaded.errorRate(fx.validation, threadedAvg);
+    EXPECT_EQ(serialError, threadedError);
+    EXPECT_EQ(serialAvg.energy.j(), threadedAvg.energy.j());
+    EXPECT_EQ(serialAvg.latency.ns(), threadedAvg.latency.ns());
+}
+
+TEST(IntraOpDeterminism, ConcurrentInferWithIntraOpLanes)
+{
+    // Several threads hammer one chip, each borrowing pool lanes per
+    // call: the workspace lease plus per-lane scratch must keep every
+    // result bitwise equal to the serial answer. This is the test the
+    // TSan preset leans on (label "runtime").
+    const Fixture &fx = denseFixture();
+    ChipConfig config;
+    config.numThreads = 3;
+    Chip chip(config);
+    chip.configure(fx.model);
+
+    const size_t samples = std::min<size_t>(6, fx.validation.size());
+    std::vector<std::vector<double>> expected(samples);
+    for (size_t s = 0; s < samples; ++s) {
+        PerfReport report;
+        Chip serial{ChipConfig{}};
+        serial.configure(fx.model);
+        expected[s] = serial.infer(fx.validation.sample(s).x, report);
+    }
+
+    std::atomic<size_t> mismatches{0};
+    std::vector<std::thread> callers;
+    for (size_t t = 0; t < 4; ++t)
+        callers.emplace_back([&, t] {
+            for (size_t round = 0; round < 3; ++round) {
+                const size_t s = (t + round) % samples;
+                PerfReport report;
+                const std::vector<double> logits =
+                    chip.infer(fx.validation.sample(s).x, report);
+                if (logits != expected[s])
+                    mismatches.fetch_add(1);
+            }
+        });
+    for (auto &caller : callers)
+        caller.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(TaskPool, RunsEveryShardExactlyOnce)
+{
+    TaskPool pool(3);
+    for (const size_t shards : {size_t(1), size_t(7), size_t(64)}) {
+        std::vector<std::atomic<int>> hits(shards);
+        for (auto &h : hits)
+            h.store(0);
+        pool.run(shards, 4, [&](size_t shard, size_t lane) {
+            ASSERT_LT(shard, shards);
+            ASSERT_LT(lane, 4u);
+            hits[shard].fetch_add(1);
+        });
+        for (size_t s = 0; s < shards; ++s)
+            EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+    }
+}
+
+TEST(TaskPool, LanesAreDistinctWithinARun)
+{
+    TaskPool pool(3);
+    std::vector<std::atomic<int>> inUse(4);
+    for (auto &l : inUse)
+        l.store(0);
+    std::atomic<bool> collision{false};
+    pool.run(32, 4, [&](size_t, size_t lane) {
+        if (inUse[lane].fetch_add(1) != 0)
+            collision.store(true);
+        std::this_thread::yield();
+        inUse[lane].fetch_sub(1);
+    });
+    EXPECT_FALSE(collision.load());
+}
+
+TEST(TaskPool, MaxLanesOneStaysOnCaller)
+{
+    TaskPool pool(2);
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.run(8, 1, [&](size_t, size_t lane) {
+        EXPECT_EQ(lane, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(TaskPool, ReentrantNestedRuns)
+{
+    // A shard that starts a nested run() must not deadlock: callers
+    // always self-execute shards, helpers are optional accelerators.
+    TaskPool pool(2);
+    std::atomic<size_t> innerTotal{0};
+    pool.run(4, 3, [&](size_t, size_t) {
+        pool.run(4, 2, [&](size_t, size_t) {
+            innerTotal.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(innerTotal.load(), 16u);
+}
+
+TEST(TaskPool, SharedPoolHasAtLeastTwoLanes)
+{
+    // Even on a one-core host the shared pool keeps one helper, so
+    // threaded code paths get real cross-thread coverage.
+    EXPECT_GE(TaskPool::shared().lanes(), 2u);
+}
+
+TEST(TaskPool, EnvThreadOverrideParsesAndClamps)
+{
+    const char *old = std::getenv("RAPIDNN_THREADS");
+    const std::string saved = old != nullptr ? old : "";
+
+    ::setenv("RAPIDNN_THREADS", "6", 1);
+    EXPECT_EQ(TaskPool::envThreadOverride(), 6u);
+    EXPECT_EQ(TaskPool::defaultThreads(), 6u);
+    ::setenv("RAPIDNN_THREADS", "0", 1);
+    EXPECT_EQ(TaskPool::envThreadOverride(), 0u);
+    ::setenv("RAPIDNN_THREADS", "9999", 1);
+    EXPECT_EQ(TaskPool::envThreadOverride(), 64u);
+    ::setenv("RAPIDNN_THREADS", "junk", 1);
+    EXPECT_EQ(TaskPool::envThreadOverride(), 0u);
+    ::unsetenv("RAPIDNN_THREADS");
+    EXPECT_EQ(TaskPool::envThreadOverride(), 0u);
+    EXPECT_GE(TaskPool::defaultThreads(), 1u);
+
+    if (old != nullptr)
+        ::setenv("RAPIDNN_THREADS", saved.c_str(), 1);
+}
+
+TEST(IntraOpDeterminism, KMeansIdenticalAcrossThreads)
+{
+    Rng rng(87);
+    std::vector<double> samples(6000);
+    for (double &s : samples)
+        s = rng.uniform(-2.0, 2.0);
+
+    quant::KMeansConfig serial;
+    serial.k = 16;
+    serial.seed = 88;
+    const quant::KMeansResult base = quant::kmeans1d(samples, serial);
+
+    for (const size_t threads : {size_t(2), size_t(3), size_t(8)}) {
+        quant::KMeansConfig config = serial;
+        config.threads = threads;
+        const quant::KMeansResult result =
+            quant::kmeans1d(samples, config);
+        EXPECT_EQ(base.centroids, result.centroids)
+            << threads << " threads";
+        EXPECT_EQ(base.assignment, result.assignment)
+            << threads << " threads";
+        EXPECT_EQ(base.wcss, result.wcss) << threads << " threads";
+        EXPECT_EQ(base.iterations, result.iterations)
+            << threads << " threads";
+    }
+}
+
+TEST(IntraOpDeterminism, TreeCodebookIdenticalAcrossThreads)
+{
+    Rng rng(89);
+    std::vector<double> samples(4000);
+    for (double &s : samples)
+        s = rng.gaussian(0.0, 1.0);
+
+    const quant::TreeCodebook serial(samples, 6, 90);
+    for (const size_t threads : {size_t(2), size_t(4)}) {
+        const quant::TreeCodebook threaded(samples, 6, 90, threads);
+        ASSERT_EQ(serial.depth(), threaded.depth());
+        for (size_t lvl = 1; lvl <= serial.depth(); ++lvl)
+            EXPECT_EQ(serial.level(lvl).values(),
+                      threaded.level(lvl).values())
+                << "level " << lvl << " at " << threads << " threads";
+    }
+}
+
+TEST(IntraOpDeterminism, ComposedModelByteIdenticalAcrossThreads)
+{
+    // The full composer pipeline (input codebooks, weight projection,
+    // codebook trees) must emit a byte-identical serialized model at
+    // any thread count.
+    auto composeAt = [](size_t threads) {
+        nn::Dataset all = nn::makeVectorTask(
+            {"iop-composer", 12, 3, 220, 0.35, 1.0, 91});
+        auto [train, validation] = all.split(0.25);
+        (void)validation;
+        Rng rng(92);
+        nn::Network net = nn::buildMlp(
+            {.inputs = 12, .hidden = {16, 10}, .outputs = 3}, rng);
+        nn::Trainer({.epochs = 3, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, train);
+
+        ComposerConfig config;
+        config.weightClusters = 16;
+        config.inputClusters = 16;
+        config.threads = threads;
+        Composer composer(config);
+        composer.projectWeights(net);
+        ReinterpretedModel model = composer.reinterpret(net, train);
+        std::ostringstream out;
+        composer::saveModel(model, out);
+        return out.str();
+    };
+
+    const std::string serial = composeAt(1);
+    EXPECT_EQ(serial, composeAt(2));
+    EXPECT_EQ(serial, composeAt(8));
+}
+
+} // namespace
+} // namespace rapidnn::rna
