@@ -15,6 +15,7 @@
 #define RAPIDNN_BENCH_BENCH_UTIL_HH
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -94,6 +95,40 @@ times(double ratio, int precision = 1)
 }
 
 /**
+ * Escape a string for embedding inside a JSON string literal: quotes,
+ * backslashes, and control characters (the characters RFC 8259 forbids
+ * unescaped). Bench names and env-derived strings pass through here so
+ * a stray quote can never produce an invalid BENCH_*.json.
+ */
+inline std::string
+escapeJson(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
  * Write a flat machine-readable metric dump as BENCH_<name>.json in the
  * current directory, so CI and scripts can diff bench results without
  * scraping stdout. Non-finite values serialize as null. Every dump
@@ -117,9 +152,9 @@ writeBenchJson(
     metrics.emplace_back("default_threads",
                          double(TaskPool::defaultThreads()));
     out.precision(12);
-    out << "{\n  \"bench\": \"" << name << "\"";
+    out << "{\n  \"bench\": \"" << escapeJson(name) << "\"";
     for (const auto &[key, value] : metrics) {
-        out << ",\n  \"" << key << "\": ";
+        out << ",\n  \"" << escapeJson(key) << "\": ";
         if (std::isfinite(value))
             out << value;
         else

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Contract macros separating the two failure classes the codebase
+ * distinguishes (following the gem5 panic/fatal discipline):
+ *
+ *  - RAPIDNN_ASSERT — an *internal invariant*. Firing means a bug in
+ *    this library, never the user's fault. Panics (abort, core kept).
+ *    Compiled out when RAPIDNN_DISABLE_ASSERTS is defined, so
+ *    maximum-performance builds can shed invariant checks they have
+ *    already paid to validate under the sanitizer presets.
+ *
+ *  - RAPIDNN_CHECK — an *untrusted-input boundary*: model files,
+ *    stream-supplied counts and indices, user-provided shapes and
+ *    configurations. Firing means the input is bad, not the library.
+ *    Calls fatal() (clean exit, status 1) and is ALWAYS compiled in —
+ *    hardening against corrupt inputs must not depend on build flags.
+ *
+ * Policy: use RAPIDNN_CHECK wherever data crosses from outside the
+ * process (deserialization, file loading, public API argument
+ * validation); use RAPIDNN_ASSERT for conditions that are provably
+ * established by the library's own code paths.
+ */
+
+#ifndef RAPIDNN_COMMON_CHECK_HH
+#define RAPIDNN_COMMON_CHECK_HH
+
+#include "common/logging.hh"
+
+/**
+ * Fail cleanly (fatal, exit status 1) unless a condition on untrusted
+ * input holds. Always compiled in.
+ */
+#define RAPIDNN_CHECK(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rapidnn::fatal("check '", #cond, "' failed at ", __FILE__,    \
+                             ":", __LINE__, ": ", __VA_ARGS__);             \
+    } while (0)
+
+/** Panic (abort) unless a library invariant holds. */
+#ifdef RAPIDNN_DISABLE_ASSERTS
+#define RAPIDNN_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+    } while (0)
+#else
+#define RAPIDNN_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rapidnn::panic("assertion '", #cond, "' failed at ",          \
+                             __FILE__, ":", __LINE__, ": ", __VA_ARGS__);   \
+    } while (0)
+#endif
+
+#endif // RAPIDNN_COMMON_CHECK_HH

@@ -139,13 +139,9 @@ panic(const Args &...args)
     std::abort();
 }
 
-/** Panic unless a library invariant holds. */
-#define RAPIDNN_ASSERT(cond, ...)                                          \
-    do {                                                                    \
-        if (!(cond))                                                        \
-            ::rapidnn::panic("assertion '", #cond, "' failed at ",          \
-                             __FILE__, ":", __LINE__, ": ", __VA_ARGS__);   \
-    } while (0)
+// The contract macros RAPIDNN_ASSERT (internal invariants, panic) and
+// RAPIDNN_CHECK (untrusted-input boundaries, fatal) live in
+// common/check.hh.
 
 } // namespace rapidnn
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::composer {
 

@@ -1,12 +1,13 @@
 #include "composer/serialization.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::composer {
 
@@ -112,88 +113,234 @@ writeLayer(std::ostream &os, const RLayer &layer)
 }
 
 // ------------------------------------------------------------- readers
+//
+// Every count, index and dimension below is untrusted input: a corrupt
+// or adversarial model file can claim arbitrary element counts or
+// out-of-range codebook indices. All of it goes through RAPIDNN_CHECK
+// (always-on, clean fatal) before any allocation or table indexing, so
+// a bad file can never demand multi-GB allocations, index out of
+// range, or trip UB — it fails with one clear "fatal:" line.
+
+/** Largest element count any one value block may claim (~16M). */
+constexpr long long kMaxBlockElems = 1LL << 24;
+/** Largest count of sub-blocks (layers, codebooks, tables, codes). */
+constexpr long long kMaxBlockCount = 1LL << 16;
+/** Largest layer dimension (fan-in/out, kernel, channels, steps). */
+constexpr long long kMaxLayerDim = 1LL << 24;
 
 std::string
 expectTag(std::istream &is, const std::string &want)
 {
     std::string tag;
     is >> tag;
-    RAPIDNN_ASSERT(is.good() || is.eof(),
-                   "model stream read failure near '", want, "'");
+    RAPIDNN_CHECK(!is.bad(), "model stream I/O failure near '", want, "'");
     if (tag != want)
         fatal("model format: expected '", want, "' got '", tag, "'");
     return tag;
+}
+
+/** Read a bounded non-negative count; fatal on absurd or missing. */
+size_t
+readCount(std::istream &is, const std::string &what, long long maxCount)
+{
+    long long n = -1;
+    is >> n;
+    RAPIDNN_CHECK(bool(is), "model format: missing count for '", what,
+                  "'");
+    RAPIDNN_CHECK(n >= 0 && n <= maxCount, "model format: count ", n,
+                  " for '", what, "' outside [0, ", maxCount, "]");
+    return static_cast<size_t>(n);
+}
+
+/** Read a count-prefixed double block; the tag is already consumed. */
+std::vector<double>
+readDoubleBody(std::istream &is, const std::string &tag)
+{
+    const size_t n = readCount(is, tag, kMaxBlockElems);
+    std::vector<double> values(n);
+    for (double &v : values)
+        is >> v;
+    RAPIDNN_CHECK(bool(is), "model format: truncated '", tag, "' block");
+    return values;
 }
 
 std::vector<double>
 readDoubles(std::istream &is, const std::string &tag)
 {
     expectTag(is, tag);
-    size_t n = 0;
-    is >> n;
-    std::vector<double> values(n);
-    for (double &v : values)
-        is >> v;
-    if (!is)
-        fatal("model format: truncated '", tag, "' block");
-    return values;
+    return readDoubleBody(is, tag);
 }
 
 std::vector<uint16_t>
 readCodes(std::istream &is, const std::string &tag)
 {
     expectTag(is, tag);
-    size_t n = 0;
-    is >> n;
+    const size_t n = readCount(is, tag, kMaxBlockElems);
     std::vector<uint16_t> codes(n);
     for (auto &c : codes) {
-        unsigned v;
+        long long v = -1;
         is >> v;
+        RAPIDNN_CHECK(bool(is) && v >= 0 && v <= 0xffff,
+                      "model format: code outside [0, 65535] in '", tag,
+                      "' block");
         c = static_cast<uint16_t>(v);
     }
-    if (!is)
-        fatal("model format: truncated '", tag, "' block");
     return codes;
+}
+
+/** A codebook body must be non-empty and finite to sort and index. */
+quant::Codebook
+codebookFromValues(std::vector<double> values, const std::string &tag)
+{
+    RAPIDNN_CHECK(!values.empty(), "model format: empty codebook '", tag,
+                  "'");
+    for (double v : values)
+        RAPIDNN_CHECK(std::isfinite(v), "model format: non-finite value "
+                      "in codebook '", tag, "'");
+    return quant::Codebook(std::move(values));
 }
 
 quant::Codebook
 readCodebook(std::istream &is, const std::string &tag)
 {
-    return quant::Codebook(readDoubles(is, tag));
+    return codebookFromValues(readDoubles(is, tag), tag);
+}
+
+/**
+ * Structural validation of a fully-read layer: every size relation and
+ * code range the inference loops in reinterpreted_model.cc and the RNA
+ * chip index without further checks.
+ */
+void
+validateLayer(const RLayer &layer)
+{
+    const bool compute = layer.kind == RLayerKind::Dense ||
+                         layer.kind == RLayerKind::Conv ||
+                         layer.kind == RLayerKind::Recurrent;
+    if (compute) {
+        RAPIDNN_CHECK(layer.inCount >= 1 && layer.outCount >= 1,
+                      "model format: compute layer with zero fan");
+        RAPIDNN_CHECK(!layer.inputCodebook.empty(),
+                      "model format: compute layer missing input "
+                      "codebook");
+        RAPIDNN_CHECK(layer.bias.size() == layer.outCount,
+                      "model format: bias size ", layer.bias.size(),
+                      " != outCount ", layer.outCount);
+        const size_t channels =
+            layer.kind == RLayerKind::Conv ? layer.outCount : 1;
+        RAPIDNN_CHECK(layer.weightCodebooks.size() == channels,
+                      "model format: ", layer.weightCodebooks.size(),
+                      " weight codebooks, want ", channels);
+        RAPIDNN_CHECK(layer.weightCodes.size() == channels,
+                      "model format: ", layer.weightCodes.size(),
+                      " weight-code blocks, want ", channels);
+        RAPIDNN_CHECK(layer.productTables.size() == channels,
+                      "model format: ", layer.productTables.size(),
+                      " product tables, want ", channels);
+        const size_t u = layer.inputCodebook.size();
+        const size_t perChannel =
+            layer.kind == RLayerKind::Dense ||
+            layer.kind == RLayerKind::Recurrent
+                ? layer.inCount * layer.outCount
+                : layer.inCount;
+        for (size_t ch = 0; ch < channels; ++ch) {
+            const size_t w = layer.weightCodebooks[ch].size();
+            RAPIDNN_CHECK(layer.weightCodes[ch].size() == perChannel,
+                          "model format: weight-code block ", ch,
+                          " has ", layer.weightCodes[ch].size(),
+                          " codes, want ", perChannel);
+            for (uint16_t code : layer.weightCodes[ch])
+                RAPIDNN_CHECK(code < w, "model format: weight code ",
+                              code, " outside codebook of ", w);
+            RAPIDNN_CHECK(layer.productTables[ch].size() == w * u,
+                          "model format: product table ", ch, " has ",
+                          layer.productTables[ch].size(),
+                          " entries, want ", w * u);
+        }
+    }
+    if (layer.kind == RLayerKind::Conv) {
+        RAPIDNN_CHECK(layer.kernel >= 1 && layer.inChannels >= 1,
+                      "model format: conv without kernel/channels");
+        RAPIDNN_CHECK(layer.inCount ==
+                          layer.inChannels * layer.kernel * layer.kernel,
+                      "model format: conv fan-in ", layer.inCount,
+                      " != inC*k*k");
+    }
+    if (layer.kind == RLayerKind::Recurrent) {
+        RAPIDNN_CHECK(layer.steps >= 1,
+                      "model format: recurrent layer with zero steps");
+        RAPIDNN_CHECK(!layer.stateCodebook.empty(),
+                      "model format: recurrent layer missing state "
+                      "codebook");
+        RAPIDNN_CHECK(layer.stateWeightCodebooks.size() == 1 &&
+                          layer.stateWeightCodes.size() == 1 &&
+                          layer.stateProductTables.size() == 1,
+                      "model format: recurrent state tables must have "
+                      "one block each");
+        const size_t sw = layer.stateWeightCodebooks[0].size();
+        const size_t s = layer.stateCodebook.size();
+        RAPIDNN_CHECK(layer.stateWeightCodes[0].size() ==
+                          layer.outCount * layer.outCount,
+                      "model format: recurrent state codes must be "
+                      "hidden x hidden");
+        for (uint16_t code : layer.stateWeightCodes[0])
+            RAPIDNN_CHECK(code < sw, "model format: state weight code ",
+                          code, " outside codebook of ", sw);
+        RAPIDNN_CHECK(layer.stateProductTables[0].size() == sw * s,
+                      "model format: state product table has ",
+                      layer.stateProductTables[0].size(),
+                      " entries, want ", sw * s);
+    }
+    if (layer.kind == RLayerKind::MaxPool ||
+        layer.kind == RLayerKind::AvgPool)
+        RAPIDNN_CHECK(layer.poolWindow >= 1,
+                      "model format: pooling layer without a window");
+    if (layer.kind == RLayerKind::AvgPool)
+        RAPIDNN_CHECK(!layer.inputCodebook.empty(),
+                      "model format: avgpool missing consumer codebook");
+    if (layer.kind == RLayerKind::Residual) {
+        RAPIDNN_CHECK(!layer.inner.empty(),
+                      "model format: empty residual block");
+        RAPIDNN_CHECK(!layer.inputCodebook.empty(),
+                      "model format: residual block missing input "
+                      "codebook");
+    }
 }
 
 RLayer
-readLayer(std::istream &is)
+readLayer(std::istream &is, size_t nestingDepth)
 {
+    RAPIDNN_CHECK(nestingDepth <= 64,
+                  "model format: residual nesting deeper than 64");
     expectTag(is, "layer");
     RLayer layer;
-    int kind = 0, same = 0;
-    is >> kind >> layer.inCount >> layer.outCount >> layer.kernel
-       >> layer.inChannels >> same >> layer.poolWindow >> layer.steps;
+    const size_t kind = readCount(
+        is, "layer kind", static_cast<long long>(RLayerKind::Recurrent));
     layer.kind = static_cast<RLayerKind>(kind);
-    layer.samePadding = same != 0;
+    layer.inCount = readCount(is, "inCount", kMaxLayerDim);
+    layer.outCount = readCount(is, "outCount", kMaxLayerDim);
+    layer.kernel = readCount(is, "kernel", kMaxLayerDim);
+    layer.inChannels = readCount(is, "inChannels", kMaxLayerDim);
+    layer.samePadding = readCount(is, "samePadding", 1) != 0;
+    layer.poolWindow = readCount(is, "poolWindow", kMaxLayerDim);
+    layer.steps = readCount(is, "steps", kMaxLayerDim);
 
     std::string tag;
     is >> tag;
     if (tag == "input_codebook") {
-        size_t n = 0;
-        is >> n;
-        std::vector<double> values(n);
-        for (double &v : values)
-            is >> v;
-        layer.inputCodebook = quant::Codebook(std::move(values));
+        layer.inputCodebook = codebookFromValues(
+            readDoubleBody(is, "input_codebook"), "input_codebook");
         expectTag(is, "weight_codebooks");
     } else if (tag != "weight_codebooks") {
         fatal("model format: unexpected tag '", tag, "'");
     }
 
-    size_t count = 0;
-    is >> count;
+    size_t count = readCount(is, "weight_codebooks", kMaxBlockCount);
     for (size_t i = 0; i < count; ++i)
         layer.weightCodebooks.push_back(readCodebook(is, "wcb"));
 
     expectTag(is, "weight_codes");
-    is >> count;
+    count = readCount(is, "weight_codes", kMaxBlockCount);
     for (size_t i = 0; i < count; ++i)
         layer.weightCodes.push_back(readCodes(is, "codes"));
 
@@ -201,20 +348,25 @@ readLayer(std::istream &is)
     layer.bias.assign(bias.begin(), bias.end());
 
     expectTag(is, "product_tables");
-    is >> count;
+    count = readCount(is, "product_tables", kMaxBlockCount);
     for (size_t i = 0; i < count; ++i)
         layer.productTables.push_back(readDoubles(is, "table"));
 
     is >> tag;
     if (tag == "activation") {
-        int actKind = 0;
-        is >> actKind;
-        layer.activationKind = static_cast<nn::ActKind>(actKind);
+        layer.activationKind = static_cast<nn::ActKind>(
+            readCount(is, "activation kind", 32));
         auto inputs = readDoubles(is, "act_inputs");
         auto outputs = readDoubles(is, "act_outputs");
-        RAPIDNN_ASSERT(inputs.size() == outputs.size() &&
-                       inputs.size() >= 2,
-                       "malformed activation table");
+        RAPIDNN_CHECK(inputs.size() == outputs.size() &&
+                      inputs.size() >= 2,
+                      "model format: malformed activation table");
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            RAPIDNN_CHECK(std::isfinite(inputs[i]),
+                          "model format: non-finite activation row");
+            RAPIDNN_CHECK(i == 0 || inputs[i - 1] <= inputs[i],
+                          "model format: activation rows not sorted");
+        }
         layer.activation = quant::ActivationTable::fromRows(
             std::move(inputs), std::move(outputs));
     } else if (tag != "no_activation") {
@@ -223,36 +375,27 @@ readLayer(std::istream &is)
 
     is >> tag;
     if (tag == "output_encoder") {
-        size_t n = 0;
-        is >> n;
-        std::vector<double> values(n);
-        for (double &v : values)
-            is >> v;
-        layer.outputEncoder =
-            quant::Encoder(quant::Codebook(std::move(values)));
+        layer.outputEncoder = quant::Encoder(codebookFromValues(
+            readDoubleBody(is, "output_encoder"), "output_encoder"));
     } else if (tag != "no_output_encoder") {
         fatal("model format: unexpected tag '", tag, "'");
     }
 
     is >> tag;
     if (tag == "state_codebook") {
-        size_t n = 0;
-        is >> n;
-        std::vector<double> values(n);
-        for (double &v : values)
-            is >> v;
-        layer.stateCodebook = quant::Codebook(std::move(values));
+        layer.stateCodebook = codebookFromValues(
+            readDoubleBody(is, "state_codebook"), "state_codebook");
         expectTag(is, "state_weight_codebooks");
-        is >> count;
+        count = readCount(is, "state_weight_codebooks", kMaxBlockCount);
         for (size_t i = 0; i < count; ++i)
             layer.stateWeightCodebooks.push_back(
                 readCodebook(is, "swcb"));
         expectTag(is, "state_weight_codes");
-        is >> count;
+        count = readCount(is, "state_weight_codes", kMaxBlockCount);
         for (size_t i = 0; i < count; ++i)
             layer.stateWeightCodes.push_back(readCodes(is, "codes"));
         expectTag(is, "state_product_tables");
-        is >> count;
+        count = readCount(is, "state_product_tables", kMaxBlockCount);
         for (size_t i = 0; i < count; ++i)
             layer.stateProductTables.push_back(
                 readDoubles(is, "table"));
@@ -261,10 +404,11 @@ readLayer(std::istream &is)
     }
 
     expectTag(is, "inner");
-    is >> count;
+    count = readCount(is, "inner", kMaxBlockCount);
     for (size_t i = 0; i < count; ++i)
-        layer.inner.push_back(readLayer(is));
+        layer.inner.push_back(readLayer(is, nestingDepth + 1));
     expectTag(is, "end_layer");
+    validateLayer(layer);
     return layer;
 }
 
@@ -287,7 +431,7 @@ loadModel(std::istream &is)
     expectTag(is, "rapidnn_model");
     int version = 0;
     is >> version;
-    if (version != kModelFormatVersion)
+    if (!is || version != kModelFormatVersion)
         fatal("model format version ", version, " unsupported (want ",
               kModelFormatVersion, ")");
 
@@ -295,10 +439,9 @@ loadModel(std::istream &is)
     model.inputEncoder() =
         quant::Encoder(readCodebook(is, "input_encoder"));
     expectTag(is, "layers");
-    size_t count = 0;
-    is >> count;
+    const size_t count = readCount(is, "layers", kMaxBlockCount);
     for (size_t i = 0; i < count; ++i)
-        model.layers().push_back(readLayer(is));
+        model.layers().push_back(readLayer(is, 0));
     expectTag(is, "end_model");
     return model;
 }

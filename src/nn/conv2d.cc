@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 Conv2DLayer::Conv2DLayer(size_t inC, size_t outC, size_t k, Padding pad,

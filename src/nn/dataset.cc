@@ -1,5 +1,7 @@
 #include "nn/dataset.hh"
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 std::pair<Tensor, std::vector<int>>

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/rng.hh"
 #include "nn/tensor.hh"
 

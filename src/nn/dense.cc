@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 DenseLayer::DenseLayer(size_t in, size_t out, Rng &rng)

@@ -1,5 +1,7 @@
 #include "nn/misc_layers.hh"
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 Tensor

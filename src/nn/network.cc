@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 int

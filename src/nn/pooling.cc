@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/check.hh"
+
 namespace rapidnn::nn {
 
 Tensor

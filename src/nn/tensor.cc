@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+
+#include "common/check.hh"
 
 namespace rapidnn::nn {
 
 size_t
 shapeNumel(const Shape &shape)
 {
+    // Shapes can be caller- or file-supplied; an overflowing product
+    // would wrap to a small allocation that later indexing overruns,
+    // so the multiply is guarded and fails cleanly.
     size_t n = 1;
-    for (size_t d : shape)
+    for (size_t d : shape) {
+        RAPIDNN_CHECK(d == 0 || n <= SIZE_MAX / d,
+                      "shape ", shapeToString(shape),
+                      " element count overflows size_t");
         n *= d;
+    }
     return shape.empty() ? 0 : n;
 }
 
@@ -59,9 +69,9 @@ Tensor::scale(float k)
 Tensor
 matmul(const Tensor &a, const Tensor &b)
 {
-    RAPIDNN_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D args");
-    RAPIDNN_ASSERT(a.dim(1) == b.dim(0), "matmul inner dims mismatch: ",
-                   shapeToString(a.shape()), " x ", shapeToString(b.shape()));
+    RAPIDNN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D args");
+    RAPIDNN_CHECK(a.dim(1) == b.dim(0), "matmul inner dims mismatch: ",
+                  shapeToString(a.shape()), " x ", shapeToString(b.shape()));
     const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
     Tensor out({m, n});
     for (size_t i = 0; i < m; ++i) {
@@ -81,7 +91,7 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
-    RAPIDNN_ASSERT(a.shape() == b.shape(), "add shape mismatch");
+    RAPIDNN_CHECK(a.shape() == b.shape(), "add shape mismatch");
     Tensor out = a;
     for (size_t i = 0; i < out.numel(); ++i)
         out[i] += b[i];
@@ -91,7 +101,7 @@ add(const Tensor &a, const Tensor &b)
 double
 maxAbsDiff(const Tensor &a, const Tensor &b)
 {
-    RAPIDNN_ASSERT(a.shape() == b.shape(), "maxAbsDiff shape mismatch");
+    RAPIDNN_CHECK(a.shape() == b.shape(), "maxAbsDiff shape mismatch");
     double worst = 0.0;
     for (size_t i = 0; i < a.numel(); ++i)
         worst = std::max(worst, std::abs(double(a[i]) - double(b[i])));

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::nn {
 
@@ -47,9 +47,11 @@ class Tensor
     Tensor(Shape shape, std::vector<float> data)
         : _shape(std::move(shape)), _data(std::move(data))
     {
-        RAPIDNN_ASSERT(_data.size() == shapeNumel(_shape),
-                       "data size ", _data.size(), " != shape numel ",
-                       shapeNumel(_shape));
+        // Shape/data agreement is an API boundary (callers hand in
+        // both), so it stays on in every build.
+        RAPIDNN_CHECK(_data.size() == shapeNumel(_shape),
+                      "data size ", _data.size(), " != shape numel ",
+                      shapeNumel(_shape));
     }
 
     const Shape &shape() const { return _shape; }
@@ -104,9 +106,9 @@ class Tensor
     Tensor
     reshaped(Shape shape) const
     {
-        RAPIDNN_ASSERT(shapeNumel(shape) == numel(),
-                       "reshape ", shapeToString(_shape), " -> ",
-                       shapeToString(shape), " changes element count");
+        RAPIDNN_CHECK(shapeNumel(shape) == numel(),
+                      "reshape ", shapeToString(_shape), " -> ",
+                      shapeToString(shape), " changes element count");
         return Tensor(std::move(shape), _data);
     }
 

@@ -1,6 +1,7 @@
 #include "nn/topology.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
+#include "nn/recurrent.hh"
 
 namespace rapidnn::nn {
 
@@ -120,6 +121,19 @@ collectShapes(const std::vector<LayerPtr> &layers, Shape &shape,
             collectShapes(res.inner(), inner, out);
             RAPIDNN_ASSERT(inner == shape,
                            "residual inner stack changed shape");
+            break;
+          }
+          case LayerKind::Recurrent: {
+            const auto &rec = static_cast<const ElmanLayer &>(layer);
+            // Each of T steps computes H neurons over F inputs plus
+            // the H-wide hidden-state feedback; the weight matrices
+            // (Wx, Wh) and bias are shared across steps.
+            const size_t fanIn = rec.features() + rec.hidden();
+            out.push_back({LayerKind::Recurrent,
+                           rec.hidden() * rec.steps(), fanIn,
+                           fanIn * rec.hidden() + rec.hidden(),
+                           rec.hidden()});
+            shape = {rec.hidden()};
             break;
           }
           case LayerKind::Activation:

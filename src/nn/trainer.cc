@@ -2,7 +2,7 @@
 
 #include <numeric>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "nn/loss.hh"
 
 namespace rapidnn::nn {

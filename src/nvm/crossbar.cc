@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::nvm {
 

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::nvm {
 

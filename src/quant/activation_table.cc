@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "quant/kmeans.hh"
 
 namespace rapidnn::quant {
@@ -66,7 +66,10 @@ ActivationTable::buildCustom(const std::function<double(double)> &fn,
         for (size_t i = 0; i < rows; ++i) {
             const double target =
                 total * double(i) / double(rows - 1);
-            while (cursor < grid && cdf[cursor + 1] < target)
+            // target can round a hair above cdf.back() for the final
+            // row, so the cursor must stop at the last cell (grid - 1)
+            // to keep cdf[cursor + 1] in range.
+            while (cursor + 1 < grid && cdf[cursor + 1] < target)
                 ++cursor;
             // Linear interpolation within the grid cell.
             const double cellLo = cdf[cursor];

@@ -1,16 +1,24 @@
 #include "quant/codebook.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "common/task_pool.hh"
 
 namespace rapidnn::quant {
 
 Codebook::Codebook(std::vector<double> values) : _values(std::move(values))
 {
-    RAPIDNN_ASSERT(!_values.empty(), "empty codebook");
+    // Codebook values can arrive from outside the process (model
+    // files), so reject the inputs that would break the sorted-index
+    // contract cleanly: emptiness and non-finite values (NaN breaks
+    // strict weak ordering, so sort order — and with it every encoded
+    // comparison — would be unspecified).
+    RAPIDNN_CHECK(!_values.empty(), "empty codebook");
+    for (double v : _values)
+        RAPIDNN_CHECK(std::isfinite(v), "non-finite codebook value");
     std::sort(_values.begin(), _values.end());
 }
 
@@ -23,8 +31,11 @@ Codebook::bits() const
 TreeCodebook::TreeCodebook(const std::vector<double> &samples, size_t depth,
                            uint64_t seed, size_t threads)
 {
-    RAPIDNN_ASSERT(!samples.empty(), "TreeCodebook on empty samples");
-    RAPIDNN_ASSERT(depth >= 1 && depth <= 16, "unreasonable tree depth");
+    // Both arguments are caller-supplied configuration, not library
+    // invariants: fail cleanly on misuse.
+    RAPIDNN_CHECK(!samples.empty(), "TreeCodebook on empty samples");
+    RAPIDNN_CHECK(depth >= 1 && depth <= 16, "unreasonable tree depth ",
+                  depth);
 
     // Recursive binary splits. Level l is the sorted concatenation of the
     // 2^l leaf centroids at that recursion depth. Because k-means in 1-D

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "quant/kmeans.hh"
 
 namespace rapidnn::quant {
@@ -35,8 +36,21 @@ class Codebook
     size_t size() const { return _values.size(); }
     bool empty() const { return _values.empty(); }
 
-    /** Representative for an encoded index. */
-    double value(size_t index) const { return _values.at(index); }
+    /** True when `code` is a valid encoded index for this codebook. */
+    bool contains(size_t code) const { return code < _values.size(); }
+
+    /**
+     * Representative for an encoded index. Codes can originate outside
+     * the process (serialized models), so the range check is always on
+     * and fails cleanly rather than throwing or indexing out of range.
+     */
+    double
+    value(size_t index) const
+    {
+        RAPIDNN_CHECK(contains(index), "code ", index,
+                      " outside codebook of ", _values.size());
+        return _values[index];
+    }
     const std::vector<double> &values() const { return _values; }
 
     /** Encode: index of the nearest representative. */

@@ -5,7 +5,7 @@
 #include <limits>
 #include <set>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "common/task_pool.hh"
 
 namespace rapidnn::quant {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::rna {
 

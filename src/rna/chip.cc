@@ -4,7 +4,7 @@
 #include <cmath>
 #include <functional>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "common/task_pool.hh"
 #include "nvm/data_block.hh"
 

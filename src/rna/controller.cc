@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::rna {
 

@@ -1,6 +1,6 @@
 #include "rna/rna_block.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::rna {
 

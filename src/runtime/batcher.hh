@@ -17,6 +17,8 @@
 #include <chrono>
 #include <vector>
 
+#include "common/check.hh"
+
 #include "runtime/request_queue.hh"
 
 namespace rapidnn::runtime {

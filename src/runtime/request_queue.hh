@@ -17,7 +17,7 @@
 #include <mutex>
 #include <optional>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::runtime {
 

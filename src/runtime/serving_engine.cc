@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace rapidnn::runtime {
 

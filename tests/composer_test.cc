@@ -235,8 +235,9 @@ TEST_P(CodebookSweep, ErrorWithinBudget)
     const double clustered = model.errorRate(fixture.validation);
     // Coarse codebooks may lose accuracy, but fine ones must track the
     // baseline closely (paper: w=u=64 recovers accuracy).
-    if (w >= 32 && u >= 32)
+    if (w >= 32 && u >= 32) {
         EXPECT_LE(clustered - baseline, 0.06);
+    }
     EXPECT_LE(clustered - baseline, 0.6);
 }
 

@@ -3,10 +3,22 @@
  * Model serialization round trips: every layer kind (dense, conv,
  * pooling, residual, recurrent) must survive save/load with identical
  * inference behaviour.
+ *
+ * Plus the corrupt-model suite: deterministically mutated model files
+ * (truncations, bit flips, count inflations — 50+ seeded mutations)
+ * must every one of them either load cleanly or fail with a clean
+ * fatal() (exit 1) — never abort, crash, or trip a sanitizer. Runs
+ * under the `asan` preset in CI.
  */
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
 #include <sstream>
 
 #include "composer/composer.hh"
@@ -178,6 +190,235 @@ TEST(Serialization, ActivationTableFromRowsExact)
     for (int i = 0; i < 300; ++i) {
         const double y = rng.uniform(-8, 8);
         EXPECT_DOUBLE_EQ(rebuilt.lookup(y), original.lookup(y));
+    }
+}
+
+// --------------------------------------------------------- corrupt models
+//
+// Every mutation below runs loadModel() in a death-test child. A clean
+// rejection is fatal() — "fatal: ..." on stderr, exit code 1. A benign
+// mutation (e.g. a bit flip inside a double) may load fine and exit 0.
+// Anything else — abort, segfault, or a sanitizer report (forced to
+// abort via abort_on_error=1) — ends the child on a signal and fails
+// the WIFEXITED predicate.
+
+/** Serialized text of a small trained MLP reinterpretation. */
+const std::string &
+mlpCorpus()
+{
+    static const std::string text = [] {
+        nn::Dataset data =
+            nn::makeVectorTask({"corrupt", 8, 3, 120, 0.35, 1.0, 821});
+        Rng rng(822);
+        nn::Network net = nn::buildMlp({.inputs = 8, .hidden = {6},
+                                        .outputs = 3}, rng);
+        nn::Trainer({.epochs = 2, .batchSize = 16, .learningRate = 0.05})
+            .train(net, data);
+        Composer comp({});
+        ReinterpretedModel model = comp.reinterpret(net, data);
+        std::ostringstream os;
+        saveModel(model, os);
+        return os.str();
+    }();
+    return text;
+}
+
+/** Serialized text of a tiny recurrent reinterpretation. */
+const std::string &
+recurrentCorpus()
+{
+    static const std::string text = [] {
+        nn::SequenceTaskSpec spec;
+        spec.name = "corrupt-seq";
+        spec.features = 4;
+        spec.steps = 3;
+        spec.classes = 3;
+        spec.samples = 90;
+        spec.seed = 823;
+        nn::Dataset data = nn::makeSequenceTask(spec);
+        Rng rng(824);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            4, 5, 3, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(5, 3, rng));
+        nn::Trainer({.epochs = 2, .batchSize = 16, .learningRate = 0.05})
+            .train(net, data);
+        Composer comp({});
+        ReinterpretedModel model = comp.reinterpret(net, data);
+        std::ostringstream os;
+        saveModel(model, os);
+        return os.str();
+    }();
+    return text;
+}
+
+/**
+ * Attempt a load and exit: 0 on clean success, 1 via fatal() on clean
+ * rejection. Runs only inside a death-test child.
+ */
+[[noreturn]] void
+loadAndExit(const std::string &text)
+{
+    {
+        std::istringstream is(text);
+        ReinterpretedModel model = loadModel(is);
+        // Touch the loaded structure the way offline tooling would.
+        volatile size_t sink =
+            model.memoryBytes() + model.describe().size();
+        (void)sink;
+    }
+    std::exit(0);
+}
+
+/** Child exited (no signal) with 0 (loaded) or 1 (rejected). */
+bool
+exitedCleanly(int status)
+{
+    return WIFEXITED(status) &&
+           (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 1);
+}
+
+/** Child exited with 1: the load was rejected by fatal(). */
+bool
+exitedRejected(int status)
+{
+    return WIFEXITED(status) && WEXITSTATUS(status) == 1;
+}
+
+/** Byte range [begin, end) of the integer following a given tag. */
+struct CountSite
+{
+    size_t begin;
+    size_t end;
+};
+
+/** Locate the count/field token right after each matching tag token. */
+std::vector<CountSite>
+countSites(const std::string &text,
+           const std::vector<std::string> &tags)
+{
+    std::vector<CountSite> sites;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        const size_t start = pos;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        const std::string token = text.substr(start, pos - start);
+        if (std::find(tags.begin(), tags.end(), token) == tags.end())
+            continue;
+        size_t cbegin = pos;
+        while (cbegin < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[cbegin])))
+            ++cbegin;
+        size_t cend = cbegin;
+        while (cend < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[cend])))
+            ++cend;
+        if (cend > cbegin)
+            sites.push_back({cbegin, cend});
+    }
+    return sites;
+}
+
+class CorruptModel : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // threadsafe style re-execs the child, which then re-reads
+        // these: the fatal() path exits without unwinding, so leak
+        // checking is meaningless there, and sanitizer findings must
+        // abort so they can never masquerade as a clean exit(1).
+        ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+        setenv("ASAN_OPTIONS", "detect_leaks=0:abort_on_error=1", 1);
+        setenv("UBSAN_OPTIONS", "abort_on_error=1", 1);
+    }
+};
+
+TEST_F(CorruptModel, IntactCorporaLoadInProcess)
+{
+    std::istringstream mlp(mlpCorpus());
+    EXPECT_FALSE(loadModel(mlp).layers().empty());
+    std::istringstream rec(recurrentCorpus());
+    EXPECT_EQ(loadModel(rec).layers()[0].kind, RLayerKind::Recurrent);
+}
+
+TEST_F(CorruptModel, TruncationsRejectCleanly)
+{
+    const std::string &text = mlpCorpus();
+    ASSERT_GT(text.size(), 40u);
+    for (uint64_t seed = 0; seed < 17; ++seed) {
+        // Keep the cut before the trailing "end_layer\nend_model\n" so
+        // every truncation really removes required content.
+        const size_t cut = (seed * 2654435761ULL) % (text.size() - 20);
+        const std::string mutated = text.substr(0, cut);
+        EXPECT_EXIT(loadAndExit(mutated), exitedRejected, "fatal: ")
+            << "truncate at " << cut;
+    }
+}
+
+TEST_F(CorruptModel, BitFlipsNeverCrash)
+{
+    const std::string &text = mlpCorpus();
+    for (uint64_t seed = 0; seed < 17; ++seed) {
+        uint64_t x = 0x9e3779b97f4a7c15ULL * (seed + 1) + 0xbf58476d1ce4e5b9ULL;
+        const auto next = [&x] {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            return x;
+        };
+        std::string mutated = text;
+        const size_t byte = next() % mutated.size();
+        const int bit = static_cast<int>(next() % 8);
+        mutated[byte] =
+            static_cast<char>(mutated[byte] ^ (1u << bit));
+        EXPECT_EXIT(loadAndExit(mutated), exitedCleanly, "")
+            << "flip byte " << byte << " bit " << bit;
+    }
+}
+
+TEST_F(CorruptModel, CountInflationsRejectCleanly)
+{
+    const std::string &text = mlpCorpus();
+    const std::vector<std::string> tags = {
+        "rapidnn_model", "input_encoder", "layers", "layer",
+        "input_codebook", "weight_codebooks", "wcb", "weight_codes",
+        "codes", "bias", "product_tables", "table", "activation",
+        "act_inputs", "act_outputs", "output_encoder", "inner"};
+    const auto sites = countSites(text, tags);
+    ASSERT_GE(sites.size(), 10u);
+    // Oversized counts stay bounded by the reader limits (no multi-GB
+    // allocation ever happens); negative and absurd ones fatal at the
+    // count read itself.
+    const char *absurd[] = {"999999999999999", "-7", "88888888"};
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        const CountSite site = sites[(seed * 7919) % sites.size()];
+        const std::string mutated = text.substr(0, site.begin) +
+            absurd[seed % 3] + text.substr(site.end);
+        EXPECT_EXIT(loadAndExit(mutated), exitedRejected, "fatal: ")
+            << "inflate count at offset " << site.begin;
+    }
+}
+
+TEST_F(CorruptModel, RecurrentStateCountsRejectCleanly)
+{
+    const std::string &text = recurrentCorpus();
+    const std::vector<std::string> tags = {
+        "state_codebook", "state_weight_codebooks", "swcb",
+        "state_weight_codes", "state_product_tables"};
+    const auto sites = countSites(text, tags);
+    ASSERT_GE(sites.size(), 5u);
+    for (size_t i = 0; i < sites.size() && i < 6; ++i) {
+        const std::string mutated = text.substr(0, sites[i].begin) +
+            (i % 2 ? "-3" : "77777777") + text.substr(sites[i].end);
+        EXPECT_EXIT(loadAndExit(mutated), exitedRejected, "fatal: ")
+            << "state count at offset " << sites[i].begin;
     }
 }
 

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Determinism lint: encode RAPIDNN's reproducibility contract as rules.
+
+The repository's load-bearing invariant (PAPER.md Section 4, DESIGN.md
+"Key invariants") is that composed models and the serving runtime are
+bitwise reproducible: same seed, same model, same results — across
+replicas, thread counts, and reruns. This lint makes the contract
+greppable; it scans src/ line by line and fails on constructs that are
+known determinism hazards. Rules are documented in
+tools/determinism_rules.md.
+
+Rules
+-----
+  rng         Wall-clock or libc randomness (rand, srand, random_device,
+              std::time, time(NULL), clock(), system_clock,
+              high_resolution_clock, gettimeofday, getpid-as-seed).
+              All randomness must flow through common/rng.hh (seeded
+              mt19937_64); all timing through steady_clock (monotonic,
+              feeds only latency metrics, never model outputs).
+  unordered-iter
+              Iteration over std::unordered_map/unordered_set
+              (range-for or begin()/end()): bucket order is
+              implementation-defined, so anything serialized or
+              accumulated from it is nondeterministic. Use std::map,
+              a sorted vector, or sort the keys first.
+  fp-reduce   Float reductions with unspecified or data-dependent
+              evaluation order (std::accumulate, std::reduce,
+              std::transform_reduce, OpenMP pragmas) outside the
+              blessed serial-reduction helpers in src/rna/. Use a
+              plain serial loop in flat index order (see
+              rna/accumulation.cc and the task-pool sharding pattern).
+
+Suppression
+-----------
+A finding is suppressed by a marker on the same line or the line
+directly above:
+
+    // NOLINT-DETERMINISM(rule-id): why this use is deterministic
+
+The rule id must match the finding (or be `*`). The reason text is
+mandatory — a bare marker does not suppress.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SUPPRESS_RE = re.compile(
+    r"NOLINT-DETERMINISM\((?P<rules>[\w*,-]+)\):\s*\S")
+
+# ---------------------------------------------------------------- rules
+
+RNG_PATTERNS = [
+    re.compile(r"\bs?rand\s*\("),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bstd::time\b"),
+    re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+    re.compile(r"\bclock\s*\(\s*\)"),
+    re.compile(r"\bsystem_clock\b"),
+    re.compile(r"\bhigh_resolution_clock\b"),
+    re.compile(r"\bgettimeofday\b"),
+    re.compile(r"\bgetpid\b"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{]*?>\s+(\w+)\s*[;{=(]")
+UNORDERED_INLINE_ITER_RE = re.compile(
+    r"for\s*\([^;)]*:\s*[^)]*\bunordered_(?:map|set)\b")
+
+FP_REDUCE_PATTERNS = [
+    re.compile(r"\bstd::accumulate\s*\("),
+    re.compile(r"\bstd::reduce\s*\("),
+    re.compile(r"\bstd::transform_reduce\s*\("),
+    re.compile(r"#\s*pragma\s+omp\b"),
+]
+
+# src/rna/ holds the blessed serial-reduction helpers (flat-order
+# fixed-point and FP sums); the fp-reduce rule does not apply there.
+FP_REDUCE_EXEMPT = ("src/rna/",)
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def suppressed(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = SUPPRESS_RE.search(text or "")
+        if m:
+            rules = m.group("rules").split(",")
+            if "*" in rules or rule in rules:
+                return True
+    return False
+
+
+def lint_lines(rel_path, lines):
+    """Lint one file's lines; rel_path is repo-relative POSIX style."""
+    findings = []
+    unordered_vars = set()
+    for line in lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group(1))
+    iter_res = [
+        re.compile(r"for\s*\([^;)]*:\s*\(?\s*(?:\w+(?:\.|->))?"
+                   + re.escape(v) + r"\b")
+        for v in unordered_vars
+    ] + [
+        re.compile(r"\b" + re.escape(v) + r"\s*(?:\.|->)\s*c?(?:begin|end)"
+                   r"\s*\(")
+        for v in unordered_vars
+    ]
+
+    fp_exempt = any(rel_path.startswith(p) for p in FP_REDUCE_EXEMPT)
+
+    prev = None
+    for lineno, line in enumerate(lines, start=1):
+        for pattern in RNG_PATTERNS:
+            if pattern.search(line) and not suppressed("rng", line, prev):
+                findings.append(Finding(
+                    rel_path, lineno, "rng",
+                    f"wall-clock or unseeded randomness "
+                    f"('{pattern.search(line).group(0).strip()}'); use "
+                    "common/rng.hh (seeded) or steady_clock (timing)"))
+        if (UNORDERED_INLINE_ITER_RE.search(line)
+                or any(r.search(line) for r in iter_res)):
+            if not suppressed("unordered-iter", line, prev):
+                findings.append(Finding(
+                    rel_path, lineno, "unordered-iter",
+                    "iteration over an unordered container; bucket "
+                    "order is implementation-defined — sort first or "
+                    "use an ordered container"))
+        if not fp_exempt:
+            for pattern in FP_REDUCE_PATTERNS:
+                if pattern.search(line) and not suppressed(
+                        "fp-reduce", line, prev):
+                    findings.append(Finding(
+                        rel_path, lineno, "fp-reduce",
+                        "order-sensitive reduction outside src/rna/; "
+                        "use a serial flat-order loop"))
+        prev = line
+    return findings
+
+
+def lint_file(path):
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        return [Finding(rel, 0, "io", "file is not valid UTF-8")]
+    return lint_lines(rel, lines)
+
+
+# ------------------------------------------------------------ self-test
+
+SELF_TEST_CASES = [
+    # (name, source, expected rule ids)
+    ("libc rand", "int x = rand();", ["rng"]),
+    ("srand seed", "srand(42);", ["rng"]),
+    ("time null seed", "auto s = time(NULL);", ["rng"]),
+    ("std::time", "auto s = std::time(nullptr);", ["rng", "rng"]),
+    ("system clock", "auto t = std::chrono::system_clock::now();",
+     ["rng"]),
+    ("random device", "std::random_device rd;", ["rng"]),
+    ("steady clock ok",
+     "auto t = std::chrono::steady_clock::now();", []),
+    ("seeded rng ok", "Rng rng(807); rng.uniform();", []),
+    ("operand named grand ok", "int grand(int);", []),
+    ("unordered range-for",
+     "std::unordered_map<int, int> m;\nfor (auto &kv : m) use(kv);",
+     ["unordered-iter"]),
+    ("unordered member begin",
+     "std::unordered_set<int> _seen;\nauto it = _seen.begin();",
+     ["unordered-iter"]),
+    ("unordered lookup ok",
+     "std::unordered_map<P *, V> _velocity;\nauto &v = _velocity[p];",
+     []),
+    ("ordered map ok",
+     "std::map<int, int> m;\nfor (auto &kv : m) use(kv);", []),
+    ("std accumulate", "double s = std::accumulate(v.begin(), "
+     "v.end(), 0.0);", ["fp-reduce"]),
+    ("omp pragma", "#pragma omp parallel for", ["fp-reduce"]),
+    ("suppressed same line",
+     "srand(1);  // NOLINT-DETERMINISM(rng): test fixture only", []),
+    ("suppressed prev line",
+     "// NOLINT-DETERMINISM(fp-reduce): integer accumulate\n"
+     "auto n = std::accumulate(c.begin(), c.end(), 0);", []),
+    ("bare marker does not suppress",
+     "srand(1);  // NOLINT-DETERMINISM(rng):", ["rng"]),
+    ("wrong rule does not suppress",
+     "srand(1);  // NOLINT-DETERMINISM(fp-reduce): nope", ["rng"]),
+    ("star suppresses",
+     "srand(1);  // NOLINT-DETERMINISM(*): fixture", []),
+]
+
+
+def self_test():
+    failures = 0
+    for name, source, expected in SELF_TEST_CASES:
+        got = [f.rule for f in lint_lines("src/test.cc",
+                                          source.splitlines())]
+        if got != expected:
+            print(f"self-test FAIL: {name}: expected {expected}, "
+                  f"got {got}", file=sys.stderr)
+            failures += 1
+    # The rna exemption.
+    got = lint_lines("src/rna/accumulation.cc",
+                     ["auto s = std::accumulate(v.begin(), v.end(), "
+                      "0.0);"])
+    if got:
+        print("self-test FAIL: rna exemption", file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+    print(f"self-test: {len(SELF_TEST_CASES) + 1} cases ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="RAPIDNN determinism lint")
+    parser.add_argument("--root", default=str(REPO_ROOT / "src"),
+                        help="directory tree to lint (default: src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint's own test cases and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files (default: whole --root)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        root = pathlib.Path(args.root).resolve()
+        if not root.is_dir():
+            print(f"lint_determinism: no such directory: {root}",
+                  file=sys.stderr)
+            return 2
+        files = sorted(p for ext in ("*.cc", "*.hh")
+                       for p in root.rglob(ext))
+
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

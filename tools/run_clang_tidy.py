@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ using the checked-in .clang-tidy profile.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir BUILD] [--jobs N] [paths...]
+
+Requires a build directory configured with
+CMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI clang-tidy job does this; any
+preset can, via -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Exits 0 on zero
+findings, 1 on findings, and 2 (with a clear message) when clang-tidy
+or the compilation database is missing, so callers can distinguish
+"clean" from "could not run".
+"""
+
+import argparse
+import concurrent.futures
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def find_sources(paths):
+    if paths:
+        return sorted(pathlib.Path(p) for p in paths)
+    return sorted((REPO_ROOT / "src").rglob("*.cc"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files (default: all of src/)")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH; install it "
+              "or pass --clang-tidy", file=sys.stderr)
+        return 2
+    compdb = pathlib.Path(args.build_dir) / "compile_commands.json"
+    if not compdb.exists():
+        print(f"run_clang_tidy: {compdb} missing; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    sources = find_sources(args.paths)
+    if not sources:
+        print("run_clang_tidy: no sources found", file=sys.stderr)
+        return 2
+
+    def run_one(source):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", str(source)],
+            capture_output=True, text=True)
+        return source, proc.returncode, proc.stdout, proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, code, out, err in pool.map(run_one, sources):
+            status = "ok" if code == 0 else "FINDINGS"
+            print(f"[{status}] {source.relative_to(REPO_ROOT)}")
+            if code != 0:
+                failures += 1
+                sys.stdout.write(out)
+                # clang-tidy puts suppressed-count chatter on stderr;
+                # only surface it when the file actually failed.
+                sys.stderr.write(err)
+
+    if failures:
+        print(f"run_clang_tidy: findings in {failures} of "
+              f"{len(sources)} files", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(sources)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
