@@ -4,20 +4,41 @@
  * batched multi-threaded engine via Rapidnn::serve(), fire a burst of
  * asynchronous requests at it, and read back the ServerStats snapshot
  * and the merged deployment PerfReport.
+ *
+ * Telemetry hooks (both optional, off by default):
+ *  - RAPIDNN_METRICS_PORT=<port>: serve Prometheus metrics on
+ *    127.0.0.1:<port>/metrics (0 picks an ephemeral port), enable
+ *    request tracing, and self-scrape the endpoint at the end so the
+ *    scrape output lands in stdout (CI smoke-checks it).
+ *  - RAPIDNN_TRACE=<path>: write the traced spans as Chrome
+ *    trace_event JSON (load in chrome://tracing or Perfetto).
  */
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "common/task_pool.hh"
 #include "core/rapidnn.hh"
 #include "nn/trainer.hh"
 #include "runtime/serving_engine.hh"
+#include "telemetry/telemetry.hh"
 
 int
 main()
 {
     using namespace rapidnn;
+
+    // Telemetry switches (see file comment). Tracing goes on before
+    // composition so the compose/evaluate pipeline spans land in the
+    // trace alongside the serving lifecycle.
+    const char *metricsPortEnv = std::getenv("RAPIDNN_METRICS_PORT");
+    const char *tracePath = std::getenv("RAPIDNN_TRACE");
+    if (metricsPortEnv != nullptr || tracePath != nullptr)
+        telemetry::Tracer::global().setEnabled(true);
 
     // A quick composed deployment (same flow as examples/quickstart).
     nn::Dataset data =
@@ -49,7 +70,26 @@ main()
     serving.intraOpThreads = TaskPool::defaultThreads();
     std::cout << "intra-op lanes when queue is shallow: "
               << serving.intraOpThreads << "\n";
+
+    if (metricsPortEnv != nullptr)
+        serving.metricsPort = static_cast<uint16_t>(
+            std::atoi(metricsPortEnv));
     auto engine = rapid.serve(serving);
+
+    // RAPIDNN_METRICS_PORT=0 asks for an ephemeral port, which the
+    // engine treats as "disabled" — stand up a demo-owned endpoint
+    // instead so CI can smoke-scrape without a fixed port.
+    std::unique_ptr<telemetry::MetricsServer> ephemeral;
+    uint16_t scrapePort = engine->metricsPort();
+    if (metricsPortEnv != nullptr && scrapePort == 0) {
+        ephemeral = std::make_unique<telemetry::MetricsServer>(
+            0, [] {
+                std::ostringstream body;
+                telemetry::dumpAll(body);
+                return body.str();
+            });
+        scrapePort = ephemeral->ok() ? ephemeral->port() : 0;
+    }
 
     std::vector<std::future<runtime::InferResult>> futures;
     size_t rejected = 0;
@@ -98,5 +138,23 @@ main()
               << std::setprecision(3) << "modeled energy/inference: "
               << perf.energy.uj() / double(perf.inferences)
               << " uJ\n";
+
+    // Self-scrape the live endpoint so the Prometheus rendering lands
+    // in stdout (CI greps it; humans can `curl` the same URL while the
+    // demo runs).
+    if (scrapePort != 0) {
+        const std::string body = telemetry::scrapeLocal(scrapePort);
+        std::cout << "\n-- scraped 127.0.0.1:" << scrapePort
+                  << "/metrics (" << body.size() << " bytes) --\n"
+                  << body;
+    }
+
+    if (tracePath != nullptr) {
+        std::ofstream out(tracePath);
+        telemetry::writeChromeTrace(out);
+        std::cout << "wrote Chrome trace ("
+                  << telemetry::Tracer::global().snapshot().size()
+                  << " spans) to " << tracePath << "\n";
+    }
     return 0;
 }

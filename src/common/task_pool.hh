@@ -79,6 +79,29 @@ class TaskPool
     void run(size_t shards, size_t maxLanes,
              const std::function<void(size_t shard, size_t lane)> &fn);
 
+    /**
+     * Point-in-time execution counters for one lane slot. Slot 0
+     * aggregates every calling thread (callers always run as lane 0);
+     * slot i >= 1 is helper thread i-1. `executed` counts shards run
+     * by the slot; `steals` counts jobs the slot attached to — for a
+     * helper that is a genuine steal (it joined a job another thread
+     * opened), for slot 0 it counts run() calls that went parallel.
+     * Counters are cumulative over the pool's lifetime; the telemetry
+     * registry exposes them via callbacks
+     * (telemetry::registerTaskPoolMetrics).
+     */
+    struct LaneCounters
+    {
+        uint64_t executed = 0;
+        uint64_t steals = 0;
+    };
+
+    /** Counters for every lane slot (size == lanes()). */
+    std::vector<LaneCounters> laneCounters() const;
+
+    /** Helpers currently executing shards (busy-vs-idle gauge). */
+    int64_t busyHelpers() const;
+
   private:
     /** One in-flight run() call, owned by its caller's stack frame. */
     struct Job
@@ -92,7 +115,14 @@ class TaskPool
         std::atomic<size_t> completed{0};
     };
 
-    void helperMain();
+    /** Per-slot counters, cache-line separated (relaxed atomics). */
+    struct alignas(64) LaneStat
+    {
+        std::atomic<uint64_t> executed{0};
+        std::atomic<uint64_t> steals{0};
+    };
+
+    void helperMain(size_t slot);
     Job *openJob();  //!< _mutex must be held
 
     std::mutex _mutex;
@@ -100,6 +130,8 @@ class TaskPool
     std::condition_variable _doneCv;  //!< callers wait for completion
     std::vector<Job *> _jobs;         //!< jobs with shards/lanes left
     std::vector<std::thread> _helpers;
+    std::vector<LaneStat> _laneStats; //!< slot 0 = callers, i = helper
+    std::atomic<int64_t> _busyHelpers{0};
     bool _stop = false;
 };
 

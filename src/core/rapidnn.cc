@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "nn/trainer.hh"
+#include "telemetry/telemetry.hh"
 
 namespace rapidnn::core {
 
@@ -18,6 +19,10 @@ Rapidnn::measure(composer::ComposeResult compose,
 
     _chip = std::make_unique<rna::Chip>(_config.chip);
     _chip->configure(_model);
+    // Top-level pipeline span; the per-sample chip_infer spans nest
+    // under it when tracing is on.
+    RAPIDNN_TELEMETRY_SPAN("evaluate",
+                           static_cast<int64_t>(validation.size()));
     report.acceleratorError = _chip->errorRate(validation, report.perf);
     return report;
 }
@@ -37,7 +42,12 @@ Rapidnn::run(nn::Network &net, const nn::Dataset &train,
              const nn::Dataset &validation)
 {
     composer::Composer comp(_config.composer);
-    return measure(comp.compose(net, train, validation), validation);
+    composer::ComposeResult result;
+    {
+        RAPIDNN_TELEMETRY_SPAN("compose");
+        result = comp.compose(net, train, validation);
+    }
+    return measure(std::move(result), validation);
 }
 
 RunReport
@@ -47,7 +57,10 @@ Rapidnn::runOneShot(nn::Network &net, const nn::Dataset &train,
     composer::Composer comp(_config.composer);
     composer::ComposeResult result;
     result.baselineError = nn::Trainer::errorRate(net, validation);
-    result.model = comp.reinterpret(net, train);
+    {
+        RAPIDNN_TELEMETRY_SPAN("compose");
+        result.model = comp.reinterpret(net, train);
+    }
     result.clusteredError = result.model.errorRate(validation);
     result.deltaE = result.clusteredError - result.baselineError;
     return measure(std::move(result), validation);

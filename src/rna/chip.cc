@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "common/check.hh"
 #include "common/task_pool.hh"
 #include "nvm/data_block.hh"
+#include "telemetry/telemetry.hh"
 
 namespace rapidnn::rna {
 
@@ -30,6 +32,53 @@ size_t
 shardCount(size_t items)
 {
     return std::min(items, kIntraOpShardGrid);
+}
+
+/**
+ * PerfReport category a layer's host execution time is traced under,
+ * so measured wall time lines up with the modeled cycle breakdown.
+ */
+const char *
+stageName(RLayerKind kind)
+{
+    switch (kind) {
+      case RLayerKind::MaxPool:
+      case RLayerKind::AvgPool:
+        return "pooling";
+      case RLayerKind::Flatten:
+        return "other";
+      default:
+        return "weighted_accum";  // Dense, Conv, Recurrent, Residual
+    }
+}
+
+/**
+ * Stage-duration histograms, registered once and cached so the per-
+ * layer hot path never touches the registry lock. Populated only while
+ * tracing is enabled (the ScopedSpan guard reads no clock otherwise).
+ */
+telemetry::Histogram *
+stageHistogram(const char *stage)
+{
+    auto make = [](const char *s) {
+        return &telemetry::Registry::global().histogram(
+            "rapidnn_chip_stage_seconds",
+            "Host wall time of Chip::infer stages, keyed by "
+            "PerfReport category (sampled while tracing is enabled)",
+            telemetry::stageBucketsSeconds(),
+            std::string("stage=\"") + s + "\"");
+    };
+    static telemetry::Histogram *encoding = make("encoding");
+    static telemetry::Histogram *weighted = make("weighted_accum");
+    static telemetry::Histogram *pooling = make("pooling");
+    static telemetry::Histogram *other = make("other");
+    if (std::strcmp(stage, "encoding") == 0)
+        return encoding;
+    if (std::strcmp(stage, "weighted_accum") == 0)
+        return weighted;
+    if (std::strcmp(stage, "pooling") == 0)
+        return pooling;
+    return other;
 }
 
 /** Contiguous item range [begin, end) of one shard. */
@@ -732,6 +781,9 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
             size_t numThreadsOverride) const
 {
     RAPIDNN_ASSERT(_model != nullptr, "chip not configured");
+    // Whole-call span; layer stage spans nest under it. Inert (one
+    // relaxed atomic load, no clock read) while tracing is disabled.
+    RAPIDNN_TELEMETRY_SPAN("chip_infer");
     const size_t threads = std::max<size_t>(
         numThreadsOverride != 0 ? numThreadsOverride
                                 : _config.numThreads,
@@ -744,9 +796,13 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
     EncodedTensor enc;
     enc.shape = x.shape();
     enc.codes.resize(x.numel());
-    for (size_t i = 0; i < x.numel(); ++i)
-        enc.codes[i] = static_cast<uint16_t>(
-            model.inputEncoder().encode(x[i]));
+    {
+        RAPIDNN_TELEMETRY_STAGE("encoding",
+                                stageHistogram("encoding"));
+        for (size_t i = 0; i < x.numel(); ++i)
+            enc.codes[i] = static_cast<uint16_t>(
+                model.inputEncoder().encode(x[i]));
+    }
     nvm::OpCost inputEncode =
         _config.cost.camSearch(model.inputEncoder().entries(), 32);
     inputEncode.energy = inputEncode.energy
@@ -788,8 +844,14 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
         ws.convPlans.resize(_contexts.size());
 
     for (size_t l = 0; l < model.layers().size(); ++l) {
-        LayerRun run = runLayer(model.layers()[l], enc,
-                                l == lastCompute, ws, threads);
+        LayerRun run{};
+        {
+            const char *stage = stageName(model.layers()[l].kind);
+            RAPIDNN_TELEMETRY_SPAN(stage, static_cast<int64_t>(l), 0,
+                                   stageHistogram(stage));
+            run = runLayer(model.layers()[l], enc, l == lastCompute,
+                           ws, threads);
+        }
         totals += run.cost;
         latencyCycles += run.stageCycles;
         worstStage = std::max(worstStage, run.stageCycles);

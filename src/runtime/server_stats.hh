@@ -2,8 +2,20 @@
  * @file
  * Serving-runtime statistics: a thread-safe collector the workers feed
  * and an immutable ServerStats snapshot (throughput, latency
- * percentiles, queue depth, batch-size histogram) built on the
- * Summary/Histogram/percentile primitives in common/stats.hh.
+ * percentiles, queue depth, batch-size histogram).
+ *
+ * Since the telemetry layer landed, the collector's event counters and
+ * distribution observations live in the process-wide
+ * telemetry::Registry (the scrape surface): submitted / rejected /
+ * completed / batches are registry counters, and latency, queue-wait
+ * and batch-size observations also feed registry histograms. The
+ * collector reads counters back as deltas against its construction
+ * baseline, so per-engine ServerStats stay exact even though the
+ * registry metrics are cumulative across sequential engines. Exact
+ * percentile reporting (p50/p95/p99) keeps a raw latency vector under
+ * a mutex and interpolates between order statistics — never truncating
+ * to a sample index (common/stats.hh percentile; pinned by
+ * telemetry_test's regression vector).
  *
  * Two clocks coexist deliberately. *Host wall time* measures the
  * runtime itself (queue wait, service time, end-to-end latency of this
@@ -22,6 +34,7 @@
 
 #include "common/stats.hh"
 #include "common/units.hh"
+#include "telemetry/telemetry.hh"
 
 namespace rapidnn::runtime {
 
@@ -40,7 +53,7 @@ struct ServerStats
     Histogram batchSizes;     //!< requests per executed batch
 
     double p50LatencyUs = 0.0;  //!< host wall end-to-end percentiles
-    double p95LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;  //!< (interpolated, never truncated)
     double p99LatencyUs = 0.0;
 
     double wallSeconds = 0.0;   //!< engine uptime at snapshot
@@ -69,34 +82,59 @@ struct ServerStats
     }
 };
 
-/** Thread-safe accumulator behind ServerStats snapshots. */
+/**
+ * Thread-safe accumulator behind ServerStats snapshots, built on the
+ * telemetry registry. Counter updates are lock-free sharded atomics;
+ * only the exact-percentile latency vector and the Summary/Histogram
+ * mirrors still take the mutex.
+ */
 class StatsCollector
 {
   public:
-    explicit StatsCollector(size_t maxBatch)
-        : _batchSizes(0.5, static_cast<double>(maxBatch) + 0.5, maxBatch)
+    explicit StatsCollector(
+        size_t maxBatch,
+        telemetry::Registry &registry = telemetry::Registry::global())
+        : _batchSizes(0.5, static_cast<double>(maxBatch) + 0.5,
+                      maxBatch),
+          _submitted(registry.counter(
+              "rapidnn_requests_submitted_total",
+              "Requests accepted into the admission queue")),
+          _rejected(registry.counter(
+              "rapidnn_requests_rejected_total",
+              "Requests refused by trySubmit (queue full)")),
+          _completed(registry.counter(
+              "rapidnn_requests_completed_total",
+              "Requests whose results were delivered")),
+          _batches(registry.counter("rapidnn_batches_total",
+                                    "Micro-batches executed")),
+          _latencySeconds(registry.histogram(
+              "rapidnn_request_latency_seconds",
+              "Host wall end-to-end request latency",
+              telemetry::latencyBucketsSeconds())),
+          _queueWaitSeconds(registry.histogram(
+              "rapidnn_queue_wait_seconds",
+              "Host wall time from admission to batch claim",
+              telemetry::latencyBucketsSeconds())),
+          _batchSizeHist(registry.histogram(
+              "rapidnn_batch_size", "Requests per executed batch",
+              telemetry::batchSizeBuckets())),
+          _submitted0(_submitted.value()),
+          _rejected0(_rejected.value()),
+          _completed0(_completed.value()),
+          _batches0(_batches.value())
     {
     }
 
-    void
-    recordSubmitted()
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        ++_submitted;
-    }
+    void recordSubmitted() { _submitted.add(1); }
 
-    void
-    recordRejected()
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        ++_rejected;
-    }
+    void recordRejected() { _rejected.add(1); }
 
     void
     recordBatch(size_t batchSize)
     {
+        _batches.add(1);
+        _batchSizeHist.observe(static_cast<double>(batchSize));
         std::lock_guard<std::mutex> lock(_mutex);
-        ++_batches;
         _batchSizes.add(static_cast<double>(batchSize));
     }
 
@@ -104,8 +142,10 @@ class StatsCollector
     recordRequest(double queueWaitUs, double serviceUs,
                   double latencyUs)
     {
+        _completed.add(1);
+        _latencySeconds.observe(latencyUs * 1e-6);
+        _queueWaitSeconds.observe(queueWaitUs * 1e-6);
         std::lock_guard<std::mutex> lock(_mutex);
-        ++_completed;
         _queueWaitUs.add(queueWaitUs);
         _serviceUs.add(serviceUs);
         _latenciesUs.push_back(latencyUs);
@@ -115,11 +155,11 @@ class StatsCollector
     void
     snapshotInto(ServerStats &stats) const
     {
+        stats.submitted = _submitted.value() - _submitted0;
+        stats.rejected = _rejected.value() - _rejected0;
+        stats.completed = _completed.value() - _completed0;
+        stats.batches = _batches.value() - _batches0;
         std::lock_guard<std::mutex> lock(_mutex);
-        stats.submitted = _submitted;
-        stats.rejected = _rejected;
-        stats.completed = _completed;
-        stats.batches = _batches;
         stats.queueWaitUs = _queueWaitUs;
         stats.serviceUs = _serviceUs;
         stats.batchSizes = _batchSizes;
@@ -130,14 +170,24 @@ class StatsCollector
 
   private:
     mutable std::mutex _mutex;
-    uint64_t _submitted = 0;
-    uint64_t _rejected = 0;
-    uint64_t _completed = 0;
-    uint64_t _batches = 0;
     Summary _queueWaitUs;
     Summary _serviceUs;
     Histogram _batchSizes;
     std::vector<double> _latenciesUs;
+
+    telemetry::Counter &_submitted;
+    telemetry::Counter &_rejected;
+    telemetry::Counter &_completed;
+    telemetry::Counter &_batches;
+    telemetry::Histogram &_latencySeconds;
+    telemetry::Histogram &_queueWaitSeconds;
+    telemetry::Histogram &_batchSizeHist;
+    /** Registry counters are process-cumulative; per-engine stats are
+     *  deltas against these construction-time baselines. */
+    const uint64_t _submitted0;
+    const uint64_t _rejected0;
+    const uint64_t _completed0;
+    const uint64_t _batches0;
 };
 
 } // namespace rapidnn::runtime

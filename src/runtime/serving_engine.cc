@@ -1,6 +1,7 @@
 #include "runtime/serving_engine.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hh"
 
@@ -44,9 +45,52 @@ ServingEngine::ServingEngine(const composer::ReinterpretedModel &model,
     for (size_t i = 0; i < _config.workers; ++i)
         _workers[i]->thread =
             std::thread([this, i] { workerMain(i); });
+
+    // Telemetry: expose the shared pool, sample this engine's queue
+    // depth and replica count at scrape time, and (optionally) open the
+    // scrape endpoint. The gauges capture `this`; their ScopedCallback
+    // members unregister before the queues they read are destroyed.
+    telemetry::registerTaskPoolMetrics();
+    telemetry::Registry &registry = telemetry::Registry::global();
+    _gauges.emplace_back(
+        registry, "rapidnn_queue_depth",
+        "Requests waiting in the admission queue(s)",
+        telemetry::MetricKind::Gauge, [this] {
+            size_t depth = _queue.size();
+            for (const auto &worker : _workers)
+                depth += worker->queue.size();
+            return static_cast<double>(depth);
+        });
+    _gauges.emplace_back(
+        registry, "rapidnn_serving_workers",
+        "Worker threads (chip replicas) in the serving engine",
+        telemetry::MetricKind::Gauge,
+        [this] { return static_cast<double>(_workers.size()); });
+    if (_config.metricsPort != 0) {
+        _metricsServer = std::make_unique<telemetry::MetricsServer>(
+            _config.metricsPort, [] {
+                std::ostringstream body;
+                telemetry::dumpAll(body);
+                return body.str();
+            });
+        if (_metricsServer->ok())
+            inform("metrics endpoint on 127.0.0.1:",
+                   _metricsServer->port(), "/metrics");
+        else
+            warn("metrics endpoint bind failed on port ",
+                 _config.metricsPort, "; serving without it");
+    }
+
     inform("serving engine up: ", _config.workers, " workers, batch<=",
            _config.maxBatch, ", flush<=", _config.maxLatencyUs,
            "us, queue<=", _queue.capacity());
+}
+
+uint16_t
+ServingEngine::metricsPort() const
+{
+    return _metricsServer && _metricsServer->ok()
+        ? _metricsServer->port() : 0;
 }
 
 ServingEngine::~ServingEngine()
@@ -123,12 +167,39 @@ ServingEngine::workerMain(size_t index)
     MicroBatcher<Request> &batcher =
         sharded ? worker.batcher : _batcher;
     BoundedQueue<Request> &feed = sharded ? worker.queue : _queue;
+    telemetry::Tracer &tracer = telemetry::Tracer::global();
     for (;;) {
+        const uint64_t formStartNs =
+            tracer.enabled() ? telemetry::Tracer::nowNs() : 0;
         std::vector<Request> batch = batcher.nextBatch();
         if (batch.empty())
             return;  // queue closed and drained
         const auto claimed = std::chrono::steady_clock::now();
         _stats.recordBatch(batch.size());
+
+        // Trace the batch lifecycle. The batch span id is minted up
+        // front so formation, queue-wait and per-request spans can
+        // parent to it; the span itself is recorded once the batch
+        // completes. Queue waits are cross-thread intervals (producer
+        // enqueue -> this worker's claim), so they use explicit
+        // timestamps rather than a scoped guard.
+        const bool tracing = tracer.enabled();
+        const uint64_t batchSpanId = tracing ? tracer.nextId() : 0;
+        const uint64_t claimedNs =
+            tracing ? telemetry::Tracer::toNs(claimed) : 0;
+        if (tracing) {
+            // Batch formation: this worker waiting on the batcher for
+            // a flush (size or deadline). Skipped when tracing turned
+            // on mid-wait (no start timestamp).
+            if (formStartNs != 0)
+                tracer.record("batch_form", formStartNs, claimedNs,
+                              tracer.nextId(), batchSpanId);
+            for (const Request &request : batch)
+                tracer.record(
+                    "queue_wait",
+                    telemetry::Tracer::toNs(request.enqueued),
+                    claimedNs, tracer.nextId(), batchSpanId);
+        }
 
         // Adaptive intra-op policy: with a shallow backlog the pool
         // has idle lanes, so borrow them inside each request for
@@ -147,8 +218,16 @@ ServingEngine::workerMain(size_t index)
         rna::PerfReport batchPerf;
         for (size_t i = 0; i < batch.size(); ++i) {
             InferResult &result = results[i];
-            result.logits = worker.chip.infer(batch[i].input,
-                                              result.perf, lanes);
+            {
+                // Per-request span, parented to the batch;
+                // Chip::infer's own stage spans nest under it via the
+                // thread-local current-span chain. arg = worker index.
+                telemetry::ScopedSpan requestSpan(
+                    tracer, "request_infer",
+                    static_cast<int64_t>(index), batchSpanId);
+                result.logits = worker.chip.infer(batch[i].input,
+                                                  result.perf, lanes);
+            }
             result.perf.inferences = 1;
             result.batchSize = batch.size();
             result.workerId = index;
@@ -182,6 +261,11 @@ ServingEngine::workerMain(size_t index)
             }
             _inflightCv.notify_all();
         }
+        if (tracing)
+            tracer.record("batch", claimedNs,
+                          telemetry::Tracer::nowNs(), batchSpanId,
+                          /*parent=*/0,
+                          static_cast<int64_t>(batch.size()));
     }
 }
 

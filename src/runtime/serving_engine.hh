@@ -35,6 +35,7 @@
 #include "runtime/batcher.hh"
 #include "runtime/request_queue.hh"
 #include "runtime/server_stats.hh"
+#include "telemetry/telemetry.hh"
 
 namespace rapidnn::runtime {
 
@@ -74,6 +75,13 @@ struct ServingConfig
     /** Backlog at or below which a worker switches to latency mode
      *  and borrows intraOpThreads lanes for each request. */
     size_t intraOpShallowQueue = 2;
+    /**
+     * Loopback TCP port for the Prometheus scrape endpoint. 0 (the
+     * default) disables the endpoint entirely; the registry still
+     * accumulates and can be dumped via telemetry::dumpAll. A failed
+     * bind logs a warning but never refuses to serve inference.
+     */
+    uint16_t metricsPort = 0;
 };
 
 /** What a completed request resolves to. */
@@ -129,6 +137,9 @@ class ServingEngine
 
     const ServingConfig &config() const { return _config; }
 
+    /** Resolved scrape-endpoint port; 0 when disabled or bind failed. */
+    uint16_t metricsPort() const;
+
   private:
     struct Request
     {
@@ -177,6 +188,13 @@ class ServingEngine
     uint64_t _finished = 0;
 
     std::atomic<bool> _shutdown{false};
+
+    /** Snapshot-time gauges sampling this engine (queue depth,
+     *  workers). Declared after the queues/workers they read so they
+     *  unregister first on destruction. */
+    std::vector<telemetry::ScopedCallback> _gauges;
+    /** Optional scrape endpoint; declared last so it stops first. */
+    std::unique_ptr<telemetry::MetricsServer> _metricsServer;
 };
 
 } // namespace rapidnn::runtime

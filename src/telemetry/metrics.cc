@@ -1,0 +1,246 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace rapidnn::telemetry {
+
+size_t
+threadShard()
+{
+    static std::atomic<size_t> next{0};
+    // Round-robin assignment spreads threads evenly over the shards;
+    // thread_local makes the pick free after the first call.
+    thread_local const size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return shard;
+}
+
+namespace {
+
+/** Relaxed add for atomic<double> (portable CAS loop). */
+void
+atomicAdd(std::atomic<double> &a, double delta)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + delta,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : _bounds(std::move(bounds))
+{
+    RAPIDNN_ASSERT(!_bounds.empty(), "histogram needs bucket bounds");
+    RAPIDNN_ASSERT(
+        std::is_sorted(_bounds.begin(), _bounds.end()) &&
+            std::adjacent_find(_bounds.begin(), _bounds.end())
+                == _bounds.end(),
+        "histogram bounds must be strictly ascending");
+    for (Shard &shard : _shards)
+        shard.buckets =
+            std::vector<std::atomic<uint64_t>>(_bounds.size() + 1);
+}
+
+void
+Histogram::observe(double x)
+{
+    // First bound >= x; equality lands in that bucket (le semantics).
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(_bounds.begin(), _bounds.end(), x)
+        - _bounds.begin());
+    Shard &shard = _shards[threadShard()];
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(shard.sum, x);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> counts(_bounds.size() + 1, 0);
+    for (const Shard &shard : _shards)
+        for (size_t i = 0; i < counts.size(); ++i)
+            counts[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (uint64_t c : bucketCounts())
+        total += c;
+    return total;
+}
+
+double
+Histogram::sum() const
+{
+    double total = 0.0;
+    for (const Shard &shard : _shards)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+histogramQuantile(const MetricSnapshot &h, double q)
+{
+    uint64_t total = 0;
+    for (uint64_t c : h.counts)
+        total += c;
+    if (total == 0 || h.bounds.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(total);
+
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+        const uint64_t prev = cumulative;
+        cumulative += h.counts[i];
+        if (static_cast<double>(cumulative) < rank)
+            continue;
+        // The +Inf bucket has no upper edge to interpolate toward;
+        // clamp to the largest finite bound.
+        if (i >= h.bounds.size())
+            return h.bounds.back();
+        const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+        const double hi = h.bounds[i];
+        if (h.counts[i] == 0)
+            return hi;
+        const double frac = (rank - static_cast<double>(prev))
+                          / static_cast<double>(h.counts[i]);
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    return h.bounds.back();
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Entry &
+Registry::entryFor(const Key &key, MetricKind kind,
+                   const std::string &help)
+{
+    auto [it, inserted] = _entries.try_emplace(key);
+    Entry &entry = it->second;
+    if (inserted) {
+        entry.help = help;
+        entry.kind = kind;
+    } else {
+        RAPIDNN_ASSERT(entry.kind == kind,
+                       "metric re-registered with a different kind");
+    }
+    return entry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = entryFor({name, labels}, MetricKind::Counter, help);
+    if (entry.counter == nullptr)
+        entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = entryFor({name, labels}, MetricKind::Gauge, help);
+    if (entry.gauge == nullptr)
+        entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    std::vector<double> bounds,
+                    const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry =
+        entryFor({name, labels}, MetricKind::Histogram, help);
+    if (entry.histogram == nullptr) {
+        entry.histogram =
+            std::make_unique<Histogram>(std::move(bounds));
+    } else {
+        RAPIDNN_ASSERT(entry.histogram->bounds() == bounds,
+                       "histogram re-registered with other bounds");
+    }
+    return *entry.histogram;
+}
+
+uint64_t
+Registry::addCallback(const std::string &name, const std::string &help,
+                      MetricKind kind, std::function<double()> fn,
+                      const std::string &labels)
+{
+    RAPIDNN_ASSERT(kind != MetricKind::Histogram,
+                   "callback metrics are counters or gauges");
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = entryFor({name, labels}, kind, help);
+    entry.callback = std::move(fn);
+    entry.callbackId = _nextCallbackId++;
+    return entry.callbackId;
+}
+
+void
+Registry::removeCallback(uint64_t id)
+{
+    if (id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+        if (it->second.callbackId == id) {
+            _entries.erase(it);
+            return;
+        }
+    }
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<MetricSnapshot> out;
+    out.reserve(_entries.size());
+    for (const auto &[key, entry] : _entries) {
+        MetricSnapshot snap;
+        snap.name = key.first;
+        snap.labels = key.second;
+        snap.help = entry.help;
+        snap.kind = entry.kind;
+        if (entry.callback) {
+            snap.value = entry.callback();
+        } else if (entry.counter != nullptr) {
+            snap.value = static_cast<double>(entry.counter->value());
+        } else if (entry.gauge != nullptr) {
+            snap.value = static_cast<double>(entry.gauge->value());
+        } else if (entry.histogram != nullptr) {
+            snap.bounds = entry.histogram->bounds();
+            snap.counts = entry.histogram->bucketCounts();
+            // Derive count from the same bucket reads so
+            // count == sum(counts) holds in every snapshot.
+            snap.count = 0;
+            for (uint64_t c : snap.counts)
+                snap.count += c;
+            snap.sum = entry.histogram->sum();
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+} // namespace rapidnn::telemetry

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with per-thread sharded atomics, plus a consistent
+ * snapshot API the exposition layer (prometheus.hh, metrics_server.hh)
+ * renders from.
+ *
+ * Write paths are designed for the serving hot path: a counter add or
+ * histogram observe is one relaxed atomic RMW on a cache-line-private
+ * shard picked per thread, so concurrent workers never bounce a line.
+ * Reads (snapshot) sum the shards; counters and bucket counts are
+ * monotone and exact once writers quiesce, and a mid-flight snapshot is
+ * weakly consistent: every datum read is itself atomic, histogram
+ * `count` is derived from the same bucket reads (so count == sum of
+ * buckets always holds), but concurrently-arriving observations may be
+ * visible in one metric and not yet in another.
+ *
+ * Determinism note: metric values are host-side observability data
+ * (timings, queue depths). They never feed back into model outputs, so
+ * the bitwise-reproducibility contract (DESIGN.md) is untouched;
+ * histogram `sum` accumulates floating-point observations in arrival
+ * order and is therefore not itself bitwise reproducible across runs.
+ */
+
+#ifndef RAPIDNN_TELEMETRY_METRICS_HH
+#define RAPIDNN_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rapidnn::telemetry {
+
+/** Write shards per metric; each is its own cache line. */
+constexpr size_t kMetricShards = 16;
+
+/** Stable per-thread shard index in [0, kMetricShards). */
+size_t threadShard();
+
+/** Monotone counter with per-thread sharded atomics. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        _shards[threadShard()].v.fetch_add(n,
+                                           std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const Shard &shard : _shards)
+            total += shard.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Shard, kMetricShards> _shards;
+};
+
+/** Instantaneous integer value (queue depth, busy lanes). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { _v.store(v, std::memory_order_relaxed); }
+    void add(int64_t d) { _v.fetch_add(d, std::memory_order_relaxed); }
+    int64_t value() const { return _v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> _v{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket semantics follow Prometheus: bucket i
+ * counts observations x with x <= bounds[i] (and x > bounds[i-1]); one
+ * implicit +Inf bucket catches the overflow. Bounds are fixed at
+ * registration so merging and rendering never rebucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    const std::vector<double> &bounds() const { return _bounds; }
+
+    /** Per-bucket counts (bounds().size() + 1 entries, last = +Inf). */
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t count() const;
+    double sum() const;
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::vector<std::atomic<uint64_t>> buckets;
+        std::atomic<double> sum{0.0};
+    };
+
+    std::vector<double> _bounds;
+    std::array<Shard, kMetricShards> _shards;
+};
+
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** One metric series captured by Registry::snapshot(). */
+struct MetricSnapshot
+{
+    std::string name;    //!< family name (Prometheus conventions)
+    std::string labels;  //!< rendered inside {}, e.g. stage="encoding"
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+
+    double value = 0.0;            //!< counter / gauge
+    std::vector<double> bounds;    //!< histogram bucket upper bounds
+    std::vector<uint64_t> counts;  //!< per bucket, last = +Inf overflow
+    double sum = 0.0;              //!< histogram sum of observations
+    uint64_t count = 0;            //!< histogram observation count
+};
+
+/**
+ * Interpolated q-quantile estimate from a histogram snapshot: finds the
+ * bucket holding the target rank and interpolates linearly inside it
+ * (rather than truncating to a bucket edge). The +Inf bucket clamps to
+ * the largest finite bound. Returns 0 for an empty histogram.
+ */
+double histogramQuantile(const MetricSnapshot &h, double q);
+
+/**
+ * The named-metric registry. Registration is idempotent: asking for an
+ * existing (name, labels) series returns the same object (the kind and
+ * histogram bounds must match). Metric objects live as long as the
+ * registry and their addresses are stable, so hot paths hold plain
+ * references and never touch the registry lock again.
+ *
+ * Callback metrics sample a value at snapshot time (queue depth, pool
+ * utilization); they are the only removable entries, via the returned
+ * id or a ScopedCallback.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry behind the scrape endpoint. */
+    static Registry &global();
+
+    Counter &counter(const std::string &name, const std::string &help,
+                     const std::string &labels = "");
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const std::string &labels = "");
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         std::vector<double> bounds,
+                         const std::string &labels = "");
+
+    /**
+     * Register a sampled metric: fn() is evaluated under the registry
+     * lock at every snapshot. Re-registering the same (name, labels)
+     * replaces the previous callback. Returns an id for removeCallback.
+     */
+    uint64_t addCallback(const std::string &name,
+                         const std::string &help, MetricKind kind,
+                         std::function<double()> fn,
+                         const std::string &labels = "");
+
+    /** Remove a callback by id; ignores ids already replaced/removed. */
+    void removeCallback(uint64_t id);
+
+    /** All series, ordered by (name, labels) for deterministic output. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string help;
+        MetricKind kind = MetricKind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<double()> callback;
+        uint64_t callbackId = 0;
+    };
+
+    using Key = std::pair<std::string, std::string>;
+
+    Entry &entryFor(const Key &key, MetricKind kind,
+                    const std::string &help);  //!< _mutex held
+
+    mutable std::mutex _mutex;
+    std::map<Key, Entry> _entries;
+    uint64_t _nextCallbackId = 1;
+};
+
+/** RAII registration for a callback metric (unregisters on scope exit). */
+class ScopedCallback
+{
+  public:
+    ScopedCallback() = default;
+    ScopedCallback(Registry &registry, const std::string &name,
+                   const std::string &help, MetricKind kind,
+                   std::function<double()> fn,
+                   const std::string &labels = "")
+        : _registry(&registry),
+          _id(registry.addCallback(name, help, kind, std::move(fn),
+                                   labels))
+    {
+    }
+
+    ~ScopedCallback() { reset(); }
+
+    ScopedCallback(ScopedCallback &&o) noexcept
+        : _registry(o._registry), _id(o._id)
+    {
+        o._registry = nullptr;
+        o._id = 0;
+    }
+
+    ScopedCallback &
+    operator=(ScopedCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            _registry = o._registry;
+            _id = o._id;
+            o._registry = nullptr;
+            o._id = 0;
+        }
+        return *this;
+    }
+
+    ScopedCallback(const ScopedCallback &) = delete;
+    ScopedCallback &operator=(const ScopedCallback &) = delete;
+
+    void
+    reset()
+    {
+        if (_registry != nullptr)
+            _registry->removeCallback(_id);
+        _registry = nullptr;
+        _id = 0;
+    }
+
+  private:
+    Registry *_registry = nullptr;
+    uint64_t _id = 0;
+};
+
+} // namespace rapidnn::telemetry
+
+#endif // RAPIDNN_TELEMETRY_METRICS_HH

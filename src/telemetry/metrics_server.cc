@@ -1,0 +1,144 @@
+#include "telemetry/metrics_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace rapidnn::telemetry {
+
+namespace {
+
+/** Write all of `data`, retrying short writes; false on error. */
+bool
+writeAll(int fd, const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, data + off, len - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+MetricsServer::MetricsServer(uint16_t port, Renderer renderer)
+    : _renderer(std::move(renderer))
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("metrics endpoint disabled: socket() failed");
+        return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        warn("metrics endpoint disabled: cannot bind 127.0.0.1:",
+             port);
+        ::close(fd);
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len)
+        != 0) {
+        ::close(fd);
+        return;
+    }
+    _fd = fd;
+    _port = ntohs(addr.sin_port);
+    _thread = std::thread([this] { serveLoop(); });
+    inform("metrics endpoint listening on 127.0.0.1:", _port);
+}
+
+MetricsServer::~MetricsServer()
+{
+    _stop.store(true, std::memory_order_relaxed);
+    if (_thread.joinable())
+        _thread.join();
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+MetricsServer::serveLoop()
+{
+    for (;;) {
+        pollfd pfd{_fd, POLLIN, 0};
+        // Poll with a short timeout so shutdown is observed promptly
+        // even when no scraper ever connects.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (_stop.load(std::memory_order_relaxed))
+            return;
+        if (ready <= 0 || (pfd.revents & POLLIN) == 0)
+            continue;
+        const int client = ::accept(_fd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+
+        // Drain the request line; the endpoint answers every request
+        // the same way, so parsing stops at "something arrived".
+        char buf[1024];
+        (void)::recv(client, buf, sizeof(buf), 0);
+
+        const std::string body = _renderer ? _renderer() : "";
+        std::string response =
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; "
+            "charset=utf-8\r\n"
+            "Content-Length: " + std::to_string(body.size()) +
+            "\r\nConnection: close\r\n\r\n" + body;
+        writeAll(client, response.data(), response.size());
+        ::close(client);
+    }
+}
+
+std::string
+scrapeLocal(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    if (!writeAll(fd, request, sizeof(request) - 1)) {
+        ::close(fd);
+        return "";
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    const size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+} // namespace rapidnn::telemetry

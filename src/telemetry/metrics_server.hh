@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A tiny optional poll-based TCP exposition endpoint: one background
+ * thread accepts loopback connections, answers every HTTP GET with the
+ * current Prometheus rendering, and closes. It is deliberately minimal
+ * — a scrape target, not a web server: HTTP/1.0, one response per
+ * connection, loopback bind only. Off by default
+ * (ServingConfig::metricsPort == 0).
+ */
+
+#ifndef RAPIDNN_TELEMETRY_METRICS_SERVER_HH
+#define RAPIDNN_TELEMETRY_METRICS_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace rapidnn::telemetry {
+
+class MetricsServer
+{
+  public:
+    /** Produces the scrape body (typically renderPrometheus). */
+    using Renderer = std::function<std::string()>;
+
+    /**
+     * Bind 127.0.0.1:port and start serving. Port 0 asks the kernel
+     * for an ephemeral port (read it back via port()). On bind failure
+     * the server is inert and ok() is false — metrics are best-effort
+     * observability, never a reason to refuse to serve inference.
+     */
+    MetricsServer(uint16_t port, Renderer renderer);
+
+    /** Stops accepting and joins the serving thread. */
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    bool ok() const { return _fd >= 0; }
+
+    /** The bound port (resolved for ephemeral binds); 0 when !ok(). */
+    uint16_t port() const { return _port; }
+
+  private:
+    void serveLoop();
+
+    Renderer _renderer;
+    int _fd = -1;
+    uint16_t _port = 0;
+    std::atomic<bool> _stop{false};
+    std::thread _thread;
+};
+
+/**
+ * Blocking loopback scrape helper: GET / from 127.0.0.1:port and
+ * return the response body (empty string on any failure). Used by the
+ * endpoint tests and serving_demo's self-scrape smoke check.
+ */
+std::string scrapeLocal(uint16_t port);
+
+} // namespace rapidnn::telemetry
+
+#endif // RAPIDNN_TELEMETRY_METRICS_SERVER_HH

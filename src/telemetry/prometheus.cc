@@ -1,0 +1,111 @@
+#include "telemetry/prometheus.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rapidnn::telemetry {
+
+namespace {
+
+/**
+ * Deterministic value formatting: integral values print without a
+ * fraction (counters, bucket counts), everything else as shortest
+ * round-trippable %.10g.
+ */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+/** `name{labels}` or bare `name`; extra appends after the labels. */
+void
+appendSeries(std::string &out, const std::string &name,
+             const std::string &labels, const std::string &extra)
+{
+    out += name;
+    if (!labels.empty() || !extra.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extra.empty())
+            out += ',';
+        out += extra;
+        out += '}';
+    }
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const std::vector<MetricSnapshot> &snapshot)
+{
+    std::string out;
+    std::string lastFamily;
+    for (const MetricSnapshot &m : snapshot) {
+        if (m.name != lastFamily) {
+            if (!m.help.empty()) {
+                out += "# HELP " + m.name + " " + m.help + "\n";
+            }
+            out += "# TYPE " + m.name + " ";
+            out += kindName(m.kind);
+            out += "\n";
+            lastFamily = m.name;
+        }
+        if (m.kind == MetricKind::Histogram) {
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < m.counts.size(); ++i) {
+                cumulative += m.counts[i];
+                const std::string le = i < m.bounds.size()
+                    ? formatValue(m.bounds[i]) : "+Inf";
+                appendSeries(out, m.name + "_bucket", m.labels,
+                             "le=\"" + le + "\"");
+                out += ' ';
+                out += formatValue(static_cast<double>(cumulative));
+                out += '\n';
+            }
+            appendSeries(out, m.name + "_sum", m.labels, "");
+            out += ' ';
+            out += formatValue(m.sum);
+            out += '\n';
+            appendSeries(out, m.name + "_count", m.labels, "");
+            out += ' ';
+            out += formatValue(static_cast<double>(m.count));
+            out += '\n';
+        } else {
+            appendSeries(out, m.name, m.labels, "");
+            out += ' ';
+            out += formatValue(m.value);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const Registry &registry)
+{
+    return renderPrometheus(registry.snapshot());
+}
+
+} // namespace rapidnn::telemetry

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Prometheus text-format (version 0.0.4) rendering of a metrics
+ * snapshot: `# HELP` / `# TYPE` headers per family, `{label}` series,
+ * cumulative `_bucket{le=...}` lines plus `_sum` / `_count` for
+ * histograms. Output is deterministic for a given snapshot (series are
+ * ordered by name then labels, and number formatting is fixed), which
+ * the golden-file test pins.
+ */
+
+#ifndef RAPIDNN_TELEMETRY_PROMETHEUS_HH
+#define RAPIDNN_TELEMETRY_PROMETHEUS_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace rapidnn::telemetry {
+
+/** Render one snapshot as Prometheus exposition text. */
+std::string renderPrometheus(
+    const std::vector<MetricSnapshot> &snapshot);
+
+/** Snapshot + render a registry in one call. */
+std::string renderPrometheus(const Registry &registry);
+
+} // namespace rapidnn::telemetry
+
+#endif // RAPIDNN_TELEMETRY_PROMETHEUS_HH

@@ -1,0 +1,77 @@
+#include "telemetry/telemetry.hh"
+
+#include <string>
+
+#include "common/task_pool.hh"
+
+namespace rapidnn::telemetry {
+
+std::vector<double>
+latencyBucketsSeconds()
+{
+    return {25e-6, 50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3,
+            5e-3,  1e-2,  2.5e-2, 5e-2,   1e-1,   2.5e-1, 1.0};
+}
+
+std::vector<double>
+stageBucketsSeconds()
+{
+    return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4,
+            2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 1e-1};
+}
+
+std::vector<double>
+batchSizeBuckets()
+{
+    return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
+void
+registerTaskPoolMetrics(Registry &registry)
+{
+    // The shared pool has static storage duration, so callbacks that
+    // capture it can never dangle within the process lifetime.
+    TaskPool &pool = TaskPool::shared();
+    const size_t lanes = pool.lanes();
+    for (size_t i = 0; i < lanes; ++i) {
+        const std::string lane = "lane=\"" + std::to_string(i) + "\"";
+        registry.addCallback(
+            "rapidnn_taskpool_tasks_total",
+            "Shards executed per task-pool lane slot (slot 0 = "
+            "calling threads)",
+            MetricKind::Counter,
+            [&pool, i] {
+                return static_cast<double>(
+                    pool.laneCounters()[i].executed);
+            },
+            lane);
+        registry.addCallback(
+            "rapidnn_taskpool_steals_total",
+            "Jobs a lane slot attached to (helper slots: jobs stolen "
+            "from other threads; slot 0: parallel run() calls)",
+            MetricKind::Counter,
+            [&pool, i] {
+                return static_cast<double>(
+                    pool.laneCounters()[i].steals);
+            },
+            lane);
+    }
+    registry.addCallback(
+        "rapidnn_taskpool_busy_helpers",
+        "Helper threads currently executing shards",
+        MetricKind::Gauge,
+        [&pool] { return static_cast<double>(pool.busyHelpers()); });
+    registry.addCallback(
+        "rapidnn_taskpool_lanes",
+        "Usable task-pool lanes (helpers + caller)",
+        MetricKind::Gauge,
+        [lanes] { return static_cast<double>(lanes); });
+}
+
+void
+dumpAll(std::ostream &out)
+{
+    out << renderPrometheus(Registry::global());
+}
+
+} // namespace rapidnn::telemetry

@@ -1,0 +1,220 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rapidnn::telemetry {
+
+namespace {
+
+/** Innermost live span of this thread (parenting for nested spans). */
+thread_local uint64_t tCurrentSpan = 0;
+
+/** Small sequential thread ids keep trace output readable and stable
+ *  within a run (native handles are opaque and huge). */
+uint32_t
+threadTraceId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::chrono::steady_clock::time_point
+tracerEpoch()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** Escape a span name for a JSON string literal (names are short and
+ *  ASCII in practice; control characters hex-escape defensively). */
+void
+appendJsonEscaped(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+Tracer::Tracer(size_t capacity)
+    : _ring(std::max<size_t>(capacity, 1))
+{
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+uint64_t
+Tracer::nowNs()
+{
+    return toNs(std::chrono::steady_clock::now());
+}
+
+uint64_t
+Tracer::toNs(std::chrono::steady_clock::time_point t)
+{
+    const auto since = t - tracerEpoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(since)
+            .count();
+    return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+}
+
+uint64_t
+Tracer::currentSpan()
+{
+    return tCurrentSpan;
+}
+
+void
+Tracer::setCurrentSpan(uint64_t id)
+{
+    tCurrentSpan = id;
+}
+
+void
+Tracer::record(std::string_view name, uint64_t startNs,
+               uint64_t endNs, uint64_t id, uint64_t parent,
+               int64_t arg)
+{
+    SpanRecord record;
+    record.setName(name);
+    record.id = id;
+    record.parent = parent;
+    record.startNs = startNs;
+    record.durNs = endNs > startNs ? endNs - startNs : 0;
+    record.tid = threadTraceId();
+    record.arg = arg;
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    _ring[_total % _ring.size()] = record;
+    ++_total;
+}
+
+std::vector<SpanRecord>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<SpanRecord> out;
+    const size_t n = std::min<uint64_t>(_total, _ring.size());
+    out.reserve(n);
+    // Oldest first: when wrapped, the oldest live slot is _total % cap.
+    const size_t first = _total >= _ring.size()
+        ? _total % _ring.size() : 0;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(_ring[(first + i) % _ring.size()]);
+    return out;
+}
+
+uint64_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _total;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _total = 0;
+}
+
+ScopedSpan::ScopedSpan(Tracer &tracer, std::string_view name,
+                       int64_t arg, uint64_t parentOverride,
+                       Histogram *durationHistogram)
+{
+    if (!tracer.enabled())
+        return;  // inert: no clock read, no shared state
+    _tracer = &tracer;
+    _histogram = durationHistogram;
+    const size_t len = std::min(name.size(), sizeof(_name) - 1);
+    std::memcpy(_name, name.data(), len);
+    _name[len] = '\0';
+    _id = tracer.nextId();
+    _parent =
+        parentOverride != 0 ? parentOverride : Tracer::currentSpan();
+    _prevCurrent = Tracer::currentSpan();
+    Tracer::setCurrentSpan(_id);
+    _arg = arg;
+    _startNs = Tracer::nowNs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (_tracer == nullptr)
+        return;
+    const uint64_t endNs = Tracer::nowNs();
+    Tracer::setCurrentSpan(_prevCurrent);
+    _tracer->record(_name, _startNs, endNs, _id, _parent, _arg);
+    if (_histogram != nullptr)
+        _histogram->observe(
+            static_cast<double>(endNs - _startNs) * 1e-9);
+}
+
+void
+writeChromeTrace(std::ostream &out,
+                 const std::vector<SpanRecord> &spans)
+{
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    std::string line;
+    for (const SpanRecord &span : spans) {
+        line.clear();
+        if (!first)
+            line += ",";
+        first = false;
+        line += "\n{\"name\":\"";
+        appendJsonEscaped(line, span.name);
+        line += "\",\"cat\":\"rapidnn\",\"ph\":\"X\",\"pid\":1";
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"tid\":%" PRIu32
+                      ",\"ts\":%.3f,\"dur\":%.3f",
+                      span.tid,
+                      static_cast<double>(span.startNs) / 1000.0,
+                      static_cast<double>(span.durNs) / 1000.0);
+        line += buf;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"id\":%" PRIu64
+                      ",\"parent\":%" PRIu64,
+                      span.id, span.parent);
+        line += buf;
+        if (span.arg >= 0) {
+            std::snprintf(buf, sizeof(buf), ",\"arg\":%" PRId64,
+                          span.arg);
+            line += buf;
+        }
+        line += "}}";
+        out << line;
+    }
+    out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+writeChromeTrace(std::ostream &out)
+{
+    writeChromeTrace(out, Tracer::global().snapshot());
+}
+
+} // namespace rapidnn::telemetry

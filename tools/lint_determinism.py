@@ -29,6 +29,14 @@ Rules
               blessed serial-reduction helpers in src/rna/. Use a
               plain serial loop in flat index order (see
               rna/accumulation.cc and the task-pool sharding pattern).
+  wall-clock  Direct clock reads (steady_clock, system_clock) inside
+              src/rna/ — the simulator core must never observe host
+              time, so its outputs cannot depend on it even by
+              accident. Timing in rna code goes through the
+              RAPIDNN_TELEMETRY_SPAN / RAPIDNN_TELEMETRY_STAGE guard
+              macros (telemetry/trace.hh), which keep the clock reads
+              inside the telemetry layer and cost one relaxed atomic
+              load when tracing is disabled.
 
 Suppression
 -----------
@@ -83,6 +91,12 @@ FP_REDUCE_PATTERNS = [
 # fixed-point and FP sums); the fp-reduce rule does not apply there.
 FP_REDUCE_EXEMPT = ("src/rna/",)
 
+# The wall-clock rule applies only inside the simulator core; the
+# telemetry layer and runtime are where clock reads are supposed to
+# live.
+WALL_CLOCK_RE = re.compile(r"\b(?:steady_clock|system_clock)\b")
+WALL_CLOCK_SCOPE = ("src/rna/",)
+
 
 class Finding:
     def __init__(self, path, lineno, rule, message):
@@ -123,6 +137,8 @@ def lint_lines(rel_path, lines):
     ]
 
     fp_exempt = any(rel_path.startswith(p) for p in FP_REDUCE_EXEMPT)
+    wall_clock_scope = any(
+        rel_path.startswith(p) for p in WALL_CLOCK_SCOPE)
 
     prev = None
     for lineno, line in enumerate(lines, start=1):
@@ -149,6 +165,13 @@ def lint_lines(rel_path, lines):
                         rel_path, lineno, "fp-reduce",
                         "order-sensitive reduction outside src/rna/; "
                         "use a serial flat-order loop"))
+        if (wall_clock_scope and WALL_CLOCK_RE.search(line)
+                and not suppressed("wall-clock", line, prev)):
+            findings.append(Finding(
+                rel_path, lineno, "wall-clock",
+                "direct clock read in the simulator core; trace "
+                "through the RAPIDNN_TELEMETRY_SPAN guard macros "
+                "(telemetry/trace.hh) instead"))
         prev = line
     return findings
 
@@ -214,16 +237,33 @@ def self_test():
             print(f"self-test FAIL: {name}: expected {expected}, "
                   f"got {got}", file=sys.stderr)
             failures += 1
-    # The rna exemption.
-    got = lint_lines("src/rna/accumulation.cc",
-                     ["auto s = std::accumulate(v.begin(), v.end(), "
-                      "0.0);"])
-    if got:
-        print("self-test FAIL: rna exemption", file=sys.stderr)
-        failures += 1
+    # Path-scoped rules (the generic cases above lint src/test.cc).
+    scoped_cases = [
+        ("rna fp-reduce exemption", "src/rna/accumulation.cc",
+         "auto s = std::accumulate(v.begin(), v.end(), 0.0);", []),
+        ("rna steady_clock forbidden", "src/rna/chip.cc",
+         "auto t = std::chrono::steady_clock::now();", ["wall-clock"]),
+        ("rna system_clock hits both rules", "src/rna/chip.cc",
+         "auto t = std::chrono::system_clock::now();",
+         ["rng", "wall-clock"]),
+        ("steady_clock fine outside rna", "src/runtime/engine.cc",
+         "auto t = std::chrono::steady_clock::now();", []),
+        ("rna telemetry guard macro ok", "src/rna/chip.cc",
+         'RAPIDNN_TELEMETRY_SPAN("chip_infer");', []),
+        ("rna wall-clock suppressible", "src/rna/chip.cc",
+         "// NOLINT-DETERMINISM(wall-clock): test fixture\n"
+         "auto t = std::chrono::steady_clock::now();", []),
+    ]
+    for name, path, source, expected in scoped_cases:
+        got = [f.rule for f in lint_lines(path, source.splitlines())]
+        if got != expected:
+            print(f"self-test FAIL: {name}: expected {expected}, "
+                  f"got {got}", file=sys.stderr)
+            failures += 1
     if failures:
         return 1
-    print(f"self-test: {len(SELF_TEST_CASES) + 1} cases ok")
+    print(f"self-test: {len(SELF_TEST_CASES) + len(scoped_cases)} "
+          "cases ok")
     return 0
 
 
