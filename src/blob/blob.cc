@@ -1,0 +1,789 @@
+#include "blob/blob.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "blob/format.hh"
+#include "common/check.hh"
+#include "composer/serialization.hh"
+#include "rna/workspace.hh"
+#include "telemetry/metrics.hh"
+
+namespace rapidnn::blob {
+
+using composer::RLayer;
+using composer::RLayerKind;
+
+namespace {
+
+// Meta-stream bounds, mirroring the text-format loader: a corrupt or
+// adversarial blob can claim arbitrary counts, so every one is capped
+// before it sizes an allocation or a loop.
+constexpr uint64_t kMaxBlockCount = uint64_t(1) << 16;
+constexpr uint64_t kMaxLayerDim = uint64_t(1) << 24;
+constexpr uint64_t kMaxShapeRank = 4;
+constexpr uint64_t kMaxNesting = 64;
+
+// ---------------------------------------------------------- telemetry
+
+std::atomic<double> &
+lastLoadSeconds()
+{
+    static std::atomic<double> v{0.0};
+    return v;
+}
+
+telemetry::Gauge &
+blobBytesGauge()
+{
+    static telemetry::Gauge *g = [] {
+        // Register the companion load-time gauge once, alongside the
+        // byte gauge: both live for the process lifetime.
+        telemetry::Registry::global().addCallback(
+            "rapidnn_model_load_seconds",
+            "Wall time of the most recent model blob load",
+            telemetry::MetricKind::Gauge,
+            [] { return lastLoadSeconds().load(); });
+        return &telemetry::Registry::global().gauge(
+            "rapidnn_model_blob_bytes",
+            "Bytes of model blobs currently resident (mapped or "
+            "owned)");
+    }();
+    return *g;
+}
+
+// ------------------------------------------------------------- writer
+
+struct Writer
+{
+    std::vector<SectionEntry> entries;
+    std::vector<std::vector<uint8_t>> payloads;
+    std::vector<uint64_t> meta;
+
+    Writer()
+    {
+        // Section 0 is the meta stream; its payload is filled last.
+        entries.push_back({uint32_t(SectionKind::Meta), 8, 0, 0});
+        payloads.emplace_back();
+    }
+
+    uint64_t
+    addSection(SectionKind kind, const void *src, size_t bytes)
+    {
+        entries.push_back(
+            {uint32_t(kind), kSectionAlign, 0, uint64_t(bytes)});
+        std::vector<uint8_t> payload(bytes);
+        if (bytes > 0)
+            std::memcpy(payload.data(), src, bytes);
+        payloads.push_back(std::move(payload));
+        return entries.size() - 1;
+    }
+
+    template <typename T>
+    uint64_t
+    add(SectionKind kind, const Array<T> &values)
+    {
+        return addSection(kind, values.data(),
+                          values.size() * sizeof(T));
+    }
+
+    template <typename T>
+    uint64_t
+    add(SectionKind kind, const std::vector<T> &values)
+    {
+        return addSection(kind, values.data(),
+                          values.size() * sizeof(T));
+    }
+
+    void put(uint64_t v) { meta.push_back(v); }
+};
+
+void
+putCodebook(Writer &w, const quant::Codebook &cb)
+{
+    w.put(w.add(SectionKind::F64, cb.values()));
+}
+
+void
+encodeLayer(Writer &w, const RLayer &layer,
+            const std::map<const RLayer *, nn::Shape> &inShapes)
+{
+    w.put(uint64_t(layer.kind));
+    w.put(layer.inCount);
+    w.put(layer.outCount);
+    w.put(layer.kernel);
+    w.put(layer.inChannels);
+    w.put(layer.samePadding ? 1 : 0);
+    w.put(layer.poolWindow);
+    w.put(layer.steps);
+
+    w.put(layer.inputCodebook.empty() ? 0 : 1);
+    if (!layer.inputCodebook.empty())
+        putCodebook(w, layer.inputCodebook);
+
+    w.put(layer.weightCodebooks.size());
+    for (const auto &cb : layer.weightCodebooks)
+        putCodebook(w, cb);
+
+    w.put(layer.weightCodes.size());
+    for (const auto &codes : layer.weightCodes)
+        w.put(w.add(SectionKind::U16, codes));
+
+    w.put(layer.bias.empty() ? 0 : 1);
+    if (!layer.bias.empty())
+        w.put(w.add(SectionKind::F32, layer.bias));
+
+    w.put(layer.productTables.size());
+    for (const auto &table : layer.productTables)
+        w.put(w.add(SectionKind::F64, table));
+
+    w.put(layer.activation ? 1 : 0);
+    if (layer.activation) {
+        w.put(uint64_t(layer.activationKind));
+        w.put(w.add(SectionKind::F64, layer.activation->inputs()));
+        w.put(w.add(SectionKind::F64, layer.activation->outputs()));
+    }
+
+    w.put(layer.outputEncoder.empty() ? 0 : 1);
+    if (!layer.outputEncoder.empty())
+        putCodebook(w, layer.outputEncoder.target());
+
+    w.put(layer.stateCodebook.empty() ? 0 : 1);
+    if (!layer.stateCodebook.empty()) {
+        putCodebook(w, layer.stateCodebook);
+        w.put(layer.stateWeightCodebooks.size());
+        for (const auto &cb : layer.stateWeightCodebooks)
+            putCodebook(w, cb);
+        w.put(layer.stateWeightCodes.size());
+        for (const auto &codes : layer.stateWeightCodes)
+            w.put(w.add(SectionKind::U16, codes));
+        w.put(layer.stateProductTables.size());
+        for (const auto &table : layer.stateProductTables)
+            w.put(w.add(SectionKind::F64, table));
+    }
+
+    // Deploy-time artifacts: the transposed weight columns and (for
+    // conv layers) the gather plan at the canonical input shape, so a
+    // blob-backed Chip shares one precomputed copy across replicas.
+    if (layer.kind == RLayerKind::Dense) {
+        const std::vector<uint16_t> columns =
+            layer.denseColumns.empty()
+                ? composer::denseColumnsOf(layer)
+                : layer.denseColumns.toVector();
+        w.put(1);
+        w.put(w.add(SectionKind::U16, columns));
+    } else {
+        w.put(0);
+    }
+
+    if (layer.kind == RLayerKind::Recurrent) {
+        const std::vector<uint16_t> recX =
+            layer.recXColumns.empty() ? composer::recXColumnsOf(layer)
+                                      : layer.recXColumns.toVector();
+        const std::vector<uint16_t> recH =
+            layer.recHColumns.empty() ? composer::recHColumnsOf(layer)
+                                      : layer.recHColumns.toVector();
+        w.put(1);
+        w.put(w.add(SectionKind::U16, recX));
+        w.put(1);
+        w.put(w.add(SectionKind::U16, recH));
+    } else {
+        w.put(0);
+        w.put(0);
+    }
+
+    if (layer.kind == RLayerKind::Conv) {
+        const nn::Shape &in = inShapes.at(&layer);
+        RAPIDNN_CHECK(in.size() == 3,
+                      "blob writer: conv layer input shape is not "
+                      "[C, H, W]");
+        rna::ConvGatherPlan plan;
+        rna::buildConvGatherPlan(plan, layer, in[0], in[1], in[2]);
+        w.put(1);
+        w.put(plan.inC);
+        w.put(plan.inH);
+        w.put(plan.inW);
+        w.put(plan.outH);
+        w.put(plan.outW);
+        w.put(w.add(SectionKind::U32, plan.start));
+        w.put(w.add(SectionKind::U32, plan.weightIdx));
+        w.put(w.add(SectionKind::U32, plan.inputIdx));
+    } else {
+        w.put(0);
+    }
+
+    w.put(layer.inner.size());
+    for (const RLayer &inner : layer.inner)
+        encodeLayer(w, inner, inShapes);
+
+    w.put(kLayerEndSentinel);
+}
+
+// ------------------------------------------------------------- loader
+
+/** Bounded little-endian u64 reader over the meta section. */
+class MetaCursor
+{
+  public:
+    MetaCursor(const uint8_t *p, size_t bytes)
+        : _p(p), _left(bytes / 8)
+    {
+    }
+
+    uint64_t
+    next(const char *what)
+    {
+        RAPIDNN_CHECK(_left >= 1,
+                      "model blob: meta stream truncated at ", what);
+        const uint64_t v = getU64(_p);
+        _p += 8;
+        --_left;
+        return v;
+    }
+
+    uint64_t
+    bounded(const char *what, uint64_t maxValue)
+    {
+        const uint64_t v = next(what);
+        RAPIDNN_CHECK(v <= maxValue, "model blob: ", what, " = ", v,
+                      " exceeds limit ", maxValue);
+        return v;
+    }
+
+    bool
+    flag(const char *what)
+    {
+        return bounded(what, 1) != 0;
+    }
+
+    size_t wordsLeft() const { return _left; }
+
+  private:
+    const uint8_t *_p;
+    size_t _left;
+};
+
+/** Validated view of a parsed blob's header, table and payload bytes. */
+struct Parsed
+{
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+    std::vector<SectionEntry> sections;
+
+    const SectionEntry &
+    section(uint64_t index, SectionKind kind, const char *what) const
+    {
+        RAPIDNN_CHECK(index < sections.size(), "model blob: ", what,
+                      " references section ", index, " of ",
+                      sections.size());
+        const SectionEntry &s = sections[index];
+        RAPIDNN_CHECK(s.kind == uint32_t(kind), "model blob: ", what,
+                      " expects section kind ", uint64_t(kind),
+                      " but section ", index, " has kind ", s.kind);
+        return s;
+    }
+
+    template <typename T>
+    Array<T>
+    view(uint64_t index, SectionKind kind, const char *what) const
+    {
+        const SectionEntry &s = section(index, kind, what);
+        return Array<T>::view(
+            reinterpret_cast<const T *>(data + s.offset),
+            s.size / sizeof(T));
+    }
+};
+
+quant::Codebook
+readCodebook(const Parsed &p, MetaCursor &cur, const char *what)
+{
+    const uint64_t idx = cur.next(what);
+    Array<double> values = p.view<double>(idx, SectionKind::F64, what);
+    RAPIDNN_CHECK(!values.empty(), "model blob: empty codebook for ",
+                  what);
+    return quant::Codebook::fromSorted(std::move(values));
+}
+
+/**
+ * Derived-artifact invariants the chip trusts without re-deriving:
+ * the conv gather plan feeds the hot loop's indexed reads directly,
+ * so every index is range-checked here, against this layer, before
+ * the model is ever served.
+ */
+void
+validateDerived(const RLayer &layer)
+{
+    if (!layer.denseColumns.empty()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Dense,
+                      "model blob: dense columns on a non-dense layer");
+        RAPIDNN_CHECK(layer.denseColumns.size() ==
+                          layer.weightCodes[0].size(),
+                      "model blob: dense column count ",
+                      layer.denseColumns.size(), " != weight codes ",
+                      layer.weightCodes[0].size());
+    }
+    if (!layer.recXColumns.empty() || !layer.recHColumns.empty()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Recurrent,
+                      "model blob: recurrent columns on a "
+                      "non-recurrent layer");
+        RAPIDNN_CHECK(layer.recXColumns.size() ==
+                          layer.weightCodes[0].size(),
+                      "model blob: recurrent x-column count ",
+                      layer.recXColumns.size(), " != weight codes ",
+                      layer.weightCodes[0].size());
+        RAPIDNN_CHECK(layer.recHColumns.size() ==
+                          layer.stateWeightCodes[0].size(),
+                      "model blob: recurrent h-column count ",
+                      layer.recHColumns.size(), " != state codes ",
+                      layer.stateWeightCodes[0].size());
+    }
+    if (layer.convPlan.has_value()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Conv,
+                      "model blob: conv plan on a non-conv layer");
+        const RLayer::ConvPlanData &p = *layer.convPlan;
+        RAPIDNN_CHECK(p.inC == layer.inChannels,
+                      "model blob: conv plan channels ", p.inC,
+                      " != layer channels ", layer.inChannels);
+        const size_t k = layer.kernel;
+        RAPIDNN_CHECK(layer.samePadding ||
+                          (p.inH >= k && p.inW >= k),
+                      "model blob: conv plan input smaller than "
+                      "kernel");
+        const size_t oh = layer.samePadding ? p.inH : p.inH - k + 1;
+        const size_t ow = layer.samePadding ? p.inW : p.inW - k + 1;
+        RAPIDNN_CHECK(p.outH == oh && p.outW == ow,
+                      "model blob: conv plan output ", p.outH, "x",
+                      p.outW, " inconsistent with input ", p.inH, "x",
+                      p.inW);
+        RAPIDNN_CHECK(p.start.size() == oh * ow + 1,
+                      "model blob: conv plan has ", p.start.size(),
+                      " window offsets, want ", oh * ow + 1);
+        RAPIDNN_CHECK(p.weightIdx.size() == p.inputIdx.size(),
+                      "model blob: conv plan index maps disagree: ",
+                      p.weightIdx.size(), " vs ", p.inputIdx.size());
+        RAPIDNN_CHECK(!p.start.empty() && p.start[0] == 0 &&
+                          p.start.back() == p.weightIdx.size(),
+                      "model blob: conv plan window offsets do not "
+                      "span the index maps");
+        for (size_t i = 1; i < p.start.size(); ++i)
+            RAPIDNN_CHECK(p.start[i - 1] <= p.start[i],
+                          "model blob: conv plan window offsets not "
+                          "monotonic");
+        const size_t inElems = p.inC * p.inH * p.inW;
+        for (const uint32_t idx : p.weightIdx)
+            RAPIDNN_CHECK(idx < layer.inCount,
+                          "model blob: conv plan weight index ", idx,
+                          " outside window of ", layer.inCount);
+        for (const uint32_t idx : p.inputIdx)
+            RAPIDNN_CHECK(idx < inElems,
+                          "model blob: conv plan input index ", idx,
+                          " outside tensor of ", inElems);
+    }
+}
+
+RLayer
+readLayer(const Parsed &p, MetaCursor &cur, size_t depth)
+{
+    RAPIDNN_CHECK(depth <= kMaxNesting,
+                  "model blob: residual nesting deeper than ",
+                  kMaxNesting);
+    RLayer layer;
+    const uint64_t kind = cur.bounded(
+        "layer kind", uint64_t(RLayerKind::Recurrent));
+    layer.kind = static_cast<RLayerKind>(kind);
+    layer.inCount = cur.bounded("inCount", kMaxLayerDim);
+    layer.outCount = cur.bounded("outCount", kMaxLayerDim);
+    layer.kernel = cur.bounded("kernel", kMaxLayerDim);
+    layer.inChannels = cur.bounded("inChannels", kMaxLayerDim);
+    layer.samePadding = cur.flag("samePadding");
+    layer.poolWindow = cur.bounded("poolWindow", kMaxLayerDim);
+    layer.steps = cur.bounded("steps", kMaxLayerDim);
+
+    if (cur.flag("has input codebook"))
+        layer.inputCodebook = readCodebook(p, cur, "input codebook");
+
+    uint64_t count = cur.bounded("weight codebooks", kMaxBlockCount);
+    for (uint64_t i = 0; i < count; ++i)
+        layer.weightCodebooks.push_back(
+            readCodebook(p, cur, "weight codebook"));
+
+    count = cur.bounded("weight code blocks", kMaxBlockCount);
+    for (uint64_t i = 0; i < count; ++i)
+        layer.weightCodes.push_back(p.view<uint16_t>(
+            cur.next("weight codes"), SectionKind::U16,
+            "weight codes"));
+
+    if (cur.flag("has bias"))
+        layer.bias = p.view<float>(cur.next("bias"), SectionKind::F32,
+                                   "bias");
+
+    count = cur.bounded("product tables", kMaxBlockCount);
+    for (uint64_t i = 0; i < count; ++i)
+        layer.productTables.push_back(p.view<double>(
+            cur.next("product table"), SectionKind::F64,
+            "product table"));
+
+    if (cur.flag("has activation")) {
+        layer.activationKind = static_cast<nn::ActKind>(
+            cur.bounded("activation kind", 32));
+        Array<double> ys = p.view<double>(
+            cur.next("activation inputs"), SectionKind::F64,
+            "activation inputs");
+        Array<double> zs = p.view<double>(
+            cur.next("activation outputs"), SectionKind::F64,
+            "activation outputs");
+        layer.activation = quant::ActivationTable::fromViews(
+            std::move(ys), std::move(zs));
+    }
+
+    if (cur.flag("has output encoder"))
+        layer.outputEncoder =
+            quant::Encoder(readCodebook(p, cur, "output encoder"));
+
+    if (cur.flag("has state")) {
+        layer.stateCodebook = readCodebook(p, cur, "state codebook");
+        count = cur.bounded("state weight codebooks", kMaxBlockCount);
+        for (uint64_t i = 0; i < count; ++i)
+            layer.stateWeightCodebooks.push_back(
+                readCodebook(p, cur, "state weight codebook"));
+        count = cur.bounded("state weight code blocks", kMaxBlockCount);
+        for (uint64_t i = 0; i < count; ++i)
+            layer.stateWeightCodes.push_back(p.view<uint16_t>(
+                cur.next("state weight codes"), SectionKind::U16,
+                "state weight codes"));
+        count = cur.bounded("state product tables", kMaxBlockCount);
+        for (uint64_t i = 0; i < count; ++i)
+            layer.stateProductTables.push_back(p.view<double>(
+                cur.next("state product table"), SectionKind::F64,
+                "state product table"));
+    }
+
+    if (cur.flag("has dense columns"))
+        layer.denseColumns = p.view<uint16_t>(
+            cur.next("dense columns"), SectionKind::U16,
+            "dense columns");
+    if (cur.flag("has recurrent x columns"))
+        layer.recXColumns = p.view<uint16_t>(
+            cur.next("recurrent x columns"), SectionKind::U16,
+            "recurrent x columns");
+    if (cur.flag("has recurrent h columns"))
+        layer.recHColumns = p.view<uint16_t>(
+            cur.next("recurrent h columns"), SectionKind::U16,
+            "recurrent h columns");
+
+    if (cur.flag("has conv plan")) {
+        RLayer::ConvPlanData plan;
+        plan.inC = cur.bounded("conv plan inC", kMaxLayerDim);
+        plan.inH = cur.bounded("conv plan inH", kMaxLayerDim);
+        plan.inW = cur.bounded("conv plan inW", kMaxLayerDim);
+        plan.outH = cur.bounded("conv plan outH", kMaxLayerDim);
+        plan.outW = cur.bounded("conv plan outW", kMaxLayerDim);
+        plan.start = p.view<uint32_t>(cur.next("conv plan offsets"),
+                                      SectionKind::U32,
+                                      "conv plan offsets");
+        plan.weightIdx = p.view<uint32_t>(
+            cur.next("conv plan weight indices"), SectionKind::U32,
+            "conv plan weight indices");
+        plan.inputIdx = p.view<uint32_t>(
+            cur.next("conv plan input indices"), SectionKind::U32,
+            "conv plan input indices");
+        layer.convPlan = std::move(plan);
+    }
+
+    count = cur.bounded("inner layers", kMaxBlockCount);
+    for (uint64_t i = 0; i < count; ++i)
+        layer.inner.push_back(readLayer(p, cur, depth + 1));
+
+    RAPIDNN_CHECK(cur.next("layer end sentinel") == kLayerEndSentinel,
+                  "model blob: layer record not closed by sentinel");
+
+    composer::validateLayer(layer);
+    validateDerived(layer);
+    return layer;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildBlob(const composer::ReinterpretedModel &model)
+{
+    const nn::Shape &shape = model.canonicalInputShape();
+    RAPIDNN_CHECK(!shape.empty(),
+                  "blob writer: model has no canonical input shape "
+                  "(setCanonicalInputShape before writing)");
+    RAPIDNN_CHECK(shape.size() <= kMaxShapeRank,
+                  "blob writer: input shape rank ", shape.size(),
+                  " exceeds ", kMaxShapeRank);
+    RAPIDNN_CHECK(!model.inputEncoder().empty(),
+                  "blob writer: model has no input encoder");
+
+    // Per-layer input shapes drive the precomputed conv gather plans.
+    std::map<const RLayer *, nn::Shape> inShapes;
+    composer::walkLayerShapes(
+        model.layers(), shape,
+        [&](const RLayer &layer, const nn::Shape &in,
+            const nn::Shape &) { inShapes[&layer] = in; });
+
+    Writer w;
+    w.put(kBlobVersion);
+    w.put(shape.size());
+    for (size_t d : shape)
+        w.put(d);
+    putCodebook(w, model.inputEncoder().target());
+    w.put(model.layers().size());
+    for (const RLayer &layer : model.layers())
+        encodeLayer(w, layer, inShapes);
+
+    // Serialize the meta stream into section 0.
+    std::vector<uint8_t> metaBytes(w.meta.size() * 8);
+    for (size_t i = 0; i < w.meta.size(); ++i)
+        putU64(metaBytes.data() + i * 8, w.meta[i]);
+    w.entries[0].size = metaBytes.size();
+    w.payloads[0] = std::move(metaBytes);
+
+    // Lay the sections out: header, table, then payloads at their
+    // alignment. Gaps are zero-filled.
+    const size_t tableBytes = w.entries.size() * kSectionEntryBytes;
+    size_t offset = kHeaderBytes + tableBytes;
+    for (SectionEntry &entry : w.entries) {
+        const size_t align = entry.align;
+        offset = (offset + align - 1) / align * align;
+        entry.offset = offset;
+        offset += entry.size;
+    }
+    const size_t fileBytes = offset;
+
+    std::vector<uint8_t> out(fileBytes, 0);
+    uint8_t *h = out.data();
+    putU32(h + 0, kBlobMagic);
+    putU32(h + 4, kBlobVersion);
+    putU32(h + 8, 0); // flags
+    putU32(h + 12, kHeaderBytes);
+    putU64(h + 16, fileBytes);
+    putU64(h + 24, w.entries.size());
+    putU64(h + 32, kHeaderBytes);
+    putU64(h + 40, 0); // meta section index
+    // bytes 48..63 reserved, already zero
+
+    for (size_t i = 0; i < w.entries.size(); ++i) {
+        uint8_t *e = out.data() + kHeaderBytes + i * kSectionEntryBytes;
+        putU32(e + 0, w.entries[i].kind);
+        putU32(e + 4, w.entries[i].align);
+        putU64(e + 8, w.entries[i].offset);
+        putU64(e + 16, w.entries[i].size);
+        if (w.entries[i].size > 0)
+            std::memcpy(out.data() + w.entries[i].offset,
+                        w.payloads[i].data(), w.payloads[i].size());
+    }
+    return out;
+}
+
+void
+writeBlobFile(const composer::ReinterpretedModel &model,
+              const std::string &path)
+{
+    const std::vector<uint8_t> bytes = buildBlob(model);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+void
+ModelBlob::parse()
+{
+    RAPIDNN_CHECK(hostIsLittleEndian(),
+                  "model blob requires a little-endian host");
+    RAPIDNN_CHECK(_size >= kHeaderBytes,
+                  "model blob: file of ", _size,
+                  " bytes is smaller than the header");
+
+    BlobHeader h;
+    h.magic = getU32(_data + 0);
+    h.version = getU32(_data + 4);
+    h.flags = getU32(_data + 8);
+    h.headerBytes = getU32(_data + 12);
+    h.fileBytes = getU64(_data + 16);
+    h.sectionCount = getU64(_data + 24);
+    h.sectionTableOffset = getU64(_data + 32);
+    h.metaSectionIndex = getU64(_data + 40);
+
+    RAPIDNN_CHECK(h.magic == kBlobMagic,
+                  "model blob: bad magic ", h.magic);
+    RAPIDNN_CHECK(h.version == kBlobVersion,
+                  "model blob: version ", h.version,
+                  " unsupported (want ", kBlobVersion, ")");
+    RAPIDNN_CHECK(h.flags == 0, "model blob: unknown flags ", h.flags);
+    RAPIDNN_CHECK(h.headerBytes == kHeaderBytes,
+                  "model blob: header size ", h.headerBytes,
+                  " (want ", kHeaderBytes, ")");
+    RAPIDNN_CHECK(h.fileBytes == _size,
+                  "model blob: header claims ", h.fileBytes,
+                  " bytes but the file has ", _size);
+    RAPIDNN_CHECK(h.sectionCount >= 1 &&
+                      h.sectionCount <= kMaxSections,
+                  "model blob: section count ", h.sectionCount,
+                  " outside [1, ", kMaxSections, "]");
+    RAPIDNN_CHECK(h.sectionTableOffset == kHeaderBytes,
+                  "model blob: section table at ",
+                  h.sectionTableOffset, " (want ", kHeaderBytes, ")");
+
+    const uint64_t tableBytes = h.sectionCount * kSectionEntryBytes;
+    RAPIDNN_CHECK(kHeaderBytes + tableBytes <= _size,
+                  "model blob: section table of ", tableBytes,
+                  " bytes overruns the file");
+
+    Parsed parsed;
+    parsed.data = _data;
+    parsed.size = _size;
+    parsed.sections.reserve(h.sectionCount);
+    for (uint64_t i = 0; i < h.sectionCount; ++i) {
+        const uint8_t *e = _data + kHeaderBytes + i * kSectionEntryBytes;
+        SectionEntry s;
+        s.kind = getU32(e + 0);
+        s.align = getU32(e + 4);
+        s.offset = getU64(e + 8);
+        s.size = getU64(e + 16);
+        RAPIDNN_CHECK(s.kind <= uint32_t(SectionKind::U32),
+                      "model blob: section ", i, " has unknown kind ",
+                      s.kind);
+        const size_t elem = sectionElemBytes(SectionKind(s.kind));
+        RAPIDNN_CHECK(s.align >= elem && s.align <= 4096 &&
+                          (s.align & (s.align - 1)) == 0,
+                      "model blob: section ", i, " alignment ",
+                      s.align, " invalid");
+        RAPIDNN_CHECK(s.offset >= kHeaderBytes + tableBytes,
+                      "model blob: section ", i,
+                      " overlaps the header/table");
+        RAPIDNN_CHECK(s.offset % s.align == 0,
+                      "model blob: section ", i, " offset ", s.offset,
+                      " not aligned to ", s.align);
+        RAPIDNN_CHECK(s.offset <= _size && s.size <= _size - s.offset,
+                      "model blob: section ", i, " [", s.offset, ", +",
+                      s.size, ") overruns the file of ", _size);
+        RAPIDNN_CHECK(s.size % elem == 0,
+                      "model blob: section ", i, " size ", s.size,
+                      " not a multiple of ", elem, "-byte elements");
+        parsed.sections.push_back(s);
+    }
+
+    const SectionEntry &meta = parsed.section(
+        h.metaSectionIndex, SectionKind::Meta, "header meta index");
+    MetaCursor cur(_data + meta.offset, meta.size);
+
+    RAPIDNN_CHECK(cur.next("meta version") == kBlobVersion,
+                  "model blob: meta stream version mismatch");
+    const uint64_t rank = cur.bounded("input shape rank",
+                                      kMaxShapeRank);
+    RAPIDNN_CHECK(rank >= 1, "model blob: empty input shape");
+    nn::Shape shape(rank);
+    for (uint64_t i = 0; i < rank; ++i) {
+        shape[i] = cur.bounded("input shape dim", kMaxLayerDim);
+        RAPIDNN_CHECK(shape[i] >= 1,
+                      "model blob: zero input shape dimension");
+    }
+    _model.setCanonicalInputShape(std::move(shape));
+
+    _model.inputEncoder() =
+        quant::Encoder(readCodebook(parsed, cur, "input encoder"));
+
+    const uint64_t layerCount = cur.bounded("layers", kMaxBlockCount);
+    for (uint64_t i = 0; i < layerCount; ++i)
+        _model.layers().push_back(readLayer(parsed, cur, 0));
+
+    RAPIDNN_CHECK(cur.wordsLeft() == 0,
+                  "model blob: ", cur.wordsLeft(),
+                  " trailing words in the meta stream");
+}
+
+std::shared_ptr<const ModelBlob>
+ModelBlob::open(const std::string &path)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto blob = std::shared_ptr<ModelBlob>(new ModelBlob());
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        fatal("cannot open model blob '", path, "' for reading");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        fatal("cannot stat model blob '", path, "'");
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+
+    void *map = size > 0
+        ? ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0)
+        : MAP_FAILED;
+    if (map != MAP_FAILED) {
+        blob->_map = map;
+        blob->_mapLen = size;
+        blob->_data = static_cast<const uint8_t *>(map);
+        blob->_size = size;
+        ::close(fd);
+    } else {
+        // mmap unavailable (unusual filesystem): fall back to a heap
+        // copy; the zero-copy views then point into owned bytes.
+        std::vector<uint8_t> bytes(size);
+        size_t done = 0;
+        while (done < size) {
+            const ssize_t n =
+                ::read(fd, bytes.data() + done, size - done);
+            if (n <= 0) {
+                ::close(fd);
+                fatal("short read of model blob '", path, "'");
+            }
+            done += static_cast<size_t>(n);
+        }
+        ::close(fd);
+        blob->_bytes = std::move(bytes);
+        blob->_data = blob->_bytes.data();
+        blob->_size = blob->_bytes.size();
+    }
+
+    blob->parse();
+    blobBytesGauge().add(static_cast<int64_t>(blob->_size));
+    lastLoadSeconds().store(
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - t0)
+            .count());
+    return blob;
+}
+
+std::shared_ptr<const ModelBlob>
+ModelBlob::fromBytes(std::vector<uint8_t> bytes)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto blob = std::shared_ptr<ModelBlob>(new ModelBlob());
+    blob->_bytes = std::move(bytes);
+    blob->_data = blob->_bytes.data();
+    blob->_size = blob->_bytes.size();
+    blob->parse();
+    blobBytesGauge().add(static_cast<int64_t>(blob->_size));
+    lastLoadSeconds().store(
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - t0)
+            .count());
+    return blob;
+}
+
+ModelBlob::~ModelBlob()
+{
+    blobBytesGauge().add(-static_cast<int64_t>(_size));
+    if (_map != nullptr)
+        ::munmap(_map, _mapLen);
+}
+
+} // namespace rapidnn::blob

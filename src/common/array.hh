@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Array<T> — an immutable contiguous sequence that either OWNS its
+ * elements (moved in from a std::vector) or VIEWS memory owned by
+ * someone else (a memory-mapped model blob). The two flavours are
+ * indistinguishable to readers: size()/data()/operator[] work the
+ * same, so the inference engine and the composer share one type for
+ * weight columns, codebooks, product tables and index maps whether
+ * the model was built on the heap or mapped from a file.
+ *
+ * Views do not extend the lifetime of the mapped bytes; whoever
+ * created the view (the ModelBlob) must outlive every Array built
+ * over it. Owning Arrays behave like const vectors: copying copies
+ * the elements, moving steals them.
+ */
+
+#ifndef RAPIDNN_COMMON_ARRAY_HH
+#define RAPIDNN_COMMON_ARRAY_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rapidnn {
+
+template <typename T>
+class Array
+{
+  public:
+    Array() = default;
+
+    /** Take ownership of a vector's elements (implicit on purpose:
+     *  existing vector-building code converts transparently). */
+    Array(std::vector<T> own) // NOLINT(google-explicit-constructor)
+        : _own(std::move(own)), _data(_own.data()), _size(_own.size())
+    {
+    }
+
+    /** Own a copy of a braced element list (test/fixture convenience). */
+    Array(std::initializer_list<T> init)
+        : _own(init), _data(_own.data()), _size(_own.size())
+    {
+    }
+
+    /** A non-owning window over externally managed memory. */
+    static Array
+    view(const T *data, size_t size)
+    {
+        Array a;
+        a._data = data;
+        a._size = size;
+        return a;
+    }
+
+    Array(const Array &o) : _own(o._own) { sync(o); }
+
+    Array(Array &&o) noexcept : _own(std::move(o._own))
+    {
+        sync(o);
+        o.reset();
+    }
+
+    Array &
+    operator=(const Array &o)
+    {
+        if (this != &o) {
+            _own = o._own;
+            sync(o);
+        }
+        return *this;
+    }
+
+    Array &
+    operator=(Array &&o) noexcept
+    {
+        if (this != &o) {
+            _own = std::move(o._own);
+            sync(o);
+            o.reset();
+        }
+        return *this;
+    }
+
+    size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    const T *data() const { return _data; }
+    const T &operator[](size_t i) const { return _data[i]; }
+    const T *begin() const { return _data; }
+    const T *end() const { return _data + _size; }
+    const T &front() const { return _data[0]; }
+    const T &back() const { return _data[_size - 1]; }
+
+    /** True when this Array owns its elements (empty counts as
+     *  owning: there is nothing to dangle). */
+    bool owning() const { return _size == 0 || !_own.empty(); }
+
+    std::vector<T>
+    toVector() const
+    {
+        return std::vector<T>(begin(), end());
+    }
+
+  private:
+    /** After _own changed, point _data at whichever storage holds
+     *  the elements now: our own vector, or o's viewed memory. */
+    void
+    sync(const Array &o)
+    {
+        if (_own.empty()) {
+            _data = o._data;
+            _size = o._size;
+        } else {
+            _data = _own.data();
+            _size = _own.size();
+        }
+    }
+
+    void
+    reset()
+    {
+        _own.clear();
+        _data = nullptr;
+        _size = 0;
+    }
+
+    std::vector<T> _own;      //!< element storage when owning
+    const T *_data = nullptr; //!< always points at the elements
+    size_t _size = 0;
+};
+
+template <typename T>
+bool
+operator==(const Array<T> &a, const Array<T> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!(a[i] == b[i]))
+            return false;
+    return true;
+}
+
+template <typename T>
+bool
+operator!=(const Array<T> &a, const Array<T> &b)
+{
+    return !(a == b);
+}
+
+} // namespace rapidnn
+
+#endif // RAPIDNN_COMMON_ARRAY_HH

@@ -417,23 +417,25 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                 r.weightCodebooks.push_back(buildCodebook(
                     samples, _config.weightClusters,
                     _config.treeDepth, seeder.engine()(), threads));
-                auto &codes = r.weightCodes.emplace_back(w.numel());
+                std::vector<uint16_t> codes(w.numel());
                 for (size_t i = 0; i < w.numel(); ++i)
                     codes[i] = static_cast<uint16_t>(
                         r.weightCodebooks[0].encode(w[i]));
+                r.weightCodes.push_back(std::move(codes));
 
-                r.bias.resize(r.outCount);
+                std::vector<float> bias(r.outCount);
                 for (size_t j = 0; j < r.outCount; ++j)
-                    r.bias[j] = dense.bias().value[j];
+                    bias[j] = dense.bias().value[j];
+                r.bias = std::move(bias);
 
                 const auto &wcb = r.weightCodebooks[0];
                 const auto &ucb = r.inputCodebook;
-                auto &table = r.productTables.emplace_back(
-                    wcb.size() * ucb.size());
+                std::vector<double> table(wcb.size() * ucb.size());
                 for (size_t wi = 0; wi < wcb.size(); ++wi)
                     for (size_t ui = 0; ui < ucb.size(); ++ui)
                         table[wi * ucb.size() + ui] =
                             wcb.value(wi) * ucb.value(ui);
+                r.productTables.push_back(std::move(table));
 
                 out.push_back(std::move(r));
                 pending = &out.back();
@@ -453,7 +455,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
 
                 const nn::Tensor &w = conv.weights().value;
                 const size_t perChannel = w.numel() / r.outCount;
-                r.bias.resize(r.outCount);
+                std::vector<float> bias(r.outCount);
 
                 // RNA sharing (Section 5.6): merge channels into
                 // ceil(outC * (1 - s)) codebook groups; grouped
@@ -484,22 +486,23 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                 for (size_t oc = 0; oc < r.outCount; ++oc) {
                     r.weightCodebooks.push_back(
                         groupCodebooks[groupOf(oc)]);
-                    auto &codes =
-                        r.weightCodes.emplace_back(perChannel);
+                    std::vector<uint16_t> codes(perChannel);
                     for (size_t i = 0; i < perChannel; ++i)
                         codes[i] = static_cast<uint16_t>(
                             r.weightCodebooks[oc].encode(
                                 w[oc * perChannel + i]));
+                    r.weightCodes.push_back(std::move(codes));
                     const auto &wcb = r.weightCodebooks[oc];
                     const auto &ucb = r.inputCodebook;
-                    auto &table = r.productTables.emplace_back(
-                        wcb.size() * ucb.size());
+                    std::vector<double> table(wcb.size() * ucb.size());
                     for (size_t wi = 0; wi < wcb.size(); ++wi)
                         for (size_t ui = 0; ui < ucb.size(); ++ui)
                             table[wi * ucb.size() + ui] =
                                 wcb.value(wi) * ucb.value(ui);
-                    r.bias[oc] = conv.bias().value[oc];
+                    r.productTables.push_back(std::move(table));
+                    bias[oc] = conv.bias().value[oc];
                 }
+                r.bias = std::move(bias);
 
                 out.push_back(std::move(r));
                 pending = &out.back();
@@ -592,20 +595,20 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                 r.weightCodebooks.push_back(buildCodebook(
                     wxSamples, _config.weightClusters,
                     _config.treeDepth, seeder.engine()(), threads));
-                auto &wxCodes =
-                    r.weightCodes.emplace_back(wx.numel());
+                std::vector<uint16_t> wxCodes(wx.numel());
                 for (size_t i = 0; i < wx.numel(); ++i)
                     wxCodes[i] = static_cast<uint16_t>(
                         r.weightCodebooks[0].encode(wx[i]));
+                r.weightCodes.push_back(std::move(wxCodes));
                 {
                     const auto &wcb = r.weightCodebooks[0];
                     const auto &ucb = r.inputCodebook;
-                    auto &table = r.productTables.emplace_back(
-                        wcb.size() * ucb.size());
+                    std::vector<double> table(wcb.size() * ucb.size());
                     for (size_t wi = 0; wi < wcb.size(); ++wi)
                         for (size_t ui = 0; ui < ucb.size(); ++ui)
                             table[wi * ucb.size() + ui] =
                                 wcb.value(wi) * ucb.value(ui);
+                    r.productTables.push_back(std::move(table));
                 }
 
                 // Feedback-path (Wh) codebook and product table.
@@ -617,25 +620,27 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
                 r.stateWeightCodebooks.push_back(buildCodebook(
                     whSamples, _config.weightClusters,
                     _config.treeDepth, seeder.engine()(), threads));
-                auto &whCodes =
-                    r.stateWeightCodes.emplace_back(wh.numel());
+                std::vector<uint16_t> whCodes(wh.numel());
                 for (size_t i = 0; i < wh.numel(); ++i)
                     whCodes[i] = static_cast<uint16_t>(
                         r.stateWeightCodebooks[0].encode(wh[i]));
+                r.stateWeightCodes.push_back(std::move(whCodes));
                 {
                     const auto &wcb = r.stateWeightCodebooks[0];
                     const auto &hcb = r.stateCodebook;
-                    auto &table = r.stateProductTables.emplace_back(
+                    std::vector<double> table(
                         wcb.size() * hcb.size());
                     for (size_t wi = 0; wi < wcb.size(); ++wi)
                         for (size_t hi = 0; hi < hcb.size(); ++hi)
                             table[wi * hcb.size() + hi] =
                                 wcb.value(wi) * hcb.value(hi);
+                    r.stateProductTables.push_back(std::move(table));
                 }
 
-                r.bias.resize(r.outCount);
+                std::vector<float> bias(r.outCount);
                 for (size_t h = 0; h < r.outCount; ++h)
-                    r.bias[h] = elman.bias().value[h];
+                    bias[h] = elman.bias().value[h];
+                r.bias = std::move(bias);
 
                 // The cell's internal nonlinearity becomes the
                 // activation table (pre-act range from all steps).
@@ -679,6 +684,7 @@ Composer::reinterpret(nn::Network &net, const nn::Dataset &train)
     RLayer *pending = nullptr;
     build(net.layers(), model.layers(), pending);
     wireLayers(model.layers(), nullptr);
+    model.setCanonicalInputShape(train.featureShape());
     return model;
 }
 

@@ -424,4 +424,99 @@ ReinterpretedModel::describe() const
     return os.str();
 }
 
+std::vector<uint16_t>
+denseColumnsOf(const RLayer &layer)
+{
+    RAPIDNN_ASSERT(!layer.weightCodes.empty(), "layer without weights");
+    const auto &codes = layer.weightCodes[0];
+    std::vector<uint16_t> columns(codes.size());
+    for (size_t i = 0; i < layer.inCount; ++i)
+        for (size_t j = 0; j < layer.outCount; ++j)
+            columns[j * layer.inCount + i] =
+                codes[i * layer.outCount + j];
+    return columns;
+}
+
+std::vector<uint16_t>
+recXColumnsOf(const RLayer &layer)
+{
+    RAPIDNN_ASSERT(!layer.weightCodes.empty(), "layer without weights");
+    const size_t hidden = layer.outCount;
+    const size_t features = layer.inCount;
+    const auto &wx = layer.weightCodes[0];
+    std::vector<uint16_t> columns(wx.size());
+    for (size_t f = 0; f < features; ++f)
+        for (size_t h = 0; h < hidden; ++h)
+            columns[h * features + f] = wx[f * hidden + h];
+    return columns;
+}
+
+std::vector<uint16_t>
+recHColumnsOf(const RLayer &layer)
+{
+    RAPIDNN_ASSERT(!layer.stateWeightCodes.empty(),
+                   "layer without state weights");
+    const size_t hidden = layer.outCount;
+    const auto &wh = layer.stateWeightCodes[0];
+    std::vector<uint16_t> columns(wh.size());
+    for (size_t hp = 0; hp < hidden; ++hp)
+        for (size_t h = 0; h < hidden; ++h)
+            columns[h * hidden + hp] = wh[hp * hidden + h];
+    return columns;
+}
+
+nn::Shape
+layerOutputShape(const RLayer &layer, const nn::Shape &in)
+{
+    auto numel = [](const nn::Shape &s) {
+        size_t n = 1;
+        for (size_t d : s)
+            n *= d;
+        return n;
+    };
+    switch (layer.kind) {
+      case RLayerKind::Dense:
+        return {layer.outCount};
+      case RLayerKind::Conv: {
+        RAPIDNN_CHECK(in.size() == 3, "conv layer needs [C, H, W] input");
+        const size_t h = in[1], w = in[2];
+        const size_t k = layer.kernel;
+        RAPIDNN_CHECK(layer.samePadding || (h >= k && w >= k),
+                      "conv input smaller than kernel");
+        const size_t oh = layer.samePadding ? h : h - k + 1;
+        const size_t ow = layer.samePadding ? w : w - k + 1;
+        return {layer.outCount, oh, ow};
+      }
+      case RLayerKind::MaxPool:
+      case RLayerKind::AvgPool: {
+        RAPIDNN_CHECK(in.size() == 3, "pool layer needs [C, H, W] input");
+        RAPIDNN_CHECK(layer.poolWindow >= 1, "pool window must be >= 1");
+        return {in[0], in[1] / layer.poolWindow,
+                in[2] / layer.poolWindow};
+      }
+      case RLayerKind::Flatten:
+        return {numel(in)};
+      case RLayerKind::Residual:
+        return in;
+      case RLayerKind::Recurrent:
+        return {layer.outCount};
+    }
+    panic("unknown reinterpreted layer kind");
+}
+
+void
+walkLayerShapes(const std::vector<RLayer> &layers, const nn::Shape &input,
+                const std::function<void(const RLayer &, const nn::Shape &,
+                                         const nn::Shape &)> &fn)
+{
+    nn::Shape shape = input;
+    for (const RLayer &layer : layers) {
+        nn::Shape out = layerOutputShape(layer, shape);
+        fn(layer, shape, out);
+        if (layer.kind == RLayerKind::Residual)
+            walkLayerShapes(layer.inner, shape, fn);
+        shape = std::move(out);
+    }
+}
+
 } // namespace rapidnn::composer

@@ -18,10 +18,12 @@
 #define RAPIDNN_COMPOSER_REINTERPRETED_MODEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/array.hh"
 #include "nn/dataset.hh"
 #include "nn/network.hh"
 #include "quant/activation_table.hh"
@@ -64,10 +66,10 @@ struct RLayer
     quant::Codebook inputCodebook;               //!< u entries
     std::vector<quant::Codebook> weightCodebooks; //!< 1 (dense) or outC
     /** Encoded weights: dense [in*out] (i*out+j); conv [outC][inC*k*k]. */
-    std::vector<std::vector<uint16_t>> weightCodes;
-    std::vector<float> bias;
+    std::vector<Array<uint16_t>> weightCodes;
+    Array<float> bias;
     /** Pre-computed products, one table per weight codebook. */
-    std::vector<std::vector<double>> productTables;
+    std::vector<Array<double>> productTables;
 
     std::optional<quant::ActivationTable> activation; //!< absent = linear
     nn::ActKind activationKind = nn::ActKind::Identity;
@@ -100,8 +102,33 @@ struct RLayer
     size_t steps = 0;
     quant::Codebook stateCodebook;
     std::vector<quant::Codebook> stateWeightCodebooks;
-    std::vector<std::vector<uint16_t>> stateWeightCodes;
-    std::vector<std::vector<double>> stateProductTables;
+    std::vector<Array<uint16_t>> stateWeightCodes;
+    std::vector<Array<double>> stateProductTables;
+
+    /**
+     * Deploy-time execution artifacts. Composer-built models leave
+     * these empty and the RNA layer contexts derive them on
+     * configure; the blob loader fills them with views into the
+     * mapped file so every Chip replica shares one precomputed copy.
+     *
+     * denseColumns is the neuron-major transpose of weightCodes[0]
+     * ([j*inCount + i]); recX/recHColumns are the hidden-unit-major
+     * transposes of the recurrent x/h weights. convPlan is the
+     * im2col-style gather plan at the canonical input shape.
+     */
+    Array<uint16_t> denseColumns;
+    Array<uint16_t> recXColumns;
+    Array<uint16_t> recHColumns;
+
+    struct ConvPlanData
+    {
+        size_t inC = 0, inH = 0, inW = 0; //!< input shape it was built for
+        size_t outH = 0, outW = 0;
+        Array<uint32_t> start;     //!< outH*outW+1 window offsets
+        Array<uint32_t> weightIdx; //!< per-slot weight code index
+        Array<uint32_t> inputIdx;  //!< per-slot input code index
+    };
+    std::optional<ConvPlanData> convPlan;
 
     /** Hidden-state product lookup (recurrent layers). */
     double
@@ -169,14 +196,50 @@ class ReinterpretedModel
     /** Short description, e.g. "dense(784->512) w=64 u=16 | ...". */
     std::string describe() const;
 
+    /**
+     * The input shape the model is deployed for ([F] or [C, H, W]).
+     * Optional for heap models (inference derives shapes from each
+     * sample); required to write a blob, since conv gather plans and
+     * workspace arena sizes are precomputed against it.
+     */
+    const nn::Shape &canonicalInputShape() const { return _inputShape; }
+    void setCanonicalInputShape(nn::Shape shape)
+    {
+        _inputShape = std::move(shape);
+    }
+
   private:
     quant::Encoder _inputEncoder;
     std::vector<RLayer> _layers;
+    nn::Shape _inputShape;
 
     EncodedTensor forwardEncoded(const RLayer &layer,
                                  const EncodedTensor &input,
                                  std::vector<double> *rawOut) const;
 };
+
+/**
+ * Neuron-major transposes of a layer's encoded weights, the layouts
+ * the fast path walks column-wise. Shared by the RNA layer contexts
+ * (heap models derive them at configure time) and the blob writer
+ * (which precomputes them into the file).
+ */
+std::vector<uint16_t> denseColumnsOf(const RLayer &layer);
+std::vector<uint16_t> recXColumnsOf(const RLayer &layer);
+std::vector<uint16_t> recHColumnsOf(const RLayer &layer);
+
+/** Output shape of one layer for a given input shape. */
+nn::Shape layerOutputShape(const RLayer &layer, const nn::Shape &in);
+
+/**
+ * Walk a layer stack (recursing into residual inner stacks) calling
+ * fn(layer, inShape, outShape) in execution order. Used by the blob
+ * writer (conv plan dimensions) and the workspace arena sizing.
+ */
+void walkLayerShapes(
+    const std::vector<RLayer> &layers, const nn::Shape &input,
+    const std::function<void(const RLayer &, const nn::Shape &,
+                             const nn::Shape &)> &fn);
 
 } // namespace rapidnn::composer
 

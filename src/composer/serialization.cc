@@ -15,9 +15,10 @@ namespace {
 
 // ------------------------------------------------------------- writers
 
+/** Works for std::vector<double> and Array<double> alike. */
+template <typename Seq>
 void
-writeDoubles(std::ostream &os, const std::string &tag,
-             const std::vector<double> &values)
+writeDoubles(std::ostream &os, const std::string &tag, const Seq &values)
 {
     os << tag << " " << values.size();
     os << std::setprecision(17);
@@ -26,9 +27,9 @@ writeDoubles(std::ostream &os, const std::string &tag,
     os << "\n";
 }
 
+template <typename Seq>
 void
-writeCodes(std::ostream &os, const std::string &tag,
-           const std::vector<uint16_t> &codes)
+writeCodes(std::ostream &os, const std::string &tag, const Seq &codes)
 {
     os << tag << " " << codes.size();
     for (uint16_t c : codes)
@@ -206,11 +207,8 @@ readCodebook(std::istream &is, const std::string &tag)
     return codebookFromValues(readDoubles(is, tag), tag);
 }
 
-/**
- * Structural validation of a fully-read layer: every size relation and
- * code range the inference loops in reinterpreted_model.cc and the RNA
- * chip index without further checks.
- */
+} // namespace
+
 void
 validateLayer(const RLayer &layer)
 {
@@ -307,6 +305,8 @@ validateLayer(const RLayer &layer)
     }
 }
 
+namespace {
+
 RLayer
 readLayer(std::istream &is, size_t nestingDepth)
 {
@@ -345,7 +345,7 @@ readLayer(std::istream &is, size_t nestingDepth)
         layer.weightCodes.push_back(readCodes(is, "codes"));
 
     const std::vector<double> bias = readDoubles(is, "bias");
-    layer.bias.assign(bias.begin(), bias.end());
+    layer.bias = std::vector<float>(bias.begin(), bias.end());
 
     expectTag(is, "product_tables");
     count = readCount(is, "product_tables", kMaxBlockCount);

@@ -34,6 +34,14 @@ void saveModelFile(const ReinterpretedModel &model,
                    const std::string &path);
 ReinterpretedModel loadModelFile(const std::string &path);
 
+/**
+ * Structural validation of a fully-assembled layer: every size
+ * relation and code range the inference loops index without further
+ * checks. RAPIDNN_CHECK (clean fatal) on violation. Shared by the
+ * text reader here and the blob loader (src/blob/).
+ */
+void validateLayer(const RLayer &layer);
+
 } // namespace rapidnn::composer
 
 #endif // RAPIDNN_COMPOSER_SERIALIZATION_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "blob/blob.hh"
 #include "common/logging.hh"
 #include "nn/trainer.hh"
 #include "telemetry/telemetry.hh"
@@ -16,6 +17,11 @@ Rapidnn::measure(composer::ComposeResult compose,
     report.compose = std::move(compose);
     _model = std::move(report.compose.model);
     report.memoryBytes = _model.memoryBytes();
+    // The validation feature shape is the shape the deployment serves
+    // at; recording it lets exportBlob precompute conv gather plans
+    // and workspace arena sizes into the blob.
+    if (_model.canonicalInputShape().empty() && validation.size() > 0)
+        _model.setCanonicalInputShape(validation.featureShape());
 
     _chip = std::make_unique<rna::Chip>(_config.chip);
     _chip->configure(_model);
@@ -35,6 +41,24 @@ Rapidnn::serve(const runtime::ServingConfig &serving) const
               "call run() or runOneShot() first");
     return std::make_unique<runtime::ServingEngine>(
         _model, _config.chip, serving);
+}
+
+void
+Rapidnn::exportBlob(const std::string &path) const
+{
+    if (_model.layers().empty())
+        fatal("Rapidnn::exportBlob() needs a composed model; "
+              "call run() or runOneShot() first");
+    blob::writeBlobFile(_model, path);
+}
+
+std::unique_ptr<runtime::ServingEngine>
+Rapidnn::serveBlob(const std::string &path,
+                   const rna::ChipConfig &chip,
+                   const runtime::ServingConfig &serving)
+{
+    return std::make_unique<runtime::ServingEngine>(
+        blob::ModelBlob::open(path), chip, serving);
 }
 
 RunReport

@@ -78,6 +78,23 @@ class Rapidnn
     std::unique_ptr<runtime::ServingEngine>
     serve(const runtime::ServingConfig &serving = {}) const;
 
+    /**
+     * Write the composed model (valid after run/runOneShot) as a
+     * single-file .rnnb blob: every weight block, codebook, product
+     * table and precomputed index map packed aligned so serveBlob and
+     * blob::ModelBlob::open can map it back zero-copy.
+     */
+    void exportBlob(const std::string &path) const;
+
+    /**
+     * Serve straight from a .rnnb blob file without composing: maps
+     * the file, validates it, and spins up a worker pool whose
+     * replicas all view the one shared mapping.
+     */
+    static std::unique_ptr<runtime::ServingEngine>
+    serveBlob(const std::string &path, const rna::ChipConfig &chip,
+              const runtime::ServingConfig &serving = {});
+
     /** The composed model (valid after run/runOneShot). */
     const composer::ReinterpretedModel &model() const { return _model; }
 

@@ -6,15 +6,14 @@
 
 namespace rapidnn::nvm {
 
-AmBlock::AmBlock(const std::vector<double> &keys,
-                 const std::vector<double> &payloads, size_t keyBits,
-                 const CostModel &model, SearchMode mode)
-    : _cam(keyBits, model, mode), _model(model), _payloads(payloads)
+AmBlock::AmBlock(const Array<double> &keys, Array<double> payloads,
+                 size_t keyBits, const CostModel &model, SearchMode mode)
+    : _cam(keyBits, model, mode), _model(model),
+      _payloads(std::move(payloads))
 {
-    RAPIDNN_ASSERT(keys.size() == payloads.size(),
+    RAPIDNN_ASSERT(keys.size() == _payloads.size(),
                    "AM keys/payloads must be parallel");
     RAPIDNN_ASSERT(!keys.empty(), "empty AM block");
-
     const auto [lo, hi] = std::minmax_element(keys.begin(), keys.end());
     // Widen a degenerate single-value domain so the codec is valid.
     const double span = (*hi > *lo) ? 0.0 : std::max(1e-6, *lo * 1e-3);

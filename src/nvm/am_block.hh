@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/array.hh"
 #include "nvm/cost_model.hh"
 #include "nvm/ndcam.hh"
 
@@ -35,9 +36,8 @@ class AmBlock
      * @param model circuit-cost anchors.
      * @param mode NDCAM search behaviour.
      */
-    AmBlock(const std::vector<double> &keys,
-            const std::vector<double> &payloads, size_t keyBits,
-            const CostModel &model,
+    AmBlock(const Array<double> &keys, Array<double> payloads,
+            size_t keyBits, const CostModel &model,
             SearchMode mode = SearchMode::AbsoluteExact);
 
     /** Nearest-key lookup: returns the payload, charging search+read. */
@@ -55,14 +55,14 @@ class AmBlock
     Power power() const { return _model.amBlockPower; }
 
     const Ndcam &cam() const { return _cam; }
-    const std::vector<double> &payloads() const { return _payloads; }
+    const Array<double> &payloads() const { return _payloads; }
     const FixedPointCodec &codec() const { return _codec; }
 
   private:
     Ndcam _cam{16, CostModel{}};
     FixedPointCodec _codec;
     CostModel _model;
-    std::vector<double> _payloads;
+    Array<double> _payloads;
 };
 
 } // namespace rapidnn::nvm

@@ -40,18 +40,31 @@ DataBlock::program(size_t address, const std::vector<uint32_t> &words)
 OpCost
 DataBlock::streamOut(size_t words, size_t lanes) const
 {
-    RAPIDNN_ASSERT(lanes >= 1, "streamOut needs lanes");
-    const auto cycles = static_cast<uint64_t>(std::ceil(
-        static_cast<double>(words) / static_cast<double>(lanes)));
-    return {cycles,
-            _model.crossbarReadEnergy * static_cast<double>(words)};
+    return streamOutCost(_model, words, lanes);
 }
 
 OpCost
 DataBlock::writeBack(size_t words) const
 {
+    return writeBackCost(_model, words);
+}
+
+OpCost
+DataBlock::streamOutCost(const CostModel &model, size_t words,
+                         size_t lanes)
+{
+    RAPIDNN_ASSERT(lanes >= 1, "streamOut needs lanes");
+    const auto cycles = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(words) / static_cast<double>(lanes)));
+    return {cycles,
+            model.crossbarReadEnergy * static_cast<double>(words)};
+}
+
+OpCost
+DataBlock::writeBackCost(const CostModel &model, size_t words)
+{
     return {static_cast<uint64_t>(words),
-            _model.norEnergyPerBit * (32.0 * double(words))};
+            model.norEnergyPerBit * (32.0 * double(words))};
 }
 
 Area

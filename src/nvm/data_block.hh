@@ -54,6 +54,15 @@ class DataBlock
     /** Cost of writing back `words` result words. */
     OpCost writeBack(size_t words) const;
 
+    /**
+     * The stream/write-back costs depend only on the cost model, not
+     * the store contents, so cost-only callers (the chip's per-infer
+     * accounting) can use these without materializing a crossbar.
+     */
+    static OpCost streamOutCost(const CostModel &model, size_t words,
+                                size_t lanes);
+    static OpCost writeBackCost(const CostModel &model, size_t words);
+
     /** Silicon area (from the crossbar density anchor). */
     Area area() const;
 

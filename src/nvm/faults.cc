@@ -27,14 +27,19 @@ stickBits(uint64_t word, size_t wordBits, double stuckBitRate,
 namespace {
 
 void
-injectIntoTables(std::vector<std::vector<double>> &tables,
+injectIntoTables(std::vector<Array<double>> &tables,
                  const FaultSpec &spec, Rng &rng, FaultReport &report)
 {
     const double scale =
         static_cast<double>(int64_t(1) << spec.fractionBits);
     for (auto &table : tables) {
         ++report.tablesVisited;
-        for (double &entry : table) {
+        // Tables are immutable Arrays (possibly views into a mapped
+        // model blob): corrupt a private copy and swap it in, leaving
+        // the backing file untouched.
+        std::vector<double> entries = table.toVector();
+        bool changed = false;
+        for (double &entry : entries) {
             const auto fixed = static_cast<int64_t>(
                 entry * scale + (entry >= 0 ? 0.5 : -0.5));
             size_t flipped = 0;
@@ -59,9 +64,12 @@ injectIntoTables(std::vector<std::vector<double>> &tables,
             report.worstEntryError = std::max(
                 report.worstEntryError, std::abs(corrupted - entry));
             entry = corrupted;
+            changed = true;
             ++report.entriesCorrupted;
             report.bitsFlipped += flipped;
         }
+        if (changed)
+            table = std::move(entries);
     }
 }
 

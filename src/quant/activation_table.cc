@@ -26,6 +26,26 @@ ActivationTable::fromRows(std::vector<double> inputs,
 }
 
 ActivationTable
+ActivationTable::fromViews(Array<double> inputs, Array<double> outputs)
+{
+    RAPIDNN_CHECK(inputs.size() == outputs.size() && inputs.size() >= 2,
+                  "activation table needs >= 2 parallel rows, got ",
+                  inputs.size(), " and ", outputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        RAPIDNN_CHECK(std::isfinite(inputs[i]),
+                      "non-finite activation table key");
+        RAPIDNN_CHECK(i == 0 || inputs[i - 1] <= inputs[i],
+                      "activation table keys not sorted");
+    }
+    ActivationTable table;
+    table._lo = inputs.front();
+    table._hi = inputs.back();
+    table._y = std::move(inputs);
+    table._z = std::move(outputs);
+    return table;
+}
+
+ActivationTable
 ActivationTable::buildCustom(const std::function<double(double)> &fn,
                              const std::function<double(double)> &derivative,
                              size_t rows, TableSpacing spacing, double lo,
@@ -37,11 +57,11 @@ ActivationTable::buildCustom(const std::function<double(double)> &fn,
     ActivationTable table;
     table._lo = lo;
     table._hi = hi;
-    table._y.resize(rows);
+    std::vector<double> ys(rows);
 
     if (spacing == TableSpacing::Linear) {
         for (size_t i = 0; i < rows; ++i)
-            table._y[i] = lo + (hi - lo) * double(i) / double(rows - 1);
+            ys[i] = lo + (hi - lo) * double(i) / double(rows - 1);
     } else {
         // Derivative-weighted placement: integrate |f'| numerically to
         // get an importance CDF, then place rows at equal CDF quantiles.
@@ -76,15 +96,17 @@ ActivationTable::buildCustom(const std::function<double(double)> &fn,
             const double cellHi = cdf[cursor + 1];
             const double frac = cellHi > cellLo
                 ? (target - cellLo) / (cellHi - cellLo) : 0.0;
-            table._y[i] = lo + (double(cursor) + frac) * step;
+            ys[i] = lo + (double(cursor) + frac) * step;
         }
-        table._y.front() = lo;
-        table._y.back() = hi;
+        ys.front() = lo;
+        ys.back() = hi;
     }
 
-    table._z.resize(rows);
+    std::vector<double> zs(rows);
     for (size_t i = 0; i < rows; ++i)
-        table._z[i] = fn(table._y[i]);
+        zs[i] = fn(ys[i]);
+    table._y = std::move(ys);
+    table._z = std::move(zs);
     return table;
 }
 
@@ -110,7 +132,7 @@ size_t
 ActivationTable::lookupRow(double y) const
 {
     RAPIDNN_ASSERT(!_y.empty(), "lookup on unbuilt table");
-    return nearestCentroid(_y, y);
+    return nearestCentroid(_y.data(), _y.size(), y);
 }
 
 double

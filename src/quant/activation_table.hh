@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/array.hh"
 #include "nn/activation.hh"
 
 namespace rapidnn::quant {
@@ -55,6 +56,22 @@ class ActivationTable
     static ActivationTable fromRows(std::vector<double> inputs,
                                     std::vector<double> outputs);
 
+    /** Convenience overload for callers holding Arrays (copies). */
+    static ActivationTable
+    fromRows(const Array<double> &inputs, const Array<double> &outputs)
+    {
+        return fromRows(inputs.toVector(), outputs.toVector());
+    }
+
+    /**
+     * Adopt parallel (y, z) row sequences without copying — typically
+     * views into a memory-mapped model blob. The rows are untrusted:
+     * sortedness and the >= 2 row minimum fail cleanly (RAPIDNN_CHECK)
+     * instead of asserting.
+     */
+    static ActivationTable fromViews(Array<double> inputs,
+                                     Array<double> outputs);
+
     /**
      * Build a table for an arbitrary scalar function over [lo, hi]
      * (used for encoding tables and tests).
@@ -71,8 +88,8 @@ class ActivationTable
     size_t lookupRow(double y) const;
 
     size_t rows() const { return _y.size(); }
-    const std::vector<double> &inputs() const { return _y; }
-    const std::vector<double> &outputs() const { return _z; }
+    const Array<double> &inputs() const { return _y; }
+    const Array<double> &outputs() const { return _z; }
     double domainLo() const { return _lo; }
     double domainHi() const { return _hi; }
 
@@ -84,8 +101,8 @@ class ActivationTable
                     size_t probes = 4096) const;
 
   private:
-    std::vector<double> _y;  //!< sorted row keys
-    std::vector<double> _z;  //!< row outputs
+    Array<double> _y;  //!< sorted row keys; owned or blob view
+    Array<double> _z;  //!< row outputs; owned or blob view
     double _lo = 0.0;
     double _hi = 0.0;
 };

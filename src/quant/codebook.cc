@@ -9,17 +9,33 @@
 
 namespace rapidnn::quant {
 
-Codebook::Codebook(std::vector<double> values) : _values(std::move(values))
+Codebook::Codebook(std::vector<double> values)
 {
     // Codebook values can arrive from outside the process (model
     // files), so reject the inputs that would break the sorted-index
     // contract cleanly: emptiness and non-finite values (NaN breaks
     // strict weak ordering, so sort order — and with it every encoded
     // comparison — would be unspecified).
-    RAPIDNN_CHECK(!_values.empty(), "empty codebook");
-    for (double v : _values)
+    RAPIDNN_CHECK(!values.empty(), "empty codebook");
+    for (double v : values)
         RAPIDNN_CHECK(std::isfinite(v), "non-finite codebook value");
-    std::sort(_values.begin(), _values.end());
+    std::sort(values.begin(), values.end());
+    _values = std::move(values);
+}
+
+Codebook
+Codebook::fromSorted(Array<double> values)
+{
+    RAPIDNN_CHECK(!values.empty(), "empty codebook");
+    for (size_t i = 0; i < values.size(); ++i) {
+        RAPIDNN_CHECK(std::isfinite(values[i]),
+                      "non-finite codebook value");
+        RAPIDNN_CHECK(i == 0 || values[i - 1] <= values[i],
+                      "codebook values not sorted ascending");
+    }
+    Codebook cb;
+    cb._values = std::move(values);
+    return cb;
 }
 
 uint32_t

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/array.hh"
 #include "common/check.hh"
 #include "quant/kmeans.hh"
 
@@ -31,6 +32,14 @@ class Codebook
   public:
     Codebook() = default;
     explicit Codebook(std::vector<double> values);
+
+    /**
+     * Adopt an already-sorted value sequence — typically a view into a
+     * memory-mapped model blob — without copying. The sorted-ascending
+     * and all-finite contracts the sorting constructor establishes are
+     * verified (the bytes are untrusted), not re-created.
+     */
+    static Codebook fromSorted(Array<double> values);
 
     /** Number of representatives (0 for an unbuilt codebook). */
     size_t size() const { return _values.size(); }
@@ -51,10 +60,14 @@ class Codebook
                       " outside codebook of ", _values.size());
         return _values[index];
     }
-    const std::vector<double> &values() const { return _values; }
+    const Array<double> &values() const { return _values; }
 
     /** Encode: index of the nearest representative. */
-    size_t encode(double x) const { return nearestCentroid(_values, x); }
+    size_t
+    encode(double x) const
+    {
+        return nearestCentroid(_values.data(), _values.size(), x);
+    }
 
     /** Decode-encode round trip: nearest representative value. */
     double quantize(double x) const { return _values[encode(x)]; }
@@ -63,7 +76,7 @@ class Codebook
     uint32_t bits() const;
 
   private:
-    std::vector<double> _values;  //!< sorted ascending
+    Array<double> _values;  //!< sorted ascending; owned or blob view
 };
 
 /**

@@ -86,14 +86,21 @@ seedPlusPlus(const std::vector<double> &samples, size_t k, Rng &rng)
 size_t
 nearestCentroid(const std::vector<double> &centroids, double x)
 {
-    RAPIDNN_ASSERT(!centroids.empty(), "nearestCentroid on empty codebook");
+    return nearestCentroid(centroids.data(), centroids.size(), x);
+}
+
+size_t
+nearestCentroid(const double *centroids, size_t count, double x)
+{
+    RAPIDNN_ASSERT(count > 0, "nearestCentroid on empty codebook");
     // Binary search on the sorted centroid list, then compare neighbours.
-    auto it = std::lower_bound(centroids.begin(), centroids.end(), x);
-    if (it == centroids.begin())
+    const double *last = centroids + count;
+    const double *it = std::lower_bound(centroids, last, x);
+    if (it == centroids)
         return 0;
-    if (it == centroids.end())
-        return centroids.size() - 1;
-    const size_t hi = static_cast<size_t>(it - centroids.begin());
+    if (it == last)
+        return count - 1;
+    const size_t hi = static_cast<size_t>(it - centroids);
     const size_t lo = hi - 1;
     return (x - centroids[lo]) <= (centroids[hi] - x) ? lo : hi;
 }

@@ -58,6 +58,9 @@ KMeansResult kmeans1d(const std::vector<double> &samples,
 /** Index of the centroid nearest to x (centroids must be sorted). */
 size_t nearestCentroid(const std::vector<double> &centroids, double x);
 
+/** Same, over any contiguous sorted sequence (e.g. a blob view). */
+size_t nearestCentroid(const double *centroids, size_t count, double x);
+
 /** WCSS of an assignment (for testing invariants). */
 double computeWcss(const std::vector<double> &samples,
                    const std::vector<double> &centroids,

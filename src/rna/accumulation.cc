@@ -8,7 +8,7 @@
 namespace rapidnn::rna {
 
 AccumulationEngine::AccumulationEngine(
-    const std::vector<double> &productTable, size_t w, size_t u,
+    const Array<double> &productTable, size_t w, size_t u,
     const nvm::CostModel &model, AccumFormat format)
     : _w(w), _u(u), _model(model), _format(format)
 {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/array.hh"
 #include "nvm/cost_model.hh"
 #include "nvm/crossbar.hh"
 #include "nvm/op_cost.hh"
@@ -117,7 +118,7 @@ class AccumulationEngine
      * @param model circuit-cost anchors.
      * @param format fixed-point layout of the crossbar rows.
      */
-    AccumulationEngine(const std::vector<double> &productTable, size_t w,
+    AccumulationEngine(const Array<double> &productTable, size_t w,
                        size_t u, const nvm::CostModel &model,
                        AccumFormat format = {});
 

@@ -126,13 +126,29 @@ class WorkspaceLease
 };
 
 /**
- * Build the im2col-style gather plan for a conv layer at one input
- * shape. Slot order matches the reference gather loops exactly
- * (channel, then in-bounds ky, then in-bounds kx).
+ * Count the RNA blocks a model occupies (one per compute neuron,
+ * recursing through residual inner stacks).
  */
+size_t
+countOccupiedRnas(const std::vector<RLayer> &layers)
+{
+    size_t n = 0;
+    for (const auto &layer : layers) {
+        if (layer.kind == RLayerKind::Dense ||
+            layer.kind == RLayerKind::Conv ||
+            layer.kind == RLayerKind::Recurrent)
+            n += layer.outCount;
+        else if (layer.kind == RLayerKind::Residual)
+            n += countOccupiedRnas(layer.inner);
+    }
+    return n;
+}
+
+} // namespace
+
 void
-buildConvPlan(ConvGatherPlan &plan, const RLayer &layer, size_t inC,
-              size_t h, size_t w)
+buildConvGatherPlan(ConvGatherPlan &plan, const composer::RLayer &layer,
+                    size_t inC, size_t h, size_t w)
 {
     const size_t k = layer.kernel;
     const size_t oh = layer.samePadding ? h : h - k + 1;
@@ -144,11 +160,11 @@ buildConvPlan(ConvGatherPlan &plan, const RLayer &layer, size_t inC,
     plan.inW = w;
     plan.outH = oh;
     plan.outW = ow;
-    plan.start.assign(oh * ow + 1, 0);
-    plan.weightIdx.clear();
-    plan.inputIdx.clear();
-    plan.weightIdx.reserve(oh * ow * inC * k * k);
-    plan.inputIdx.reserve(oh * ow * inC * k * k);
+    std::vector<uint32_t> start(oh * ow + 1, 0);
+    std::vector<uint32_t> weightIdx;
+    std::vector<uint32_t> inputIdx;
+    weightIdx.reserve(oh * ow * inC * k * k);
+    inputIdx.reserve(oh * ow * inC * k * k);
 
     for (size_t y = 0; y < oh; ++y)
         for (size_t x = 0; x < ow; ++x) {
@@ -161,72 +177,142 @@ buildConvPlan(ConvGatherPlan &plan, const RLayer &layer, size_t inC,
                         const long ix = long(x) + long(kx) + off;
                         if (ix < 0 || ix >= long(w))
                             continue;
-                        plan.weightIdx.push_back(static_cast<uint32_t>(
+                        weightIdx.push_back(static_cast<uint32_t>(
                             (ic * k + ky) * k + kx));
-                        plan.inputIdx.push_back(static_cast<uint32_t>(
+                        inputIdx.push_back(static_cast<uint32_t>(
                             (ic * h + size_t(iy)) * w + size_t(ix)));
                     }
                 }
-            plan.start[y * ow + x + 1] =
-                static_cast<uint32_t>(plan.weightIdx.size());
+            start[y * ow + x + 1] =
+                static_cast<uint32_t>(weightIdx.size());
         }
+    plan.start = std::move(start);
+    plan.weightIdx = std::move(weightIdx);
+    plan.inputIdx = std::move(inputIdx);
 }
-
-} // namespace
 
 void
 Chip::configure(const composer::ReinterpretedModel &model)
 {
     _model = &model;
-    _contexts.clear();
-    _contextByLayer.clear();
-    configureLayers(model.layers());
+    auto set = std::make_shared<ContextSet>();
+    configureLayers(*set, model.layers());
+    _contexts = std::move(set);
+    buildWorkspace();
+}
 
-    // Build the shared inference workspace now so steady-state infer()
-    // calls never grow a buffer.
+void
+Chip::configureLayers(ContextSet &set,
+                      const std::vector<RLayer> &layers)
+{
+    for (const RLayer &layer : layers) {
+        if (layer.kind == RLayerKind::Dense ||
+            layer.kind == RLayerKind::Conv ||
+            layer.kind == RLayerKind::Recurrent) {
+            set.byLayer[&layer] = set.contexts.size();
+            set.contexts.push_back(std::make_unique<RnaLayerContext>(
+                layer, _config.cost, _config.searchMode));
+        } else if (layer.kind == RLayerKind::Residual) {
+            configureLayers(set, layer.inner);
+        }
+    }
+}
+
+void
+Chip::buildWorkspace()
+{
+    // Build the private inference workspace now so steady-state
+    // infer() calls never grow a buffer.
     _workspace = std::make_unique<Workspace>();
-    _workspace->convPlans.resize(_contexts.size());
-    for (const auto &ctx : _contexts)
-        ctx->prepareWorkspace(*_workspace);
+    Workspace &ws = *_workspace;
+    const auto &ctxs = _contexts->contexts;
+    ws.convPlans.resize(ctxs.size());
+    for (const auto &ctx : ctxs)
+        ctx->prepareWorkspace(ws);
+
+    // Blob-loaded models carry precomputed gather plans for the
+    // canonical input shape; install them as zero-copy views so the
+    // first infer skips the plan build entirely.
+    for (size_t i = 0; i < ctxs.size(); ++i) {
+        const RLayer &layer = ctxs[i]->layer();
+        if (!layer.convPlan.has_value())
+            continue;
+        const composer::RLayer::ConvPlanData &p = *layer.convPlan;
+        ConvGatherPlan &plan = ws.convPlans[i];
+        plan.inC = p.inC;
+        plan.inH = p.inH;
+        plan.inW = p.inW;
+        plan.outH = p.outH;
+        plan.outW = p.outW;
+        plan.start = p.start;
+        plan.weightIdx = p.weightIdx;
+        plan.inputIdx = p.inputIdx;
+    }
+
+    // Seed the activation-tensor pools from the model's canonical
+    // input shape: size every recycled buffer to the widest tensor
+    // that flows through the layer chain, so the serve path performs
+    // no buffer growth. Models without a recorded shape (legacy text
+    // files) warm the pools up on the first infer instead.
+    const nn::Shape &shape = _model->canonicalInputShape();
+    if (!shape.empty()) {
+        size_t maxElems = 1;
+        for (size_t d : shape)
+            maxElems *= d;
+        composer::walkLayerShapes(
+            _model->layers(), shape,
+            [&](const RLayer &layer, const nn::Shape &,
+                const nn::Shape &out) {
+                size_t n = 1;
+                for (size_t d : out)
+                    n *= d;
+                maxElems = std::max(maxElems, n);
+                if (layer.kind == RLayerKind::MaxPool) {
+                    const size_t win =
+                        layer.poolWindow * layer.poolWindow;
+                    if (ws.gatherX.size() < win)
+                        ws.gatherX.resize(win);
+                }
+            });
+        for (int i = 0; i < 4; ++i) {
+            std::vector<uint16_t> buf;
+            buf.reserve(maxElems);
+            ws.codePool.push_back(std::move(buf));
+        }
+        for (int i = 0; i < 2; ++i) {
+            std::vector<double> buf;
+            buf.reserve(maxElems);
+            ws.rawPool.push_back(std::move(buf));
+        }
+    }
 
     // Intra-op lanes: one private scratch slice per pool lane, sized
     // now so sharded inference stays allocation-free. Per-neuron cost
     // slots for conv layers grow on the first infer (output H/W are
     // unknown until then), like the conv gather plans.
     if (_config.numThreads > 1) {
-        _workspace->ensureLanes(_config.numThreads);
+        ws.ensureLanes(_config.numThreads);
         size_t maxNeurons = 1;
-        for (const auto &ctx : _contexts) {
-            for (auto &lane : _workspace->lanes)
+        for (const auto &ctx : ctxs) {
+            for (auto &lane : ws.lanes)
                 ctx->prepareScratch(lane);
             maxNeurons = std::max(maxNeurons, ctx->layer().outCount);
         }
-        _workspace->neuronCosts.resize(maxNeurons);
-    }
-}
-
-void
-Chip::configureLayers(const std::vector<RLayer> &layers)
-{
-    for (const RLayer &layer : layers) {
-        if (layer.kind == RLayerKind::Dense ||
-            layer.kind == RLayerKind::Conv ||
-            layer.kind == RLayerKind::Recurrent) {
-            _contextByLayer[&layer] = _contexts.size();
-            _contexts.push_back(std::make_unique<RnaLayerContext>(
-                layer, _config.cost, _config.searchMode));
-        } else if (layer.kind == RLayerKind::Residual) {
-            configureLayers(layer.inner);
-        }
+        ws.neuronCosts.resize(maxNeurons);
     }
 }
 
 Chip
 Chip::clone() const
 {
+    // Replicas share the immutable layer contexts (product tables, AM
+    // blocks, transposed columns) and only build a private workspace:
+    // instantiation cost is O(activation buffers), not O(model).
     Chip replica(_config);
-    if (_model != nullptr)
-        replica.configure(*_model);
+    replica._model = _model;
+    replica._contexts = _contexts;
+    if (_contexts != nullptr)
+        replica.buildWorkspace();
     return replica;
 }
 
@@ -243,12 +329,16 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
     switch (layer.kind) {
       case RLayerKind::Dense: {
         const RnaLayerContext &ctx =
-            *_contexts[_contextByLayer.at(&layer)];
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
         run.output.shape = {layer.outCount};
-        if (!layer.outputEncoder.empty())
-            run.output.codes.resize(layer.outCount);
-        if (lastCompute)
+        if (!layer.outputEncoder.empty()) {
+            run.output.codes = ws.takeCodes();
+            run.output.codes.assign(layer.outCount, 0);
+        }
+        if (lastCompute) {
+            run.raw = ws.takeRaw();
             run.raw.assign(layer.outCount, 0.0);
+        }
 
         const auto &codes = layer.weightCodes[0];
         uint64_t worstNeuron = 0;
@@ -320,7 +410,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
       }
       case RLayerKind::Conv: {
         const RnaLayerContext &ctx =
-            *_contexts[_contextByLayer.at(&layer)];
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
         RAPIDNN_ASSERT(in.shape.size() == 3, "conv needs [C, H, W]");
         const size_t inC = in.shape[0];
         const size_t h = in.shape[1], w = in.shape[2];
@@ -330,19 +420,25 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         const long off = layer.samePadding ? -long(k / 2) : 0;
 
         run.output.shape = {layer.outCount, oh, ow};
-        if (!layer.outputEncoder.empty())
-            run.output.codes.resize(layer.outCount * oh * ow);
-        if (lastCompute)
+        if (!layer.outputEncoder.empty()) {
+            run.output.codes = ws.takeCodes();
+            run.output.codes.assign(layer.outCount * oh * ow, 0);
+        }
+        if (lastCompute) {
+            run.raw = ws.takeRaw();
             run.raw.assign(layer.outCount * oh * ow, 0.0);
+        }
 
         // Fast path: the receptive-field gather per output position is
         // compiled once per input shape into flat index maps, then the
-        // hot loop is two indexed copies plus the engine run.
+        // hot loop is two indexed copies plus the engine run. Plans for
+        // the canonical input shape are pre-installed at configure
+        // time (precomputed ones straight out of the model blob).
         ConvGatherPlan *plan = nullptr;
         if (_config.fastPath) {
-            plan = &ws.convPlans[_contextByLayer.at(&layer)];
+            plan = &ws.convPlans[_contexts->byLayer.at(&layer)];
             if (!plan->matches(inC, h, w))
-                buildConvPlan(*plan, layer, inC, h, w);
+                buildConvGatherPlan(*plan, layer, inC, h, w);
             const size_t windowMax = layer.weightCodes[0].size();
             if (ws.gatherW.size() < windowMax)
                 ws.gatherW.resize(windowMax);
@@ -474,10 +570,22 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         const size_t oh = h / win, ow = w / win;
 
         run.output.shape = {ch, oh, ow};
-        run.output.codes.resize(ch * oh * ow);
+        run.output.codes = ws.takeCodes();
+        run.output.codes.assign(ch * oh * ow, 0);
         nvm::OpCost poolCost;
         uint64_t worst = 0;
-        std::vector<uint16_t> window(win * win);
+        // Fast path gathers windows into the workspace buffer (sized at
+        // configure time); the reference path keeps its own vector as
+        // the allocation baseline.
+        std::vector<uint16_t> windowLocal;
+        if (_config.fastPath) {
+            if (ws.gatherX.size() < win * win)
+                ws.gatherX.resize(win * win);
+        } else {
+            windowLocal.resize(win * win);
+        }
+        uint16_t *window = _config.fastPath ? ws.gatherX.data()
+                                            : windowLocal.data();
         for (size_t c = 0; c < ch; ++c)
             for (size_t y = 0; y < oh; ++y)
                 for (size_t x = 0; x < ow; ++x) {
@@ -493,10 +601,10 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                     run.output.codes[(c * oh + y) * ow + x] =
                         _config.fastPath
                             ? RnaLayerContext::poolMaxFast(
-                                  window.data(), window.size(),
+                                  window, win * win,
                                   _config.cost, one)
                             : RnaLayerContext::poolMax(
-                                  window, _config.cost, one);
+                                  windowLocal, _config.cost, one);
                     worst = std::max(worst, one.cycles);
                     poolCost += one;
                 }
@@ -520,7 +628,8 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         const double norm = 1.0 / double(win * win);
 
         run.output.shape = {ch, oh, ow};
-        run.output.codes.resize(ch * oh * ow);
+        run.output.codes = ws.takeCodes();
+        run.output.codes.assign(ch * oh * ow, 0);
         nvm::OpCost poolCost;
         uint64_t worst = 0;
         for (size_t c = 0; c < ch; ++c)
@@ -563,7 +672,8 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
       }
       case RLayerKind::Flatten: {
         run.output.shape = {in.codes.size()};
-        run.output.codes = in.codes;
+        run.output.codes = ws.takeCodes();
+        run.output.codes.assign(in.codes.begin(), in.codes.end());
         run.stageCycles = 0;
         break;
       }
@@ -572,7 +682,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         // through the input FIFO; each unrolled step runs both
         // operand paths on the RNA (paper Section 4.3).
         const RnaLayerContext &ctx =
-            *_contexts[_contextByLayer.at(&layer)];
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
         const size_t hidden = layer.outCount;
         const size_t features = layer.inCount;
         RAPIDNN_ASSERT(in.codes.size() == layer.steps * features,
@@ -699,10 +809,13 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         run.output.shape = {hidden};
         const bool last = layer.outputEncoder.empty();
-        if (lastCompute)
-            run.raw = hRaw;
+        if (lastCompute) {
+            run.raw = ws.takeRaw();
+            run.raw.assign(hRaw.begin(), hRaw.end());
+        }
         if (!last) {
-            run.output.codes.resize(hidden);
+            run.output.codes = ws.takeCodes();
+            run.output.codes.assign(hidden, 0);
             // Re-encode the final state for the consumer layer.
             nvm::OpCost encodeCost;
             for (size_t h = 0; h < hidden; ++h)
@@ -718,7 +831,10 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
         // Skip values wait in the input FIFO while the inner stack
         // runs; the add folds into the crossbar as one extra
         // carry-propagate stage per output lane (all lanes parallel).
-        EncodedTensor value = in;
+        EncodedTensor value;
+        value.shape = in.shape;
+        value.codes = ws.takeCodes();
+        value.codes.assign(in.codes.begin(), in.codes.end());
         std::vector<double> innerRaw;
         for (size_t i = 0; i < layer.inner.size(); ++i) {
             const bool lastInner = i + 1 == layer.inner.size();
@@ -728,8 +844,11 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
             run.stageCycles += innerRun.stageCycles;
             if (lastInner)
                 innerRaw = std::move(innerRun.raw);
+            std::vector<uint16_t> spent = std::move(value.codes);
             value = std::move(innerRun.output);
+            ws.giveCodes(std::move(spent));
         }
+        ws.giveCodes(std::move(value.codes));
         RAPIDNN_ASSERT(innerRaw.size() == in.codes.size(),
                        "residual inner stack changed shape");
 
@@ -746,10 +865,14 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         run.output.shape = in.shape;
         const bool last = layer.outputEncoder.empty();
-        if (!last)
-            run.output.codes.resize(innerRaw.size());
-        if (lastCompute)
-            run.raw.resize(innerRaw.size());
+        if (!last) {
+            run.output.codes = ws.takeCodes();
+            run.output.codes.assign(innerRaw.size(), 0);
+        }
+        if (lastCompute) {
+            run.raw = ws.takeRaw();
+            run.raw.assign(innerRaw.size(), 0.0);
+        }
         for (size_t i = 0; i < innerRaw.size(); ++i) {
             // Fixed-point sum, exactly as the crossbar computes it.
             const int64_t sum = format.toFixed(innerRaw[i])
@@ -764,6 +887,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                 run.output.codes[i] = static_cast<uint16_t>(
                     layer.outputEncoder.encode(summed));
         }
+        ws.giveRaw(std::move(innerRaw));
         break;
       }
     }
@@ -791,11 +915,19 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
     const auto &model = *_model;
     const Time cycle = _config.cost.cyclePeriod;
 
+    // Lease the shared workspace for this call; concurrent callers on
+    // the same chip fall back to private spares (see WorkspaceLease).
+    WorkspaceLease lease(_workspace.get());
+    Workspace &ws = lease.get();
+    if (ws.convPlans.size() < _contexts->contexts.size())
+        ws.convPlans.resize(_contexts->contexts.size());
+
     // Virtual input layer: encode raw data (charged as AM searches on
     // the input-encoding block, all lanes in parallel).
     EncodedTensor enc;
     enc.shape = x.shape();
-    enc.codes.resize(x.numel());
+    enc.codes = ws.takeCodes();
+    enc.codes.assign(x.numel(), 0);
     {
         RAPIDNN_TELEMETRY_STAGE("encoding",
                                 stageHistogram("encoding"));
@@ -810,13 +942,12 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
 
     // Data-block traffic (paper Figure 1): the raw sample streams out
     // of the crossbar data block into the virtual-layer encoders, and
-    // at the end the logits write back.
-    nvm::DataBlock dataBlock(
-        std::max<size_t>(x.numel() + 64, 1024), _config.cost);
-    inputEncode += dataBlock.streamOut(
-        x.numel(), _config.cost.rnasPerTile);
+    // at the end the logits write back. Cost-only static helpers: no
+    // crossbar storage is materialized on the serve path.
+    inputEncode += nvm::DataBlock::streamOutCost(
+        _config.cost, x.numel(), _config.cost.rnasPerTile);
 
-    report = PerfReport{};
+    report.reset();
     uint64_t latencyCycles = inputEncode.cycles;
     uint64_t worstStage = inputEncode.cycles;
     Energy totalEnergy = inputEncode.energy;
@@ -835,13 +966,6 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
             break;
         }
     }
-
-    // Lease the shared workspace for this call; concurrent callers on
-    // the same chip fall back to private spares (see WorkspaceLease).
-    WorkspaceLease lease(_workspace.get());
-    Workspace &ws = lease.get();
-    if (ws.convPlans.size() < _contexts.size())
-        ws.convPlans.resize(_contexts.size());
 
     for (size_t l = 0; l < model.layers().size(); ++l) {
         LayerRun run{};
@@ -878,11 +1002,15 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
 
         if (l == lastCompute)
             logits = std::move(run.raw);
+        std::vector<uint16_t> spent = std::move(enc.codes);
         enc = std::move(run.output);
+        ws.giveCodes(std::move(spent));
     }
+    ws.giveCodes(std::move(enc.codes));
 
     // Result write-back into the data block.
-    const nvm::OpCost writeBack = dataBlock.writeBack(logits.size());
+    const nvm::OpCost writeBack =
+        nvm::DataBlock::writeBackCost(_config.cost, logits.size());
     bufferCycles += writeBack.cycles;
     bufferEnergy += writeBack.energy;
 
@@ -911,20 +1039,7 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
 
     // Idle/leakage for the active window, scaled by the fraction of
     // RNA blocks this model occupies (unoccupied tiles clock gate).
-    std::function<size_t(const std::vector<RLayer> &)> countOccupied =
-        [&](const std::vector<RLayer> &layers) {
-            size_t n = 0;
-            for (const auto &layer : layers) {
-                if (layer.kind == RLayerKind::Dense ||
-                    layer.kind == RLayerKind::Conv ||
-                    layer.kind == RLayerKind::Recurrent)
-                    n += layer.outCount;
-                else if (layer.kind == RLayerKind::Residual)
-                    n += countOccupied(layer.inner);
-            }
-            return n;
-        };
-    size_t occupied = countOccupied(model.layers());
+    size_t occupied = countOccupiedRnas(model.layers());
     occupied = std::max<size_t>(1,
         std::min(occupied, _config.totalRnas()));
     const double occupancy = static_cast<double>(occupied)

@@ -134,7 +134,10 @@ class Chip
     /**
      * A fresh chip with the same configuration, wired to the same
      * (shared, read-only) reinterpreted model — one replica per
-     * serving-runtime worker.
+     * serving-runtime worker. The replica shares the configured chip's
+     * immutable layer contexts (product tables, AM blocks, transposed
+     * columns) and only builds its own mutable workspace, so replica
+     * instantiation is O(workspace), not O(model).
      */
     Chip clone() const;
 
@@ -150,12 +153,22 @@ class Chip
     const ChipConfig &config() const { return _config; }
 
   private:
+    /**
+     * The immutable per-model hardware state: one context per compute
+     * layer (including layers nested inside residual blocks), keyed by
+     * the RLayer's address. Built once by configure() and shared
+     * read-only across clone() replicas — contexts are never mutated
+     * after construction, so replicas need no copies.
+     */
+    struct ContextSet
+    {
+        std::vector<std::unique_ptr<RnaLayerContext>> contexts;
+        std::map<const composer::RLayer *, size_t> byLayer;
+    };
+
     ChipConfig _config;
     const composer::ReinterpretedModel *_model = nullptr;
-    /** One hardware context per compute layer (including layers nested
-     *  inside residual blocks), keyed by the RLayer's address. */
-    std::vector<std::unique_ptr<RnaLayerContext>> _contexts;
-    std::map<const composer::RLayer *, size_t> _contextByLayer;
+    std::shared_ptr<const ContextSet> _contexts;
     /** Shared inference workspace, built at configure time and leased
      *  per infer() call (concurrent callers fall back to spares). */
     mutable std::unique_ptr<Workspace> _workspace;
@@ -168,7 +181,12 @@ class Chip
         uint64_t stageCycles;   //!< wall cycles with RNA parallelism
     };
 
-    void configureLayers(const std::vector<composer::RLayer> &layers);
+    void configureLayers(ContextSet &set,
+                         const std::vector<composer::RLayer> &layers);
+
+    /** Build this chip's private workspace from the shared contexts
+     *  (pool seeding, conv plans, lane scratch). */
+    void buildWorkspace();
 
     /** @param threads intra-op lane budget for this call (>= 1). */
     LayerRun runLayer(const composer::RLayer &layer,

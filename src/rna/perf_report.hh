@@ -47,6 +47,22 @@ struct PerfReport
     /** Find a category by name (zeros when absent). */
     CategoryCost category(const std::string &name) const;
 
+    /**
+     * Zero every field while keeping the breakdown vector's capacity,
+     * so a report reused across infer() calls allocates nothing in
+     * steady state (category names are short enough for SSO).
+     */
+    void
+    reset()
+    {
+        latency = Time{};
+        stageTime = Time{};
+        energy = Energy{};
+        totalOps = 0;
+        inferences = 0;
+        breakdown.clear();
+    }
+
     /** Sum another report into this one (e.g. layer roll-up). */
     void addCategory(const std::string &name, Time t, Energy e);
 

@@ -28,7 +28,8 @@ RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
         std::vector<double> rows(values.size());
         for (size_t i = 0; i < values.size(); ++i)
             rows[i] = static_cast<double>(i);
-        _stateEncodingAm.emplace(values, rows, 32, model, mode);
+        _stateEncodingAm.emplace(values, std::move(rows), 32, model,
+                                 mode);
     }
 
     if (layer.activation) {
@@ -43,7 +44,7 @@ RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
         std::vector<double> rows(values.size());
         for (size_t i = 0; i < values.size(); ++i)
             rows[i] = static_cast<double>(i);
-        _encodingAm.emplace(values, rows, 32, model, mode);
+        _encodingAm.emplace(values, std::move(rows), 32, model, mode);
     }
 
     // Configure-time code-range validation: weight codes are checked
@@ -60,28 +61,47 @@ RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
             RAPIDNN_ASSERT(code < _stateEngine->weightEntries(),
                            "state weight code out of table range");
 
-    // Transposed (neuron-major) weight-code copies for the fast path:
-    // built once so runLayer never re-gathers strided columns.
+    // Transposed (neuron-major) weight codes for the fast path. A
+    // blob-loaded model carries them precomputed (views into the
+    // mapped file, shared by every replica); heap models derive them
+    // here once. Blob-supplied columns are untrusted: their size is
+    // pinned to the row-major codes and every code is range-checked
+    // below, exactly like the row-major arrays above.
     if (layer.kind == composer::RLayerKind::Dense) {
-        const auto &codes = layer.weightCodes[0];
-        _denseColumns.resize(codes.size());
-        for (size_t j = 0; j < layer.outCount; ++j)
-            for (size_t i = 0; i < layer.inCount; ++i)
-                _denseColumns[j * layer.inCount + i] =
-                    codes[i * layer.outCount + j];
+        if (!layer.denseColumns.empty()) {
+            RAPIDNN_CHECK(layer.denseColumns.size() ==
+                              layer.weightCodes[0].size(),
+                          "dense column table size mismatch");
+            _denseColumns = layer.denseColumns;
+        } else {
+            _denseColumns = composer::denseColumnsOf(layer);
+        }
+        for (const uint16_t code : _denseColumns)
+            RAPIDNN_CHECK(code < _engines[0].weightEntries(),
+                          "dense column code out of table range");
     } else if (layer.kind == composer::RLayerKind::Recurrent) {
-        const auto &wx = layer.weightCodes[0];
-        const auto &wh = layer.stateWeightCodes[0];
-        const size_t hidden = layer.outCount;
-        const size_t features = layer.inCount;
-        _recXColumns.resize(wx.size());
-        for (size_t h = 0; h < hidden; ++h)
-            for (size_t f = 0; f < features; ++f)
-                _recXColumns[h * features + f] = wx[f * hidden + h];
-        _recHColumns.resize(wh.size());
-        for (size_t h = 0; h < hidden; ++h)
-            for (size_t hp = 0; hp < hidden; ++hp)
-                _recHColumns[h * hidden + hp] = wh[hp * hidden + h];
+        if (!layer.recXColumns.empty()) {
+            RAPIDNN_CHECK(layer.recXColumns.size() ==
+                              layer.weightCodes[0].size(),
+                          "recurrent x column table size mismatch");
+            _recXColumns = layer.recXColumns;
+        } else {
+            _recXColumns = composer::recXColumnsOf(layer);
+        }
+        if (!layer.recHColumns.empty()) {
+            RAPIDNN_CHECK(layer.recHColumns.size() ==
+                              layer.stateWeightCodes[0].size(),
+                          "recurrent h column table size mismatch");
+            _recHColumns = layer.recHColumns;
+        } else {
+            _recHColumns = composer::recHColumnsOf(layer);
+        }
+        for (const uint16_t code : _recXColumns)
+            RAPIDNN_CHECK(code < _engines[0].weightEntries(),
+                          "recurrent x column code out of table range");
+        for (const uint16_t code : _recHColumns)
+            RAPIDNN_CHECK(code < _stateEngine->weightEntries(),
+                          "recurrent h column code out of table range");
     }
 }
 

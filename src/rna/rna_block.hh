@@ -159,10 +159,12 @@ class RnaLayerContext
     /** Feedback-path engine and state-encoding AM (recurrent only). */
     std::optional<AccumulationEngine> _stateEngine;
     std::optional<nvm::AmBlock> _stateEncodingAm;
-    /** Transposed weight-code matrices for the fast path. */
-    std::vector<uint16_t> _denseColumns;
-    std::vector<uint16_t> _recXColumns;
-    std::vector<uint16_t> _recHColumns;
+    /** Transposed weight-code matrices for the fast path. Views of
+     *  the layer's precomputed (blob-loaded) columns when present,
+     *  otherwise owning copies derived at configure time. */
+    Array<uint16_t> _denseColumns;
+    Array<uint16_t> _recXColumns;
+    Array<uint16_t> _recHColumns;
 };
 
 } // namespace rapidnn::rna

@@ -16,10 +16,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/array.hh"
 #include "nvm/op_cost.hh"
 #include "rna/accumulation.hh"
+
+namespace rapidnn::composer {
+struct RLayer;
+} // namespace rapidnn::composer
 
 namespace rapidnn::rna {
 
@@ -70,10 +76,11 @@ struct ConvGatherPlan
     size_t outH = 0;
     size_t outW = 0;
     /** Prefix offsets into the index arrays: window for output
-     *  position p spans slots [start[p], start[p + 1]). */
-    std::vector<uint32_t> start;
-    std::vector<uint32_t> weightIdx;  //!< slot -> per-channel weight code
-    std::vector<uint32_t> inputIdx;   //!< slot -> input tensor code
+     *  position p spans slots [start[p], start[p + 1]). Owned when
+     *  built at run time; views when installed from a model blob. */
+    Array<uint32_t> start;
+    Array<uint32_t> weightIdx;  //!< slot -> per-channel weight code
+    Array<uint32_t> inputIdx;   //!< slot -> input tensor code
 
     bool
     matches(size_t c, size_t h, size_t w) const
@@ -81,6 +88,18 @@ struct ConvGatherPlan
         return c == inC && h == inH && w == inW;
     }
 };
+
+/**
+ * Build the gather plan for a conv layer at input shape [inC, h, w].
+ * Slot order is channel, then valid ky, then valid kx — the exact
+ * order of the reference gather loops, so fast-path results stay
+ * bitwise identical. Shared by Chip::infer (on-demand plans for
+ * non-canonical shapes) and the blob writer (precomputed plans at the
+ * canonical shape).
+ */
+void buildConvGatherPlan(ConvGatherPlan &plan,
+                         const composer::RLayer &layer, size_t inC,
+                         size_t h, size_t w);
 
 /**
  * Per-lane scratch for intra-op parallel shard execution: each task
@@ -126,6 +145,52 @@ struct Workspace
      * accumulation order exactly (bitwise-identical energies).
      */
     std::vector<NeuronCost> neuronCosts;
+
+    /**
+     * Recycled buffer pools for the per-layer activation tensors and
+     * raw-value staging that flow through infer(). take*() hands out
+     * the deepest pooled buffer (capacity intact, size clobbered by
+     * the caller); give*() returns it. Seeded at configure time from
+     * the model's canonical input shape, so the steady-state serve
+     * path allocates nothing — the arena the blob format's zero-copy
+     * loading pairs with.
+     */
+    std::vector<std::vector<uint16_t>> codePool;
+    std::vector<std::vector<double>> rawPool;
+
+    std::vector<uint16_t>
+    takeCodes()
+    {
+        if (codePool.empty())
+            return {};
+        std::vector<uint16_t> buf = std::move(codePool.back());
+        codePool.pop_back();
+        return buf;
+    }
+
+    void
+    giveCodes(std::vector<uint16_t> &&buf)
+    {
+        if (buf.capacity() > 0)
+            codePool.push_back(std::move(buf));
+    }
+
+    std::vector<double>
+    takeRaw()
+    {
+        if (rawPool.empty())
+            return {};
+        std::vector<double> buf = std::move(rawPool.back());
+        rawPool.pop_back();
+        return buf;
+    }
+
+    void
+    giveRaw(std::vector<double> &&buf)
+    {
+        if (buf.capacity() > 0)
+            rawPool.push_back(std::move(buf));
+    }
 
     /** Lease flag: set while an infer() call owns this workspace. */
     std::atomic<bool> busy{false};

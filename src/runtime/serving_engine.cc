@@ -16,7 +16,24 @@ elapsedUs(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/** Null-checks a blob before the delegating constructor runs. */
+const composer::ReinterpretedModel &
+modelOf(const std::shared_ptr<const blob::ModelBlob> &blob)
+{
+    if (blob == nullptr)
+        fatal("ServingEngine: null model blob");
+    return blob->model();
+}
+
 } // namespace
+
+ServingEngine::ServingEngine(std::shared_ptr<const blob::ModelBlob> blob,
+                             const rna::ChipConfig &chipConfig,
+                             const ServingConfig &config)
+    : ServingEngine(modelOf(blob), chipConfig, config)
+{
+    _blob = std::move(blob);
+}
 
 ServingEngine::ServingEngine(const composer::ReinterpretedModel &model,
                              const rna::ChipConfig &chipConfig,

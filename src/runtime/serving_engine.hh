@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "blob/blob.hh"
 #include "composer/reinterpreted_model.hh"
 #include "nn/tensor.hh"
 #include "rna/chip.hh"
@@ -104,6 +105,16 @@ class ServingEngine
                   const rna::ChipConfig &chipConfig,
                   const ServingConfig &config = {});
 
+    /**
+     * Serve straight from a memory-mapped model blob. Every replica's
+     * Arrays view the one shared mapping (page-cache-backed, zero
+     * per-replica copies); the engine holds the blob alive for its
+     * own lifetime, so callers may drop their reference.
+     */
+    ServingEngine(std::shared_ptr<const blob::ModelBlob> blob,
+                  const rna::ChipConfig &chipConfig,
+                  const ServingConfig &config = {});
+
     /** Graceful: drains in-flight work, then joins the pool. */
     ~ServingEngine();
 
@@ -171,6 +182,9 @@ class ServingEngine
                                    bool blocking);
 
     ServingConfig _config;
+    /** Keeps a blob-backed model's mapping alive (null for heap
+     *  models, which the caller owns). */
+    std::shared_ptr<const blob::ModelBlob> _blob;
     BoundedQueue<Request> _queue;
     MicroBatcher<Request> _batcher;
     std::atomic<uint64_t> _rrNext{0};  //!< RoundRobin shard cursor

@@ -3,6 +3,8 @@
  * Tests for the top-level RAPIDNN facade and the benchmark builders.
  */
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "core/rapidnn.hh"
@@ -59,6 +61,43 @@ TEST(Rapidnn, FullComposeEndToEnd)
     RunReport report = rapid.run(net, train, validation);
     EXPECT_FALSE(report.compose.history.empty());
     EXPECT_LE(report.deltaE(), 0.5);
+}
+
+TEST(Rapidnn, ExportBlobServeBlobRoundTrip)
+{
+    nn::Dataset data =
+        nn::makeVectorTask({"toy", 16, 3, 260, 0.35, 1.0, 205});
+    auto [train, validation] = data.split(0.25);
+    Rng rng(206);
+    nn::Network net = nn::buildMlp({.inputs = 16, .hidden = {12},
+                                    .outputs = 3}, rng);
+    nn::Trainer trainer({.epochs = 10, .batchSize = 16,
+                         .learningRate = 0.05});
+    trainer.train(net, train);
+
+    RapidnnConfig config;
+    config.composer.weightClusters = 16;
+    config.composer.inputClusters = 16;
+    Rapidnn rapid(config);
+    rapid.runOneShot(net, train, validation);
+
+    const std::string path = "/tmp/rapidnn_core_facade.rnnb";
+    rapid.exportBlob(path);
+
+    runtime::ServingConfig serving;
+    serving.workers = 2;
+    auto engine = Rapidnn::serveBlob(path, config.chip, serving);
+    std::remove(path.c_str());
+
+    for (size_t i = 0; i < 8; ++i) {
+        const auto &sample = validation.sample(i % validation.size());
+        rna::PerfReport report;
+        const std::vector<double> want = rapid.chip().infer(sample.x,
+                                                            report);
+        EXPECT_EQ(want, engine->submit(sample.x).get().logits)
+            << "request " << i;
+    }
+    engine->shutdown();
 }
 
 TEST(BenchmarkModel, MnistStandInTrains)
