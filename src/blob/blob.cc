@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -373,11 +374,24 @@ validateDerived(const RLayer &layer)
                           p.start.back() == p.weightIdx.size(),
                       "model blob: conv plan window offsets do not "
                       "span the index maps");
-        for (size_t i = 1; i < p.start.size(); ++i)
+        for (size_t i = 1; i < p.start.size(); ++i) {
             RAPIDNN_CHECK(p.start[i - 1] <= p.start[i],
                           "model blob: conv plan window offsets not "
                           "monotonic");
-        const size_t inElems = p.inC * p.inH * p.inW;
+            // The serve path gathers a window into buffers sized to
+            // weightCodes[0].size() == inCount (inC*k*k), so a window
+            // wider than the fan-in would write out of bounds.
+            RAPIDNN_CHECK(p.start[i] - p.start[i - 1] <= layer.inCount,
+                          "model blob: conv plan window of ",
+                          p.start[i] - p.start[i - 1],
+                          " slots exceeds fan-in ", layer.inCount);
+        }
+        size_t inElems = 0;
+        RAPIDNN_CHECK(!__builtin_mul_overflow(p.inC, p.inH, &inElems) &&
+                          !__builtin_mul_overflow(inElems, p.inW,
+                                                  &inElems),
+                      "model blob: conv plan input volume ", p.inC,
+                      "x", p.inH, "x", p.inW, " overflows");
         for (const uint32_t idx : p.weightIdx)
             RAPIDNN_CHECK(idx < layer.inCount,
                           "model blob: conv plan weight index ", idx,
@@ -591,14 +605,29 @@ writeBlobFile(const composer::ReinterpretedModel &model,
               const std::string &path)
 {
     const std::vector<uint8_t> bytes = buildBlob(model);
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        fatal("cannot open '", path, "' for writing");
-    os.write(reinterpret_cast<const char *>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os)
-        fatal("write to '", path, "' failed");
+    // Stage in the same directory and rename() over the target so a
+    // concurrent open/mmap only ever observes a complete file. A
+    // process that already has the old inode mapped keeps reading the
+    // old bytes; rewriting the path never mutates or truncates a
+    // validated mapping in place.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '", tmp, "' for writing");
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) {
+            ::unlink(tmp.c_str());
+            fatal("write to '", tmp, "' failed");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fatal("cannot rename '", tmp, "' over '", path, "'");
+    }
 }
 
 void

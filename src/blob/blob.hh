@@ -37,8 +37,11 @@ namespace rapidnn::blob {
  */
 std::vector<uint8_t> buildBlob(const composer::ReinterpretedModel &model);
 
-/** buildBlob + atomic-ish write to `path` (write then rename-free
- *  truncate; fatal on I/O failure). */
+/** buildBlob + atomic write to `path`: stages a temp file in the same
+ *  directory and rename()s it over the target, so concurrent readers
+ *  (including live mmaps of a previous blob at this path) only ever
+ *  see a complete file; fatal on I/O failure. A mapped blob must not
+ *  be modified in place while served. */
 void writeBlobFile(const composer::ReinterpretedModel &model,
                    const std::string &path);
 

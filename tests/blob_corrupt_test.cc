@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <vector>
 
 #include "blob/blob.hh"
@@ -36,6 +37,38 @@ mlpCorpus()
         Rng rng(912);
         nn::Network net = nn::buildMlp({.inputs = 8, .hidden = {6},
                                         .outputs = 3}, rng);
+        nn::Trainer({.epochs = 2, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, data);
+        composer::Composer comp({});
+        composer::ReinterpretedModel model =
+            comp.reinterpret(net, data);
+        model.setCanonicalInputShape(data.featureShape());
+        return buildBlob(model);
+    }();
+    return bytes;
+}
+
+/** Blob bytes of a small trained CNN reinterpretation. */
+const std::vector<uint8_t> &
+convCorpus()
+{
+    static const std::vector<uint8_t> bytes = [] {
+        nn::ImageTaskSpec spec;
+        spec.name = "blob-corrupt-conv";
+        spec.side = 6;
+        spec.classes = 3;
+        spec.samples = 90;
+        spec.seed = 915;
+        nn::Dataset data = nn::makeImageTask(spec);
+        Rng rng(916);
+        nn::CnnSpec cnn;
+        cnn.channels = 3;
+        cnn.height = cnn.width = 6;
+        cnn.convChannels = {4};
+        cnn.denseWidths = {8};
+        cnn.outputs = 3;
+        nn::Network net = nn::buildCnn(cnn, rng);
         nn::Trainer({.epochs = 2, .batchSize = 16,
                      .learningRate = 0.05})
             .train(net, data);
@@ -295,6 +328,53 @@ TEST_F(CorruptBlob, RecurrentMetaInflationsRejectCleanly)
                     "fatal: ")
             << "meta word " << word;
     }
+}
+
+TEST_F(CorruptBlob, ConvWindowSpanInflationRejects)
+{
+    // Collapse a conv plan's window offsets: zero every interior
+    // start[] value, keeping start[0]==0, monotonicity and
+    // back()==weightIdx.size() intact, with every index still in
+    // range. Only the per-window span bound (a window may not exceed
+    // the layer fan-in) stands between this blob and the serve path
+    // gathering a whole index map into fan-in-sized buffers.
+    const std::vector<uint8_t> &bytes = convCorpus();
+    const uint64_t sectionCount = getU64(bytes.data() + 24);
+    std::map<uint64_t, uint64_t> u32Counts; // section idx -> elements
+    for (uint64_t i = 0; i < sectionCount; ++i) {
+        const uint8_t *e =
+            bytes.data() + kHeaderBytes + i * kSectionEntryBytes;
+        if (getU32(e) == uint32_t(SectionKind::U32))
+            u32Counts[i] = getU64(e + 16) / 4;
+    }
+    // A window-offset section is U32, starts at 0, is non-decreasing,
+    // and its last value is the element count of an index-map section.
+    std::vector<uint8_t> mutated = bytes;
+    size_t patched = 0;
+    for (const auto &[idx, count] : u32Counts) {
+        if (count < 3)
+            continue;
+        const uint8_t *e =
+            bytes.data() + kHeaderBytes + idx * kSectionEntryBytes;
+        const uint64_t off = getU64(e + 8);
+        bool monotone = getU32(bytes.data() + off) == 0;
+        for (uint64_t w = 1; monotone && w < count; ++w)
+            monotone = getU32(bytes.data() + off + (w - 1) * 4) <=
+                       getU32(bytes.data() + off + w * 4);
+        const uint32_t last =
+            getU32(bytes.data() + off + (count - 1) * 4);
+        bool pointsAtMap = false;
+        for (const auto &[j, c] : u32Counts)
+            pointsAtMap = pointsAtMap || (j != idx && c == last);
+        if (!monotone || last == 0 || !pointsAtMap)
+            continue;
+        for (uint64_t w = 1; w + 1 < count; ++w)
+            putU32(mutated.data() + off + w * 4, 0);
+        ++patched;
+    }
+    ASSERT_GT(patched, 0u) << "no conv-plan offset section found";
+    EXPECT_EXIT(loadAndExit(std::move(mutated)), exitedRejected,
+                "fatal: .*exceeds fan-in");
 }
 
 TEST_F(CorruptBlob, TrailingBytesRejectCleanly)
