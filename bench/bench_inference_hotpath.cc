@@ -18,6 +18,15 @@
  * one-relaxed-atomic-per-span cost — so this delta is the full price
  * of turning tracing + stage histograms on. Gate: <= 2% on conv.
  *
+ * A fourth section measures the SIMD kernel layer (ChipConfig::simd):
+ * the fast path with the kernel layer off vs the auto-resolved variant
+ * (results are bitwise identical either way —
+ * tests/kernel_equivalence_test.cc pins it). Gate: >= 2x additional
+ * single-thread conv speedup when the resolved variant is a vector ISA
+ * (AVX2/AVX-512/NEON); on hosts that resolve to scalar the gate is
+ * skipped with a logged reason, since there is no vector unit to earn
+ * the speedup on.
+ *
  * Results are also written to BENCH_inference_hotpath.json.
  */
 
@@ -153,6 +162,38 @@ bestSamplesPerSec(const BenchModel &bm, int reps)
     return best;
 }
 
+/** Single-thread fast-path samples/second with a forced kernel
+ *  variant (Off = the pre-kernel fused loops). */
+double
+samplesPerSecSimd(const BenchModel &bm, simd::Variant variant)
+{
+    rna::ChipConfig config;
+    config.simd = variant;
+    rna::Chip chip(config);
+    chip.configure(bm.model);
+
+    rna::PerfReport report;
+    for (size_t i = 0; i < 3; ++i)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < bm.iters; ++i)
+        chip.infer(bm.data.sample(i % bm.data.size()).x, report);
+    const double sec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return static_cast<double>(bm.iters) / sec;
+}
+
+double
+bestSamplesPerSecSimd(const BenchModel &bm, simd::Variant variant,
+                      int reps)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r)
+        best = std::max(best, samplesPerSecSimd(bm, variant));
+    return best;
+}
+
 /** Measured (wall-clock) serving throughput with 4 replica workers. */
 double
 servingRps(const BenchModel &bm, bool fastPath)
@@ -264,6 +305,40 @@ main()
         metrics.emplace_back(bm.name + ".telemetry_overhead_pct",
                              overheadPct);
     }
+    // SIMD kernel layer: the fast path with the kernel layer off vs
+    // the auto-resolved variant, best-of-3 each. Bitwise-identical
+    // results (tests/kernel_equivalence_test.cc); only speed differs.
+    const simd::Variant resolved =
+        rna::kernels::resolve(simd::Variant::Auto);
+    std::cout << "\n-- SIMD kernels: cpu features ["
+              << simd::featureString() << "], auto variant '"
+              << simd::variantName(resolved) << "' --\n"
+              << std::left << std::setw(11) << "model"
+              << std::right << std::setw(13) << "kernels off"
+              << std::setw(13) << "simd" << std::setw(10) << "speedup"
+              << "\n";
+    double convSimdSpeedup = 0.0;
+    for (const BenchModel &bm : models) {
+        const double offSps =
+            bestSamplesPerSecSimd(bm, simd::Variant::Off, 3);
+        const double simdSps =
+            bestSamplesPerSecSimd(bm, simd::Variant::Auto, 3);
+        const double speedup = offSps > 0.0 ? simdSps / offSps : 0.0;
+        if (bm.name == "conv")
+            convSimdSpeedup = speedup;
+
+        std::cout << std::left << std::setw(11) << bm.name
+                  << std::right << std::fixed << std::setprecision(1)
+                  << std::setw(13) << offSps << std::setw(13)
+                  << simdSps << std::setw(10) << bench::times(speedup)
+                  << "\n";
+
+        metrics.emplace_back(bm.name + ".single_thread_sps_simd_off",
+                             offSps);
+        metrics.emplace_back(bm.name + ".single_thread_sps_simd",
+                             simdSps);
+        metrics.emplace_back(bm.name + ".simd_speedup", speedup);
+    }
     bench::writeBenchJson("inference_hotpath", metrics);
 
     // The scrape surface the runs above populated (stage histograms
@@ -273,12 +348,26 @@ main()
 
     const bool speedupPass = convSpeedup >= 3.0;
     const bool overheadPass = convOverheadPct <= 2.0;
+    const bool vectorHost = resolved == simd::Variant::Avx2 ||
+                            resolved == simd::Variant::Avx512 ||
+                            resolved == simd::Variant::Neon;
+    const bool simdPass = !vectorHost || convSimdSpeedup >= 2.0;
     std::cout << "\nconv single-thread fast-path speedup: "
               << bench::times(convSpeedup)
               << (speedupPass ? "  PASS (>= 3.0x)" : "  FAIL (< 3.0x)")
               << "\nconv telemetry overhead: " << std::fixed
               << std::setprecision(2) << convOverheadPct << "%"
               << (overheadPass ? "  PASS (<= 2%)" : "  FAIL (> 2%)")
-              << "\n";
-    return speedupPass && overheadPass ? 0 : 1;
+              << "\nconv SIMD kernel speedup: "
+              << bench::times(convSimdSpeedup);
+    if (!vectorHost)
+        std::cout << "  SKIP (resolved variant '"
+                  << simd::variantName(resolved)
+                  << "' has no vector unit; gate needs avx2/avx512/"
+                     "neon)";
+    else
+        std::cout << (simdPass ? "  PASS (>= 2.0x)"
+                               : "  FAIL (< 2.0x)");
+    std::cout << "\n";
+    return speedupPass && overheadPass && simdPass ? 0 : 1;
 }

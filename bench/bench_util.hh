@@ -23,8 +23,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/task_pool.hh"
 #include "core/rapidnn.hh"
+#include "rna/kernels/kernels.hh"
 
 namespace rapidnn::bench {
 
@@ -133,7 +135,11 @@ escapeJson(const std::string &raw)
  * current directory, so CI and scripts can diff bench results without
  * scraping stdout. Non-finite values serialize as null. Every dump
  * records the RAPIDNN_THREADS override (0 = unset) and the resolved
- * default lane budget, so thread-sensitive results are reproducible.
+ * default lane budget, so thread-sensitive results are reproducible,
+ * plus the detected CPU features, the kernel variant an Auto chip
+ * would select, and any RAPIDNN_SIMD override in effect — so two
+ * BENCH_*.json files are only comparable when their kernel attribution
+ * matches (tools/bench_compare.py warns otherwise).
  */
 inline void
 writeBenchJson(
@@ -153,6 +159,18 @@ writeBenchJson(
                          double(TaskPool::defaultThreads()));
     out.precision(12);
     out << "{\n  \"bench\": \"" << escapeJson(name) << "\"";
+    out << ",\n  \"simd_variant\": \""
+        << escapeJson(simd::variantName(
+               rna::kernels::resolve(simd::Variant::Auto)))
+        << "\"";
+    out << ",\n  \"simd_features\": \""
+        << escapeJson(simd::featureString()) << "\"";
+    const char *simdEnv = std::getenv("RAPIDNN_SIMD");
+    out << ",\n  \"rapidnn_simd_env\": ";
+    if (simdEnv != nullptr)
+        out << "\"" << escapeJson(simdEnv) << "\"";
+    else
+        out << "null";
     for (const auto &[key, value] : metrics) {
         out << ",\n  \"" << escapeJson(key) << "\": ";
         if (std::isfinite(value))

@@ -113,6 +113,28 @@ putCodebook(Writer &w, const quant::Codebook &cb)
     w.put(w.add(SectionKind::F64, cb.values()));
 }
 
+/** uint8 narrowing of codes already known to be < 256. */
+std::vector<uint8_t>
+narrowU8(const uint16_t *codes, size_t n)
+{
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<uint8_t>(codes[i]);
+    return out;
+}
+
+/** True when every forward-path codebook fits 8-bit packed codes. */
+bool
+layerPacks(const RLayer &layer)
+{
+    if (layer.inputCodebook.size() > 256)
+        return false;
+    for (const auto &cb : layer.weightCodebooks)
+        if (cb.size() > 256)
+            return false;
+    return !layer.weightCodebooks.empty();
+}
+
 void
 encodeLayer(Writer &w, const RLayer &layer,
             const std::map<const RLayer *, nn::Shape> &inShapes)
@@ -174,11 +196,11 @@ encodeLayer(Writer &w, const RLayer &layer,
     // Deploy-time artifacts: the transposed weight columns and (for
     // conv layers) the gather plan at the canonical input shape, so a
     // blob-backed Chip shares one precomputed copy across replicas.
+    std::vector<uint16_t> columns, recX, recH;
     if (layer.kind == RLayerKind::Dense) {
-        const std::vector<uint16_t> columns =
-            layer.denseColumns.empty()
-                ? composer::denseColumnsOf(layer)
-                : layer.denseColumns.toVector();
+        columns = layer.denseColumns.empty()
+                      ? composer::denseColumnsOf(layer)
+                      : layer.denseColumns.toVector();
         w.put(1);
         w.put(w.add(SectionKind::U16, columns));
     } else {
@@ -186,12 +208,12 @@ encodeLayer(Writer &w, const RLayer &layer,
     }
 
     if (layer.kind == RLayerKind::Recurrent) {
-        const std::vector<uint16_t> recX =
-            layer.recXColumns.empty() ? composer::recXColumnsOf(layer)
-                                      : layer.recXColumns.toVector();
-        const std::vector<uint16_t> recH =
-            layer.recHColumns.empty() ? composer::recHColumnsOf(layer)
-                                      : layer.recHColumns.toVector();
+        recX = layer.recXColumns.empty()
+                   ? composer::recXColumnsOf(layer)
+                   : layer.recXColumns.toVector();
+        recH = layer.recHColumns.empty()
+                   ? composer::recHColumnsOf(layer)
+                   : layer.recHColumns.toVector();
         w.put(1);
         w.put(w.add(SectionKind::U16, recX));
         w.put(1);
@@ -217,6 +239,42 @@ encodeLayer(Writer &w, const RLayer &layer,
         w.put(w.add(SectionKind::U32, plan.start));
         w.put(w.add(SectionKind::U32, plan.weightIdx));
         w.put(w.add(SectionKind::U32, plan.inputIdx));
+    } else {
+        w.put(0);
+    }
+
+    // Format v2: packed (uint8) twins of the weight-code arrays for
+    // layers whose codebooks fit 256 entries, precomputed so the SIMD
+    // kernel paths map them zero-copy instead of narrowing at
+    // configure time.
+    const bool packs = layerPacks(layer);
+    if (layer.kind == RLayerKind::Dense && packs) {
+        w.put(1);
+        w.put(w.add(SectionKind::U8,
+                    narrowU8(columns.data(), columns.size())));
+    } else {
+        w.put(0);
+    }
+    if (layer.kind == RLayerKind::Conv && packs) {
+        w.put(layer.weightCodes.size());
+        for (const auto &codes : layer.weightCodes)
+            w.put(w.add(SectionKind::U8,
+                        narrowU8(codes.data(), codes.size())));
+    } else {
+        w.put(0);
+    }
+    const bool recPacks = packs &&
+        layer.kind == RLayerKind::Recurrent &&
+        !layer.stateCodebook.empty() &&
+        layer.stateCodebook.size() <= 256 &&
+        !layer.stateWeightCodebooks.empty() &&
+        layer.stateWeightCodebooks[0].size() <= 256;
+    if (recPacks) {
+        w.put(1);
+        w.put(w.add(SectionKind::U8,
+                    narrowU8(recX.data(), recX.size())));
+        w.put(w.add(SectionKind::U8,
+                    narrowU8(recH.data(), recH.size())));
     } else {
         w.put(0);
     }
@@ -277,6 +335,7 @@ struct Parsed
 {
     const uint8_t *data = nullptr;
     size_t size = 0;
+    uint32_t version = kBlobVersion;
     std::vector<SectionEntry> sections;
 
     const SectionEntry &
@@ -344,6 +403,47 @@ validateDerived(const RLayer &layer)
                           layer.stateWeightCodes[0].size(),
                       "model blob: recurrent h-column count ",
                       layer.recHColumns.size(), " != state codes ",
+                      layer.stateWeightCodes[0].size());
+    }
+    if (!layer.denseColumns8.empty()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Dense,
+                      "model blob: packed dense columns on a non-dense "
+                      "layer");
+        RAPIDNN_CHECK(layer.denseColumns8.size() ==
+                          layer.weightCodes[0].size(),
+                      "model blob: packed dense column count ",
+                      layer.denseColumns8.size(), " != weight codes ",
+                      layer.weightCodes[0].size());
+    }
+    if (!layer.weightCodes8.empty()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Conv,
+                      "model blob: packed weight codes on a non-conv "
+                      "layer");
+        RAPIDNN_CHECK(layer.weightCodes8.size() ==
+                          layer.weightCodes.size(),
+                      "model blob: ", layer.weightCodes8.size(),
+                      " packed weight-code blocks != ",
+                      layer.weightCodes.size(), " channels");
+        for (size_t c = 0; c < layer.weightCodes8.size(); ++c)
+            RAPIDNN_CHECK(layer.weightCodes8[c].size() ==
+                              layer.weightCodes[c].size(),
+                          "model blob: packed weight-code block ", c,
+                          " of ", layer.weightCodes8[c].size(),
+                          " codes != ", layer.weightCodes[c].size());
+    }
+    if (!layer.recXColumns8.empty() || !layer.recHColumns8.empty()) {
+        RAPIDNN_CHECK(layer.kind == RLayerKind::Recurrent,
+                      "model blob: packed recurrent columns on a "
+                      "non-recurrent layer");
+        RAPIDNN_CHECK(layer.recXColumns8.size() ==
+                          layer.weightCodes[0].size(),
+                      "model blob: packed recurrent x-column count ",
+                      layer.recXColumns8.size(), " != weight codes ",
+                      layer.weightCodes[0].size());
+        RAPIDNN_CHECK(layer.recHColumns8.size() ==
+                          layer.stateWeightCodes[0].size(),
+                      "model blob: packed recurrent h-column count ",
+                      layer.recHColumns8.size(), " != state codes ",
                       layer.stateWeightCodes[0].size());
     }
     if (layer.convPlan.has_value()) {
@@ -512,6 +612,32 @@ readLayer(const Parsed &p, MetaCursor &cur, size_t depth)
         layer.convPlan = std::move(plan);
     }
 
+    // Format v2: packed (uint8) weight-code twins. Version-gated so
+    // v1 blobs (whose streams end a layer right after the conv plan)
+    // still parse; sizes are pinned in validateDerived and element
+    // equality against the 16-bit arrays is re-checked by the RNA
+    // layer context before the codes are ever dispatched on.
+    if (p.version >= 2) {
+        if (cur.flag("has packed dense columns"))
+            layer.denseColumns8 = p.view<uint8_t>(
+                cur.next("packed dense columns"), SectionKind::U8,
+                "packed dense columns");
+        count = cur.bounded("packed weight code blocks",
+                            kMaxBlockCount);
+        for (uint64_t i = 0; i < count; ++i)
+            layer.weightCodes8.push_back(p.view<uint8_t>(
+                cur.next("packed weight codes"), SectionKind::U8,
+                "packed weight codes"));
+        if (cur.flag("has packed recurrent columns")) {
+            layer.recXColumns8 = p.view<uint8_t>(
+                cur.next("packed recurrent x columns"),
+                SectionKind::U8, "packed recurrent x columns");
+            layer.recHColumns8 = p.view<uint8_t>(
+                cur.next("packed recurrent h columns"),
+                SectionKind::U8, "packed recurrent h columns");
+        }
+    }
+
     count = cur.bounded("inner layers", kMaxBlockCount);
     for (uint64_t i = 0; i < count; ++i)
         layer.inner.push_back(readLayer(p, cur, depth + 1));
@@ -610,8 +736,9 @@ writeBlobFile(const composer::ReinterpretedModel &model,
     // process that already has the old inode mapped keeps reading the
     // old bytes; rewriting the path never mutates or truncates a
     // validated mapping in place.
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
+    const std::string tmp = path + ".tmp." +
+        // NOLINT-DETERMINISM(rng): pid is a temp-file uniquifier for
+        std::to_string(::getpid()); // the rename, never a seed
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
@@ -651,9 +778,11 @@ ModelBlob::parse()
 
     RAPIDNN_CHECK(h.magic == kBlobMagic,
                   "model blob: bad magic ", h.magic);
-    RAPIDNN_CHECK(h.version == kBlobVersion,
+    RAPIDNN_CHECK(h.version >= kMinBlobVersion
+                      && h.version <= kBlobVersion,
                   "model blob: version ", h.version,
-                  " unsupported (want ", kBlobVersion, ")");
+                  " unsupported (want ", kMinBlobVersion, "..",
+                  kBlobVersion, ")");
     RAPIDNN_CHECK(h.flags == 0, "model blob: unknown flags ", h.flags);
     RAPIDNN_CHECK(h.headerBytes == kHeaderBytes,
                   "model blob: header size ", h.headerBytes,
@@ -677,6 +806,7 @@ ModelBlob::parse()
     Parsed parsed;
     parsed.data = _data;
     parsed.size = _size;
+    parsed.version = h.version;
     parsed.sections.reserve(h.sectionCount);
     for (uint64_t i = 0; i < h.sectionCount; ++i) {
         const uint8_t *e = _data + kHeaderBytes + i * kSectionEntryBytes;
@@ -685,7 +815,7 @@ ModelBlob::parse()
         s.align = getU32(e + 4);
         s.offset = getU64(e + 8);
         s.size = getU64(e + 16);
-        RAPIDNN_CHECK(s.kind <= uint32_t(SectionKind::U32),
+        RAPIDNN_CHECK(s.kind <= uint32_t(SectionKind::U8),
                       "model blob: section ", i, " has unknown kind ",
                       s.kind);
         const size_t elem = sectionElemBytes(SectionKind(s.kind));
@@ -712,7 +842,7 @@ ModelBlob::parse()
         h.metaSectionIndex, SectionKind::Meta, "header meta index");
     MetaCursor cur(_data + meta.offset, meta.size);
 
-    RAPIDNN_CHECK(cur.next("meta version") == kBlobVersion,
+    RAPIDNN_CHECK(cur.next("meta version") == h.version,
                   "model blob: meta stream version mismatch");
     const uint64_t rank = cur.bounded("input shape rank",
                                       kMaxShapeRank);

@@ -36,7 +36,15 @@ namespace rapidnn::blob {
 
 /** "RNNB" read as a little-endian u32. */
 constexpr uint32_t kBlobMagic = 0x424E4E52;
-constexpr uint32_t kBlobVersion = 1;
+/**
+ * Version 2 adds packed (uint8) weight-code sections (SectionKind::U8)
+ * for layers whose codebooks fit 256 entries, feeding the SIMD kernel
+ * paths without a narrowing pass at load time. The loader still reads
+ * version-1 files (the packed fields are version-gated in the meta
+ * stream); the writer always emits the current version.
+ */
+constexpr uint32_t kBlobVersion = 2;
+constexpr uint32_t kMinBlobVersion = 1;
 constexpr uint32_t kHeaderBytes = 64;
 constexpr uint32_t kSectionEntryBytes = 24;
 /** All data payloads start on a 64-byte boundary (cache line). */
@@ -54,6 +62,7 @@ enum class SectionKind : uint32_t
     F32 = 2,  //!< floats (bias vectors)
     U16 = 3,  //!< uint16 (weight codes, transposed columns)
     U32 = 4,  //!< uint32 (conv gather index maps)
+    U8 = 5,   //!< uint8 (packed weight codes, format v2)
 };
 
 /** Element size in bytes for a section kind. */
@@ -71,6 +80,8 @@ sectionElemBytes(SectionKind kind)
         return 2;
       case SectionKind::U32:
         return 4;
+      case SectionKind::U8:
+        return 1;
     }
     return 0;
 }

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and the SIMD kernel dispatch surface.
+ *
+ * The inference hot loops (code gather + tally, transposed weighted
+ * accumulation, direct-indexed NDCAM lookup) run through a table of
+ * function pointers selected once per Chip::configure from the host's
+ * CPU features, a `RAPIDNN_SIMD` environment override, or an explicit
+ * `ChipConfig::simd` request. The per-ISA implementations live in
+ * `src/rna/kernels/`; this header defines only the dispatch *types*
+ * (variant enum, feature probe, the KernelOps function-pointer table)
+ * so lower layers such as `nvm::AmBlock` can accept a table by
+ * reference without linking against the kernel library.
+ *
+ * Determinism contract: every kernel variant is bit-exact against the
+ * scalar implementation — tallies are integer counts, the fixed-point
+ * reduction is order-independent, and the vectorized FP sequences
+ * (codec quantize) perform the identical correctly-rounded operations
+ * per lane. tests/kernel_equivalence_test.cc pins this for every
+ * variant the host can run, so `RAPIDNN_SIMD` never changes results,
+ * only speed.
+ *
+ * Raw intrinsics are confined to `src/rna/kernels/` (and this header,
+ * which deliberately uses none) — tools/lint_determinism.py enforces
+ * the boundary.
+ */
+
+#ifndef RAPIDNN_COMMON_SIMD_HH
+#define RAPIDNN_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "common/check.hh"
+
+namespace rapidnn::simd {
+
+/** Which kernel family executes the inference hot loops. */
+enum class Variant
+{
+    Off,     //!< legacy fused fast path, no kernel layer (the oracle)
+    Scalar,  //!< kernel layer with portable scalar implementations
+    Avx2,    //!< x86-64 AVX2
+    Avx512,  //!< x86-64 AVX-512 (F + BW)
+    Neon,    //!< aarch64 NEON
+    Auto,    //!< resolve from RAPIDNN_SIMD / best available at configure
+};
+
+/** CPU features relevant to the kernel variants, probed once. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool avx512 = false;  //!< AVX-512 F and BW
+    bool neon = false;
+};
+
+inline const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = [] {
+        CpuFeatures probe;
+#if defined(__x86_64__) || defined(__i386__)
+        probe.avx2 = __builtin_cpu_supports("avx2") != 0;
+        probe.avx512 = __builtin_cpu_supports("avx512f") != 0 &&
+                       __builtin_cpu_supports("avx512bw") != 0;
+#elif defined(__aarch64__)
+        probe.neon = true;
+#endif
+        return probe;
+    }();
+    return f;
+}
+
+/** Canonical lowercase name, also the RAPIDNN_SIMD spelling. */
+inline const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Off:    return "off";
+      case Variant::Scalar: return "scalar";
+      case Variant::Avx2:   return "avx2";
+      case Variant::Avx512: return "avx512";
+      case Variant::Neon:   return "neon";
+      case Variant::Auto:   return "auto";
+    }
+    return "unknown";
+}
+
+/** Parse a RAPIDNN_SIMD value; fatal on junk so typos never silently
+ *  fall back to a different kernel set. */
+inline Variant
+parseVariant(const char *s)
+{
+    RAPIDNN_CHECK(s != nullptr, "null SIMD variant name");
+    if (std::strcmp(s, "off") == 0)    return Variant::Off;
+    if (std::strcmp(s, "scalar") == 0) return Variant::Scalar;
+    if (std::strcmp(s, "avx2") == 0)   return Variant::Avx2;
+    if (std::strcmp(s, "avx512") == 0) return Variant::Avx512;
+    if (std::strcmp(s, "neon") == 0)   return Variant::Neon;
+    if (std::strcmp(s, "auto") == 0)   return Variant::Auto;
+    RAPIDNN_CHECK(false, "unknown RAPIDNN_SIMD value \"", s,
+                  "\" (want off|scalar|avx2|avx512|neon|auto)");
+    return Variant::Off;
+}
+
+/** Detected-feature summary for bench/telemetry attribution. */
+inline std::string
+featureString()
+{
+    const CpuFeatures &f = cpuFeatures();
+    std::string s;
+    auto add = [&](const char *name) {
+        if (!s.empty())
+            s += ",";
+        s += name;
+    };
+    if (f.avx2)
+        add("avx2");
+    if (f.avx512)
+        add("avx512");
+    if (f.neon)
+        add("neon");
+    if (s.empty())
+        s = "none";
+    return s;
+}
+
+/**
+ * The kernel dispatch table: one function pointer per hot-loop
+ * primitive, filled by the per-ISA translation units under
+ * `src/rna/kernels/`. Consumers receive a resolved table by reference
+ * (never a variant to re-resolve), so the selection cost is paid once
+ * per Chip::configure.
+ *
+ * Buffer contracts (asserted by the equivalence tests, relied on by
+ * the gather implementations):
+ *  - `gather8` may read up to 3 bytes past the addressed element, so
+ *    its source must carry >= `kTailSlackBytes` of tail padding —
+ *    every AlignedVec below guarantees this; plain model arrays and
+ *    blob views must NOT be gather sources.
+ *  - All other kernels only read/write the exact [0, n) ranges they
+ *    are given (vector bodies are bounded, tails run scalar), so they
+ *    are safe on unpadded, unaligned memory.
+ */
+struct KernelOps
+{
+    const char *name;  //!< variantName() of the implementing ISA
+
+    /** keys[i] = (w[i] << shift) | x[i] over 8-bit packed codes. */
+    void (*pairKeys8)(const uint8_t *w, const uint8_t *x, size_t n,
+                      uint32_t shift, uint16_t *keys);
+
+    /** keys[i] = (w[i] << shift) | x[i] over 16-bit codes. */
+    void (*pairKeys16)(const uint16_t *w, const uint16_t *x, size_t n,
+                       uint32_t shift, uint32_t *keys);
+
+    /** dst[i] = uint8_t(src[i]); caller guarantees src[i] < 256. */
+    void (*narrow)(const uint16_t *src, size_t n, uint8_t *dst);
+
+    /** dst[i] = src[idx[i]]. `src` needs kTailSlackBytes of padding
+     *  past its last addressable element (AlignedVec sources only). */
+    void (*gather8)(const uint8_t *src, const uint32_t *idx, size_t n,
+                    uint8_t *dst);
+
+    /** Maximum element of v[0..n); n >= 1. */
+    uint16_t (*maxU16)(const uint16_t *v, size_t n);
+
+    /**
+     * Batched FixedPointCodec::quantize: for each lane,
+     * key = uint32(clamp((x-lo)/(hi-lo), 0, 1) * maxKey + 0.5),
+     * with the identical correctly-rounded double sequence as the
+     * scalar codec (bitwise-equal keys).
+     */
+    void (*quantize)(const double *x, size_t n, double lo, double hi,
+                     uint32_t maxKey, uint32_t *keys);
+
+    /**
+     * Batched direct-indexed NDCAM lookup over the compiled
+     * piecewise-constant winner map: for each query, start from
+     * bucketSeg[min(q >> bucketShift, bucketCount-1)] and walk
+     * segments while segStart[seg+1] <= q, then rows[i] =
+     * segRow[seg]. Matches Ndcam::directLookup exactly.
+     */
+    void (*directLookup)(const uint32_t *queries, size_t n,
+                         const uint32_t *bucketSeg, size_t bucketCount,
+                         uint32_t bucketShift, const uint32_t *segStart,
+                         const uint32_t *segRow, size_t segCount,
+                         uint32_t *rows);
+
+    /**
+     * Sum of table[keys[i]] over [0, n) as one int64 total — the
+     * fixed-point accumulation value (per tallied cell the CSD terms
+     * of its count sum to exactly product * count, so the whole
+     * reduction telescopes to this gather-sum). Integer addition is
+     * associative, so lane order is free while the total stays
+     * bit-exact. Only [0, n) of keys is read; every key must index a
+     * readable table slot (the padded product table guarantees this).
+     */
+    int64_t (*gatherSum16)(const int64_t *table, const uint16_t *keys,
+                           size_t n);
+
+    /** 32-bit-key twin of gatherSum16 (the 16-bit-code keyed path). */
+    int64_t (*gatherSum32)(const int64_t *table, const uint32_t *keys,
+                           size_t n);
+};
+
+/** Alignment of every kernel scratch buffer (one cache line). */
+inline constexpr size_t kKernelAlign = 64;
+
+/** Guaranteed readable slack past an AlignedVec's last element, so
+ *  4-byte-per-lane gathers never fault on the tail. */
+inline constexpr size_t kTailSlackBytes = 64;
+
+/**
+ * Grow-only scratch buffer with kKernelAlign alignment and
+ * kTailSlackBytes of allocated (readable, unspecified-value) tail
+ * slack: the layout every gather kernel requires of its sources and
+ * the cache-line-aligned lanes the workspace hands each shard.
+ * Contents are NOT preserved across ensure() growth — this is reset-
+ * per-use scratch, not carried data.
+ */
+template <typename T>
+class AlignedVec
+{
+    static_assert(std::is_trivial_v<T>,
+                  "AlignedVec is raw scratch for trivially-copyable "
+                  "kernel element types");
+
+  public:
+    AlignedVec() = default;
+    ~AlignedVec() { std::free(_data); }
+
+    AlignedVec(const AlignedVec &) = delete;
+    AlignedVec &operator=(const AlignedVec &) = delete;
+
+    AlignedVec(AlignedVec &&o) noexcept
+        : _data(o._data), _size(o._size)
+    {
+        o._data = nullptr;
+        o._size = 0;
+    }
+
+    AlignedVec &
+    operator=(AlignedVec &&o) noexcept
+    {
+        if (this != &o) {
+            std::free(_data);
+            _data = o._data;
+            _size = o._size;
+            o._data = nullptr;
+            o._size = 0;
+        }
+        return *this;
+    }
+
+    /** Grow (never shrink) to hold at least n elements. */
+    void
+    ensure(size_t n)
+    {
+        if (n <= _size)
+            return;
+        std::free(_data);
+        size_t bytes = n * sizeof(T) + kTailSlackBytes;
+        bytes = (bytes + kKernelAlign - 1) / kKernelAlign * kKernelAlign;
+        _data = static_cast<T *>(
+            std::aligned_alloc(kKernelAlign, bytes));
+        RAPIDNN_CHECK(_data != nullptr, "aligned_alloc of ", bytes,
+                      " bytes failed");
+        _size = n;
+        RAPIDNN_ASSERT(
+            reinterpret_cast<uintptr_t>(_data) % kKernelAlign == 0,
+            "kernel scratch buffer not cache-line aligned");
+    }
+
+    /** ensure(n) then zero-fill the first n elements. */
+    void
+    ensureZeroed(size_t n)
+    {
+        ensure(n);
+        if (n > 0)
+            std::memset(_data, 0, n * sizeof(T));
+    }
+
+    T *data() { return _data; }
+    const T *data() const { return _data; }
+    size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    T &operator[](size_t i) { return _data[i]; }
+    const T &operator[](size_t i) const { return _data[i]; }
+
+  private:
+    T *_data = nullptr;
+    size_t _size = 0;  //!< requested element capacity (excludes slack)
+};
+
+} // namespace rapidnn::simd
+
+#endif // RAPIDNN_COMMON_SIMD_HH

@@ -120,6 +120,21 @@ struct RLayer
     Array<uint16_t> recXColumns;
     Array<uint16_t> recHColumns;
 
+    /**
+     * Packed (uint8) twins of the deploy-time weight-code arrays, for
+     * layers whose codebooks fit 256 entries: denseColumns8 mirrors
+     * denseColumns, weightCodes8 the per-channel conv weightCodes, and
+     * recX/recHColumns8 the recurrent column transposes. Blob format
+     * v2 precomputes them into the file; heap models leave them empty
+     * (the RNA layer contexts narrow at configure time). Loaded values
+     * are untrusted and validated element-wise against the 16-bit
+     * arrays.
+     */
+    Array<uint8_t> denseColumns8;
+    std::vector<Array<uint8_t>> weightCodes8;
+    Array<uint8_t> recXColumns8;
+    Array<uint8_t> recHColumns8;
+
     struct ConvPlanData
     {
         size_t inC = 0, inH = 0, inW = 0; //!< input shape it was built for

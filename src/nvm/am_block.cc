@@ -43,6 +43,35 @@ AmBlock::lookup(double key, OpCost &cost) const
     return _payloads[lookupRow(key, cost)];
 }
 
+void
+AmBlock::lookupRowsBatch(const simd::KernelOps &ops, const double *keys,
+                         size_t n, uint32_t *keyScratch,
+                         uint32_t *rows) const
+{
+    RAPIDNN_ASSERT(!empty(), "batch lookup on unconfigured AM block");
+    ops.quantize(keys, n, _codec.lo(), _codec.hi(), _codec.maxKey(),
+                 keyScratch);
+    _cam.searchBatch(ops, keyScratch, n, rows);
+}
+
+void
+AmBlock::lookupBatch(const simd::KernelOps &ops, const double *keys,
+                     size_t n, uint32_t *keyScratch, uint32_t *rowScratch,
+                     double *out) const
+{
+    lookupRowsBatch(ops, keys, n, keyScratch, rowScratch);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = _payloads[rowScratch[i]];
+}
+
+OpCost
+AmBlock::queryCost() const
+{
+    OpCost cost = _model.camSearch(_cam.rows(), _cam.bits());
+    cost += {1, _model.amResultReadEnergy};
+    return cost;
+}
+
 Area
 AmBlock::area() const
 {

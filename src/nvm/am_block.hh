@@ -46,6 +46,26 @@ class AmBlock
     /** Row index a key resolves to (for encoding: the row IS the code). */
     size_t lookupRow(double key, OpCost &cost) const;
 
+    /**
+     * Functional-only batch of lookupRow: quantizes every key through
+     * `ops.quantize` (bitwise-equal to the scalar codec) into
+     * `keyScratch` (caller-sized to n) and resolves rows through
+     * Ndcam::searchBatch. Charges nothing — each query's cost is the
+     * analytic constant queryCost(); batch callers charge it per query.
+     */
+    void lookupRowsBatch(const simd::KernelOps &ops, const double *keys,
+                         size_t n, uint32_t *keyScratch,
+                         uint32_t *rows) const;
+
+    /** lookupRowsBatch + payload gather: out[i] = payload of key[i]. */
+    void lookupBatch(const simd::KernelOps &ops, const double *keys,
+                     size_t n, uint32_t *keyScratch, uint32_t *rowScratch,
+                     double *out) const;
+
+    /** The constant analytic cost lookup()/lookupRow() charges per
+     *  query: one staged CAM search plus one result-row read. */
+    OpCost queryCost() const;
+
     size_t rows() const { return _payloads.size(); }
     bool empty() const { return _payloads.empty(); }
 

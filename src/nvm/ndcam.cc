@@ -52,14 +52,16 @@ Ndcam::program(const std::vector<uint32_t> &keys)
     // Reprogramming invalidates the compiled direct index; the key
     // width check happens when (if) the index is rebuilt, keeping this
     // per-window path free of per-key validation.
-    _segments.clear();
+    _segStart.clear();
+    _segRow.clear();
     _bucketSeg.clear();
 }
 
 void
 Ndcam::buildDirectIndex()
 {
-    _segments.clear();
+    _segStart.clear();
+    _segRow.clear();
     _bucketSeg.clear();
     if (_keys.empty() || _mode != SearchMode::AbsoluteExact)
         return;
@@ -85,7 +87,8 @@ Ndcam::buildDirectIndex()
     // Piecewise-constant winner map: between adjacent stored keys the
     // boundary sits at the midpoint, and an exact midpoint tie goes to
     // the lower row index (exactSearch's scan order).
-    _segments.push_back({0, distinct[0].second});
+    _segStart.push_back(0);
+    _segRow.push_back(distinct[0].second);
     for (size_t i = 1; i < distinct.size(); ++i) {
         const auto [k0, r0] = distinct[i - 1];
         const auto [k1, r1] = distinct[i];
@@ -97,9 +100,10 @@ Ndcam::buildDirectIndex()
             const uint32_t mid = static_cast<uint32_t>(s / 2);
             start = r0 < r1 ? mid + 1 : mid;
         }
-        RAPIDNN_ASSERT(start > _segments.back().start,
+        RAPIDNN_ASSERT(start > _segStart.back(),
                        "direct-index segments must strictly advance");
-        _segments.push_back({start, r1});
+        _segStart.push_back(start);
+        _segRow.push_back(r1);
     }
 
     // Bucket acceleration: the table maps the query's top bits to the
@@ -114,8 +118,8 @@ Ndcam::buildDirectIndex()
     for (size_t b = 0; b < _bucketSeg.size(); ++b) {
         const uint32_t bucketStart =
             static_cast<uint32_t>(b << _bucketShift);
-        while (seg + 1 < _segments.size() &&
-               _segments[seg + 1].start <= bucketStart)
+        while (seg + 1 < _segStart.size() &&
+               _segStart[seg + 1] <= bucketStart)
             ++seg;
         _bucketSeg[b] = static_cast<uint32_t>(seg);
     }
@@ -128,10 +132,29 @@ Ndcam::directLookup(uint32_t query) const
         std::min(static_cast<size_t>(query >> _bucketShift),
                  _bucketSeg.size() - 1);
     size_t seg = _bucketSeg[bucket];
-    while (seg + 1 < _segments.size() &&
-           _segments[seg + 1].start <= query)
+    while (seg + 1 < _segStart.size() && _segStart[seg + 1] <= query)
         ++seg;
-    return _segments[seg].row;
+    return _segRow[seg];
+}
+
+void
+Ndcam::searchBatch(const simd::KernelOps &ops, const uint32_t *queries,
+                   size_t n, uint32_t *rows) const
+{
+    RAPIDNN_ASSERT(!_keys.empty(), "searchBatch on empty NDCAM");
+    if (_mode == SearchMode::AbsoluteExact && hasDirectIndex()) {
+        ops.directLookup(queries, n, _bucketSeg.data(),
+                         _bucketSeg.size(),
+                         static_cast<uint32_t>(_bucketShift),
+                         _segStart.data(), _segRow.data(),
+                         _segStart.size(), rows);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        rows[i] = static_cast<uint32_t>(
+            _mode == SearchMode::AbsoluteExact
+                ? exactSearch(queries[i])
+                : stagedSearch(queries[i], nullptr));
 }
 
 size_t
@@ -208,7 +231,7 @@ Ndcam::search(uint32_t query, OpCost &cost) const
     // The compiled direct index and the scan return identical rows for
     // every query (tests pin this); the charged cost above is analytic
     // and unchanged either way.
-    return _segments.empty() ? exactSearch(query) : directLookup(query);
+    return _segStart.empty() ? exactSearch(query) : directLookup(query);
 }
 
 size_t

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "nvm/cost_model.hh"
 #include "nvm/memristor.hh"
 #include "nvm/op_cost.hh"
@@ -102,7 +103,7 @@ class Ndcam
     void buildDirectIndex();
 
     /** Whether exact searches resolve through the direct index. */
-    bool hasDirectIndex() const { return !_segments.empty(); }
+    bool hasDirectIndex() const { return !_segStart.empty(); }
 
     size_t rows() const { return _keys.size(); }
     size_t bits() const { return _bits; }
@@ -114,6 +115,17 @@ class Ndcam
      * sense-amplifier priority).
      */
     size_t search(uint32_t query, OpCost &cost) const;
+
+    /**
+     * Functional-only batch search: rows[i] = the row search(queries[i])
+     * would return, resolved through `ops.directLookup` when the direct
+     * index is compiled (falling back to the per-query scalar resolvers
+     * otherwise). Charges nothing — the per-query search cost is the
+     * analytic constant camSearch(rows(), bits()), which batch callers
+     * charge per query themselves (AmBlock precomputes it at configure).
+     */
+    void searchBatch(const simd::KernelOps &ops, const uint32_t *queries,
+                     size_t n, uint32_t *rows) const;
 
     /** Row with the maximum stored key (MAX pooling: search for the
      *  all-ones pattern). */
@@ -137,19 +149,15 @@ class Ndcam
     void setMode(SearchMode mode) { _mode = mode; }
 
   private:
-    /** One piece of the piecewise-constant query->row winner map:
-     *  queries in [start, next segment's start) resolve to `row`. */
-    struct Segment
-    {
-        uint32_t start;
-        uint32_t row;
-    };
-
     size_t _bits;
     CostModel _model;
     SearchMode _mode;
     std::vector<uint32_t> _keys;
-    std::vector<Segment> _segments;    //!< direct index (sorted starts)
+    // Piecewise-constant query->row winner map in structure-of-arrays
+    // layout (the gather kernels index the two planes independently):
+    // queries in [_segStart[s], _segStart[s+1]) resolve to _segRow[s].
+    std::vector<uint32_t> _segStart;   //!< sorted segment starts
+    std::vector<uint32_t> _segRow;     //!< winning row per segment
     std::vector<uint32_t> _bucketSeg;  //!< bucket -> first live segment
     size_t _bucketShift = 0;
 

@@ -18,6 +18,22 @@ AccumulationEngine::AccumulationEngine(
     _fixedProducts.resize(productTable.size());
     for (size_t i = 0; i < productTable.size(); ++i)
         _fixedProducts[i] = _format.toFixed(productTable[i]);
+
+    // The kernel paths fuse (w, u) into key = (w << shift) | u so the
+    // pair key is one shift+or per edge. When u is already a power of
+    // two the padded layout coincides with the row-major table;
+    // otherwise build a strided copy indexed by key.
+    _shift = u <= 1 ? 0 : static_cast<uint32_t>(ceilLog2(u));
+    if ((size_t(1) << _shift) == u || u == 0) {
+        _padded = _fixedProducts.data();
+    } else {
+        _fixedPadded.assign(_w << _shift, 0);
+        for (size_t wc = 0; wc < _w; ++wc)
+            for (size_t uc = 0; uc < _u; ++uc)
+                _fixedPadded[(wc << _shift) | uc] =
+                    _fixedProducts[wc * _u + uc];
+        _padded = _fixedPadded.data();
+    }
 }
 
 AccumResult
@@ -143,6 +159,207 @@ AccumulationEngine::run(const uint16_t *weightCodes,
                                     result.cost.adder);
     result.value = _format.toReal(fixedSum);
     return result;
+}
+
+void
+AccumScratch::growCsdTerms(size_t maxCount)
+{
+    size_t c = csdTerms.size();
+    csdTerms.resize(maxCount + 1);
+    if (c == 0)
+        csdTerms[c++] = 0;  // count 0 contributes no terms
+    for (; c <= maxCount; ++c) {
+        int32_t terms = 0;
+        csdForEach(c, [&](ShiftTerm) { ++terms; });
+        csdTerms[c] = terms;
+    }
+}
+
+const nvm::OpCost &
+AccumScratch::adderCostFor(size_t addendCount, size_t resultBits,
+                           const nvm::CostModel &model)
+{
+    if (resultBits != _adderResultBits
+        || model.csaStageCycles != _adderCsaStageCycles
+        || model.carryPropagateCyclesPerBit != _adderCarryCycles
+        || model.norEnergyPerBit != _adderNorEnergy) {
+        _adderCost.clear();
+        _adderCostValid.clear();
+        _adderResultBits = resultBits;
+        _adderCsaStageCycles = model.csaStageCycles;
+        _adderCarryCycles = model.carryPropagateCyclesPerBit;
+        _adderNorEnergy = model.norEnergyPerBit;
+    }
+    if (_adderCost.size() <= addendCount) {
+        _adderCost.resize(addendCount + 1);
+        _adderCostValid.resize(addendCount + 1, 0);
+    }
+    if (!_adderCostValid[addendCount]) {
+        nvm::CrossbarArray::addManyCost(addendCount, resultBits, model,
+                                        _adderCost[addendCount]);
+        _adderCostValid[addendCount] = 1;
+    }
+    return _adderCost[addendCount];
+}
+
+/** Overload pair so the key-type template below picks the matching
+ *  gather-sum kernel. */
+namespace {
+
+inline int64_t
+gatherSumKeys(const simd::KernelOps &ops, const int64_t *table,
+              const uint16_t *keys, size_t n)
+{
+    return ops.gatherSum16(table, keys, n);
+}
+
+inline int64_t
+gatherSumKeys(const simd::KernelOps &ops, const int64_t *table,
+              const uint32_t *keys, size_t n)
+{
+    return ops.gatherSum32(table, keys, n);
+}
+
+} // namespace
+
+/**
+ * Shared tally + reduction over precomputed pair keys. The counter
+ * grid is the power-of-two padded [w << shift] key space; cells are
+ * renumbered relative to the row-major path but carry the identical
+ * (w, u) multiset of counts, so every AccumResult field matches the
+ * pointer overload bit for bit:
+ *
+ *  - value: per cell the CSD terms of its count sum to exactly
+ *    product * count, so the whole reduction telescopes to
+ *    sum(padded[key_i]) — one order-independent int64 gather-sum
+ *    through the kernel table, no histogram involved.
+ *  - addends/distinctProducts: the tally is split into a pure counter
+ *    increment pass and a combined read-out/reset pass that charges
+ *    csdTerms[count] per touched cell — the keys array doubles as the
+ *    reset list (a cell's first read-out zeroes it, so duplicate keys
+ *    see count 0 and contribute nothing), so no touched-cell walk is
+ *    needed and both passes are branch-predictable streams.
+ *  - countingCycles: max final buffer depth — a pure function of the
+ *    weight codes, taken from the caller's precomputed hint when
+ *    given, otherwise recomputed from keys >> shift (depths only
+ *    grow, so the running max equals the final max).
+ */
+template <typename Key>
+AccumResult
+AccumulationEngine::runOverKeys(const simd::KernelOps &ops,
+                                const Key *keys, size_t fanIn,
+                                double bias, AccumScratch &scratch,
+                                const uint32_t *countingCycles) const
+{
+    AccumResult result;
+
+    int64_t fixedSum = gatherSumKeys(ops, _padded, keys, fanIn);
+
+    const int32_t *terms = scratch.csdTerms.data();
+    uint32_t *counters = scratch.counters.data();
+    int64_t addends = 0;
+    size_t distinct = 0;
+    size_t i = 0;
+    for (; i + 4 <= fanIn; i += 4) {
+        ++counters[keys[i]];
+        ++counters[keys[i + 1]];
+        ++counters[keys[i + 2]];
+        ++counters[keys[i + 3]];
+    }
+    for (; i < fanIn; ++i)
+        ++counters[keys[i]];
+    for (i = 0; i < fanIn; ++i) {
+        const uint32_t k = keys[i];
+        const uint32_t c = counters[k];
+        counters[k] = 0;
+        addends += terms[c];
+        distinct += (c != 0);
+    }
+    result.distinctProducts = distinct;
+    result.addends = static_cast<size_t>(addends);
+
+    uint32_t maxDepth = 0;
+    if (countingCycles != nullptr) {
+        maxDepth = *countingCycles;
+    } else {
+        uint32_t *depth = scratch.bufferDepth.data();
+        for (size_t i = 0; i < fanIn; ++i)
+            maxDepth = std::max(maxDepth, ++depth[keys[i] >> _shift]);
+        for (size_t i = 0; i < fanIn; ++i)
+            depth[keys[i] >> _shift] = 0;
+    }
+    result.countingCycles = maxDepth;
+    result.cost.counting.cycles = result.countingCycles;
+    result.cost.counting.energy =
+        _model.counterIncrementEnergy * static_cast<double>(fanIn);
+
+    result.cost.fetch.cycles = result.distinctProducts;
+    result.cost.fetch.energy = _model.crossbarReadEnergy
+        * static_cast<double>(result.distinctProducts);
+
+    fixedSum += _format.toFixed(bias);
+    result.cost.adder = scratch.adderCostFor(
+        result.addends + 1, _format.accumulatorBits, _model);
+    result.value = _format.toReal(fixedSum);
+    return result;
+}
+
+AccumResult
+AccumulationEngine::runPacked(const simd::KernelOps &ops,
+                              const uint8_t *weightCodes,
+                              const uint8_t *inputCodes, size_t fanIn,
+                              double bias, AccumScratch &scratch,
+                              const uint32_t *countingCycles) const
+{
+    RAPIDNN_ASSERT(packable(), "runPacked on a >256-entry codebook");
+    scratch.ensurePadded(_w, _shift, fanIn);
+    ops.pairKeys8(weightCodes, inputCodes, fanIn, _shift,
+                  scratch.keys.data());
+    return runOverKeys(ops, scratch.keys.data(), fanIn, bias, scratch,
+                       countingCycles);
+}
+
+AccumResult
+AccumulationEngine::runKeyed(const simd::KernelOps &ops,
+                             const uint16_t *weightCodes,
+                             const uint16_t *inputCodes, size_t fanIn,
+                             double bias, AccumScratch &scratch,
+                             const uint32_t *countingCycles) const
+{
+    scratch.ensurePadded(_w, _shift, fanIn);
+    ops.pairKeys16(weightCodes, inputCodes, fanIn, _shift,
+                   scratch.keysWide.data());
+    return runOverKeys(ops, scratch.keysWide.data(), fanIn, bias,
+                       scratch, countingCycles);
+}
+
+namespace {
+
+template <typename Code>
+uint32_t
+weightDepthMax(const Code *weightCodes, size_t fanIn, size_t w)
+{
+    std::vector<uint32_t> depth(w, 0);
+    uint32_t maxDepth = 0;
+    for (size_t i = 0; i < fanIn; ++i)
+        maxDepth = std::max(maxDepth, ++depth[weightCodes[i]]);
+    return maxDepth;
+}
+
+} // namespace
+
+uint32_t
+AccumulationEngine::weightCountingCycles(const uint8_t *weightCodes,
+                                         size_t fanIn) const
+{
+    return weightDepthMax(weightCodes, fanIn, _w);
+}
+
+uint32_t
+AccumulationEngine::weightCountingCycles(const uint16_t *weightCodes,
+                                         size_t fanIn) const
+{
+    return weightDepthMax(weightCodes, fanIn, _w);
 }
 
 } // namespace rapidnn::rna

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/array.hh"
+#include "common/simd.hh"
 #include "nvm/cost_model.hh"
 #include "nvm/crossbar.hh"
 #include "nvm/op_cost.hh"
@@ -84,24 +85,88 @@ struct AccumFormat
  */
 struct AccumScratch
 {
-    std::vector<uint32_t> counters;      //!< [w*u] grid, all-zero at rest
-    std::vector<uint32_t> bufferDepth;   //!< [w], all-zero at rest
+    // Counter grid and buffer-depth array live in cache-line-aligned
+    // storage so the tally loop's cells never straddle lines at lane
+    // boundaries; AlignedVec growth does not preserve contents, so
+    // growth re-zeroes (the at-rest state is all-zero anyway).
+    simd::AlignedVec<uint32_t> counters;     //!< grid, all-zero at rest
+    simd::AlignedVec<uint32_t> bufferDepth;  //!< [w], all-zero at rest
     std::vector<uint32_t> touchedCells;  //!< cells hit by the last run
     std::vector<uint16_t> touchedWeights;
+
+    // Kernel-path scratch: fused (w << shift) | u pair keys produced by
+    // KernelOps::pairKeys8/16 over one neuron's fan-in.
+    simd::AlignedVec<uint16_t> keys;      //!< packed (8-bit-code) path
+    simd::AlignedVec<uint32_t> keysWide;  //!< 16-bit-code path
+
+    /**
+     * csdTerms[c] = number of CSD terms in the signed-digit recoding of
+     * count c (csdTerms[0] = 0). The kernel tally reads the table once
+     * per touched cell while resetting it, so `addends` is tracked with
+     * one table load per edge instead of re-decomposing every touched
+     * cell. Pure function of c — grown on demand, shared by all
+     * engines.
+     */
+    std::vector<int32_t> csdTerms;
 
     /** Grow (never shrink) to cover a w x u product table. */
     void
     ensure(size_t w, size_t u)
     {
         if (counters.size() < w * u)
-            counters.resize(w * u, 0);
+            counters.ensureZeroed(w * u);
         if (bufferDepth.size() < w)
-            bufferDepth.resize(w, 0);
+            bufferDepth.ensureZeroed(w);
         if (touchedCells.capacity() < w * u)
             touchedCells.reserve(w * u);
         if (touchedWeights.capacity() < w)
             touchedWeights.reserve(w);
     }
+
+    /** Grow to cover the power-of-two padded [w << shift] key space the
+     *  kernel paths tally into, plus a fan-in's worth of key scratch. */
+    void
+    ensurePadded(size_t w, uint32_t shift, size_t maxFanIn)
+    {
+        const size_t cells = w << shift;
+        if (counters.size() < cells)
+            counters.ensureZeroed(cells);
+        if (bufferDepth.size() < w)
+            bufferDepth.ensureZeroed(w);
+        if (touchedCells.capacity() < cells)
+            touchedCells.reserve(cells);
+        if (touchedWeights.capacity() < w)
+            touchedWeights.reserve(w);
+        keys.ensure(maxFanIn);
+        keysWide.ensure(maxFanIn);
+        if (csdTerms.size() <= maxFanIn)
+            growCsdTerms(maxFanIn);
+    }
+
+    /** Extend csdTerms to cover counts up to maxCount (out of line —
+     *  the CSD recoding is not hot-loop code). */
+    void growCsdTerms(size_t maxCount);
+
+    /**
+     * Memoized CrossbarArray::addManyCost for the kernel path. The
+     * adder cost is a pure function of (addend count, result width,
+     * model anchors), so each distinct count is computed once through
+     * the exact shared routine and replayed — the cached OpCost is
+     * bitwise-identical to a fresh computation. Keys on the parameters
+     * addManyCost reads and flushes if an engine with different
+     * anchors shows up. Scratch is per-thread, so no synchronization.
+     */
+    const nvm::OpCost &adderCostFor(size_t addendCount,
+                                    size_t resultBits,
+                                    const nvm::CostModel &model);
+
+  private:
+    std::vector<nvm::OpCost> _adderCost;     //!< by addend count
+    std::vector<uint8_t> _adderCostValid;
+    size_t _adderResultBits = 0;
+    size_t _adderCsaStageCycles = 0;
+    size_t _adderCarryCycles = 0;
+    Energy _adderNorEnergy{};
 };
 
 /**
@@ -143,14 +208,77 @@ class AccumulationEngine
                     const uint16_t *inputCodes, size_t fanIn,
                     double bias, AccumScratch &scratch) const;
 
+    /**
+     * Kernel-path accumulation over packed 8-bit code arrays: pair keys
+     * (w << keyShift) | u are produced by `ops.pairKeys8`, tallied into
+     * the power-of-two padded counter grid, and reduced exactly like
+     * the pointer overload. Bitwise-identical to run() in every
+     * AccumResult field — same per-cell counts (the padded grid only
+     * renumbers cells), same order-independent fixed-point sum, same
+     * count-derived analytic costs. Requires packable().
+     *
+     * `countingCycles`, when non-null, is the precomputed
+     * weightCountingCycles() of this exact weight-code array — the
+     * counting phase depends only on the weight codes, so layer
+     * contexts hoist it out of the per-neuron loop. Null computes it
+     * from the keys (identical value, one extra histogram pass).
+     */
+    AccumResult runPacked(const simd::KernelOps &ops,
+                          const uint8_t *weightCodes,
+                          const uint8_t *inputCodes, size_t fanIn,
+                          double bias, AccumScratch &scratch,
+                          const uint32_t *countingCycles
+                          = nullptr) const;
+
+    /** Kernel-path accumulation over 16-bit code arrays (codebooks too
+     *  large to pack); same equivalence contract as runPacked. */
+    AccumResult runKeyed(const simd::KernelOps &ops,
+                         const uint16_t *weightCodes,
+                         const uint16_t *inputCodes, size_t fanIn,
+                         double bias, AccumScratch &scratch,
+                         const uint32_t *countingCycles
+                         = nullptr) const;
+
+    /**
+     * countingCycles for a fixed weight-code array: the counting phase
+     * drains one buffer per distinct weight code per cycle, so its
+     * cycle count is the deepest buffer — max over wc of |{i : wc_i ==
+     * wc}| — a pure function of the weight codes that layer contexts
+     * precompute once per neuron/channel and pass back into
+     * runPacked/runKeyed. Allocates; configure-time only.
+     */
+    uint32_t weightCountingCycles(const uint8_t *weightCodes,
+                                  size_t fanIn) const;
+    uint32_t weightCountingCycles(const uint16_t *weightCodes,
+                                  size_t fanIn) const;
+
     size_t weightEntries() const { return _w; }
     size_t inputEntries() const { return _u; }
     const AccumFormat &format() const { return _format; }
 
+    /** True when both codebooks fit 8-bit packed codes. */
+    bool packable() const { return _w <= 256 && _u <= 256; }
+
+    /** Bits the weight code is shifted by in a fused pair key. */
+    uint32_t keyShift() const { return _shift; }
+
+    /** Padded [w << keyShift] cell count the kernel paths tally over. */
+    size_t paddedCells() const { return _w << _shift; }
+
   private:
+    template <typename Key>
+    AccumResult runOverKeys(const simd::KernelOps &ops, const Key *keys,
+                            size_t fanIn, double bias,
+                            AccumScratch &scratch,
+                            const uint32_t *countingCycles) const;
+
     std::vector<int64_t> _fixedProducts;  //!< [w*u] fixed-point products
+    std::vector<int64_t> _fixedPadded;    //!< [w << _shift] when u is
+                                          //!< not a power of two
+    const int64_t *_padded = nullptr;     //!< padded-key product lookup
     size_t _w;
     size_t _u;
+    uint32_t _shift = 0;  //!< ceil(log2(u)): key = (w << shift) | u
     nvm::CostModel _model;
     AccumFormat _format;
 };

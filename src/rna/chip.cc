@@ -8,6 +8,7 @@
 #include "common/check.hh"
 #include "common/task_pool.hh"
 #include "nvm/data_block.hh"
+#include "rna/kernels/kernels.hh"
 #include "telemetry/telemetry.hh"
 
 namespace rapidnn::rna {
@@ -195,6 +196,17 @@ void
 Chip::configure(const composer::ReinterpretedModel &model)
 {
     _model = &model;
+    // Resolve the SIMD kernel variant once per chip: explicit config
+    // beats the RAPIDNN_SIMD environment override beats the best
+    // variant this build + host supports.
+    _kops = kernels::opsFor(kernels::resolve(_config.simd));
+    telemetry::Registry::global()
+        .gauge("rapidnn_kernel_variant",
+               "Selected SIMD kernel variant (1 = active for this "
+               "process's most recent Chip::configure)",
+               std::string("variant=\"")
+                   + (_kops ? _kops->name : "off") + "\"")
+        .set(1);
     auto set = std::make_shared<ContextSet>();
     configureLayers(*set, model.layers());
     _contexts = std::move(set);
@@ -211,7 +223,7 @@ Chip::configureLayers(ContextSet &set,
             layer.kind == RLayerKind::Recurrent) {
             set.byLayer[&layer] = set.contexts.size();
             set.contexts.push_back(std::make_unique<RnaLayerContext>(
-                layer, _config.cost, _config.searchMode));
+                layer, _config.cost, _config.searchMode, _kops));
         } else if (layer.kind == RLayerKind::Residual) {
             configureLayers(set, layer.inner);
         }
@@ -274,6 +286,16 @@ Chip::buildWorkspace()
                         ws.gatherX.resize(win);
                 }
             });
+        // Kernel-path buffers scale with the widest activation tensor;
+        // warm them now so steady-state inference never grows one
+        // (growth would also discard AlignedVec contents).
+        if (_kops != nullptr) {
+            ws.act8.ensure(maxElems);
+            ws.h8.ensure(maxElems);
+            ws.vals.ensure(maxElems);
+            ws.amKeys.ensure(maxElems);
+            ws.amRows.ensure(maxElems);
+        }
         for (int i = 0; i < 4; ++i) {
             std::vector<uint16_t> buf;
             buf.reserve(maxElems);
@@ -310,6 +332,7 @@ Chip::clone() const
     // instantiation cost is O(activation buffers), not O(model).
     Chip replica(_config);
     replica._model = _model;
+    replica._kops = _kops;
     replica._contexts = _contexts;
     if (_contexts != nullptr)
         replica.buildWorkspace();
@@ -342,7 +365,89 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         const auto &codes = layer.weightCodes[0];
         uint64_t worstNeuron = 0;
-        if (intraOp) {
+        const bool kernel = _kops != nullptr && _config.fastPath;
+        if (kernel) {
+            // Kernel path: phase-split execution. Phase A runs every
+            // neuron's weighted accumulation through the SIMD pair-key
+            // tally (packed uint8 codes when the codebooks fit, fused
+            // 16-bit keys otherwise); phases B/C batch the activation
+            // and encoding AM lookups over contiguous value ranges.
+            // Per-neuron costs land in ws.neuronCosts and the flat
+            // reduction below replays the serial accumulation order,
+            // so results stay bitwise identical to evaluateFast().
+            const bool packed = ctx.packed();
+            const uint8_t *x8 = nullptr;
+            if (packed) {
+                ws.act8.ensure(layer.inCount);
+                _kops->narrow(in.codes.data(), layer.inCount,
+                              ws.act8.data());
+                x8 = ws.act8.data();
+            }
+            ws.vals.ensure(layer.outCount);
+            if (ws.neuronCosts.size() < layer.outCount)
+                ws.neuronCosts.resize(layer.outCount);
+            auto evalRange = [&](size_t begin, size_t end,
+                                 AccumScratch &accum, uint32_t *keys,
+                                 uint32_t *rows) {
+                for (size_t j = begin; j < end; ++j) {
+                    const AccumResult a =
+                        packed ? ctx.accumulatePacked(
+                                     0, ctx.denseColumn8(j), x8,
+                                     layer.inCount, layer.bias[j],
+                                     accum)
+                               : ctx.accumulateKeyed(
+                                     0, ctx.denseColumn(j),
+                                     in.codes.data(), layer.inCount,
+                                     layer.bias[j], accum);
+                    ws.vals[j] = a.value;
+                    ws.neuronCosts[j] = NeuronCost{};
+                    ws.neuronCosts[j].weightedAccum = a.cost.total();
+                }
+                const size_t n = end - begin;
+                double *vals = ws.vals.data() + begin;
+                ctx.activateBatch(vals, vals, n, keys, rows);
+                if (ctx.hasActivation())
+                    for (size_t j = begin; j < end; ++j)
+                        ws.neuronCosts[j].activation +=
+                            ctx.activationQueryCost();
+                if (ctx.hasEncoder()) {
+                    ctx.encodeBatch(vals, n, keys, rows,
+                                    run.output.codes.data() + begin);
+                    for (size_t j = begin; j < end; ++j)
+                        ws.neuronCosts[j].encoding +=
+                            ctx.encodingQueryCost();
+                }
+                if (lastCompute)
+                    for (size_t j = begin; j < end; ++j)
+                        run.raw[j] = ws.vals[j];
+            };
+            if (intraOp) {
+                ws.ensureLanes(threads);
+                for (auto &lane : ws.lanes) {
+                    lane.amKeys.ensure(layer.outCount);
+                    lane.amRows.ensure(layer.outCount);
+                }
+                const size_t shards = shardCount(layer.outCount);
+                TaskPool::shared().run(
+                    shards, threads, [&](size_t shard, size_t lane) {
+                        const auto [begin, end] =
+                            shardRange(layer.outCount, shard, shards);
+                        IntraOpScratch &sc = ws.lanes[lane];
+                        evalRange(begin, end, sc.accum,
+                                  sc.amKeys.data(), sc.amRows.data());
+                    });
+            } else {
+                ws.amKeys.ensure(layer.outCount);
+                ws.amRows.ensure(layer.outCount);
+                evalRange(0, layer.outCount, ws.accum,
+                          ws.amKeys.data(), ws.amRows.data());
+            }
+            for (size_t j = 0; j < layer.outCount; ++j) {
+                run.cost += ws.neuronCosts[j];
+                worstNeuron = std::max(
+                    worstNeuron, ws.neuronCosts[j].total().cycles);
+            }
+        } else if (intraOp) {
             // Shard the output-neuron loop over the fixed grid. Each
             // shard writes disjoint code/raw/cost slots with its
             // lane's private scratch; the flat reduction below then
@@ -448,7 +553,135 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         uint64_t worstNeuron = 0;
         const size_t flatNeurons = layer.outCount * oh * ow;
-        if (intraOp) {
+        const size_t positions = oh * ow;
+        // Conv kernel path needs the compiled plan and packed codes
+        // (conv codebooks are small in practice; 16-bit layers fall
+        // back to the scalar gather loops).
+        const bool kernel =
+            _kops != nullptr && plan != nullptr && ctx.packed();
+        const size_t fullWindow = layer.inCount;  // inC * k * k
+        if (kernel && !intraOp) {
+            // Position-major phase A: narrow the input map to uint8
+            // once, then for each output position gather its window a
+            // single time and sweep every output channel over it —
+            // interior (unclipped) windows use the channel's packed
+            // weights directly because their weight-index map is the
+            // identity. Phases B/C then batch the AM lookups per
+            // channel over the contiguous position range. The flat
+            // (oc, p) cost reduction below replays the serial
+            // accumulation order, so results stay bitwise identical.
+            ws.act8.ensure(in.codes.size());
+            _kops->narrow(in.codes.data(), in.codes.size(),
+                          ws.act8.data());
+            const size_t windowMax = layer.weightCodes[0].size();
+            ws.gx8.ensure(windowMax);
+            ws.gw8.ensure(windowMax);
+            ws.vals.ensure(flatNeurons);
+            ws.amKeys.ensure(positions);
+            ws.amRows.ensure(positions);
+            if (ws.neuronCosts.size() < flatNeurons)
+                ws.neuronCosts.resize(flatNeurons);
+            for (size_t p = 0; p < positions; ++p) {
+                const uint32_t s0 = plan->start[p];
+                const size_t n = plan->start[p + 1] - s0;
+                _kops->gather8(ws.act8.data(),
+                               plan->inputIdx.data() + s0, n,
+                               ws.gx8.data());
+                for (size_t oc = 0; oc < layer.outCount; ++oc) {
+                    const uint8_t *wp = ctx.convChannel8(oc);
+                    if (n != fullWindow) {
+                        for (size_t s = 0; s < n; ++s)
+                            ws.gw8[s] = wp[plan->weightIdx[s0 + s]];
+                        wp = ws.gw8.data();
+                    }
+                    const AccumResult a = ctx.accumulatePacked(
+                        oc, wp, ws.gx8.data(), n, layer.bias[oc],
+                        ws.accum);
+                    const size_t oidx = oc * positions + p;
+                    ws.vals[oidx] = a.value;
+                    ws.neuronCosts[oidx] = NeuronCost{};
+                    ws.neuronCosts[oidx].weightedAccum = a.cost.total();
+                }
+            }
+            for (size_t oc = 0; oc < layer.outCount; ++oc) {
+                double *vals = ws.vals.data() + oc * positions;
+                ctx.activateBatch(vals, vals, positions,
+                                  ws.amKeys.data(), ws.amRows.data());
+                if (ctx.hasActivation())
+                    for (size_t p = 0; p < positions; ++p)
+                        ws.neuronCosts[oc * positions + p].activation +=
+                            ctx.activationQueryCost();
+                if (ctx.hasEncoder()) {
+                    ctx.encodeBatch(
+                        vals, positions, ws.amKeys.data(),
+                        ws.amRows.data(),
+                        run.output.codes.data() + oc * positions);
+                    for (size_t p = 0; p < positions; ++p)
+                        ws.neuronCosts[oc * positions + p].encoding +=
+                            ctx.encodingQueryCost();
+                }
+                if (lastCompute)
+                    for (size_t p = 0; p < positions; ++p)
+                        run.raw[oc * positions + p] = vals[p];
+            }
+            for (size_t oidx = 0; oidx < flatNeurons; ++oidx) {
+                run.cost += ws.neuronCosts[oidx];
+                worstNeuron = std::max(
+                    worstNeuron, ws.neuronCosts[oidx].total().cycles);
+            }
+        } else if (kernel) {
+            // Sharded kernel path keeps the per-neuron shape (shards
+            // split the flat (oc, y, x) grid, so position-major
+            // batching would straddle shard boundaries); each lane
+            // gathers packed windows into private aligned buffers.
+            ws.act8.ensure(in.codes.size());
+            _kops->narrow(in.codes.data(), in.codes.size(),
+                          ws.act8.data());
+            ws.ensureLanes(threads);
+            if (ws.neuronCosts.size() < flatNeurons)
+                ws.neuronCosts.resize(flatNeurons);
+            const size_t windowMax = layer.weightCodes[0].size();
+            for (auto &lane : ws.lanes) {
+                lane.gx8.ensure(windowMax);
+                lane.gw8.ensure(windowMax);
+            }
+            const size_t shards = shardCount(flatNeurons);
+            TaskPool::shared().run(
+                shards, threads, [&](size_t shard, size_t lane) {
+                    const auto [begin, end] =
+                        shardRange(flatNeurons, shard, shards);
+                    IntraOpScratch &sc = ws.lanes[lane];
+                    for (size_t oidx = begin; oidx < end; ++oidx) {
+                        const size_t oc = oidx / positions;
+                        const size_t p = oidx % positions;
+                        const uint32_t s0 = plan->start[p];
+                        const size_t n = plan->start[p + 1] - s0;
+                        _kops->gather8(ws.act8.data(),
+                                       plan->inputIdx.data() + s0, n,
+                                       sc.gx8.data());
+                        const uint8_t *wp = ctx.convChannel8(oc);
+                        if (n != fullWindow) {
+                            for (size_t s = 0; s < n; ++s)
+                                sc.gw8[s] =
+                                    wp[plan->weightIdx[s0 + s]];
+                            wp = sc.gw8.data();
+                        }
+                        NeuronResult r = ctx.evaluatePacked(
+                            oc, wp, sc.gx8.data(), n, layer.bias[oc],
+                            sc.accum);
+                        ws.neuronCosts[oidx] = r.cost;
+                        if (r.encoded)
+                            run.output.codes[oidx] = r.code;
+                        if (lastCompute)
+                            run.raw[oidx] = r.rawValue;
+                    }
+                });
+            for (size_t oidx = 0; oidx < flatNeurons; ++oidx) {
+                run.cost += ws.neuronCosts[oidx];
+                worstNeuron = std::max(
+                    worstNeuron, ws.neuronCosts[oidx].total().cycles);
+            }
+        } else if (intraOp) {
             // Shard over the flat neuron index (oc, y, x) so narrow
             // feature maps still spread across lanes. Each shard's
             // lane gathers into private buffers and writes disjoint
@@ -602,7 +835,7 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                         _config.fastPath
                             ? RnaLayerContext::poolMaxFast(
                                   window, win * win,
-                                  _config.cost, one)
+                                  _config.cost, one, _kops)
                             : RnaLayerContext::poolMax(
                                   windowLocal, _config.cost, one);
                     worst = std::max(worst, one.cycles);
@@ -694,6 +927,18 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
 
         std::vector<double> hRawLocal;
         uint64_t stepWorst = 0;
+        // Recurrent kernel path: both operand paths must pack (the
+        // feedback codebook too). The whole input sequence narrows to
+        // uint8 once; the hidden state re-narrows per step (it is
+        // rewritten by the step swap).
+        const bool kernel = _kops != nullptr && _config.fastPath &&
+                            ctx.packedRecurrent();
+        if (kernel) {
+            ws.act8.ensure(in.codes.size());
+            _kops->narrow(in.codes.data(), in.codes.size(),
+                          ws.act8.data());
+            ws.h8.ensure(hidden);
+        }
         if (intraOp) {
             // Steps stay serial (the feedback hazard); within a step
             // the hidden-neuron loop shards over the fixed grid. Each
@@ -710,6 +955,14 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
             const size_t shards = shardCount(hidden);
             for (size_t t = 0; t < layer.steps; ++t) {
                 const uint16_t *xStep = in.codes.data() + t * features;
+                const uint8_t *xStep8 = nullptr;
+                if (kernel) {
+                    // Serial per-step narrow of the frozen previous
+                    // state, before the parallel region.
+                    _kops->narrow(ws.hCodes.data(), hidden,
+                                  ws.h8.data());
+                    xStep8 = ws.act8.data() + t * features;
+                }
                 TaskPool::shared().run(
                     shards, threads, [&](size_t shard, size_t lane) {
                         const auto [begin, end] =
@@ -717,11 +970,19 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
                         AccumScratch &scratch = ws.lanes[lane].accum;
                         for (size_t h = begin; h < end; ++h) {
                             NeuronResult r =
-                                ctx.evaluateRecurrentStepFast(
-                                    ctx.recurrentXColumn(h), xStep,
-                                    features, ctx.recurrentHColumn(h),
-                                    ws.hCodes.data(), hidden,
-                                    layer.bias[h], scratch);
+                                kernel
+                                    ? ctx.evaluateRecurrentStepPacked(
+                                          ctx.recurrentXColumn8(h),
+                                          xStep8, features,
+                                          ctx.recurrentHColumn8(h),
+                                          ws.h8.data(), hidden,
+                                          layer.bias[h], scratch)
+                                    : ctx.evaluateRecurrentStepFast(
+                                          ctx.recurrentXColumn(h),
+                                          xStep, features,
+                                          ctx.recurrentHColumn(h),
+                                          ws.hCodes.data(), hidden,
+                                          layer.bias[h], scratch);
                             ws.neuronCosts[h] = r.cost;
                             ws.hNext[h] = r.code;
                             ws.hRawNext[h] = r.rawValue;
@@ -747,12 +1008,27 @@ Chip::runLayer(const RLayer &layer, const EncodedTensor &in,
             ws.hRawNext.resize(hidden);
             for (size_t t = 0; t < layer.steps; ++t) {
                 const uint16_t *xStep = in.codes.data() + t * features;
+                const uint8_t *xStep8 = nullptr;
+                if (kernel) {
+                    _kops->narrow(ws.hCodes.data(), hidden,
+                                  ws.h8.data());
+                    xStep8 = ws.act8.data() + t * features;
+                }
                 uint64_t worstNeuron = 0;
                 for (size_t h = 0; h < hidden; ++h) {
-                    NeuronResult r = ctx.evaluateRecurrentStepFast(
-                        ctx.recurrentXColumn(h), xStep, features,
-                        ctx.recurrentHColumn(h), ws.hCodes.data(),
-                        hidden, layer.bias[h], ws.accum);
+                    NeuronResult r =
+                        kernel ? ctx.evaluateRecurrentStepPacked(
+                                     ctx.recurrentXColumn8(h), xStep8,
+                                     features,
+                                     ctx.recurrentHColumn8(h),
+                                     ws.h8.data(), hidden,
+                                     layer.bias[h], ws.accum)
+                               : ctx.evaluateRecurrentStepFast(
+                                     ctx.recurrentXColumn(h), xStep,
+                                     features,
+                                     ctx.recurrentHColumn(h),
+                                     ws.hCodes.data(), hidden,
+                                     layer.bias[h], ws.accum);
                     run.cost += r.cost;
                     worstNeuron =
                         std::max(worstNeuron, r.cost.total().cycles);

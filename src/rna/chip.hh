@@ -55,6 +55,16 @@ struct ChipConfig
      * the comparison baseline.
      */
     size_t numThreads = 1;
+    /**
+     * SIMD kernel dispatch for the fast path's inner loops. Auto
+     * (default) picks the best variant the build and host support
+     * (overridable via the RAPIDNN_SIMD environment variable); Off
+     * disables the kernel layer entirely, keeping the scalar reference
+     * loops. Results are bitwise identical for every value — variant
+     * selection is a pure speed knob (tests/kernel_equivalence_test.cc
+     * pins this).
+     */
+    simd::Variant simd = simd::Variant::Auto;
 
     size_t totalRnas() const
     {
@@ -168,6 +178,9 @@ class Chip
 
     ChipConfig _config;
     const composer::ReinterpretedModel *_model = nullptr;
+    /** Resolved kernel dispatch table (nullptr = scalar reference
+     *  loops); set once by configure(), shared by clones. */
+    const simd::KernelOps *_kops = nullptr;
     std::shared_ptr<const ContextSet> _contexts;
     /** Shared inference workspace, built at configure time and leased
      *  per infer() call (concurrent callers fall back to spares). */

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Kernel-variant registry: which KernelOps tables this build carries,
+ * which the host can run, and how a requested variant resolves.
+ */
+
+#include "rna/kernels/kernels.hh"
+
+#include <cstdlib>
+
+#include "common/check.hh"
+
+namespace rapidnn::rna::kernels {
+
+extern const simd::KernelOps kScalarOps;
+#ifdef RAPIDNN_BUILD_AVX2
+extern const simd::KernelOps kAvx2Ops;
+#endif
+#ifdef RAPIDNN_BUILD_AVX512
+extern const simd::KernelOps kAvx512Ops;
+#endif
+#ifdef RAPIDNN_BUILD_NEON
+extern const simd::KernelOps kNeonOps;
+#endif
+
+const simd::KernelOps *
+opsFor(simd::Variant v)
+{
+    const simd::CpuFeatures &f = simd::cpuFeatures();
+    switch (v) {
+      case simd::Variant::Scalar:
+        return &kScalarOps;
+      case simd::Variant::Avx2:
+#ifdef RAPIDNN_BUILD_AVX2
+        if (f.avx2)
+            return &kAvx2Ops;
+#endif
+        return nullptr;
+      case simd::Variant::Avx512:
+#ifdef RAPIDNN_BUILD_AVX512
+        if (f.avx512)
+            return &kAvx512Ops;
+#endif
+        return nullptr;
+      case simd::Variant::Neon:
+#ifdef RAPIDNN_BUILD_NEON
+        if (f.neon)
+            return &kNeonOps;
+#endif
+        return nullptr;
+      case simd::Variant::Off:
+      case simd::Variant::Auto:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+std::vector<simd::Variant>
+availableVariants()
+{
+    std::vector<simd::Variant> out;
+    for (simd::Variant v : {simd::Variant::Avx512, simd::Variant::Avx2,
+                            simd::Variant::Neon})
+        if (opsFor(v) != nullptr)
+            out.push_back(v);
+    out.push_back(simd::Variant::Scalar);
+    return out;
+}
+
+simd::Variant
+resolve(simd::Variant requested)
+{
+    simd::Variant v = requested;
+    if (v == simd::Variant::Auto) {
+        if (const char *env = std::getenv("RAPIDNN_SIMD"))
+            v = simd::parseVariant(env);
+    }
+    if (v == simd::Variant::Auto)
+        return availableVariants().front();
+    if (v == simd::Variant::Off)
+        return v;
+    RAPIDNN_CHECK(opsFor(v) != nullptr, "SIMD variant \"",
+                  simd::variantName(v),
+                  "\" is not available on this host/build");
+    return v;
+}
+
+} // namespace rapidnn::rna::kernels

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * AVX2 kernel variant. Compiled with -mavx2 (this translation unit
+ * only); only executed after the runtime feature probe confirms AVX2,
+ * so the rest of the binary stays baseline-ISA clean.
+ *
+ * Bitwise-exactness notes (the equivalence suite pins all of this):
+ *  - Integer kernels compute the identical values lane-wise; vector
+ *    bodies stop at the last full vector and tails run scalar, so no
+ *    out-of-range element is ever touched — except gather8, whose
+ *    4-byte-per-lane vpgatherdd may overread up to 3 bytes past the
+ *    addressed element and therefore requires the AlignedVec tail
+ *    slack its contract demands.
+ *  - quantize performs the exact scalar double sequence per lane
+ *    (sub, div, clamp, mul, add); the final double->uint32 truncation
+ *    runs scalar because vcvttpd2dq saturates through *signed* int32,
+ *    which would break keys >= 2^31 for 32-bit CAMs.
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// GCC's AVX2 headers implement unmasked gathers by passing
+// _mm256_undefined_si256() to an all-ones-mask builtin;
+// -W(maybe-)uninitialized flags that placeholder when the sanitizers
+// keep the wrappers from folding away (GCC PR 105593). The placeholder
+// lanes are fully overwritten, so the warning is a false positive —
+// silenced for this intrinsics-only translation unit.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/simd.hh"
+
+namespace rapidnn::rna::kernels {
+
+namespace {
+
+void
+pairKeys8Avx2(const uint8_t *w, const uint8_t *x, size_t n,
+              uint32_t shift, uint16_t *keys)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i w16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(w + i)));
+        const __m256i x16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(x + i)));
+        const __m256i k =
+            _mm256_or_si256(_mm256_sll_epi16(w16, cnt), x16);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(keys + i), k);
+    }
+    for (; i < n; ++i)
+        keys[i] = static_cast<uint16_t>(
+            (static_cast<uint32_t>(w[i]) << shift) | x[i]);
+}
+
+void
+pairKeys16Avx2(const uint16_t *w, const uint16_t *x, size_t n,
+               uint32_t shift, uint32_t *keys)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i w32 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(w + i)));
+        const __m256i x32 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(x + i)));
+        const __m256i k =
+            _mm256_or_si256(_mm256_sll_epi32(w32, cnt), x32);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(keys + i), k);
+    }
+    for (; i < n; ++i)
+        keys[i] = (static_cast<uint32_t>(w[i]) << shift) | x[i];
+}
+
+void
+narrowAvx2(const uint16_t *src, size_t n, uint8_t *dst)
+{
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 16));
+        // packus interleaves the 128-bit lanes; permute restores the
+        // element order. Values are < 256, so saturation is a no-op.
+        const __m256i packed = _mm256_permute4x64_epi64(
+            _mm256_packus_epi16(a, b), 0xD8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            packed);
+    }
+    for (; i < n; ++i)
+        dst[i] = static_cast<uint8_t>(src[i]);
+}
+
+void
+gather8Avx2(const uint8_t *src, const uint32_t *idx, size_t n,
+            uint8_t *dst)
+{
+    const __m256i byteMask = _mm256_set1_epi32(0xFF);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i vidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(idx + i));
+        // 4-byte gather per lane at scale 1: reads up to 3 bytes past
+        // the addressed element — covered by the source's tail slack.
+        const __m256i g = _mm256_and_si256(
+            _mm256_i32gather_epi32(
+                reinterpret_cast<const int *>(src), vidx, 1),
+            byteMask);
+        const __m256i p16 = _mm256_packus_epi32(g, g);
+        const __m256i p8 = _mm256_packus_epi16(p16, p16);
+        const uint32_t lo = static_cast<uint32_t>(
+            _mm256_extract_epi32(p8, 0));
+        const uint32_t hi = static_cast<uint32_t>(
+            _mm256_extract_epi32(p8, 4));
+        std::memcpy(dst + i, &lo, 4);
+        std::memcpy(dst + i + 4, &hi, 4);
+    }
+    for (; i < n; ++i)
+        dst[i] = src[idx[i]];
+}
+
+uint16_t
+maxU16Avx2(const uint16_t *v, size_t n)
+{
+    size_t i = 0;
+    uint16_t best = 0;
+    if (n >= 16) {
+        __m256i acc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v));
+        for (i = 16; i + 16 <= n; i += 16)
+            acc = _mm256_max_epu16(
+                acc, _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i *>(v + i)));
+        alignas(32) uint16_t lanes[16];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        for (uint16_t lane : lanes)
+            best = std::max(best, lane);
+    } else {
+        best = v[0];
+        i = 1;
+    }
+    for (; i < n; ++i)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+void
+quantizeAvx2(const double *x, size_t n, double lo, double hi,
+             uint32_t maxKey, uint32_t *keys)
+{
+    const __m256d loV = _mm256_set1_pd(lo);
+    const __m256d spanV = _mm256_set1_pd(hi - lo);
+    const __m256d zeroV = _mm256_setzero_pd();
+    const __m256d oneV = _mm256_set1_pd(1.0);
+    const __m256d maxKeyV =
+        _mm256_set1_pd(static_cast<double>(maxKey));
+    const __m256d halfV = _mm256_set1_pd(0.5);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d t = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_loadu_pd(x + i), loV), spanV);
+        const __m256d c =
+            _mm256_max_pd(_mm256_min_pd(t, oneV), zeroV);
+        const __m256d s =
+            _mm256_add_pd(_mm256_mul_pd(c, maxKeyV), halfV);
+        alignas(32) double scaled[4];
+        _mm256_store_pd(scaled, s);
+        for (size_t j = 0; j < 4; ++j)
+            keys[i + j] = static_cast<uint32_t>(scaled[j]);
+    }
+    for (; i < n; ++i) {
+        const double t = (x[i] - lo) / (hi - lo);
+        const double clamped = std::clamp(t, 0.0, 1.0);
+        keys[i] = static_cast<uint32_t>(
+            clamped * static_cast<double>(maxKey) + 0.5);
+    }
+}
+
+/** Unsigned a <= b per 32-bit lane (AVX2 has no unsigned compare). */
+inline __m256i
+cmpleEpu32(__m256i a, __m256i b)
+{
+    return _mm256_cmpeq_epi32(_mm256_min_epu32(a, b), a);
+}
+
+void
+directLookupAvx2(const uint32_t *queries, size_t n,
+                 const uint32_t *bucketSeg, size_t bucketCount,
+                 uint32_t bucketShift, const uint32_t *segStart,
+                 const uint32_t *segRow, size_t segCount,
+                 uint32_t *rows)
+{
+    const __m128i shiftCnt =
+        _mm_cvtsi32_si128(static_cast<int>(bucketShift));
+    const __m256i bucketMax = _mm256_set1_epi32(
+        static_cast<int>(static_cast<uint32_t>(bucketCount - 1)));
+    const __m256i segMax = _mm256_set1_epi32(
+        static_cast<int>(static_cast<uint32_t>(segCount - 1)));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i q = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(queries + i));
+        const __m256i bucket = _mm256_min_epu32(
+            _mm256_srl_epi32(q, shiftCnt), bucketMax);
+        __m256i seg = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(bucketSeg), bucket, 4);
+        // Per-lane walk of the boundary segments inside the bucket;
+        // almost always zero or one iteration (see buildDirectIndex).
+        for (;;) {
+            const __m256i next =
+                _mm256_sub_epi32(seg, _mm256_set1_epi32(-1));
+            const __m256i valid = cmpleEpu32(next, segMax);
+            const __m256i clamped = _mm256_min_epu32(next, segMax);
+            const __m256i nextStart = _mm256_i32gather_epi32(
+                reinterpret_cast<const int *>(segStart), clamped, 4);
+            const __m256i advance =
+                _mm256_and_si256(valid, cmpleEpu32(nextStart, q));
+            if (_mm256_testz_si256(advance, advance))
+                break;
+            // Advancing lanes hold -1; subtracting adds one.
+            seg = _mm256_sub_epi32(seg, advance);
+        }
+        const __m256i r = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(segRow), seg, 4);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(rows + i), r);
+    }
+    for (; i < n; ++i) {
+        const uint32_t q = queries[i];
+        const size_t bucket =
+            std::min(static_cast<size_t>(q >> bucketShift),
+                     bucketCount - 1);
+        size_t seg = bucketSeg[bucket];
+        while (seg + 1 < segCount && segStart[seg + 1] <= q)
+            ++seg;
+        rows[i] = segRow[seg];
+    }
+}
+
+int64_t
+gatherSum16Avx2(const int64_t *table, const uint16_t *keys, size_t n)
+{
+    // Two independent 4-lane accumulators keep the gathers pipelined;
+    // int64 addition is associative, so the lane split cannot change
+    // the total.
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i k32 = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + i)));
+        const __m128i lo = _mm256_castsi256_si128(k32);
+        const __m128i hi = _mm256_extracti128_si256(k32, 1);
+        acc0 = _mm256_add_epi64(
+            acc0, _mm256_i32gather_epi64(
+                      reinterpret_cast<const long long *>(table), lo,
+                      8));
+        acc1 = _mm256_add_epi64(
+            acc1, _mm256_i32gather_epi64(
+                      reinterpret_cast<const long long *>(table), hi,
+                      8));
+    }
+    alignas(32) int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                       _mm256_add_epi64(acc0, acc1));
+    int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+int64_t
+gatherSum32Avx2(const int64_t *table, const uint32_t *keys, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i idx = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + i));
+        acc = _mm256_add_epi64(
+            acc, _mm256_i32gather_epi64(
+                     reinterpret_cast<const long long *>(table), idx,
+                     8));
+    }
+    alignas(32) int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+} // namespace
+
+extern const simd::KernelOps kAvx2Ops;
+const simd::KernelOps kAvx2Ops = {
+    "avx2",       pairKeys8Avx2, pairKeys16Avx2, narrowAvx2,
+    gather8Avx2,  maxU16Avx2,    quantizeAvx2,   directLookupAvx2,
+    gatherSum16Avx2, gatherSum32Avx2,
+};
+
+} // namespace rapidnn::rna::kernels
+
+#endif // x86

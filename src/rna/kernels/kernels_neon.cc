@@ -1,0 +1,179 @@
+/**
+ * @file
+ * NEON (aarch64) kernel variant. AdvSIMD is architecturally mandatory
+ * on aarch64, so this translation unit needs no special compile flags
+ * and the feature probe always reports it.
+ *
+ * Gathers have no NEON equivalent and stay scalar (dst[i] =
+ * src[idx[i]]), which also means this variant never overreads — it is
+ * still declared with the same gather8 tail-slack contract so callers
+ * need no per-ISA special cases. quantize follows the AVX2 rule: SIMD
+ * for the correctly-rounded double arithmetic, scalar final cast.
+ */
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+#include "common/simd.hh"
+
+namespace rapidnn::rna::kernels {
+
+namespace {
+
+void
+pairKeys8Neon(const uint8_t *w, const uint8_t *x, size_t n,
+              uint32_t shift, uint16_t *keys)
+{
+    const int16x8_t cnt = vdupq_n_s16(static_cast<int16_t>(shift));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint16x8_t w16 = vmovl_u8(vld1_u8(w + i));
+        const uint16x8_t x16 = vmovl_u8(vld1_u8(x + i));
+        vst1q_u16(keys + i, vorrq_u16(vshlq_u16(w16, cnt), x16));
+    }
+    for (; i < n; ++i)
+        keys[i] = static_cast<uint16_t>(
+            (static_cast<uint32_t>(w[i]) << shift) | x[i]);
+}
+
+void
+pairKeys16Neon(const uint16_t *w, const uint16_t *x, size_t n,
+               uint32_t shift, uint32_t *keys)
+{
+    const int32x4_t cnt = vdupq_n_s32(static_cast<int32_t>(shift));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const uint32x4_t w32 = vmovl_u16(vld1_u16(w + i));
+        const uint32x4_t x32 = vmovl_u16(vld1_u16(x + i));
+        vst1q_u32(keys + i, vorrq_u32(vshlq_u32(w32, cnt), x32));
+    }
+    for (; i < n; ++i)
+        keys[i] = (static_cast<uint32_t>(w[i]) << shift) | x[i];
+}
+
+void
+narrowNeon(const uint16_t *src, size_t n, uint8_t *dst)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x8_t lo = vmovn_u16(vld1q_u16(src + i));
+        const uint8x8_t hi = vmovn_u16(vld1q_u16(src + i + 8));
+        vst1q_u8(dst + i, vcombine_u8(lo, hi));
+    }
+    for (; i < n; ++i)
+        dst[i] = static_cast<uint8_t>(src[i]);
+}
+
+void
+gather8Neon(const uint8_t *src, const uint32_t *idx, size_t n,
+            uint8_t *dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = src[idx[i]];
+}
+
+uint16_t
+maxU16Neon(const uint16_t *v, size_t n)
+{
+    size_t i = 0;
+    uint16_t best = 0;
+    if (n >= 8) {
+        uint16x8_t acc = vld1q_u16(v);
+        for (i = 8; i + 8 <= n; i += 8)
+            acc = vmaxq_u16(acc, vld1q_u16(v + i));
+        best = vmaxvq_u16(acc);
+    } else {
+        best = v[0];
+        i = 1;
+    }
+    for (; i < n; ++i)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+void
+quantizeNeon(const double *x, size_t n, double lo, double hi,
+             uint32_t maxKey, uint32_t *keys)
+{
+    const float64x2_t loV = vdupq_n_f64(lo);
+    const float64x2_t spanV = vdupq_n_f64(hi - lo);
+    const float64x2_t zeroV = vdupq_n_f64(0.0);
+    const float64x2_t oneV = vdupq_n_f64(1.0);
+    const float64x2_t maxKeyV =
+        vdupq_n_f64(static_cast<double>(maxKey));
+    const float64x2_t halfV = vdupq_n_f64(0.5);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t t =
+            vdivq_f64(vsubq_f64(vld1q_f64(x + i), loV), spanV);
+        const float64x2_t c =
+            vmaxq_f64(vminq_f64(t, oneV), zeroV);
+        const float64x2_t s =
+            vaddq_f64(vmulq_f64(c, maxKeyV), halfV);
+        double scaled[2];
+        vst1q_f64(scaled, s);
+        keys[i] = static_cast<uint32_t>(scaled[0]);
+        keys[i + 1] = static_cast<uint32_t>(scaled[1]);
+    }
+    for (; i < n; ++i) {
+        const double t = (x[i] - lo) / (hi - lo);
+        const double clamped = std::clamp(t, 0.0, 1.0);
+        keys[i] = static_cast<uint32_t>(
+            clamped * static_cast<double>(maxKey) + 0.5);
+    }
+}
+
+void
+directLookupNeon(const uint32_t *queries, size_t n,
+                 const uint32_t *bucketSeg, size_t bucketCount,
+                 uint32_t bucketShift, const uint32_t *segStart,
+                 const uint32_t *segRow, size_t segCount,
+                 uint32_t *rows)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t q = queries[i];
+        const size_t bucket =
+            std::min(static_cast<size_t>(q >> bucketShift),
+                     bucketCount - 1);
+        size_t seg = bucketSeg[bucket];
+        while (seg + 1 < segCount && segStart[seg + 1] <= q)
+            ++seg;
+        rows[i] = segRow[seg];
+    }
+}
+
+int64_t
+gatherSum16Neon(const int64_t *table, const uint16_t *keys, size_t n)
+{
+    // NEON has no gather; the scalar loop already saturates the load
+    // ports, and int64 addition order is free anyway.
+    int64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+int64_t
+gatherSum32Neon(const int64_t *table, const uint32_t *keys, size_t n)
+{
+    int64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+} // namespace
+
+extern const simd::KernelOps kNeonOps;
+const simd::KernelOps kNeonOps = {
+    "neon",       pairKeys8Neon, pairKeys16Neon, narrowNeon,
+    gather8Neon,  maxU16Neon,    quantizeNeon,   directLookupNeon,
+    gatherSum16Neon, gatherSum32Neon,
+};
+
+} // namespace rapidnn::rna::kernels
+
+#endif // aarch64

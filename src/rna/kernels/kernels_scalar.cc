@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Portable scalar implementations of the kernel primitives.
+ *
+ * These are the semantic reference every vector variant must match
+ * bit-for-bit (tests/kernel_equivalence_test.cc): same key values,
+ * same gathered bytes, same quantized codes, same NDCAM rows. The
+ * loops are written straight-line so the compiler may autovectorize
+ * them, but they use no intrinsics and no alignment or tail-slack
+ * assumptions.
+ */
+
+#include <algorithm>
+
+#include "common/simd.hh"
+
+namespace rapidnn::rna::kernels {
+
+namespace {
+
+void
+pairKeys8Scalar(const uint8_t *w, const uint8_t *x, size_t n,
+                uint32_t shift, uint16_t *keys)
+{
+    for (size_t i = 0; i < n; ++i)
+        keys[i] = static_cast<uint16_t>(
+            (static_cast<uint32_t>(w[i]) << shift) | x[i]);
+}
+
+void
+pairKeys16Scalar(const uint16_t *w, const uint16_t *x, size_t n,
+                 uint32_t shift, uint32_t *keys)
+{
+    for (size_t i = 0; i < n; ++i)
+        keys[i] = (static_cast<uint32_t>(w[i]) << shift) | x[i];
+}
+
+void
+narrowScalar(const uint16_t *src, size_t n, uint8_t *dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<uint8_t>(src[i]);
+}
+
+void
+gather8Scalar(const uint8_t *src, const uint32_t *idx, size_t n,
+              uint8_t *dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = src[idx[i]];
+}
+
+uint16_t
+maxU16Scalar(const uint16_t *v, size_t n)
+{
+    uint16_t best = v[0];
+    for (size_t i = 1; i < n; ++i)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+void
+quantizeScalar(const double *x, size_t n, double lo, double hi,
+               uint32_t maxKey, uint32_t *keys)
+{
+    // Identical operation sequence to FixedPointCodec::quantize; every
+    // step is a correctly-rounded IEEE double op, so any per-lane
+    // reimplementation of the same sequence is bitwise equal.
+    for (size_t i = 0; i < n; ++i) {
+        const double t = (x[i] - lo) / (hi - lo);
+        const double clamped = std::clamp(t, 0.0, 1.0);
+        const double scaled = clamped * static_cast<double>(maxKey);
+        keys[i] = static_cast<uint32_t>(scaled + 0.5);
+    }
+}
+
+void
+directLookupScalar(const uint32_t *queries, size_t n,
+                   const uint32_t *bucketSeg, size_t bucketCount,
+                   uint32_t bucketShift, const uint32_t *segStart,
+                   const uint32_t *segRow, size_t segCount,
+                   uint32_t *rows)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t q = queries[i];
+        const size_t bucket =
+            std::min(static_cast<size_t>(q >> bucketShift),
+                     bucketCount - 1);
+        size_t seg = bucketSeg[bucket];
+        while (seg + 1 < segCount && segStart[seg + 1] <= q)
+            ++seg;
+        rows[i] = segRow[seg];
+    }
+}
+
+int64_t
+gatherSum16Scalar(const int64_t *table, const uint16_t *keys, size_t n)
+{
+    int64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+int64_t
+gatherSum32Scalar(const int64_t *table, const uint32_t *keys, size_t n)
+{
+    int64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += table[keys[i]];
+    return sum;
+}
+
+} // namespace
+
+extern const simd::KernelOps kScalarOps;
+const simd::KernelOps kScalarOps = {
+    "scalar",         pairKeys8Scalar, pairKeys16Scalar, narrowScalar,
+    gather8Scalar,    maxU16Scalar,    quantizeScalar,
+    directLookupScalar, gatherSum16Scalar, gatherSum32Scalar,
+};
+
+} // namespace rapidnn::rna::kernels

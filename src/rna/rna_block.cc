@@ -1,13 +1,40 @@
 #include "rna/rna_block.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
 
 namespace rapidnn::rna {
 
+namespace {
+
+/** Owned uint8 narrowing of range-validated (< 256) 16-bit codes. */
+std::vector<uint8_t>
+narrowCodes(const uint16_t *codes, size_t n)
+{
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<uint8_t>(codes[i]);
+    return out;
+}
+
+/** Pin a blob-supplied packed array to its validated 16-bit twin. */
+void
+checkPacked(const Array<uint8_t> &packed, const uint16_t *codes,
+            size_t n, const char *what)
+{
+    RAPIDNN_CHECK(packed.size() == n, what);
+    for (size_t i = 0; i < n; ++i)
+        RAPIDNN_CHECK(packed[i] == codes[i], what);
+}
+
+} // namespace
+
 RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
                                  const nvm::CostModel &model,
-                                 nvm::SearchMode mode)
-    : _layer(layer), _model(model)
+                                 nvm::SearchMode mode,
+                                 const simd::KernelOps *kops)
+    : _layer(layer), _model(model), _kops(kops)
 {
     RAPIDNN_ASSERT(layer.kind == composer::RLayerKind::Dense ||
                    layer.kind == composer::RLayerKind::Conv ||
@@ -103,6 +130,174 @@ RnaLayerContext::RnaLayerContext(const composer::RLayer &layer,
             RAPIDNN_CHECK(code < _stateEngine->weightEntries(),
                           "recurrent h column code out of table range");
     }
+
+    // Packed (uint8) code mirrors for the SIMD kernel paths. Every
+    // code is range-validated above, so narrowing is lossless when the
+    // codebooks fit 256 entries. Blob-supplied packed sections are
+    // untrusted: their sizes and elements are pinned to the (equally
+    // validated) 16-bit arrays.
+    bool packable = !_engines.empty();
+    for (const auto &engine : _engines)
+        packable = packable && engine.packable();
+    _packed = _kops != nullptr && packable;
+    _packedRec = _packed && _stateEngine && _stateEngine->packable();
+    if (_packed && layer.kind == composer::RLayerKind::Dense) {
+        if (!layer.denseColumns8.empty()) {
+            checkPacked(layer.denseColumns8, _denseColumns.data(),
+                        _denseColumns.size(),
+                        "dense packed columns mismatch");
+            _denseColumns8 = layer.denseColumns8;
+        } else {
+            _denseColumns8 =
+                narrowCodes(_denseColumns.data(), _denseColumns.size());
+        }
+    } else if (_packed && layer.kind == composer::RLayerKind::Conv) {
+        const bool fromBlob = !layer.weightCodes8.empty();
+        if (fromBlob)
+            RAPIDNN_CHECK(layer.weightCodes8.size() ==
+                              layer.weightCodes.size(),
+                          "conv packed channel count mismatch");
+        _convChannel8.reserve(layer.weightCodes.size());
+        for (size_t oc = 0; oc < layer.weightCodes.size(); ++oc) {
+            const auto &codes = layer.weightCodes[oc];
+            if (fromBlob) {
+                checkPacked(layer.weightCodes8[oc], codes.data(),
+                            codes.size(),
+                            "conv packed weights mismatch");
+                _convChannel8.push_back(layer.weightCodes8[oc]);
+            } else {
+                _convChannel8.push_back(
+                    narrowCodes(codes.data(), codes.size()));
+            }
+        }
+    } else if (_packedRec &&
+               layer.kind == composer::RLayerKind::Recurrent) {
+        if (!layer.recXColumns8.empty()) {
+            checkPacked(layer.recXColumns8, _recXColumns.data(),
+                        _recXColumns.size(),
+                        "recurrent x packed columns mismatch");
+            _recXColumns8 = layer.recXColumns8;
+        } else {
+            _recXColumns8 =
+                narrowCodes(_recXColumns.data(), _recXColumns.size());
+        }
+        if (!layer.recHColumns8.empty()) {
+            checkPacked(layer.recHColumns8, _recHColumns.data(),
+                        _recHColumns.size(),
+                        "recurrent h packed columns mismatch");
+            _recHColumns8 = layer.recHColumns8;
+        } else {
+            _recHColumns8 =
+                narrowCodes(_recHColumns.data(), _recHColumns.size());
+        }
+    }
+
+    // Counting-cycle hints for the kernel paths: the parallel-counting
+    // phase is a pure function of the weight codes, so each canonical
+    // weight array's value is derived once here and handed back into
+    // runPacked/runKeyed per neuron instead of being re-histogrammed
+    // per accumulation. Clipped conv windows (gathered into lane
+    // scratch) keep computing it on the fly.
+    if (_kops != nullptr) {
+        if (layer.kind == composer::RLayerKind::Dense) {
+            _denseCounting.resize(layer.outCount);
+            for (size_t j = 0; j < layer.outCount; ++j)
+                _denseCounting[j] = _engines[0].weightCountingCycles(
+                    _denseColumns.data() + j * layer.inCount,
+                    layer.inCount);
+        } else if (layer.kind == composer::RLayerKind::Conv &&
+                   _packed) {
+            _convCounting.resize(_convChannel8.size());
+            for (size_t oc = 0; oc < _convChannel8.size(); ++oc)
+                _convCounting[oc] = _engines[oc].weightCountingCycles(
+                    _convChannel8[oc].data(),
+                    _convChannel8[oc].size());
+        } else if (layer.kind == composer::RLayerKind::Recurrent) {
+            _recXCounting.resize(layer.outCount);
+            _recHCounting.resize(layer.outCount);
+            for (size_t h = 0; h < layer.outCount; ++h) {
+                _recXCounting[h] = _engines[0].weightCountingCycles(
+                    _recXColumns.data() + h * layer.inCount,
+                    layer.inCount);
+                _recHCounting[h] = _stateEngine->weightCountingCycles(
+                    _recHColumns.data() + h * layer.outCount,
+                    layer.outCount);
+            }
+        }
+    }
+
+    if (_activationAm)
+        _activationQueryCost = _activationAm->queryCost();
+    if (_encodingAm)
+        _encodingQueryCost = _encodingAm->queryCost();
+}
+
+namespace {
+
+/** True when p lies inside [base, base + bytes) at a whole multiple
+ *  of strideBytes; sets index to that multiple. Used to map a weight
+ *  pointer back to the canonical column it came from. */
+bool
+strideIndexOf(const void *p, const void *base, size_t bytes,
+              size_t strideBytes, size_t &index)
+{
+    const uintptr_t pp = reinterpret_cast<uintptr_t>(p);
+    const uintptr_t bb = reinterpret_cast<uintptr_t>(base);
+    if (bytes == 0 || strideBytes == 0 || pp < bb || pp - bb >= bytes)
+        return false;
+    const uintptr_t off = pp - bb;
+    if (off % strideBytes != 0)
+        return false;
+    index = static_cast<size_t>(off / strideBytes);
+    return true;
+}
+
+} // namespace
+
+const uint32_t *
+RnaLayerContext::countingHint(size_t channel, const void *w,
+                              size_t fanIn) const
+{
+    size_t j = 0;
+    switch (_layer.kind) {
+      case composer::RLayerKind::Dense:
+        if (fanIn != _layer.inCount || _denseCounting.empty())
+            return nullptr;
+        if (strideIndexOf(w, _denseColumns8.data(),
+                          _denseColumns8.size(), _layer.inCount, j) ||
+            strideIndexOf(w, _denseColumns.data(),
+                          _denseColumns.size() * sizeof(uint16_t),
+                          _layer.inCount * sizeof(uint16_t), j))
+            return &_denseCounting[j];
+        return nullptr;
+      case composer::RLayerKind::Conv:
+        if (_convCounting.empty() || channel >= _convChannel8.size())
+            return nullptr;
+        if (w == _convChannel8[channel].data() &&
+            fanIn == _convChannel8[channel].size())
+            return &_convCounting[channel];
+        return nullptr;
+      case composer::RLayerKind::Recurrent:
+        if (_recXCounting.empty())
+            return nullptr;
+        if (fanIn == _layer.inCount &&
+            (strideIndexOf(w, _recXColumns8.data(),
+                           _recXColumns8.size(), _layer.inCount, j) ||
+             strideIndexOf(w, _recXColumns.data(),
+                           _recXColumns.size() * sizeof(uint16_t),
+                           _layer.inCount * sizeof(uint16_t), j)))
+            return &_recXCounting[j];
+        if (fanIn == _layer.outCount &&
+            (strideIndexOf(w, _recHColumns8.data(),
+                           _recHColumns8.size(), _layer.outCount, j) ||
+             strideIndexOf(w, _recHColumns.data(),
+                           _recHColumns.size() * sizeof(uint16_t),
+                           _layer.outCount * sizeof(uint16_t), j)))
+            return &_recHCounting[j];
+        return nullptr;
+      default:
+        return nullptr;
+    }
 }
 
 NeuronResult
@@ -153,6 +348,108 @@ RnaLayerContext::evaluateFast(size_t channel,
         result.encoded = true;
     }
     return result;
+}
+
+AccumResult
+RnaLayerContext::accumulatePacked(size_t channel, const uint8_t *w8,
+                                  const uint8_t *x8, size_t fanIn,
+                                  double bias, AccumScratch &sc) const
+{
+    RAPIDNN_ASSERT(_kops != nullptr && _packed,
+                   "accumulatePacked without a packed kernel context");
+    return _engines[channel].runPacked(*_kops, w8, x8, fanIn, bias, sc,
+                                       countingHint(channel, w8, fanIn));
+}
+
+AccumResult
+RnaLayerContext::accumulateKeyed(size_t channel, const uint16_t *w,
+                                 const uint16_t *x, size_t fanIn,
+                                 double bias, AccumScratch &sc) const
+{
+    RAPIDNN_ASSERT(_kops != nullptr,
+                   "accumulateKeyed without a kernel context");
+    return _engines[channel].runKeyed(*_kops, w, x, fanIn, bias, sc,
+                                      countingHint(channel, w, fanIn));
+}
+
+NeuronResult
+RnaLayerContext::evaluatePacked(size_t channel, const uint8_t *w8,
+                                const uint8_t *x8, size_t fanIn,
+                                double bias, AccumScratch &sc) const
+{
+    NeuronResult result;
+    const AccumResult accum = _engines[channel].runPacked(
+        *_kops, w8, x8, fanIn, bias, sc,
+        countingHint(channel, w8, fanIn));
+    result.cost.weightedAccum = accum.cost.total();
+
+    double value = accum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    if (_encodingAm) {
+        result.code = static_cast<uint16_t>(
+            _encodingAm->lookupRow(value, result.cost.encoding));
+        result.encoded = true;
+    }
+    return result;
+}
+
+NeuronResult
+RnaLayerContext::evaluateRecurrentStepPacked(
+    const uint8_t *xWeightCodes, const uint8_t *xCodes, size_t features,
+    const uint8_t *hWeightCodes, const uint8_t *hCodes, size_t hidden,
+    double bias, AccumScratch &scratch) const
+{
+    NeuronResult result;
+    // Mirrors evaluateRecurrentStepFast: both operand paths tally in
+    // the same crossbar, costs add, values add.
+    const AccumResult xAccum = _engines[0].runPacked(
+        *_kops, xWeightCodes, xCodes, features, bias, scratch,
+        countingHint(0, xWeightCodes, features));
+    const AccumResult hAccum = _stateEngine->runPacked(
+        *_kops, hWeightCodes, hCodes, hidden, 0.0, scratch,
+        countingHint(0, hWeightCodes, hidden));
+    result.cost.weightedAccum =
+        xAccum.cost.total() + hAccum.cost.total();
+
+    double value = xAccum.value + hAccum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    result.code = static_cast<uint16_t>(
+        _stateEncodingAm->lookupRow(value, result.cost.encoding));
+    result.encoded = true;
+    return result;
+}
+
+void
+RnaLayerContext::activateBatch(const double *in, double *out, size_t n,
+                               uint32_t *keyScratch,
+                               uint32_t *rowScratch) const
+{
+    if (!_activationAm) {
+        if (in != out)
+            for (size_t i = 0; i < n; ++i)
+                out[i] = in[i];
+        return;
+    }
+    _activationAm->lookupBatch(*_kops, in, n, keyScratch, rowScratch,
+                               out);
+}
+
+void
+RnaLayerContext::encodeBatch(const double *in, size_t n,
+                             uint32_t *keyScratch, uint32_t *rowScratch,
+                             uint16_t *codes) const
+{
+    RAPIDNN_ASSERT(_encodingAm.has_value(),
+                   "encodeBatch without an encoding AM");
+    _encodingAm->lookupRowsBatch(*_kops, in, n, keyScratch, rowScratch);
+    for (size_t i = 0; i < n; ++i)
+        codes[i] = static_cast<uint16_t>(rowScratch[i]);
 }
 
 NeuronResult
@@ -241,13 +538,16 @@ RnaLayerContext::poolMax(const std::vector<uint16_t> &codes,
 uint16_t
 RnaLayerContext::poolMaxFast(const uint16_t *codes, size_t count,
                              const nvm::CostModel &model,
-                             nvm::OpCost &cost)
+                             nvm::OpCost &cost,
+                             const simd::KernelOps *ops)
 {
     RAPIDNN_ASSERT(count > 0, "poolMax on empty window");
     // Charge exactly what poolMax's Ndcam would: one load of `count`
     // keys, then one MAX search over `count` 16-bit rows.
     cost += {1, model.camWriteEnergy * static_cast<double>(count)};
     cost += model.camSearch(count, 16);
+    if (ops)
+        return ops->maxU16(codes, count);
     // First occurrence of the maximum, matching std::max_element.
     uint16_t best = codes[0];
     for (size_t i = 1; i < count; ++i)
@@ -264,12 +564,18 @@ RnaLayerContext::prepareWorkspace(Workspace &ws) const
     if (_stateEngine)
         ws.accum.ensure(_stateEngine->weightEntries(),
                         _stateEngine->inputEntries());
+    if (_kops)
+        prepareKernelScratch(ws.accum);
     if (_layer.kind == composer::RLayerKind::Conv) {
         const size_t windowMax = _layer.weightCodes[0].size();
         if (ws.gatherW.size() < windowMax)
             ws.gatherW.resize(windowMax);
         if (ws.gatherX.size() < windowMax)
             ws.gatherX.resize(windowMax);
+        if (_kops) {
+            ws.gx8.ensure(windowMax);
+            ws.gw8.ensure(windowMax);
+        }
     } else if (_layer.kind == composer::RLayerKind::Recurrent) {
         const size_t hidden = _layer.outCount;
         if (ws.hCodes.size() < hidden) {
@@ -290,13 +596,39 @@ RnaLayerContext::prepareScratch(IntraOpScratch &scratch) const
     if (_stateEngine)
         scratch.accum.ensure(_stateEngine->weightEntries(),
                              _stateEngine->inputEntries());
+    if (_kops)
+        prepareKernelScratch(scratch.accum);
     if (_layer.kind == composer::RLayerKind::Conv) {
         const size_t windowMax = _layer.weightCodes[0].size();
         if (scratch.gatherW.size() < windowMax)
             scratch.gatherW.resize(windowMax);
         if (scratch.gatherX.size() < windowMax)
             scratch.gatherX.resize(windowMax);
+        if (_kops) {
+            scratch.gx8.ensure(windowMax);
+            scratch.gw8.ensure(windowMax);
+        }
     }
+}
+
+void
+RnaLayerContext::prepareKernelScratch(AccumScratch &accum) const
+{
+    // The kernel paths tally into a power-of-two padded key space and
+    // stage one fan-in's worth of fused pair keys; size both here so
+    // the hot loop never grows (growth would re-zero AlignedVec
+    // contents mid-inference).
+    size_t maxFanIn = _layer.kind == composer::RLayerKind::Conv
+                          ? _layer.weightCodes[0].size()
+                          : _layer.inCount;
+    if (_stateEngine)
+        maxFanIn = std::max(maxFanIn, _layer.outCount);
+    for (const auto &engine : _engines)
+        accum.ensurePadded(engine.weightEntries(), engine.keyShift(),
+                           maxFanIn);
+    if (_stateEngine)
+        accum.ensurePadded(_stateEngine->weightEntries(),
+                           _stateEngine->keyShift(), maxFanIn);
 }
 
 size_t

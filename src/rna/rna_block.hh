@@ -48,7 +48,8 @@ class RnaLayerContext
      */
     RnaLayerContext(const composer::RLayer &layer,
                     const nvm::CostModel &model,
-                    nvm::SearchMode mode = nvm::SearchMode::AbsoluteExact);
+                    nvm::SearchMode mode = nvm::SearchMode::AbsoluteExact,
+                    const simd::KernelOps *kops = nullptr);
 
     /**
      * Evaluate one neuron.
@@ -83,11 +84,14 @@ class RnaLayerContext
     /**
      * Allocation-free twin of poolMax(): charges the identical load +
      * MAX-search cost without materializing an Ndcam, and resolves the
-     * same winner (first occurrence of the maximum code).
+     * same winner (first occurrence of the maximum code). When a
+     * kernel table is supplied the max reduction runs vectorized
+     * (bitwise-identical winner; codes are order-preserving values).
      */
     static uint16_t poolMaxFast(const uint16_t *codes, size_t count,
                                 const nvm::CostModel &model,
-                                nvm::OpCost &cost);
+                                nvm::OpCost &cost,
+                                const simd::KernelOps *ops = nullptr);
 
     /**
      * One unrolled step of a recurrent neuron: accumulate the x-path
@@ -111,6 +115,114 @@ class RnaLayerContext
 
     /** Encode a raw value into the recurrent state codebook. */
     uint16_t encodeState(double value, nvm::OpCost &cost) const;
+
+    // ------------------------------------------------------------------
+    // SIMD kernel path (PR 8). Only usable when the context was built
+    // with a kernel table; every method is bitwise-identical to its
+    // scalar twin (tests/kernel_equivalence_test.cc pins the contract).
+    // ------------------------------------------------------------------
+
+    /** The kernel table this context dispatches through (nullptr when
+     *  the kernel layer is off). */
+    const simd::KernelOps *kernelOps() const { return _kops; }
+
+    /** True when every forward-path codebook fits 8-bit packed codes
+     *  (weight + input codebooks <= 256 entries). */
+    bool packed() const { return _packed; }
+
+    /** True when the recurrent feedback path also packs (state
+     *  codebook <= 256 entries); implies packed(). */
+    bool packedRecurrent() const { return _packedRec; }
+
+    /** Packed (uint8) twin of denseColumn(). Valid when packed(). */
+    const uint8_t *
+    denseColumn8(size_t j) const
+    {
+        return _denseColumns8.data() + j * _layer.inCount;
+    }
+
+    /** Packed contiguous per-channel conv weight codes (full-window
+     *  fast path feeds these straight to pairKeys8). Valid when
+     *  packed(). */
+    const uint8_t *
+    convChannel8(size_t oc) const
+    {
+        return _convChannel8[oc].data();
+    }
+
+    /** Packed twin of recurrentXColumn(). Valid when packedRecurrent(). */
+    const uint8_t *
+    recurrentXColumn8(size_t h) const
+    {
+        return _recXColumns8.data() + h * _layer.inCount;
+    }
+
+    /** Packed twin of recurrentHColumn(). Valid when packedRecurrent(). */
+    const uint8_t *
+    recurrentHColumn8(size_t h) const
+    {
+        return _recHColumns8.data() + h * _layer.outCount;
+    }
+
+    /** Kernel-path weighted accumulation over packed codes (accum
+     *  stage only; the caller batches activation/encoding). */
+    AccumResult accumulatePacked(size_t channel, const uint8_t *w8,
+                                 const uint8_t *x8, size_t fanIn,
+                                 double bias, AccumScratch &sc) const;
+
+    /** Kernel-path weighted accumulation over 16-bit codes (codebooks
+     *  too large to pack). */
+    AccumResult accumulateKeyed(size_t channel, const uint16_t *w,
+                                const uint16_t *x, size_t fanIn,
+                                double bias, AccumScratch &sc) const;
+
+    /** Per-neuron kernel-path evaluation (packed accumulation + scalar
+     *  AM lookups) for the sharded executors; bitwise-identical to
+     *  evaluateFast(). */
+    NeuronResult evaluatePacked(size_t channel, const uint8_t *w8,
+                                const uint8_t *x8, size_t fanIn,
+                                double bias, AccumScratch &sc) const;
+
+    /** Per-neuron kernel-path recurrent step over packed codes;
+     *  bitwise-identical to evaluateRecurrentStepFast(). */
+    NeuronResult evaluateRecurrentStepPacked(
+        const uint8_t *xWeightCodes, const uint8_t *xCodes,
+        size_t features, const uint8_t *hWeightCodes,
+        const uint8_t *hCodes, size_t hidden, double bias,
+        AccumScratch &scratch) const;
+
+    bool hasActivation() const { return _activationAm.has_value(); }
+    bool hasEncoder() const { return _encodingAm.has_value(); }
+
+    /** The constant analytic cost one activation lookup charges. */
+    const nvm::OpCost &activationQueryCost() const
+    {
+        return _activationQueryCost;
+    }
+
+    /** The constant analytic cost one encoding lookup charges. */
+    const nvm::OpCost &encodingQueryCost() const
+    {
+        return _encodingQueryCost;
+    }
+
+    /**
+     * Batched activation over a contiguous value range: out[i] = the
+     * activation AM's payload for in[i] (identity copy when the layer
+     * has no activation table). Functional-only — the caller charges
+     * activationQueryCost() per neuron. in == out is allowed.
+     * keyScratch/rowScratch are caller-sized to n.
+     */
+    void activateBatch(const double *in, double *out, size_t n,
+                       uint32_t *keyScratch, uint32_t *rowScratch) const;
+
+    /**
+     * Batched output encoding: codes[i] = the encoding-AM row of
+     * in[i]. Functional-only — the caller charges encodingQueryCost()
+     * per neuron. Requires hasEncoder().
+     */
+    void encodeBatch(const double *in, size_t n, uint32_t *keyScratch,
+                     uint32_t *rowScratch, uint16_t *codes) const;
 
     /**
      * Column-major (neuron-major) weight codes, transposed once at
@@ -151,6 +263,21 @@ class RnaLayerContext
     size_t productRows() const;
 
   private:
+    /** Shared sizing of one AccumScratch's kernel-path buffers. */
+    void prepareKernelScratch(AccumScratch &accum) const;
+
+    /**
+     * The precomputed counting-cycle hint for a weight-code pointer the
+     * caller passed into a kernel accumulation, or nullptr when the
+     * pointer is not one of this context's canonical weight arrays
+     * (e.g. a clipped conv window gathered into lane scratch — the
+     * engine then recomputes the identical value from the keys).
+     * Counting cycles depend only on the weight codes, so each
+     * canonical array's value is hoisted to configure time.
+     */
+    const uint32_t *countingHint(size_t channel, const void *w,
+                                 size_t fanIn) const;
+
     const composer::RLayer &_layer;
     nvm::CostModel _model;
     std::vector<AccumulationEngine> _engines;  //!< one per codebook
@@ -165,6 +292,28 @@ class RnaLayerContext
     Array<uint16_t> _denseColumns;
     Array<uint16_t> _recXColumns;
     Array<uint16_t> _recHColumns;
+    /** Kernel dispatch table (nullptr = kernel layer off). */
+    const simd::KernelOps *_kops = nullptr;
+    bool _packed = false;     //!< forward path packs to uint8 codes
+    bool _packedRec = false;  //!< feedback path also packs
+    /** Packed (uint8) twins of the weight-code arrays: views of
+     *  blob-precomputed sections when present, otherwise owned
+     *  narrowed copies derived at configure time. */
+    Array<uint8_t> _denseColumns8;
+    std::vector<Array<uint8_t>> _convChannel8;  //!< per out-channel
+    Array<uint8_t> _recXColumns8;
+    Array<uint8_t> _recHColumns8;
+    /** Constant analytic per-lookup costs, precomputed so the batch
+     *  paths charge without re-deriving them per neuron. */
+    nvm::OpCost _activationQueryCost;
+    nvm::OpCost _encodingQueryCost;
+    /** Precomputed AccumulationEngine::weightCountingCycles() per
+     *  canonical weight array (kernel contexts only): dense/recurrent
+     *  per neuron column, conv per output channel's full window. */
+    std::vector<uint32_t> _denseCounting;
+    std::vector<uint32_t> _convCounting;
+    std::vector<uint32_t> _recXCounting;
+    std::vector<uint32_t> _recHCounting;
 };
 
 } // namespace rapidnn::rna

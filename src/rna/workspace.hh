@@ -112,6 +112,14 @@ struct IntraOpScratch
     AccumScratch accum;
     std::vector<uint16_t> gatherW;
     std::vector<uint16_t> gatherX;
+
+    /** Kernel-path (SIMD) lane buffers: packed conv window gathers and
+     *  per-neuron AM batch scratch. gx8 is a gather8 target/source so
+     *  it lives in slack-padded aligned storage. */
+    simd::AlignedVec<uint8_t> gx8;
+    simd::AlignedVec<uint8_t> gw8;
+    simd::AlignedVec<uint32_t> amKeys;
+    simd::AlignedVec<uint32_t> amRows;
 };
 
 /** All mutable scratch one infer() call needs, reusable across calls. */
@@ -122,6 +130,22 @@ struct Workspace
     /** Conv/pool window gather targets (sized to the widest window). */
     std::vector<uint16_t> gatherW;
     std::vector<uint16_t> gatherX;
+
+    /**
+     * Kernel-path (SIMD) buffers. act8/h8 hold a whole layer's input /
+     * hidden-state codes narrowed to uint8 once per layer; gx8/gw8 are
+     * per-window packed gather targets; vals stages a layer's
+     * pre-/post-activation values for the batched AM lookups keyed
+     * through amKeys/amRows. act8 and gx8 feed KernelOps::gather8, so
+     * they must stay in slack-padded AlignedVec storage.
+     */
+    simd::AlignedVec<uint8_t> act8;
+    simd::AlignedVec<uint8_t> h8;
+    simd::AlignedVec<uint8_t> gx8;
+    simd::AlignedVec<uint8_t> gw8;
+    simd::AlignedVec<double> vals;
+    simd::AlignedVec<uint32_t> amKeys;
+    simd::AlignedVec<uint32_t> amRows;
 
     /** Recurrent hidden-state double buffers. */
     std::vector<uint16_t> hCodes;

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Bitwise-equivalence guard for the SIMD kernel layer.
+ *
+ * The contract (common/simd.hh): every KernelOps variant the host can
+ * run is bit-exact against the scalar implementation, so RAPIDNN_SIMD
+ * and ChipConfig::simd are pure speed knobs. Three levels pin it:
+ *
+ *  1. Kernel primitives: each variant vs the scalar table over randomized
+ *     inputs sweeping fan-in lengths around every vector-width boundary
+ *     (0, 1, 15..17, 31..33, 63..65, 127..129) and unaligned base
+ *     pointers (offsets 0..3), for 8-bit and 16-bit code widths.
+ *  2. The accumulation engine: runPacked/runKeyed vs the legacy run()
+ *     overloads, field by field, for power-of-two and padded key grids
+ *     and for codebooks too large to pack (the 16-bit keyed path).
+ *  3. Whole-chip inference: dense, conv and recurrent models through
+ *     ChipConfig::simd = Off vs every available variant, at 1 and 4
+ *     intra-op threads — logits, codes and PerfReports must be
+ *     bit-identical.
+ *
+ * The suite runs under the asan/tsan presets like every other tier-1
+ * test; the gather tail-slack contract is exercised by gathering from
+ * the very end of a source buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "composer/composer.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/accumulation.hh"
+#include "rna/chip.hh"
+#include "rna/kernels/kernels.hh"
+
+namespace rapidnn::rna {
+namespace {
+
+using simd::AlignedVec;
+using simd::KernelOps;
+using simd::Variant;
+
+/** Fan-in lengths straddling every vector-width boundary in play
+ *  (16/32/64 lanes for u8; 8/16/32 for u16; 4/8 for f64). */
+const size_t kSizes[] = {0,  1,  2,  3,  7,  8,  9,   15,  16,  17, 31,
+                         32, 33, 63, 64, 65, 127, 128, 129, 200};
+
+const KernelOps &
+scalarOps()
+{
+    const KernelOps *ops = kernels::opsFor(Variant::Scalar);
+    EXPECT_NE(ops, nullptr);
+    return *ops;
+}
+
+std::vector<Variant>
+simdVariants()
+{
+    std::vector<Variant> out;
+    for (Variant v : kernels::availableVariants())
+        if (v != Variant::Scalar)
+            out.push_back(v);
+    return out;
+}
+
+TEST(KernelPrimitives, PairKeys8MatchesScalar)
+{
+    Rng rng(101);
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            for (size_t off = 0; off < 4; ++off) {
+                std::vector<uint8_t> w(n + off), x(n + off);
+                for (auto &c : w)
+                    c = uint8_t(rng.uniformInt(0, 255));
+                for (auto &c : x)
+                    c = uint8_t(rng.uniformInt(0, 255));
+                for (uint32_t shift : {0u, 3u, 8u}) {
+                    std::vector<uint16_t> got(n + 1, 0xabcd),
+                        want(n + 1, 0xabcd);
+                    scalarOps().pairKeys8(w.data() + off,
+                                          x.data() + off, n, shift,
+                                          want.data());
+                    ops.pairKeys8(w.data() + off, x.data() + off, n,
+                                  shift, got.data());
+                    EXPECT_EQ(got, want)
+                        << ops.name << " n=" << n << " off=" << off
+                        << " shift=" << shift;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, PairKeys16MatchesScalar)
+{
+    Rng rng(102);
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            for (size_t off = 0; off < 4; ++off) {
+                std::vector<uint16_t> w(n + off), x(n + off);
+                for (auto &c : w)
+                    c = uint16_t(rng.uniformInt(0, 65535));
+                for (auto &c : x)
+                    c = uint16_t(rng.uniformInt(0, 65535));
+                for (uint32_t shift : {0u, 5u, 16u}) {
+                    std::vector<uint32_t> got(n + 1, 0xdeadbeef),
+                        want(n + 1, 0xdeadbeef);
+                    scalarOps().pairKeys16(w.data() + off,
+                                           x.data() + off, n, shift,
+                                           want.data());
+                    ops.pairKeys16(w.data() + off, x.data() + off, n,
+                                   shift, got.data());
+                    EXPECT_EQ(got, want)
+                        << ops.name << " n=" << n << " off=" << off
+                        << " shift=" << shift;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, NarrowMatchesScalar)
+{
+    Rng rng(103);
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            for (size_t off = 0; off < 4; ++off) {
+                std::vector<uint16_t> src(n + off);
+                for (auto &c : src)
+                    c = uint16_t(rng.uniformInt(0, 255));
+                std::vector<uint8_t> got(n + 1, 0xcc), want(n + 1, 0xcc);
+                scalarOps().narrow(src.data() + off, n, want.data());
+                ops.narrow(src.data() + off, n, got.data());
+                EXPECT_EQ(got, want)
+                    << ops.name << " n=" << n << " off=" << off;
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, Gather8MatchesScalar)
+{
+    Rng rng(104);
+    // Source must honor the gather contract: AlignedVec tail slack.
+    // Indices deliberately include the very last element so the
+    // 3-bytes-past-the-element overread lands in the slack (asan would
+    // flag a violation).
+    for (size_t srcLen : {1UL, 5UL, 64UL, 300UL}) {
+        AlignedVec<uint8_t> src;
+        src.ensure(srcLen);
+        for (size_t i = 0; i < srcLen; ++i)
+            src[i] = uint8_t(rng.uniformInt(0, 255));
+        for (Variant v : simdVariants()) {
+            const KernelOps &ops = *kernels::opsFor(v);
+            for (size_t n : kSizes) {
+                std::vector<uint32_t> idx(n);
+                for (auto &i : idx)
+                    i = uint32_t(rng.uniformInt(0, int64_t(srcLen) - 1));
+                if (n > 0)
+                    idx[n - 1] = uint32_t(srcLen - 1);
+                std::vector<uint8_t> got(n + 1, 0xcc),
+                    want(n + 1, 0xcc);
+                scalarOps().gather8(src.data(), idx.data(), n,
+                                    want.data());
+                ops.gather8(src.data(), idx.data(), n, got.data());
+                EXPECT_EQ(got, want) << ops.name << " srcLen=" << srcLen
+                                     << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, MaxU16MatchesScalar)
+{
+    Rng rng(105);
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            if (n == 0)
+                continue; // contract requires n >= 1
+            for (size_t off = 0; off < 4; ++off) {
+                std::vector<uint16_t> src(n + off);
+                for (auto &c : src)
+                    c = uint16_t(rng.uniformInt(0, 65535));
+                EXPECT_EQ(ops.maxU16(src.data() + off, n),
+                          scalarOps().maxU16(src.data() + off, n))
+                    << ops.name << " n=" << n << " off=" << off;
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, QuantizeMatchesScalar)
+{
+    Rng rng(106);
+    const double lo = -2.5, hi = 3.25;
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            for (size_t off = 0; off < 4; ++off) {
+                std::vector<double> x(n + off);
+                for (auto &val : x)
+                    // Overshoot the range so clamping paths execute.
+                    val = lo - 1.0 + rng.uniform() * (hi - lo + 2.0);
+                if (n > 0) {
+                    x[off] = lo;
+                    x[off + n - 1] = hi;
+                }
+                for (uint32_t maxKey : {15u, 255u, 65535u}) {
+                    std::vector<uint32_t> got(n + 1, 7u),
+                        want(n + 1, 7u);
+                    scalarOps().quantize(x.data() + off, n, lo, hi,
+                                         maxKey, want.data());
+                    ops.quantize(x.data() + off, n, lo, hi, maxKey,
+                                 got.data());
+                    EXPECT_EQ(got, want)
+                        << ops.name << " n=" << n << " off=" << off
+                        << " maxKey=" << maxKey;
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelPrimitives, DirectLookupMatchesScalar)
+{
+    Rng rng(107);
+    // Build a valid compiled winner map: strictly increasing segment
+    // starts from 0, and per-bucket hints pointing at the segment
+    // containing the bucket's first key (the walk only moves forward).
+    const uint32_t bucketShift = 4;
+    std::vector<uint32_t> segStart = {0, 3, 17, 18, 40, 129, 200, 255};
+    std::vector<uint32_t> segRow(segStart.size());
+    for (auto &r : segRow)
+        r = uint32_t(rng.uniformInt(0, 999));
+    const uint32_t maxQuery = 310; // past the last segment start
+    const size_t bucketCount = (maxQuery >> bucketShift) + 1;
+    std::vector<uint32_t> bucketSeg(bucketCount);
+    for (size_t b = 0; b < bucketCount; ++b) {
+        const uint32_t first = uint32_t(b) << bucketShift;
+        uint32_t seg = 0;
+        while (seg + 1 < segStart.size() && segStart[seg + 1] <= first)
+            ++seg;
+        bucketSeg[b] = seg;
+    }
+    for (Variant v : simdVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        for (size_t n : kSizes) {
+            std::vector<uint32_t> queries(n);
+            for (auto &q : queries)
+                q = uint32_t(rng.uniformInt(0, maxQuery));
+            std::vector<uint32_t> got(n + 1, 0xee), want(n + 1, 0xee);
+            scalarOps().directLookup(queries.data(), n,
+                                     bucketSeg.data(), bucketCount,
+                                     bucketShift, segStart.data(),
+                                     segRow.data(), segStart.size(),
+                                     want.data());
+            ops.directLookup(queries.data(), n, bucketSeg.data(),
+                             bucketCount, bucketShift, segStart.data(),
+                             segRow.data(), segStart.size(),
+                             got.data());
+            EXPECT_EQ(got, want) << ops.name << " n=" << n;
+        }
+    }
+}
+
+// ------------------------------------------------- engine equivalence
+
+void
+expectResultsEqual(const AccumResult &a, const AccumResult &b,
+                   const char *what)
+{
+    EXPECT_EQ(a.value, b.value) << what;
+    EXPECT_EQ(a.distinctProducts, b.distinctProducts) << what;
+    EXPECT_EQ(a.addends, b.addends) << what;
+    EXPECT_EQ(a.countingCycles, b.countingCycles) << what;
+    EXPECT_EQ(a.cost.counting.cycles, b.cost.counting.cycles) << what;
+    EXPECT_EQ(a.cost.fetch.cycles, b.cost.fetch.cycles) << what;
+    EXPECT_EQ(a.cost.adder.cycles, b.cost.adder.cycles) << what;
+    EXPECT_EQ(a.cost.total().energy.j(), b.cost.total().energy.j())
+        << what;
+}
+
+/** run() (heap oracle) vs runPacked/runKeyed for one (w, u) table. */
+void
+sweepEngine(size_t w, size_t u, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> table(w * u);
+    for (auto &p : table)
+        p = rng.uniform() * 2.0 - 1.0;
+    AccumulationEngine engine(Array<double>(std::move(table)), w, u,
+                              nvm::CostModel{});
+    AccumScratch scratch;
+
+    for (size_t n : kSizes) {
+        std::vector<uint16_t> wc(n), uc(n);
+        for (auto &c : wc)
+            c = uint16_t(rng.uniformInt(0, int64_t(w) - 1));
+        for (auto &c : uc)
+            c = uint16_t(rng.uniformInt(0, int64_t(u) - 1));
+        const double bias = rng.uniform() - 0.5;
+        const AccumResult oracle = engine.run(wc, uc, bias);
+
+        for (Variant v : kernels::availableVariants()) {
+            const KernelOps &ops = *kernels::opsFor(v);
+            if (engine.packable()) {
+                std::vector<uint8_t> wc8(wc.begin(), wc.end());
+                std::vector<uint8_t> uc8(uc.begin(), uc.end());
+                const AccumResult packed = engine.runPacked(
+                    ops, wc8.data(), uc8.data(), n, bias, scratch);
+                expectResultsEqual(oracle, packed, ops.name);
+            }
+            const AccumResult keyed = engine.runKeyed(
+                ops, wc.data(), uc.data(), n, bias, scratch);
+            expectResultsEqual(oracle, keyed, ops.name);
+        }
+    }
+}
+
+TEST(EngineEquivalence, PowerOfTwoInputCodebook)
+{
+    sweepEngine(16, 16, 201); // u power of two: identity padded grid
+}
+
+TEST(EngineEquivalence, PaddedInputCodebook)
+{
+    sweepEngine(16, 12, 202); // u not a power of two: renumbered grid
+    sweepEngine(7, 3, 203);
+}
+
+TEST(EngineEquivalence, WideCodebookKeyedPath)
+{
+    // Codebooks beyond 256 entries cannot pack; the 16-bit keyed path
+    // must still match the oracle.
+    sweepEngine(300, 20, 204);
+    sweepEngine(20, 300, 205);
+    ASSERT_FALSE(
+        AccumulationEngine(Array<double>(std::vector<double>(300 * 20)),
+                           300, 20, nvm::CostModel{})
+            .packable());
+}
+
+// --------------------------------------------------- chip equivalence
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+
+composer::ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+struct Fixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    ReinterpretedModel model;
+};
+
+Fixture &
+denseFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::Dataset all = nn::makeVectorTask(
+            {"kq-dense", 18, 4, 260, 0.35, 1.0, 301});
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(302);
+        nn::Network net = nn::buildMlp(
+            {.inputs = 18, .hidden = {20, 14}, .outputs = 4}, rng);
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+convFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::ImageTaskSpec spec;
+        spec.name = "kq-conv";
+        spec.side = 8;
+        spec.classes = 3;
+        spec.samples = 200;
+        spec.seed = 303;
+        nn::Dataset all = nn::makeImageTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(304);
+        nn::CnnSpec cnn;
+        cnn.channels = 3;
+        cnn.height = cnn.width = 8;
+        cnn.convChannels = {5, 6};
+        cnn.denseWidths = {20};
+        cnn.outputs = 3;
+        nn::Network net = nn::buildCnn(cnn, rng);
+        nn::Trainer({.epochs = 3, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+recurrentFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::SequenceTaskSpec spec;
+        spec.name = "kq-seq";
+        spec.features = 5;
+        spec.steps = 7;
+        spec.classes = 3;
+        spec.samples = 240;
+        spec.noise = 0.25;
+        spec.seed = 305;
+        nn::Dataset all = nn::makeSequenceTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(306);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            5, 12, 7, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(12, 3, rng));
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+/**
+ * The scalar oracle is simd = Off (the pre-kernel fused fast path,
+ * byte-for-byte untouched); every variant × thread count must
+ * reproduce its logits, codes and PerfReport bit-for-bit.
+ */
+void
+expectChipBitwise(const Fixture &fx, nvm::SearchMode mode,
+                  size_t samples = 8)
+{
+    ChipConfig offConfig;
+    offConfig.simd = Variant::Off;
+    offConfig.searchMode = mode;
+    Chip oracle(offConfig);
+    oracle.configure(fx.model);
+
+    std::vector<Variant> variants = kernels::availableVariants();
+    for (Variant v : variants) {
+        for (size_t threads : {size_t(1), size_t(4)}) {
+            ChipConfig config;
+            config.simd = v;
+            config.searchMode = mode;
+            config.numThreads = threads;
+            Chip chip(config);
+            chip.configure(fx.model);
+
+            for (size_t s = 0;
+                 s < samples && s < fx.validation.size(); ++s) {
+                const nn::Tensor &x = fx.validation.sample(s).x;
+                PerfReport refReport, report;
+                const std::vector<double> want =
+                    oracle.infer(x, refReport);
+                const std::vector<double> got = chip.infer(x, report);
+
+                ASSERT_EQ(want.size(), got.size());
+                for (size_t j = 0; j < want.size(); ++j)
+                    EXPECT_EQ(want[j], got[j])
+                        << simd::variantName(v) << " threads="
+                        << threads << " logit " << j << " sample " << s;
+                EXPECT_EQ(refReport.latency.ns(), report.latency.ns())
+                    << simd::variantName(v) << " threads=" << threads;
+                EXPECT_EQ(refReport.energy.j(), report.energy.j())
+                    << simd::variantName(v) << " threads=" << threads;
+                ASSERT_EQ(refReport.breakdown.size(),
+                          report.breakdown.size());
+                for (size_t c = 0; c < refReport.breakdown.size();
+                     ++c) {
+                    EXPECT_EQ(refReport.breakdown[c].time.ns(),
+                              report.breakdown[c].time.ns())
+                        << refReport.breakdown[c].name;
+                    EXPECT_EQ(refReport.breakdown[c].energy.j(),
+                              report.breakdown[c].energy.j())
+                        << refReport.breakdown[c].name;
+                }
+            }
+        }
+    }
+}
+
+TEST(ChipKernelEquivalence, DenseBitwise)
+{
+    expectChipBitwise(denseFixture(), nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(ChipKernelEquivalence, ConvBitwise)
+{
+    expectChipBitwise(convFixture(), nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(ChipKernelEquivalence, RecurrentBitwise)
+{
+    expectChipBitwise(recurrentFixture(),
+                      nvm::SearchMode::AbsoluteExact);
+}
+
+TEST(ChipKernelEquivalence, StagedSearchModeBitwise)
+{
+    // CircuitStaged has no direct index, so the batched AM path runs
+    // the per-query staged search — costs must still match Off.
+    expectChipBitwise(denseFixture(), nvm::SearchMode::CircuitStaged,
+                      4);
+}
+
+// ------------------------------------------------- dispatch policy
+
+TEST(KernelDispatch, EnvOverridesAutoExplicitWinsOverEnv)
+{
+    ASSERT_EQ(setenv("RAPIDNN_SIMD", "scalar", 1), 0);
+    EXPECT_EQ(kernels::resolve(Variant::Auto), Variant::Scalar);
+    // An explicit (non-Auto) request beats the environment.
+    for (Variant v : kernels::availableVariants())
+        EXPECT_EQ(kernels::resolve(v), v);
+    EXPECT_EQ(kernels::resolve(Variant::Off), Variant::Off);
+    ASSERT_EQ(setenv("RAPIDNN_SIMD", "off", 1), 0);
+    EXPECT_EQ(kernels::resolve(Variant::Auto), Variant::Off);
+    ASSERT_EQ(unsetenv("RAPIDNN_SIMD"), 0);
+
+    // Without an override, Auto resolves to the best available
+    // variant, which availableVariants() lists first.
+    const std::vector<Variant> avail = kernels::availableVariants();
+    ASSERT_FALSE(avail.empty());
+    EXPECT_EQ(avail.back(), Variant::Scalar);
+    EXPECT_EQ(kernels::resolve(Variant::Auto), avail.front());
+}
+
+TEST(KernelDispatch, ScalarAlwaysAvailableAndTablesNamed)
+{
+    for (Variant v : kernels::availableVariants()) {
+        const KernelOps *ops = kernels::opsFor(v);
+        ASSERT_NE(ops, nullptr) << simd::variantName(v);
+        EXPECT_STREQ(ops->name, simd::variantName(v));
+        EXPECT_NE(ops->pairKeys8, nullptr);
+        EXPECT_NE(ops->pairKeys16, nullptr);
+        EXPECT_NE(ops->narrow, nullptr);
+        EXPECT_NE(ops->gather8, nullptr);
+        EXPECT_NE(ops->maxU16, nullptr);
+        EXPECT_NE(ops->quantize, nullptr);
+        EXPECT_NE(ops->directLookup, nullptr);
+    }
+    EXPECT_EQ(kernels::opsFor(Variant::Off), nullptr);
+    EXPECT_EQ(kernels::opsFor(Variant::Auto), nullptr);
+}
+
+} // namespace
+} // namespace rapidnn::rna

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json dumps (files or directories) for regressions.
+
+Every bench binary writes a flat BENCH_<name>.json of numeric metrics
+(see bench/bench_util.hh). This tool diffs a candidate run against a
+baseline and exits nonzero when any watched metric regresses beyond the
+tolerance, so CI can hold the line on inference performance without
+scraping stdout.
+
+Usage:
+  tools/bench_compare.py BASELINE CANDIDATE [--tolerance 0.10]
+      [--strict-metadata] [--fail-on-missing]
+
+BASELINE and CANDIDATE are either two .json files or two directories;
+directories are matched by file name (BENCH_*.json). Metrics are
+classified by key suffix:
+
+  lower is better:  *_ns, *_us, *_ms, *_s, *_seconds, *_cycles,
+                    *_energy, *_nj, *_pj, *_bytes, *_edp, *_error,
+                    *_error_rate, *_overhead
+  higher is better: *_per_s, *_per_sec, *_throughput, *_speedup,
+                    *_qps, *_ops, *_accuracy
+  everything else:  informational only (reported, never fails)
+
+A candidate more than --tolerance (default 10%) worse than baseline on
+a classified metric is a regression. Metadata keys (bench, simd_*,
+rapidnn_*_env, *_threads) are compared for equality and reported —
+mismatched kernel attribution makes a comparison apples-to-oranges,
+which is a warning by default and an error under --strict-metadata.
+
+Exit status: 0 = no regressions, 1 = regressions (or, with
+--fail-on-missing, baseline metrics absent from the candidate),
+2 = usage/parse errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+LOWER_IS_BETTER = (
+    "_ns", "_us", "_ms", "_s", "_seconds", "_cycles", "_energy",
+    "_nj", "_pj", "_bytes", "_edp", "_error", "_error_rate",
+    "_overhead",
+)
+HIGHER_IS_BETTER = (
+    "_per_s", "_per_sec", "_throughput", "_speedup", "_qps", "_ops",
+    "_accuracy",
+)
+METADATA_KEYS = ("bench", "simd_variant", "simd_features",
+                 "rapidnn_simd_env", "rapidnn_threads",
+                 "default_threads")
+
+
+def classify(key):
+    """'lower', 'higher', or None (informational)."""
+    for suffix in HIGHER_IS_BETTER:
+        if key.endswith(suffix):
+            return "higher"
+    for suffix in LOWER_IS_BETTER:
+        if key.endswith(suffix):
+            return "lower"
+    return None
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"error: {path}: not a JSON object", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def compare_one(base_path, cand_path, args):
+    """Compare two bench dumps; returns (regressions, missing) counts."""
+    base = load(base_path)
+    cand = load(cand_path)
+    name = base.get("bench", os.path.basename(base_path))
+    print(f"== {name}")
+
+    meta_mismatch = 0
+    for key in METADATA_KEYS:
+        bv, cv = base.get(key), cand.get(key)
+        if bv != cv:
+            meta_mismatch += 1
+            print(f"  [meta] {key}: baseline={bv!r} candidate={cv!r}")
+
+    regressions = 0
+    missing = 0
+    for key, bv in base.items():
+        if key in METADATA_KEYS:
+            continue
+        if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+            continue
+        if key not in cand:
+            missing += 1
+            print(f"  [missing] {key}: absent from candidate")
+            continue
+        cv = cand[key]
+        if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+            print(f"  [missing] {key}: non-numeric in candidate")
+            missing += 1
+            continue
+        direction = classify(key)
+        if bv == 0:
+            # Ratios are meaningless from a zero baseline; report only.
+            if cv != bv:
+                print(f"  [info] {key}: {bv} -> {cv} (zero baseline)")
+            continue
+        change = (cv - bv) / abs(bv)
+        worse = (direction == "lower" and change > args.tolerance) or \
+                (direction == "higher" and change < -args.tolerance)
+        if worse:
+            regressions += 1
+            print(f"  [REGRESSION] {key}: {bv:g} -> {cv:g} "
+                  f"({change:+.1%}, tolerance {args.tolerance:.0%})")
+        elif direction is not None and abs(change) > args.tolerance:
+            print(f"  [improved] {key}: {bv:g} -> {cv:g} "
+                  f"({change:+.1%})")
+        elif args.verbose:
+            tag = direction or "info"
+            print(f"  [{tag}] {key}: {bv:g} -> {cv:g} ({change:+.1%})")
+
+    if regressions == 0 and missing == 0 and meta_mismatch == 0:
+        print("  ok")
+    if args.strict_metadata and meta_mismatch:
+        regressions += meta_mismatch
+    return regressions, missing
+
+
+def json_files(directory):
+    return sorted(f for f in os.listdir(directory)
+                  if f.startswith("BENCH_") and f.endswith(".json"))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff BENCH_*.json dumps; nonzero exit on "
+                    "regression beyond tolerance.")
+    ap.add_argument("baseline", help="baseline .json file or directory")
+    ap.add_argument("candidate",
+                    help="candidate .json file or directory")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="fractional regression allowed (default 0.10)")
+    ap.add_argument("--strict-metadata", action="store_true",
+                    help="treat metadata mismatches as failures")
+    ap.add_argument("--fail-on-missing", action="store_true",
+                    help="fail when baseline metrics are absent from "
+                         "the candidate")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="print every compared metric")
+    args = ap.parse_args()
+
+    if args.tolerance < 0:
+        print("error: negative tolerance", file=sys.stderr)
+        return 2
+
+    base_dir = os.path.isdir(args.baseline)
+    cand_dir = os.path.isdir(args.candidate)
+    if base_dir != cand_dir:
+        print("error: baseline and candidate must both be files or "
+              "both be directories", file=sys.stderr)
+        return 2
+
+    pairs = []
+    if base_dir:
+        base_names = json_files(args.baseline)
+        cand_names = set(json_files(args.candidate))
+        if not base_names:
+            print(f"error: no BENCH_*.json under {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        for fname in base_names:
+            if fname in cand_names:
+                pairs.append((os.path.join(args.baseline, fname),
+                              os.path.join(args.candidate, fname)))
+            else:
+                print(f"note: {fname} has no candidate counterpart; "
+                      f"skipped")
+    else:
+        pairs.append((args.baseline, args.candidate))
+
+    total_regressions = 0
+    total_missing = 0
+    for base_path, cand_path in pairs:
+        r, m = compare_one(base_path, cand_path, args)
+        total_regressions += r
+        total_missing += m
+
+    print(f"\ncompared {len(pairs)} dump(s): "
+          f"{total_regressions} regression(s), "
+          f"{total_missing} missing metric(s)")
+    if total_regressions:
+        return 1
+    if args.fail_on_missing and total_missing:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,8 @@ import struct
 import sys
 
 MAGIC = 0x424E4E52  # "RNNB" little-endian
-VERSION = 1
+MIN_VERSION = 1
+VERSION = 2  # v2 adds u8 packed weight-code sections
 HEADER_BYTES = 64
 SECTION_ENTRY_BYTES = 24
 MAX_SECTIONS = 1 << 20
@@ -29,9 +30,10 @@ KIND_NAMES = {
     2: "f32",
     3: "u16",
     4: "u32",
+    5: "u8",
 }
 
-KIND_ELEM_BYTES = {0: 8, 1: 8, 2: 4, 3: 2, 4: 4}
+KIND_ELEM_BYTES = {0: 8, 1: 8, 2: 4, 3: 2, 4: 4, 5: 1}
 
 
 class BlobError(Exception):
@@ -84,9 +86,9 @@ def validate(data, header, sections):
     if header["magic"] != MAGIC:
         bad(f"bad magic 0x{header['magic']:08x} "
             f"(want 0x{MAGIC:08x} 'RNNB')")
-    if header["version"] != VERSION:
+    if not MIN_VERSION <= header["version"] <= VERSION:
         bad(f"unsupported version {header['version']} "
-            f"(want {VERSION})")
+            f"(want {MIN_VERSION}..{VERSION})")
     if header["flags"] != 0:
         bad(f"unknown flags 0x{header['flags']:x}")
     if header["headerBytes"] != HEADER_BYTES:

@@ -37,6 +37,14 @@ Rules
               macros (telemetry/trace.hh), which keep the clock reads
               inside the telemetry layer and cost one relaxed atomic
               load when tracing is disabled.
+  raw-simd    Raw SIMD intrinsics (immintrin.h/arm_neon.h includes,
+              _mm*_* calls, __m128/__m256/__m512 vector types, NEON
+              vld/vst and lane types) outside src/rna/kernels/ and
+              src/common/simd.hh. Vector code is only bit-exact
+              against the scalar oracle when it lives behind the
+              KernelOps dispatch table, where the per-variant
+              equivalence suite pins it; intrinsics sprinkled
+              elsewhere escape that oracle.
 
 Suppression
 -----------
@@ -97,6 +105,21 @@ FP_REDUCE_EXEMPT = ("src/rna/",)
 WALL_CLOCK_RE = re.compile(r"\b(?:steady_clock|system_clock)\b")
 WALL_CLOCK_SCOPE = ("src/rna/",)
 
+# Raw vector intrinsics must stay behind the KernelOps dispatch table,
+# where tests/kernel_equivalence_test.cc pins each variant against the
+# scalar oracle. simd.hh is allowed by charter (it owns the dispatch
+# types) even though it deliberately contains no intrinsics today.
+RAW_SIMD_PATTERNS = [
+    re.compile(r"#\s*include\s*<\s*(?:immintrin|x86intrin|emmintrin|"
+               r"smmintrin|tmmintrin|nmmintrin|wmmintrin|arm_neon)"
+               r"\.h\s*>"),
+    re.compile(r"\b_mm(?:256|512)?_\w+\s*\("),
+    re.compile(r"\b__m(?:128|256|512)[id]?\b"),
+    re.compile(r"\bv(?:ld|st)[1-4]q?_\w+"),
+    re.compile(r"\b(?:u?int|float)(?:8|16|32|64)x(?:2|4|8|16)_t\b"),
+]
+RAW_SIMD_ALLOWED = ("src/rna/kernels/", "src/common/simd.hh")
+
 
 class Finding:
     def __init__(self, path, lineno, rule, message):
@@ -139,6 +162,8 @@ def lint_lines(rel_path, lines):
     fp_exempt = any(rel_path.startswith(p) for p in FP_REDUCE_EXEMPT)
     wall_clock_scope = any(
         rel_path.startswith(p) for p in WALL_CLOCK_SCOPE)
+    raw_simd_allowed = any(
+        rel_path.startswith(p) for p in RAW_SIMD_ALLOWED)
 
     prev = None
     for lineno, line in enumerate(lines, start=1):
@@ -172,6 +197,17 @@ def lint_lines(rel_path, lines):
                 "direct clock read in the simulator core; trace "
                 "through the RAPIDNN_TELEMETRY_SPAN guard macros "
                 "(telemetry/trace.hh) instead"))
+        if not raw_simd_allowed:
+            for pattern in RAW_SIMD_PATTERNS:
+                if pattern.search(line) and not suppressed(
+                        "raw-simd", line, prev):
+                    findings.append(Finding(
+                        rel_path, lineno, "raw-simd",
+                        "raw SIMD intrinsics outside src/rna/kernels/ "
+                        "(and common/simd.hh); vector code must live "
+                        "behind the KernelOps dispatch table so the "
+                        "per-variant equivalence suite covers it"))
+                    break
         prev = line
     return findings
 
@@ -253,6 +289,24 @@ def self_test():
         ("rna wall-clock suppressible", "src/rna/chip.cc",
          "// NOLINT-DETERMINISM(wall-clock): test fixture\n"
          "auto t = std::chrono::steady_clock::now();", []),
+        ("immintrin include outside kernels", "src/rna/chip.cc",
+         "#include <immintrin.h>", ["raw-simd"]),
+        ("mm intrinsic call outside kernels", "src/nvm/ndcam.cc",
+         "auto v = _mm256_loadu_si256(p);", ["raw-simd"]),
+        ("vector type outside kernels", "src/rna/workspace.hh",
+         "__m512i acc;", ["raw-simd"]),
+        ("neon load outside kernels", "src/rna/chip.cc",
+         "uint8x16_t v = vld1q_u8(p);", ["raw-simd"]),
+        ("intrinsics allowed in kernels",
+         "src/rna/kernels/kernels_avx2.cc",
+         "#include <immintrin.h>\n"
+         "auto v = _mm256_loadu_si256(p); __m256i w;", []),
+        ("simd.hh allowed by charter", "src/common/simd.hh",
+         "#include <immintrin.h>", []),
+        ("dispatch call site ok", "src/rna/chip.cc",
+         "_kops->gather8(src, idx, n, dst);", []),
+        ("one finding per line max", "src/rna/chip.cc",
+         "__m256i v = _mm256_setzero_si256();", ["raw-simd"]),
     ]
     for name, path, source, expected in scoped_cases:
         got = [f.rule for f in lint_lines(path, source.splitlines())]
