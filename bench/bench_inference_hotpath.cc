@@ -27,6 +27,15 @@
  * skipped with a logged reason, since there is no vector unit to earn
  * the speedup on.
  *
+ * A fifth section sweeps Chip::inferBatch at batch 1/2/4/8 on a single
+ * thread: each layer runs once for the whole batch, so per-output-
+ * neuron work (weight-column loads, pair-key construction via
+ * pairKeys8Lanes, counting-cycle hints, AM batch lookups) amortizes
+ * across lanes. Results are bitwise identical to sequential infer()
+ * calls (tests/batch_equivalence_test.cc pins it); this section
+ * measures only the amortization, and calibrates the serving-side
+ * >= 1.5x gate in bench_serving_throughput.
+ *
  * Results are also written to BENCH_inference_hotpath.json.
  */
 
@@ -36,6 +45,8 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "bench_util.hh"
 #include "composer/composer.hh"
@@ -194,6 +205,45 @@ bestSamplesPerSecSimd(const BenchModel &bm, simd::Variant variant,
     return best;
 }
 
+/** Single-thread host samples/second through Chip::inferBatch at a
+ *  fixed batch size (arena sized for the largest swept batch). */
+double
+batchSamplesPerSec(const BenchModel &bm, size_t batch)
+{
+    rna::ChipConfig config;
+    config.maxBatch = 8;
+    rna::Chip chip(config);
+    chip.configure(bm.model);
+
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(batch);
+    for (size_t s = 0; s < batch; ++s)
+        inputs.push_back(bm.data.sample(s % bm.data.size()).x);
+    std::vector<rna::PerfReport> reports(batch);
+    const std::span<const nn::Tensor> in(inputs);
+    const std::span<rna::PerfReport> out(reports);
+
+    for (size_t i = 0; i < 2; ++i)  // warmup (plans, batch arenas)
+        chip.inferBatch(in, out);
+
+    const size_t groups = std::max<size_t>(1, bm.iters / batch);
+    const auto t0 = Clock::now();
+    for (size_t g = 0; g < groups; ++g)
+        chip.inferBatch(in, out);
+    const double sec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return static_cast<double>(groups * batch) / sec;
+}
+
+double
+bestBatchSamplesPerSec(const BenchModel &bm, size_t batch, int reps)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r)
+        best = std::max(best, batchSamplesPerSec(bm, batch));
+    return best;
+}
+
 /** Measured (wall-clock) serving throughput with 4 replica workers. */
 double
 servingRps(const BenchModel &bm, bool fastPath)
@@ -339,7 +389,38 @@ main()
                              simdSps);
         metrics.emplace_back(bm.name + ".simd_speedup", speedup);
     }
-    bench::writeBenchJson("inference_hotpath", metrics);
+    // Batch scaling: Chip::inferBatch on one thread at batch 1/2/4/8
+    // (maxBatch = 8 arena), best-of-3 each. Bitwise-identical to
+    // sequential infer() (tests/batch_equivalence_test.cc); the b8
+    // speedup over b1 is the cross-request amortization the serving
+    // engine's batchedInfer path banks on.
+    constexpr size_t kBatchSweep[] = {1, 2, 4, 8};
+    std::cout << "\n-- batch scaling: Chip::inferBatch, 1 thread, "
+                 "maxBatch=8 --\n"
+              << std::left << std::setw(11) << "model";
+    for (size_t b : kBatchSweep)
+        std::cout << std::right << std::setw(12)
+                  << ("b" + std::to_string(b) + " sps");
+    std::cout << std::setw(10) << "b8/b1" << "\n";
+    for (const BenchModel &bm : models) {
+        double sps[std::size(kBatchSweep)] = {};
+        std::cout << std::left << std::setw(11) << bm.name
+                  << std::right << std::fixed << std::setprecision(1);
+        for (size_t i = 0; i < std::size(kBatchSweep); ++i) {
+            sps[i] = bestBatchSamplesPerSec(bm, kBatchSweep[i], 3);
+            std::cout << std::setw(12) << sps[i];
+            metrics.emplace_back(
+                bm.name + ".batch_sps_b"
+                    + std::to_string(kBatchSweep[i]),
+                sps[i]);
+        }
+        const double scaling = sps[0] > 0.0
+            ? sps[std::size(kBatchSweep) - 1] / sps[0] : 0.0;
+        std::cout << std::setw(10) << bench::times(scaling) << "\n";
+        metrics.emplace_back(bm.name + ".batch8_speedup", scaling);
+    }
+    bench::writeBenchJson("inference_hotpath", metrics,
+                          /*batchLanes=*/8);
 
     // The scrape surface the runs above populated (stage histograms
     // fill only while tracing is on).

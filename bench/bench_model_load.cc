@@ -335,6 +335,9 @@ main(int argc, char **argv)
         std::remove(textPath.c_str());
     }
 
+    // Smoke dumps shrink every workload, so bench_compare.py skips
+    // comparing them against full-run baselines via this flag.
+    metrics.emplace_back("smoke", smoke ? 1.0 : 0.0);
     bench::writeBenchJson("model_load", metrics);
 
     const bool pass = worstCloneSpeedup >= 5.0;

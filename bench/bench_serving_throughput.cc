@@ -10,8 +10,33 @@
  * host cores the simulator gets. "wall" is host-side requests/second,
  * which additionally depends on host parallelism. The ≥3x acceptance
  * target applies to the modeled deployment scaling.
+ *
+ * A second section measures cross-request amortization: host wall
+ * samples/sec with the engine's Chip::inferBatch path
+ * (ServingConfig::batchedInfer, the default) vs the per-request
+ * Chip::infer loop, one worker, maxBatch = 8, full batches. Results
+ * are bitwise identical either way (tests/batch_equivalence_test.cc).
+ *
+ * How much batching can win is workload-shaped. The exact per-lane
+ * pair-count tally (the simulated counting hardware) is inherently
+ * per-sample, and on the dense Table 2 stand-ins — whose first layer
+ * has fan-in 561-784 — it is ~90% of batched inference time, so
+ * Amdahl caps cross-request amortization near 1.2x there. Conv models
+ * are the amortization-friendly shape: small per-window fan-in with
+ * per-column shared work (window clip gathers, counting-cycle hints,
+ * weight-half of pair-key construction) that inferBatch does once for
+ * all lanes. The gates reflect both: the conv model (CIFAR-10, run at
+ * stand-in scale by default for exactly this reason) must show the
+ * >= 1.5x headline speedup, and the geometric mean across all models
+ * must stay >= 1.05x so the smaller dense-model wins cannot silently
+ * regress.
+ *
+ * --smoke (or RAPIDNN_SMOKE=1) shrinks the request counts and
+ * disables both gates, for CI tier-1/tsan smoke runs.
  */
 
+#include <cmath>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
@@ -34,7 +59,7 @@ struct ServeResult
 ServeResult
 serveOnce(const composer::ReinterpretedModel &model,
           const nn::Dataset &validation, size_t workers,
-          size_t requests, size_t maxBatch)
+          size_t requests, size_t maxBatch, bool batchedInfer = true)
 {
     runtime::ServingConfig serving;
     serving.workers = workers;
@@ -45,6 +70,7 @@ serveOnce(const composer::ReinterpretedModel &model,
     // 1/N per replica, so the scaling measurement is deterministic
     // regardless of how the host schedules the worker threads.
     serving.dispatch = runtime::DispatchPolicy::RoundRobin;
+    serving.batchedInfer = batchedInfer;
     runtime::ServingEngine engine(model, rna::ChipConfig{}, serving);
 
     std::vector<std::future<runtime::InferResult>> futures;
@@ -62,28 +88,100 @@ serveOnce(const composer::ReinterpretedModel &model,
             stats.batchSizes.summary().mean()};
 }
 
+/**
+ * Best-of-N wall samples/sec over the submit -> drain window for the
+ * batched-amortization comparison: one worker so replica scheduling
+ * can't mask the chip-level effect, maxBatch = 8, and a warmup round
+ * so engine construction, workspace arenas and conv plans are
+ * excluded from the timed window.
+ */
+double
+bestServedSps(const composer::ReinterpretedModel &model,
+              const nn::Dataset &validation, size_t requests,
+              bool batchedInfer, int reps)
+{
+    using Clock = std::chrono::steady_clock;
+
+    runtime::ServingConfig serving;
+    serving.workers = 1;
+    serving.maxBatch = 8;
+    serving.maxLatencyUs = 500;
+    serving.queueCapacity = 2 * requests;
+    serving.dispatch = runtime::DispatchPolicy::RoundRobin;
+    serving.batchedInfer = batchedInfer;
+    runtime::ServingEngine engine(model, rna::ChipConfig{}, serving);
+
+    std::vector<std::future<runtime::InferResult>> futures;
+    futures.reserve(requests);
+    double best = 0.0;
+    for (int r = 0; r < reps + 1; ++r) {  // round 0 = warmup
+        futures.clear();
+        const auto t0 = Clock::now();
+        for (size_t i = 0; i < requests; ++i)
+            futures.push_back(engine.submit(
+                validation.sample(i % validation.size()).x));
+        for (auto &future : futures)
+            future.get();
+        engine.drain();
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (r > 0 && sec > 0.0)
+            best = std::max(best,
+                            static_cast<double>(requests) / sec);
+    }
+    return best;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using bench::BenchScale;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    const char *smokeEnv = std::getenv("RAPIDNN_SMOKE");
+    if (smokeEnv != nullptr && smokeEnv[0] == '1')
+        smoke = true;
 
     const BenchScale scale = BenchScale::fromEnv();
     bench::banner("Serving throughput: batched multi-threaded runtime "
                   "over Table 2 models",
                   scale);
+    if (smoke)
+        std::cout << "smoke mode: reduced requests, gates off\n\n";
 
+    // CIFAR-10 is in the default set (not just RAPIDNN_FULL) because
+    // it is the conv workload the batched-execution headline gate
+    // measures; its stand-in builds in ~2s at the default scale.
     std::vector<nn::Benchmark> benchmarks = {
         nn::Benchmark::Mnist, nn::Benchmark::Isolet,
-        nn::Benchmark::Har};
+        nn::Benchmark::Har, nn::Benchmark::Cifar10};
     if (std::getenv("RAPIDNN_FULL") != nullptr &&
-        std::getenv("RAPIDNN_FULL")[0] == '1') {
-        benchmarks.push_back(nn::Benchmark::Cifar10);
+        std::getenv("RAPIDNN_FULL")[0] == '1')
         benchmarks.push_back(nn::Benchmark::Cifar100);
+
+    struct ServeModel
+    {
+        std::string name;
+        composer::ReinterpretedModel model;
+        nn::Dataset validation;
+    };
+    std::vector<ServeModel> models;
+    for (nn::Benchmark benchmark : benchmarks) {
+        core::BenchmarkModel bm =
+            core::buildBenchmarkModel(benchmark, scale.options());
+        composer::Composer composer(composer::ComposerConfig{});
+        models.push_back(
+            {nn::benchmarkName(benchmark),
+             composer.reinterpret(bm.network, bm.train),
+             bench::cappedValidation(bm.validation, 64)});
     }
 
-    const size_t requests = 48;
+    const size_t requests = smoke ? 16 : 48;
     std::cout << std::left << std::setw(10) << "model"
               << std::right << std::setw(14) << "modeled@1"
               << std::setw(14) << "modeled@8" << std::setw(10)
@@ -91,33 +189,24 @@ main()
               << std::setw(10) << "p50 us" << std::setw(10)
               << "p99 us" << std::setw(10) << "batch" << "\n";
 
-    bool allPass = true;
+    bool scalingPass = true;
     std::vector<std::pair<std::string, double>> metrics;
-    for (nn::Benchmark benchmark : benchmarks) {
-        core::BenchmarkModel bm =
-            core::buildBenchmarkModel(benchmark, scale.options());
-        composer::Composer composer(composer::ComposerConfig{});
-        composer::ReinterpretedModel model =
-            composer.reinterpret(bm.network, bm.train);
-        const nn::Dataset validation =
-            bench::cappedValidation(bm.validation, 64);
-
+    for (const ServeModel &sm : models) {
         // Replica-scaling measurement at batch size 1 (so the speedup
         // isolates replication), plus a batched 8-worker run for the
         // latency/batch columns.
         const ServeResult one =
-            serveOnce(model, validation, 1, requests, 1);
+            serveOnce(sm.model, sm.validation, 1, requests, 1);
         const ServeResult eightScaling =
-            serveOnce(model, validation, 8, requests, 1);
+            serveOnce(sm.model, sm.validation, 8, requests, 1);
         const ServeResult eight =
-            serveOnce(model, validation, 8, requests, 8);
+            serveOnce(sm.model, sm.validation, 8, requests, 8);
         const double speedup = one.modeledRps > 0.0
             ? eightScaling.modeledRps / one.modeledRps : 0.0;
-        allPass = allPass && speedup >= 3.0;
+        scalingPass = scalingPass && speedup >= 3.0;
 
-        std::cout << std::left << std::setw(10)
-                  << nn::benchmarkName(benchmark) << std::right
-                  << std::fixed << std::setprecision(0)
+        std::cout << std::left << std::setw(10) << sm.name
+                  << std::right << std::fixed << std::setprecision(0)
                   << std::setw(14) << one.modeledRps << std::setw(14)
                   << eightScaling.modeledRps << std::setw(10)
                   << bench::times(speedup) << std::setw(12)
@@ -126,21 +215,79 @@ main()
                   << eight.p99Us << std::setw(10) << eight.meanBatch
                   << "\n";
 
-        const std::string tag = nn::benchmarkName(benchmark);
-        metrics.emplace_back(tag + ".modeled_rps_1w", one.modeledRps);
-        metrics.emplace_back(tag + ".modeled_rps_8w",
+        metrics.emplace_back(sm.name + ".modeled_rps_1w",
+                             one.modeledRps);
+        metrics.emplace_back(sm.name + ".modeled_rps_8w",
                              eightScaling.modeledRps);
-        metrics.emplace_back(tag + ".modeled_speedup_8w", speedup);
-        metrics.emplace_back(tag + ".wall_rps_8w", eight.wallRps);
-        metrics.emplace_back(tag + ".p50_us_8w", eight.p50Us);
-        metrics.emplace_back(tag + ".p99_us_8w", eight.p99Us);
-        metrics.emplace_back(tag + ".mean_batch_8w", eight.meanBatch);
+        metrics.emplace_back(sm.name + ".modeled_speedup_8w", speedup);
+        metrics.emplace_back(sm.name + ".wall_rps_8w", eight.wallRps);
+        metrics.emplace_back(sm.name + ".p50_us_8w", eight.p50Us);
+        metrics.emplace_back(sm.name + ".p99_us_8w", eight.p99Us);
+        metrics.emplace_back(sm.name + ".mean_batch_8w",
+                             eight.meanBatch);
     }
-    bench::writeBenchJson("serving_throughput", metrics);
 
+    // Cross-request amortization: one worker, full batches of 8,
+    // Chip::inferBatch vs the per-request Chip::infer loop (identical
+    // results — tests/batch_equivalence_test.cc). Host wall sps over
+    // the submit -> drain window, best-of-N. The headline gate is the
+    // peak per-model speedup (the conv workload); the geometric mean
+    // is the all-model regression floor (see the file comment for the
+    // fan-in analysis behind the split).
+    const int reps = smoke ? 1 : 5;
+    std::cout << "\n-- batched execution: 1 worker, maxBatch=8, "
+                 "inferBatch vs per-request loop --\n"
+              << std::left << std::setw(10) << "model"
+              << std::right << std::setw(16) << "per-request sps"
+              << std::setw(14) << "batched sps" << std::setw(10)
+              << "speedup" << "\n";
+    double logSpeedupSum = 0.0;
+    double peakSpeedup = 0.0;
+    for (const ServeModel &sm : models) {
+        const double perSps = bestServedSps(sm.model, sm.validation,
+                                            requests, false, reps);
+        const double batSps = bestServedSps(sm.model, sm.validation,
+                                            requests, true, reps);
+        const double speedup = perSps > 0.0 ? batSps / perSps : 0.0;
+        logSpeedupSum += std::log(std::max(speedup, 1e-12));
+        peakSpeedup = std::max(peakSpeedup, speedup);
+
+        std::cout << std::left << std::setw(10) << sm.name
+                  << std::right << std::fixed << std::setprecision(0)
+                  << std::setw(16) << perSps << std::setw(14)
+                  << batSps << std::setw(10) << bench::times(speedup)
+                  << "\n";
+
+        metrics.emplace_back(sm.name + ".served_sps_per_request_1w",
+                             perSps);
+        metrics.emplace_back(sm.name + ".served_sps_batched_1w",
+                             batSps);
+        metrics.emplace_back(sm.name + ".batched_speedup_1w", speedup);
+    }
+    const double batchedGeomean = std::exp(
+        logSpeedupSum / static_cast<double>(models.size()));
+    metrics.emplace_back("batched_speedup_geomean", batchedGeomean);
+    metrics.emplace_back("batched_speedup_peak", peakSpeedup);
+    metrics.emplace_back("smoke", smoke ? 1.0 : 0.0);
+    bench::writeBenchJson("serving_throughput", metrics,
+                          /*batchLanes=*/8);
+
+    if (smoke) {
+        std::cout << "\nsmoke mode: acceptance gates skipped\n";
+        return 0;
+    }
+    const bool peakPass = peakSpeedup >= 1.5;
+    const bool geomeanPass = batchedGeomean >= 1.05;
     std::cout << "\nmodeled deployment speedup at 8 workers vs 1: "
-              << (allPass ? "PASS (>= 3.0x on every model)"
-                          : "FAIL (< 3.0x somewhere)")
+              << (scalingPass ? "PASS (>= 3.0x on every model)"
+                              : "FAIL (< 3.0x somewhere)")
+              << "\nbatched-execution speedup (peak, maxBatch=8): "
+              << bench::times(peakSpeedup, 2)
+              << (peakPass ? "  PASS (>= 1.5x)" : "  FAIL (< 1.5x)")
+              << "\nbatched-execution speedup (geomean, maxBatch=8): "
+              << bench::times(batchedGeomean, 2)
+              << (geomeanPass ? "  PASS (>= 1.05x)"
+                              : "  FAIL (< 1.05x)")
               << "\n";
-    return allPass ? 0 : 1;
+    return scalingPass && peakPass && geomeanPass ? 0 : 1;
 }

@@ -33,7 +33,11 @@ namespace rapidnn::blob {
  * Serialize a model into blob bytes. The model must carry a canonical
  * input shape (ReinterpretedModel::setCanonicalInputShape): conv
  * gather plans and the loader's workspace arena sizing are precomputed
- * against it.
+ * against it. Batched execution needs nothing extra from the format:
+ * a blob-backed Chip::configure sizes its batch-strided lane buffers
+ * from ChipConfig::maxBatch inside the per-chip workspace arena, so
+ * the read-only mapping is untouched and stays shared across replicas
+ * at any batch width.
  */
 std::vector<uint8_t> buildBlob(const composer::ReinterpretedModel &model);
 

@@ -206,6 +206,21 @@ struct KernelOps
     /** 32-bit-key twin of gatherSum16 (the 16-bit-code keyed path). */
     int64_t (*gatherSum32)(const int64_t *table, const uint32_t *keys,
                            size_t n);
+
+    /**
+     * Batch-lane twin of pairKeys8: for every lane L < lanes,
+     * keys[L * keyStride + i] = (w[i] << shift) | xs[L][i] over
+     * [0, n). One weight column serves all lanes, so the vector
+     * variants load and shift `w` once per chunk and reuse it across
+     * the lane-inner loop — the batched inference path's column
+     * amortization. Each lane's keys are bitwise identical to a
+     * per-lane pairKeys8 call; only [0, n) of every lane's stripe is
+     * written (keyStride >= n).
+     */
+    void (*pairKeys8Lanes)(const uint8_t *w,
+                           const uint8_t *const *xs, size_t lanes,
+                           size_t n, uint32_t shift, uint16_t *keys,
+                           size_t keyStride);
 };
 
 /** Alignment of every kernel scratch buffer (one cache line). */

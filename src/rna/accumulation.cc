@@ -34,6 +34,22 @@ AccumulationEngine::AccumulationEngine(
                     _fixedProducts[wc * _u + uc];
         _padded = _fixedPadded.data();
     }
+
+    // Half-width product table for the batched-lanes tally. Products
+    // at the default 16 fraction bits fit int32 unless a weight x
+    // activation product exceeds +/-32768.0, so the narrow table
+    // almost always exists; sign-extension restores the exact wide
+    // value, keeping batched sums bit-identical to the wide path.
+    const size_t cells = _w << _shift;
+    bool fits32 = true;
+    for (size_t i = 0; i < cells && fits32; ++i)
+        fits32 = _padded[i] >= INT32_MIN && _padded[i] <= INT32_MAX;
+    if (fits32 && cells > 0) {
+        _fixedPadded32.resize(cells);
+        for (size_t i = 0; i < cells; ++i)
+            _fixedPadded32[i] = static_cast<int32_t>(_padded[i]);
+        _padded32 = _fixedPadded32.data();
+    }
 }
 
 AccumResult
@@ -320,6 +336,113 @@ AccumulationEngine::runPacked(const simd::KernelOps &ops,
 }
 
 AccumResult
+AccumulationEngine::runPrekeyed(const simd::KernelOps &ops,
+                                const uint16_t *keys, size_t fanIn,
+                                double bias, AccumScratch &scratch,
+                                const uint32_t *countingCycles) const
+{
+    RAPIDNN_ASSERT(packable(), "runPrekeyed on a >256-entry codebook");
+    return runOverKeys(ops, keys, fanIn, bias, scratch,
+                       countingCycles);
+}
+
+void
+AccumulationEngine::runPrekeyedLanes(const simd::KernelOps &,
+                                     const uint16_t *keys,
+                                     size_t keyStride, size_t lanes,
+                                     size_t fanIn, double bias,
+                                     AccumScratch &scratch,
+                                     const uint32_t *countingCycles,
+                                     AccumResult *results) const
+{
+    RAPIDNN_ASSERT(packable(),
+                   "runPrekeyedLanes on a >256-entry codebook");
+
+    // Counting cycles are a pure function of the shared weight column
+    // (keys >> shift is the same stripe in every lane), so one value
+    // serves the whole batch: the caller's hoisted hint, or one
+    // recomputation from lane 0.
+    uint32_t cc;
+    if (countingCycles != nullptr) {
+        cc = *countingCycles;
+    } else {
+        uint32_t *depth = scratch.bufferDepth.data();
+        uint32_t maxDepth = 0;
+        for (size_t i = 0; i < fanIn; ++i)
+            maxDepth = std::max(maxDepth, ++depth[keys[i] >> _shift]);
+        for (size_t i = 0; i < fanIn; ++i)
+            depth[keys[i] >> _shift] = 0;
+        cc = maxDepth;
+    }
+
+    const int64_t fixedBias = _format.toFixed(bias);
+    const Energy countingEnergy =
+        _model.counterIncrementEnergy * static_cast<double>(fanIn);
+    const int32_t *terms = scratch.csdTerms.data();
+
+    // Per-lane tally with the value sum fused into the read-out: a
+    // cell's first read-out sees its full count c and contributes
+    // product * c (the exact sum of its CSD terms — see runOverKeys);
+    // duplicate keys see the zeroed cell and contribute 0 addends and
+    // 0 value. int64 addition is order-independent, so the sum equals
+    // the gather telescope bit for bit, with no separate gather pass.
+    auto tallyLanes = [&](auto *counters, const auto *padded) {
+        for (size_t L = 0; L < lanes; ++L) {
+            const uint16_t *k = keys + L * keyStride;
+            size_t i = 0;
+            for (; i + 4 <= fanIn; i += 4) {
+                ++counters[k[i]];
+                ++counters[k[i + 1]];
+                ++counters[k[i + 2]];
+                ++counters[k[i + 3]];
+            }
+            for (; i < fanIn; ++i)
+                ++counters[k[i]];
+            int64_t fixedSum = 0;
+            int64_t addends = 0;
+            size_t distinct = 0;
+            for (i = 0; i < fanIn; ++i) {
+                const uint32_t key = k[i];
+                const uint32_t c = counters[key];
+                counters[key] = 0;
+                fixedSum += static_cast<int64_t>(padded[key])
+                          * static_cast<int64_t>(c);
+                addends += terms[c];
+                distinct += (c != 0);
+            }
+            AccumResult &r = results[L];
+            r.value = _format.toReal(fixedSum + fixedBias);
+            r.distinctProducts = distinct;
+            r.addends = static_cast<size_t>(addends);
+            r.countingCycles = cc;
+            r.cost.counting.cycles = cc;
+            r.cost.counting.energy = countingEnergy;
+            r.cost.fetch.cycles = distinct;
+            r.cost.fetch.energy = _model.crossbarReadEnergy
+                * static_cast<double>(distinct);
+            r.cost.adder = scratch.adderCostFor(
+                static_cast<size_t>(addends) + 1,
+                _format.accumulatorBits, _model);
+        }
+    };
+
+    // Narrow grids where exactness allows (uint16 counts need
+    // fanIn <= 65535; int32 products need the table built), so the
+    // counters + products working set stays L1-resident across lanes.
+    if (fanIn <= 0xFFFF) {
+        if (_padded32 != nullptr)
+            tallyLanes(scratch.countersNarrow.data(), _padded32);
+        else
+            tallyLanes(scratch.countersNarrow.data(), _padded);
+    } else {
+        if (_padded32 != nullptr)
+            tallyLanes(scratch.counters.data(), _padded32);
+        else
+            tallyLanes(scratch.counters.data(), _padded);
+    }
+}
+
+AccumResult
 AccumulationEngine::runKeyed(const simd::KernelOps &ops,
                              const uint16_t *weightCodes,
                              const uint16_t *inputCodes, size_t fanIn,
@@ -360,6 +483,22 @@ AccumulationEngine::weightCountingCycles(const uint16_t *weightCodes,
                                          size_t fanIn) const
 {
     return weightDepthMax(weightCodes, fanIn, _w);
+}
+
+uint32_t
+AccumulationEngine::weightCountingCycles(const uint8_t *weightCodes,
+                                         size_t fanIn,
+                                         AccumScratch &scratch) const
+{
+    if (scratch.bufferDepth.size() < _w)
+        scratch.bufferDepth.ensureZeroed(_w);
+    uint32_t *depth = scratch.bufferDepth.data();
+    uint32_t maxDepth = 0;
+    for (size_t i = 0; i < fanIn; ++i)
+        maxDepth = std::max(maxDepth, ++depth[weightCodes[i]]);
+    for (size_t i = 0; i < fanIn; ++i)
+        depth[weightCodes[i]] = 0;
+    return maxDepth;
 }
 
 } // namespace rapidnn::rna

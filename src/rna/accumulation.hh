@@ -91,6 +91,12 @@ struct AccumScratch
     // growth re-zeroes (the at-rest state is all-zero anyway).
     simd::AlignedVec<uint32_t> counters;     //!< grid, all-zero at rest
     simd::AlignedVec<uint32_t> bufferDepth;  //!< [w], all-zero at rest
+    /** Half-width counter grid for the batched-lanes tally: counts are
+     *  bounded by fan-in, so whenever fanIn <= 65535 the tally fits
+     *  uint16 cells and the grid's cache footprint halves — the lane
+     *  loop keeps counters, products and the csd-terms table L1-hot
+     *  across all lanes of a neuron. All-zero at rest, like counters. */
+    simd::AlignedVec<uint16_t> countersNarrow;
     std::vector<uint32_t> touchedCells;  //!< cells hit by the last run
     std::vector<uint16_t> touchedWeights;
 
@@ -131,6 +137,8 @@ struct AccumScratch
         const size_t cells = w << shift;
         if (counters.size() < cells)
             counters.ensureZeroed(cells);
+        if (countersNarrow.size() < cells)
+            countersNarrow.ensureZeroed(cells);
         if (bufferDepth.size() < w)
             bufferDepth.ensureZeroed(w);
         if (touchedCells.capacity() < cells)
@@ -240,6 +248,52 @@ class AccumulationEngine
                          = nullptr) const;
 
     /**
+     * Kernel-path accumulation over pair keys the caller already built
+     * (KernelOps::pairKeys8Lanes writes one key stripe per batch lane
+     * from a single weight-column load). `keys[i]` must equal
+     * (weightCodes[i] << keyShift()) | inputCodes[i] for some packable
+     * code pair — exactly what pairKeys8/pairKeys8Lanes produce — so
+     * the result is bitwise-identical to runPacked over those codes.
+     * The caller sizes `scratch` via ensurePadded, as runPacked does.
+     */
+    AccumResult runPrekeyed(const simd::KernelOps &ops,
+                            const uint16_t *keys, size_t fanIn,
+                            double bias, AccumScratch &scratch,
+                            const uint32_t *countingCycles
+                            = nullptr) const;
+
+    /**
+     * Batched-lanes accumulation: one call tallies every batch lane of
+     * one output neuron. `keys` holds `lanes` stripes of `fanIn` pair
+     * keys, lane L starting at L * keyStride — exactly the layout
+     * KernelOps::pairKeys8Lanes writes — and all stripes must be keyed
+     * from the same weight-code column (they are: the batched layer
+     * paths build them from one column load). results[L] is overwritten
+     * with lane L's AccumResult, bitwise-identical to
+     * runPrekeyed(keys + L * keyStride, ...) and therefore to the
+     * serial per-sample path.
+     *
+     * This is the batch hot loop, so it amortizes per-neuron work
+     * across the lanes instead of redoing it per call: the counting
+     * cycles (a pure function of the shared weight column) are taken
+     * from the hint or derived once from lane 0's keys, the bias and
+     * counting-energy terms are fixed up front, and the per-cell
+     * readout fuses the value sum into the count pass (the CSD terms
+     * of count c sum to exactly product * c, so product * count over
+     * first-touch cells telescopes to the same int64 the gather-sum
+     * computes — no separate gather pass). Counts and products read
+     * through the half-width scratch grid and the engine's int32
+     * product table when they fit, halving the tally's cache footprint
+     * so the grid stays L1-resident across lanes.
+     */
+    void runPrekeyedLanes(const simd::KernelOps &ops,
+                          const uint16_t *keys, size_t keyStride,
+                          size_t lanes, size_t fanIn, double bias,
+                          AccumScratch &scratch,
+                          const uint32_t *countingCycles,
+                          AccumResult *results) const;
+
+    /**
      * countingCycles for a fixed weight-code array: the counting phase
      * drains one buffer per distinct weight code per cycle, so its
      * cycle count is the deepest buffer — max over wc of |{i : wc_i ==
@@ -251,6 +305,18 @@ class AccumulationEngine
                                   size_t fanIn) const;
     uint32_t weightCountingCycles(const uint16_t *weightCodes,
                                   size_t fanIn) const;
+
+    /**
+     * Allocation-free weightCountingCycles for hot-loop use (the
+     * batched conv path shares one value across all lanes of a clipped
+     * window, so it recomputes per position instead of per neuron).
+     * Uses scratch.bufferDepth as the depth histogram and restores its
+     * all-zero at-rest state before returning; identical value to the
+     * allocating overload.
+     */
+    uint32_t weightCountingCycles(const uint8_t *weightCodes,
+                                  size_t fanIn,
+                                  AccumScratch &scratch) const;
 
     size_t weightEntries() const { return _w; }
     size_t inputEntries() const { return _u; }
@@ -276,6 +342,12 @@ class AccumulationEngine
     std::vector<int64_t> _fixedPadded;    //!< [w << _shift] when u is
                                           //!< not a power of two
     const int64_t *_padded = nullptr;     //!< padded-key product lookup
+    /** Half-width padded product table for the batched-lanes tally,
+     *  built when every fixed-point product fits int32 (sign-extending
+     *  a stored value reproduces the wide entry exactly, so sums are
+     *  bit-identical). Empty/null when some product needs 64 bits. */
+    std::vector<int32_t> _fixedPadded32;
+    const int32_t *_padded32 = nullptr;
     size_t _w;
     size_t _u;
     uint32_t _shift = 0;  //!< ceil(log2(u)): key = (w << shift) | u

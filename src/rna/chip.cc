@@ -296,12 +296,57 @@ Chip::buildWorkspace()
             ws.amKeys.ensure(maxElems);
             ws.amRows.ensure(maxElems);
         }
-        for (int i = 0; i < 4; ++i) {
+        // Batch-strided arenas for inferBatch, sized for maxBatch
+        // lanes (batch 1 leaves them empty; larger batches grow them
+        // on first use). The pools below also scale with maxBatch so
+        // a whole batch's activation tensors recycle without growth.
+        const size_t mb = std::max<size_t>(1, _config.maxBatch);
+        if (_kops != nullptr && mb > 1) {
+            size_t maxFanIn = 1;
+            size_t maxHidden = 0;
+            size_t windowMax = 0;
+            for (const auto &ctx : ctxs) {
+                const RLayer &layer = ctx->layer();
+                if (layer.kind == RLayerKind::Conv) {
+                    windowMax = std::max(windowMax,
+                                         layer.weightCodes[0].size());
+                    maxFanIn = std::max(maxFanIn,
+                                        layer.weightCodes[0].size());
+                } else {
+                    maxFanIn = std::max(maxFanIn, layer.inCount);
+                }
+                if (layer.kind == RLayerKind::Recurrent) {
+                    maxHidden = std::max(maxHidden, layer.outCount);
+                    maxFanIn = std::max(maxFanIn, layer.outCount);
+                }
+            }
+            ws.actB8.ensure(mb * maxElems);
+            ws.valsB.ensure(mb * maxElems);
+            ws.codesB.ensure(mb * maxElems);
+            ws.keysB.ensure(mb * maxFanIn);
+            ws.amKeys.ensure(mb * maxElems);
+            ws.amRows.ensure(mb * maxElems);
+            ws.neuronCostsB.resize(mb * maxElems);
+            if (windowMax > 0)
+                ws.gx8B.ensure(mb * windowMax);
+            if (maxHidden > 0) {
+                ws.h8B.ensure(mb * maxHidden);
+                ws.keysHB.ensure(mb * maxFanIn);
+                ws.hCodesB.reserve(mb * maxHidden);
+                ws.hNextB.reserve(mb * maxHidden);
+                ws.hRawB.reserve(mb * maxHidden);
+                ws.hRawNextB.reserve(mb * maxHidden);
+            }
+            ws.lanePtrsX.reserve(mb);
+            ws.lanePtrsH.reserve(mb);
+            ws.stepWorstB.reserve(mb);
+        }
+        for (size_t i = 0; i < 4 * mb; ++i) {
             std::vector<uint16_t> buf;
             buf.reserve(maxElems);
             ws.codePool.push_back(std::move(buf));
         }
-        for (int i = 0; i < 2; ++i) {
+        for (size_t i = 0; i < 2 * mb; ++i) {
             std::vector<double> buf;
             buf.reserve(maxElems);
             ws.rawPool.push_back(std::move(buf));
@@ -1189,7 +1234,6 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
                                 : _config.numThreads,
         1);
     const auto &model = *_model;
-    const Time cycle = _config.cost.cyclePeriod;
 
     // Lease the shared workspace for this call; concurrent callers on
     // the same chip fall back to private spares (see WorkspaceLease).
@@ -1211,25 +1255,13 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
             enc.codes[i] = static_cast<uint16_t>(
                 model.inputEncoder().encode(x[i]));
     }
-    nvm::OpCost inputEncode =
-        _config.cost.camSearch(model.inputEncoder().entries(), 32);
-    inputEncode.energy = inputEncode.energy
-        * static_cast<double>(x.numel());
-
-    // Data-block traffic (paper Figure 1): the raw sample streams out
-    // of the crossbar data block into the virtual-layer encoders, and
-    // at the end the logits write back. Cost-only static helpers: no
-    // crossbar storage is materialized on the serve path.
-    inputEncode += nvm::DataBlock::streamOutCost(
-        _config.cost, x.numel(), _config.cost.rnasPerTile);
 
     report.reset();
-    uint64_t latencyCycles = inputEncode.cycles;
-    uint64_t worstStage = inputEncode.cycles;
-    Energy totalEnergy = inputEncode.energy;
-    NeuronCost totals;
-    uint64_t bufferCycles = 0;
-    Energy bufferEnergy{};
+    InferTally tally;
+    tally.inputEncode = inputEncodeCost(x.numel());
+    tally.latencyCycles = tally.inputEncode.cycles;
+    tally.worstStage = tally.inputEncode.cycles;
+    tally.totalEnergy = tally.inputEncode.energy;
 
     std::vector<double> logits;
     size_t lastCompute = model.layers().size();
@@ -1252,29 +1284,7 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
             run = runLayer(model.layers()[l], enc, l == lastCompute,
                            ws, threads);
         }
-        totals += run.cost;
-        latencyCycles += run.stageCycles;
-        worstStage = std::max(worstStage, run.stageCycles);
-        totalEnergy += run.cost.total().energy;
-
-        // Broadcast-buffer transfer: the layer's encoded outputs move
-        // bit-serially over the tile lanes to the next layer's FIFO.
-        if (l != lastCompute && !run.output.codes.empty()) {
-            const RLayer &layer = model.layers()[l];
-            const uint32_t bits = layer.inputCodebook.empty()
-                ? 6 : layer.inputCodebook.bits();
-            const size_t lanes =
-                _config.cost.rnasPerTile * _config.cost.tilesPerChip
-                * _config.chips;
-            const uint64_t cyclesHere = static_cast<uint64_t>(
-                std::ceil(static_cast<double>(run.output.codes.size())
-                          / static_cast<double>(lanes)))
-                * bits;
-            bufferCycles += cyclesHere;
-            bufferEnergy += _config.cost.bufferBitEnergy
-                * (static_cast<double>(run.output.codes.size())
-                   * bits);
-        }
+        tallyLayerRun(tally, run, model.layers()[l], l == lastCompute);
 
         if (l == lastCompute)
             logits = std::move(run.raw);
@@ -1284,14 +1294,68 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
     }
     ws.giveCodes(std::move(enc.codes));
 
+    finalizeReport(tally, logits.size(), report);
+    return logits;
+}
+
+nvm::OpCost
+Chip::inputEncodeCost(size_t numel) const
+{
+    nvm::OpCost inputEncode =
+        _config.cost.camSearch(_model->inputEncoder().entries(), 32);
+    inputEncode.energy =
+        inputEncode.energy * static_cast<double>(numel);
+
+    // Data-block traffic (paper Figure 1): the raw sample streams out
+    // of the crossbar data block into the virtual-layer encoders, and
+    // at the end the logits write back. Cost-only static helpers: no
+    // crossbar storage is materialized on the serve path.
+    inputEncode += nvm::DataBlock::streamOutCost(
+        _config.cost, numel, _config.cost.rnasPerTile);
+    return inputEncode;
+}
+
+void
+Chip::tallyLayerRun(InferTally &t, const LayerRun &run,
+                    const RLayer &layer, bool isLastCompute) const
+{
+    t.totals += run.cost;
+    t.latencyCycles += run.stageCycles;
+    t.worstStage = std::max(t.worstStage, run.stageCycles);
+    t.totalEnergy += run.cost.total().energy;
+
+    // Broadcast-buffer transfer: the layer's encoded outputs move
+    // bit-serially over the tile lanes to the next layer's FIFO.
+    if (!isLastCompute && !run.output.codes.empty()) {
+        const uint32_t bits = layer.inputCodebook.empty()
+            ? 6 : layer.inputCodebook.bits();
+        const size_t lanes =
+            _config.cost.rnasPerTile * _config.cost.tilesPerChip
+            * _config.chips;
+        const uint64_t cyclesHere = static_cast<uint64_t>(
+            std::ceil(static_cast<double>(run.output.codes.size())
+                      / static_cast<double>(lanes)))
+            * bits;
+        t.bufferCycles += cyclesHere;
+        t.bufferEnergy += _config.cost.bufferBitEnergy
+            * (static_cast<double>(run.output.codes.size()) * bits);
+    }
+}
+
+void
+Chip::finalizeReport(InferTally &t, size_t logitCount,
+                     PerfReport &report) const
+{
+    const Time cycle = _config.cost.cyclePeriod;
+
     // Result write-back into the data block.
     const nvm::OpCost writeBack =
-        nvm::DataBlock::writeBackCost(_config.cost, logits.size());
-    bufferCycles += writeBack.cycles;
-    bufferEnergy += writeBack.energy;
+        nvm::DataBlock::writeBackCost(_config.cost, logitCount);
+    t.bufferCycles += writeBack.cycles;
+    t.bufferEnergy += writeBack.energy;
 
-    latencyCycles += bufferCycles;
-    totalEnergy += bufferEnergy;
+    t.latencyCycles += t.bufferCycles;
+    t.totalEnergy += t.bufferEnergy;
 
     // Per-block active-power energy (the paper's Table 1 power figures
     // describe running blocks; its Figure 13 energy shares mirror the
@@ -1300,22 +1364,23 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
     const nvm::CostModel &m = _config.cost;
     const Energy accumActive =
         (m.crossbarPower.over(cycle)
-         * double(totals.weightedAccum.cycles));
+         * double(t.totals.weightedAccum.cycles));
     const Energy counterActive =
         m.counterPower.over(cycle)
-        * double(totals.weightedAccum.cycles);
+        * double(t.totals.weightedAccum.cycles);
     const Energy actActive =
-        m.amBlockPower.over(cycle) * double(totals.activation.cycles);
+        m.amBlockPower.over(cycle)
+        * double(t.totals.activation.cycles);
     const Energy encActive =
-        m.amBlockPower.over(cycle) * double(totals.encoding.cycles);
+        m.amBlockPower.over(cycle) * double(t.totals.encoding.cycles);
     const Energy poolActive =
-        m.amBlockPower.over(cycle) * double(totals.pooling.cycles);
-    totalEnergy += accumActive + counterActive + actActive + encActive
-                 + poolActive;
+        m.amBlockPower.over(cycle) * double(t.totals.pooling.cycles);
+    t.totalEnergy += accumActive + counterActive + actActive
+                   + encActive + poolActive;
 
     // Idle/leakage for the active window, scaled by the fraction of
     // RNA blocks this model occupies (unoccupied tiles clock gate).
-    size_t occupied = countOccupiedRnas(model.layers());
+    size_t occupied = countOccupiedRnas(_model->layers());
     occupied = std::max<size_t>(1,
         std::min(occupied, _config.totalRnas()));
     const double occupancy = static_cast<double>(occupied)
@@ -1323,29 +1388,635 @@ Chip::infer(const nn::Tensor &x, PerfReport &report,
     const Power leakage = chipPower() * occupancy
         * _config.cost.idleLeakageFraction;
     const Energy leakEnergy =
-        leakage.over(cycle * double(latencyCycles));
-    totalEnergy += leakEnergy;
+        leakage.over(cycle * double(t.latencyCycles));
+    t.totalEnergy += leakEnergy;
 
-    report.latency = cycle * static_cast<double>(latencyCycles);
+    report.latency = cycle * static_cast<double>(t.latencyCycles);
     report.stageTime = cycle * static_cast<double>(
-        std::max<uint64_t>(worstStage, 1));
-    report.energy = totalEnergy;
+        std::max<uint64_t>(t.worstStage, 1));
+    report.energy = t.totalEnergy;
     report.addCategory("weighted_accum",
-                       cycle * double(totals.weightedAccum.cycles),
-                       totals.weightedAccum.energy + accumActive);
+                       cycle * double(t.totals.weightedAccum.cycles),
+                       t.totals.weightedAccum.energy + accumActive);
     report.addCategory("activation",
-                       cycle * double(totals.activation.cycles),
-                       totals.activation.energy + actActive);
+                       cycle * double(t.totals.activation.cycles),
+                       t.totals.activation.energy + actActive);
     report.addCategory("encoding",
-                       cycle * double(totals.encoding.cycles),
-                       totals.encoding.energy + encActive);
+                       cycle * double(t.totals.encoding.cycles),
+                       t.totals.encoding.energy + encActive);
     report.addCategory("pooling",
-                       cycle * double(totals.pooling.cycles),
-                       totals.pooling.energy + poolActive);
+                       cycle * double(t.totals.pooling.cycles),
+                       t.totals.pooling.energy + poolActive);
     report.addCategory("other",
-                       cycle * double(bufferCycles + inputEncode.cycles),
-                       bufferEnergy + inputEncode.energy
+                       cycle * double(t.bufferCycles
+                                      + t.inputEncode.cycles),
+                       t.bufferEnergy + t.inputEncode.energy
                            + counterActive + leakEnergy);
+}
+
+void
+Chip::runLayerBatch(const RLayer &layer,
+                    const std::vector<EncodedTensor> &ins,
+                    bool lastCompute, Workspace &ws, size_t threads,
+                    std::vector<LayerRun> &runs) const
+{
+    const size_t lanes = ins.size();
+    const bool intraOp = threads > 1 && _config.fastPath;
+    const bool kernel = _kops != nullptr && _config.fastPath;
+    bool sameShape = true;
+    for (size_t L = 1; L < lanes; ++L)
+        sameShape = sameShape && ins[L].shape == ins[0].shape
+                 && ins[L].codes.size() == ins[0].codes.size();
+
+    // Per-lane fallback: sequential runLayer calls in lane order are
+    // trivially identical to sequential infer() calls (the workspace
+    // is reset-per-use state, not carried data).
+    auto perLane = [&] {
+        for (size_t L = 0; L < lanes; ++L)
+            runs[L] = runLayer(layer, ins[L], lastCompute, ws,
+                               threads);
+    };
+
+    // RNA wave count, identical to runLayer's.
+    auto wavesFor = [&](size_t neurons) {
+        const double effective =
+            static_cast<double>(_config.totalRnas())
+            * (1.0 - _config.rnaSharing);
+        return static_cast<size_t>(std::ceil(
+            static_cast<double>(neurons) / std::max(1.0, effective)));
+    };
+
+    switch (layer.kind) {
+      case RLayerKind::Dense: {
+        const RnaLayerContext &ctx =
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
+        if (!(kernel && ctx.packed() && sameShape)) {
+            perLane();
+            return;
+        }
+        // Batched dense kernel path. Per output neuron j, the weight
+        // column is loaded once and pairKeys8Lanes writes one key
+        // stripe per batch lane from it; each lane's accumulation then
+        // replays runPacked over its own keys (the shared counting
+        // scratch is all-zero between runs, so serial reuse across
+        // lanes is exact). Values land neuron-major (j * lanes + L) so
+        // phases B/C batch the activation/encoding AM lookups over a
+        // contiguous (neuron x lane) range in one call per tile.
+        ctx.prepareWorkspace(ws);
+        const size_t inCount = layer.inCount;
+        const size_t outCount = layer.outCount;
+        for (size_t L = 0; L < lanes; ++L) {
+            runs[L] = LayerRun{};
+            runs[L].output.shape = {outCount};
+            if (!layer.outputEncoder.empty()) {
+                runs[L].output.codes = ws.takeCodes();
+                runs[L].output.codes.assign(outCount, 0);
+            }
+            if (lastCompute) {
+                runs[L].raw = ws.takeRaw();
+                runs[L].raw.assign(outCount, 0.0);
+            }
+        }
+        ws.actB8.ensure(lanes * inCount);
+        ws.lanePtrsX.resize(lanes);
+        for (size_t L = 0; L < lanes; ++L) {
+            uint8_t *dst = ws.actB8.data() + L * inCount;
+            _kops->narrow(ins[L].codes.data(), inCount, dst);
+            ws.lanePtrsX[L] = dst;
+        }
+        ws.valsB.ensure(lanes * outCount);
+        ws.codesB.ensure(lanes * outCount);
+        if (ws.accumCostB.size() < lanes * outCount)
+            ws.accumCostB.resize(lanes * outCount);
+        const uint32_t shift = ctx.keyShiftFor(0);
+        const bool hasAct = ctx.hasActivation();
+        const bool hasEnc = ctx.hasEncoder();
+
+        auto evalRange = [&](size_t begin, size_t end,
+                             AccumScratch &accum, uint16_t *keys,
+                             uint32_t *amK, uint32_t *amR,
+                             AccumResult *lr) {
+            for (size_t j = begin; j < end; ++j) {
+                _kops->pairKeys8Lanes(ctx.denseColumn8(j),
+                                      ws.lanePtrsX.data(), lanes,
+                                      inCount, shift, keys, inCount);
+                ctx.accumulatePrekeyedLanes(
+                    0, keys, inCount, lanes, inCount, layer.bias[j],
+                    accum, ctx.denseCountingHint(j), lr);
+                for (size_t L = 0; L < lanes; ++L) {
+                    const size_t slot = j * lanes + L;
+                    ws.valsB[slot] = lr[L].value;
+                    ws.accumCostB[slot] = lr[L].cost.total();
+                }
+            }
+            const size_t nb = (end - begin) * lanes;
+            double *vals = ws.valsB.data() + begin * lanes;
+            ctx.activateBatch(vals, vals, nb, amK, amR);
+            if (hasEnc) {
+                ctx.encodeBatch(vals, nb, amK, amR,
+                                ws.codesB.data() + begin * lanes);
+                for (size_t j = begin; j < end; ++j)
+                    for (size_t L = 0; L < lanes; ++L)
+                        runs[L].output.codes[j] =
+                            ws.codesB[j * lanes + L];
+            }
+            if (lastCompute)
+                for (size_t j = begin; j < end; ++j)
+                    for (size_t L = 0; L < lanes; ++L)
+                        runs[L].raw[j] = ws.valsB[j * lanes + L];
+        };
+        if (intraOp) {
+            // (output-neuron x lane) tiles over the fixed shard grid:
+            // a shard owns a contiguous neuron range across all batch
+            // lanes and writes disjoint value/code/cost slots with its
+            // pool lane's private scratch.
+            ws.ensureLanes(threads);
+            for (auto &lane : ws.lanes) {
+                ctx.prepareScratch(lane);
+                lane.keysB.ensure(lanes * inCount);
+                lane.amKeys.ensure(lanes * outCount);
+                lane.amRows.ensure(lanes * outCount);
+                if (lane.accumResB.size() < lanes)
+                    lane.accumResB.resize(lanes);
+            }
+            const size_t shards = shardCount(outCount);
+            TaskPool::shared().run(
+                shards, threads, [&](size_t shard, size_t lane) {
+                    const auto [begin, end] =
+                        shardRange(outCount, shard, shards);
+                    IntraOpScratch &sc = ws.lanes[lane];
+                    evalRange(begin, end, sc.accum, sc.keysB.data(),
+                              sc.amKeys.data(), sc.amRows.data(),
+                              sc.accumResB.data());
+                });
+        } else {
+            ws.keysB.ensure(lanes * inCount);
+            ws.amKeys.ensure(lanes * outCount);
+            ws.amRows.ensure(lanes * outCount);
+            if (ws.accumResB.size() < lanes)
+                ws.accumResB.resize(lanes);
+            evalRange(0, outCount, ws.accum, ws.keysB.data(),
+                      ws.amKeys.data(), ws.amRows.data(),
+                      ws.accumResB.data());
+        }
+        // Per-lane flat reduction in neuron order: bitwise-identical
+        // cost accumulation to the serial per-sample path. The
+        // activation/encoding query costs are per-layer constants, so
+        // they are re-added per neuron here (the serial path's exact
+        // addition sequence) instead of being staged per slot.
+        const nvm::OpCost actQ =
+            hasAct ? ctx.activationQueryCost() : nvm::OpCost{};
+        const nvm::OpCost encQ =
+            hasEnc ? ctx.encodingQueryCost() : nvm::OpCost{};
+        const size_t waves = wavesFor(outCount);
+        for (size_t L = 0; L < lanes; ++L) {
+            uint64_t worstNeuron = 0;
+            for (size_t j = 0; j < outCount; ++j) {
+                const nvm::OpCost &wa = ws.accumCostB[j * lanes + L];
+                runs[L].cost.weightedAccum += wa;
+                if (hasAct)
+                    runs[L].cost.activation += actQ;
+                if (hasEnc)
+                    runs[L].cost.encoding += encQ;
+                worstNeuron = std::max(
+                    worstNeuron,
+                    wa.cycles + actQ.cycles + encQ.cycles);
+            }
+            runs[L].stageCycles = worstNeuron * waves;
+        }
+        return;
+      }
+      case RLayerKind::Conv: {
+        const RnaLayerContext &ctx =
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
+        if (!(kernel && ctx.packed() && sameShape && !intraOp)) {
+            perLane();
+            return;
+        }
+        // Batched conv kernel path (serial executor; the sharded
+        // executor falls back to per-lane runLayer, which shards
+        // itself). Position-major like the serial kernel path, with
+        // the per-(position, channel) work — window clipping, the
+        // counting-cycle histogram, the weight-chunk loads inside
+        // pairKeys8Lanes — done once and shared across the lanes.
+        RAPIDNN_ASSERT(ins[0].shape.size() == 3,
+                       "conv needs [C, H, W]");
+        const size_t inC = ins[0].shape[0];
+        const size_t h = ins[0].shape[1], w = ins[0].shape[2];
+        const size_t k = layer.kernel;
+        const size_t oh = layer.samePadding ? h : h - k + 1;
+        const size_t ow = layer.samePadding ? w : w - k + 1;
+        ConvGatherPlan *plan =
+            &ws.convPlans[_contexts->byLayer.at(&layer)];
+        if (!plan->matches(inC, h, w))
+            buildConvGatherPlan(*plan, layer, inC, h, w);
+
+        ctx.prepareWorkspace(ws);
+        const size_t positions = oh * ow;
+        const size_t flatNeurons = layer.outCount * positions;
+        const size_t fullWindow = layer.inCount;  // inC * k * k
+        const size_t windowMax = layer.weightCodes[0].size();
+        const size_t inElems = ins[0].codes.size();
+        for (size_t L = 0; L < lanes; ++L) {
+            runs[L] = LayerRun{};
+            runs[L].output.shape = {layer.outCount, oh, ow};
+            if (!layer.outputEncoder.empty()) {
+                runs[L].output.codes = ws.takeCodes();
+                runs[L].output.codes.assign(flatNeurons, 0);
+            }
+            if (lastCompute) {
+                runs[L].raw = ws.takeRaw();
+                runs[L].raw.assign(flatNeurons, 0.0);
+            }
+        }
+        ws.actB8.ensure(lanes * inElems);
+        for (size_t L = 0; L < lanes; ++L)
+            _kops->narrow(ins[L].codes.data(), inElems,
+                          ws.actB8.data() + L * inElems);
+        ws.gx8B.ensure(lanes * windowMax);
+        ws.gw8.ensure(windowMax);
+        ws.keysB.ensure(lanes * windowMax);
+        ws.valsB.ensure(lanes * flatNeurons);
+        ws.codesB.ensure(lanes * flatNeurons);
+        ws.amKeys.ensure(lanes * positions);
+        ws.amRows.ensure(lanes * positions);
+        if (ws.accumCostB.size() < lanes * flatNeurons)
+            ws.accumCostB.resize(lanes * flatNeurons);
+        if (ws.accumResB.size() < lanes)
+            ws.accumResB.resize(lanes);
+        ws.lanePtrsH.resize(lanes);
+        for (size_t L = 0; L < lanes; ++L)
+            ws.lanePtrsH[L] = ws.gx8B.data() + L * windowMax;
+
+        for (size_t p = 0; p < positions; ++p) {
+            const uint32_t s0 = plan->start[p];
+            const size_t n = plan->start[p + 1] - s0;
+            for (size_t L = 0; L < lanes; ++L)
+                _kops->gather8(ws.actB8.data() + L * inElems,
+                               plan->inputIdx.data() + s0, n,
+                               ws.gx8B.data() + L * windowMax);
+            for (size_t oc = 0; oc < layer.outCount; ++oc) {
+                const uint8_t *wp = ctx.convChannel8(oc);
+                if (n != fullWindow) {
+                    for (size_t s = 0; s < n; ++s)
+                        ws.gw8[s] = wp[plan->weightIdx[s0 + s]];
+                    wp = ws.gw8.data();
+                }
+                // Counting cycles depend only on the (clipped) weight
+                // window: one histogram serves every lane.
+                const uint32_t cc =
+                    ctx.packedCountingCycles(oc, wp, n, ws.accum);
+                _kops->pairKeys8Lanes(wp, ws.lanePtrsH.data(), lanes,
+                                      n, ctx.keyShiftFor(oc),
+                                      ws.keysB.data(), windowMax);
+                const size_t oidx = oc * positions + p;
+                ctx.accumulatePrekeyedLanes(
+                    oc, ws.keysB.data(), windowMax, lanes, n,
+                    layer.bias[oc], ws.accum, &cc,
+                    ws.accumResB.data());
+                for (size_t L = 0; L < lanes; ++L) {
+                    const size_t slot = oidx * lanes + L;
+                    ws.valsB[slot] = ws.accumResB[L].value;
+                    ws.accumCostB[slot] =
+                        ws.accumResB[L].cost.total();
+                }
+            }
+        }
+        const bool hasAct = ctx.hasActivation();
+        const bool hasEnc = ctx.hasEncoder();
+        for (size_t oc = 0; oc < layer.outCount; ++oc) {
+            // Slots for one channel span a contiguous (position x
+            // lane) range in the neuron-major layout: one AM batch
+            // call per channel covers every lane.
+            const size_t base = oc * positions * lanes;
+            const size_t nb = positions * lanes;
+            double *vals = ws.valsB.data() + base;
+            ctx.activateBatch(vals, vals, nb, ws.amKeys.data(),
+                              ws.amRows.data());
+            if (hasEnc)
+                ctx.encodeBatch(vals, nb, ws.amKeys.data(),
+                                ws.amRows.data(),
+                                ws.codesB.data() + base);
+        }
+        for (size_t L = 0; L < lanes; ++L) {
+            if (hasEnc)
+                for (size_t oidx = 0; oidx < flatNeurons; ++oidx)
+                    runs[L].output.codes[oidx] =
+                        ws.codesB[oidx * lanes + L];
+            if (lastCompute)
+                for (size_t oidx = 0; oidx < flatNeurons; ++oidx)
+                    runs[L].raw[oidx] = ws.valsB[oidx * lanes + L];
+        }
+        // Per-lane flat reduction with the per-layer-constant AM query
+        // costs re-added per neuron, exactly as the dense path above.
+        const nvm::OpCost actQ =
+            hasAct ? ctx.activationQueryCost() : nvm::OpCost{};
+        const nvm::OpCost encQ =
+            hasEnc ? ctx.encodingQueryCost() : nvm::OpCost{};
+        const size_t waves = wavesFor(flatNeurons);
+        for (size_t L = 0; L < lanes; ++L) {
+            uint64_t worstNeuron = 0;
+            for (size_t oidx = 0; oidx < flatNeurons; ++oidx) {
+                const nvm::OpCost &wa =
+                    ws.accumCostB[oidx * lanes + L];
+                runs[L].cost.weightedAccum += wa;
+                if (hasAct)
+                    runs[L].cost.activation += actQ;
+                if (hasEnc)
+                    runs[L].cost.encoding += encQ;
+                worstNeuron = std::max(
+                    worstNeuron,
+                    wa.cycles + actQ.cycles + encQ.cycles);
+            }
+            runs[L].stageCycles = worstNeuron * waves;
+        }
+        return;
+      }
+      case RLayerKind::Recurrent: {
+        const RnaLayerContext &ctx =
+            *_contexts->contexts[_contexts->byLayer.at(&layer)];
+        if (!(kernel && ctx.packedRecurrent() && sameShape
+              && !intraOp)) {
+            perLane();
+            return;
+        }
+        // Batched recurrent kernel path (serial executor). Steps stay
+        // serial (the feedback hazard); within a step, each hidden
+        // neuron's two weight columns are keyed once for all lanes and
+        // the per-lane step evaluations replay the serial order from
+        // their own key stripes and state stripes.
+        const size_t hidden = layer.outCount;
+        const size_t features = layer.inCount;
+        const size_t inElems = ins[0].codes.size();
+        RAPIDNN_ASSERT(inElems == layer.steps * features,
+                       "recurrent layer code count mismatch");
+        ctx.prepareWorkspace(ws);
+
+        nvm::OpCost zeroEncode;
+        const uint16_t zeroCode = ctx.encodeState(0.0, zeroEncode);
+        for (size_t L = 0; L < lanes; ++L) {
+            runs[L] = LayerRun{};
+            // One zero-state encode per sample, exactly as infer()
+            // charges it (the code itself is shared — it is a pure
+            // function of the codebook).
+            runs[L].cost.encoding += zeroEncode;
+        }
+
+        ws.actB8.ensure(lanes * inElems);
+        for (size_t L = 0; L < lanes; ++L)
+            _kops->narrow(ins[L].codes.data(), inElems,
+                          ws.actB8.data() + L * inElems);
+        ws.h8B.ensure(lanes * hidden);
+        ws.keysB.ensure(lanes * features);
+        ws.keysHB.ensure(lanes * hidden);
+        ws.hCodesB.assign(lanes * hidden, zeroCode);
+        ws.hRawB.assign(lanes * hidden, 0.0);
+        ws.hNextB.resize(lanes * hidden);
+        ws.hRawNextB.resize(lanes * hidden);
+        if (ws.neuronCostsB.size() < lanes * hidden)
+            ws.neuronCostsB.resize(lanes * hidden);
+        ws.stepWorstB.assign(lanes, 0);
+        ws.lanePtrsX.resize(lanes);
+        ws.lanePtrsH.resize(lanes);
+        const uint32_t shiftX = ctx.keyShiftFor(0);
+        const uint32_t shiftH = ctx.stateKeyShift();
+
+        for (size_t t = 0; t < layer.steps; ++t) {
+            for (size_t L = 0; L < lanes; ++L) {
+                // Per-step narrow of each lane's frozen previous
+                // state, as the serial step loop does.
+                _kops->narrow(ws.hCodesB.data() + L * hidden, hidden,
+                              ws.h8B.data() + L * hidden);
+                ws.lanePtrsH[L] = ws.h8B.data() + L * hidden;
+                ws.lanePtrsX[L] =
+                    ws.actB8.data() + L * inElems + t * features;
+            }
+            for (size_t hn = 0; hn < hidden; ++hn) {
+                _kops->pairKeys8Lanes(ctx.recurrentXColumn8(hn),
+                                      ws.lanePtrsX.data(), lanes,
+                                      features, shiftX,
+                                      ws.keysB.data(), features);
+                _kops->pairKeys8Lanes(ctx.recurrentHColumn8(hn),
+                                      ws.lanePtrsH.data(), lanes,
+                                      hidden, shiftH,
+                                      ws.keysHB.data(), hidden);
+                const uint32_t *xc = ctx.recXCountingHint(hn);
+                const uint32_t *hc = ctx.recHCountingHint(hn);
+                for (size_t L = 0; L < lanes; ++L) {
+                    NeuronResult r = ctx.evaluateRecurrentStepPrekeyed(
+                        ws.keysB.data() + L * features, features,
+                        ws.keysHB.data() + L * hidden, hidden,
+                        layer.bias[hn], ws.accum, xc, hc);
+                    ws.neuronCostsB[hn * lanes + L] = r.cost;
+                    ws.hNextB[L * hidden + hn] = r.code;
+                    ws.hRawNextB[L * hidden + hn] = r.rawValue;
+                }
+            }
+            for (size_t L = 0; L < lanes; ++L) {
+                uint64_t worstNeuron = 0;
+                for (size_t hn = 0; hn < hidden; ++hn) {
+                    const NeuronCost &c =
+                        ws.neuronCostsB[hn * lanes + L];
+                    runs[L].cost += c;
+                    worstNeuron =
+                        std::max(worstNeuron, c.total().cycles);
+                }
+                ws.stepWorstB[L] += worstNeuron;
+            }
+            std::swap(ws.hCodesB, ws.hNextB);
+            std::swap(ws.hRawB, ws.hRawNextB);
+        }
+
+        const bool last = layer.outputEncoder.empty();
+        for (size_t L = 0; L < lanes; ++L) {
+            runs[L].stageCycles = ws.stepWorstB[L];
+            runs[L].output.shape = {hidden};
+            const double *hRaw = ws.hRawB.data() + L * hidden;
+            if (lastCompute) {
+                runs[L].raw = ws.takeRaw();
+                runs[L].raw.assign(hRaw, hRaw + hidden);
+            }
+            if (!last) {
+                runs[L].output.codes = ws.takeCodes();
+                runs[L].output.codes.assign(hidden, 0);
+                nvm::OpCost encodeCost;
+                for (size_t hn = 0; hn < hidden; ++hn)
+                    runs[L].output.codes[hn] = static_cast<uint16_t>(
+                        layer.outputEncoder.encode(hRaw[hn]));
+                encodeCost += _config.cost.camSearch(
+                    layer.outputEncoder.entries(), 32);
+                runs[L].cost.encoding += encodeCost;
+            }
+        }
+        return;
+      }
+      case RLayerKind::Residual: {
+        // Recurse batched through the inner stack, then the per-lane
+        // skip add — the add is elementwise per lane, so the serial
+        // residual tail runs unchanged per lane.
+        std::vector<EncodedTensor> values(lanes);
+        for (size_t L = 0; L < lanes; ++L) {
+            values[L].shape = ins[L].shape;
+            values[L].codes = ws.takeCodes();
+            values[L].codes.assign(ins[L].codes.begin(),
+                                   ins[L].codes.end());
+            runs[L] = LayerRun{};
+        }
+        std::vector<std::vector<double>> innerRaws(lanes);
+        std::vector<LayerRun> innerRuns(lanes);
+        for (size_t i = 0; i < layer.inner.size(); ++i) {
+            const bool lastInner = i + 1 == layer.inner.size();
+            runLayerBatch(layer.inner[i], values, lastInner, ws,
+                          threads, innerRuns);
+            for (size_t L = 0; L < lanes; ++L) {
+                runs[L].cost += innerRuns[L].cost;
+                runs[L].stageCycles += innerRuns[L].stageCycles;
+                if (lastInner)
+                    innerRaws[L] = std::move(innerRuns[L].raw);
+                std::vector<uint16_t> spent =
+                    std::move(values[L].codes);
+                values[L] = std::move(innerRuns[L].output);
+                ws.giveCodes(std::move(spent));
+            }
+        }
+        for (size_t L = 0; L < lanes; ++L)
+            ws.giveCodes(std::move(values[L].codes));
+
+        AccumFormat format;
+        const nvm::CostModel &m = _config.cost;
+        const bool last = layer.outputEncoder.empty();
+        for (size_t L = 0; L < lanes; ++L) {
+            const EncodedTensor &in = ins[L];
+            std::vector<double> &innerRaw = innerRaws[L];
+            RAPIDNN_ASSERT(innerRaw.size() == in.codes.size(),
+                           "residual inner stack changed shape");
+            nvm::OpCost addCost{
+                m.carryPropagateCyclesPerBit * format.accumulatorBits,
+                m.norEnergyPerBit
+                    * double(format.accumulatorBits
+                             * m.carryPropagateCyclesPerBit)
+                    * double(in.codes.size())};
+            runs[L].cost.weightedAccum += addCost;
+            runs[L].stageCycles += addCost.cycles;
+
+            runs[L].output.shape = in.shape;
+            if (!last) {
+                runs[L].output.codes = ws.takeCodes();
+                runs[L].output.codes.assign(innerRaw.size(), 0);
+            }
+            if (lastCompute) {
+                runs[L].raw = ws.takeRaw();
+                runs[L].raw.assign(innerRaw.size(), 0.0);
+            }
+            for (size_t i = 0; i < innerRaw.size(); ++i) {
+                const int64_t sum = format.toFixed(innerRaw[i])
+                    + format.toFixed(
+                          layer.inputCodebook.value(in.codes[i]));
+                double summed = format.toReal(sum);
+                if (layer.activation)
+                    summed = layer.activation->lookup(summed);
+                if (lastCompute)
+                    runs[L].raw[i] = summed;
+                if (!last)
+                    runs[L].output.codes[i] = static_cast<uint16_t>(
+                        layer.outputEncoder.encode(summed));
+            }
+            ws.giveRaw(std::move(innerRaw));
+        }
+        return;
+      }
+      default:
+        // Pools, flatten, reference-path layers: per-lane execution.
+        perLane();
+        return;
+    }
+}
+
+std::vector<std::vector<double>>
+Chip::inferBatch(std::span<const nn::Tensor> inputs,
+                 std::span<PerfReport> reports,
+                 size_t numThreadsOverride) const
+{
+    RAPIDNN_ASSERT(_model != nullptr, "chip not configured");
+    RAPIDNN_ASSERT(reports.size() >= inputs.size(),
+                   "inferBatch needs one report per input");
+    const size_t lanes = inputs.size();
+    std::vector<std::vector<double>> logits(lanes);
+    if (lanes == 0)
+        return logits;
+    RAPIDNN_TELEMETRY_SPAN("chip_infer_batch");
+    const size_t threads = std::max<size_t>(
+        numThreadsOverride != 0 ? numThreadsOverride
+                                : _config.numThreads,
+        1);
+    const auto &model = *_model;
+
+    WorkspaceLease lease(_workspace.get());
+    Workspace &ws = lease.get();
+    if (ws.convPlans.size() < _contexts->contexts.size())
+        ws.convPlans.resize(_contexts->contexts.size());
+
+    // Virtual input layer, one encode per lane (identical to infer()).
+    std::vector<EncodedTensor> encs(lanes);
+    {
+        RAPIDNN_TELEMETRY_STAGE("encoding",
+                                stageHistogram("encoding"));
+        for (size_t L = 0; L < lanes; ++L) {
+            const nn::Tensor &x = inputs[L];
+            encs[L].shape = x.shape();
+            encs[L].codes = ws.takeCodes();
+            encs[L].codes.assign(x.numel(), 0);
+            for (size_t i = 0; i < x.numel(); ++i)
+                encs[L].codes[i] = static_cast<uint16_t>(
+                    model.inputEncoder().encode(x[i]));
+        }
+    }
+    std::vector<InferTally> tallies(lanes);
+    for (size_t L = 0; L < lanes; ++L) {
+        reports[L].reset();
+        InferTally &t = tallies[L];
+        t.inputEncode = inputEncodeCost(inputs[L].numel());
+        t.latencyCycles = t.inputEncode.cycles;
+        t.worstStage = t.inputEncode.cycles;
+        t.totalEnergy = t.inputEncode.energy;
+    }
+
+    size_t lastCompute = model.layers().size();
+    for (size_t l = model.layers().size(); l-- > 0;) {
+        const RLayerKind kind = model.layers()[l].kind;
+        if (kind == RLayerKind::Dense || kind == RLayerKind::Conv ||
+            kind == RLayerKind::Residual ||
+            kind == RLayerKind::Recurrent) {
+            lastCompute = l;
+            break;
+        }
+    }
+
+    std::vector<LayerRun> runs(lanes);
+    for (size_t l = 0; l < model.layers().size(); ++l) {
+        const RLayer &layer = model.layers()[l];
+        {
+            const char *stage = stageName(layer.kind);
+            RAPIDNN_TELEMETRY_SPAN(stage, static_cast<int64_t>(l), 0,
+                                   stageHistogram(stage));
+            runLayerBatch(layer, encs, l == lastCompute, ws, threads,
+                          runs);
+        }
+        for (size_t L = 0; L < lanes; ++L) {
+            tallyLayerRun(tallies[L], runs[L], layer,
+                          l == lastCompute);
+            if (l == lastCompute)
+                logits[L] = std::move(runs[L].raw);
+            std::vector<uint16_t> spent = std::move(encs[L].codes);
+            encs[L] = std::move(runs[L].output);
+            ws.giveCodes(std::move(spent));
+        }
+    }
+    for (size_t L = 0; L < lanes; ++L)
+        ws.giveCodes(std::move(encs[L].codes));
+
+    for (size_t L = 0; L < lanes; ++L)
+        finalizeReport(tallies[L], logits[L].size(), reports[L]);
     return logits;
 }
 

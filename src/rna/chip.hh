@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "composer/reinterpreted_model.hh"
@@ -65,6 +66,16 @@ struct ChipConfig
      * pins this).
      */
     simd::Variant simd = simd::Variant::Auto;
+    /**
+     * Arena-sizing hint for inferBatch(): the number of batch lanes
+     * the workspace's batch-strided buffers are sized for at
+     * configure() time (the serving engine passes its
+     * ServingConfig::maxBatch through here). Larger batches still
+     * work — the buffers grow on first use; 1 (default) keeps the
+     * batch arenas unallocated. A pure capacity knob: results are
+     * identical at any value.
+     */
+    size_t maxBatch = 1;
 
     size_t totalRnas() const
     {
@@ -137,6 +148,24 @@ class Chip
     std::vector<double> infer(const nn::Tensor &x, PerfReport &report,
                               size_t numThreadsOverride) const;
 
+    /**
+     * Run a batch of samples through the chip, executing each layer
+     * once for the whole batch so per-output-neuron work (weight-code
+     * column loads, fused pair-key construction, counting-cycle
+     * hints, AM batch lookups) is amortized across the batch lanes
+     * (KernelOps::pairKeys8Lanes builds every lane's keys from a
+     * single column load). Logits, codes and the per-lane PerfReports
+     * are bitwise identical to inputs.size() sequential infer() calls
+     * at any thread count and SIMD variant
+     * (tests/batch_equivalence_test.cc pins this). `reports` must
+     * hold at least inputs.size() entries; returns one logits vector
+     * per input, in order.
+     */
+    std::vector<std::vector<double>>
+    inferBatch(std::span<const nn::Tensor> inputs,
+               std::span<PerfReport> reports,
+               size_t numThreadsOverride = 0) const;
+
     /** Classification error rate with cost accounting folded into one
      *  averaged report. */
     double errorRate(const nn::Dataset &data, PerfReport &avgReport) const;
@@ -194,6 +223,23 @@ class Chip
         uint64_t stageCycles;   //!< wall cycles with RNA parallelism
     };
 
+    /**
+     * Per-sample accounting accumulated across the layer walk. infer()
+     * keeps one, inferBatch() keeps one per lane; both feed the same
+     * tally/finalize helpers so the per-lane PerfReports of a batch
+     * are bitwise identical to sequential infer() reports.
+     */
+    struct InferTally
+    {
+        uint64_t latencyCycles = 0;
+        uint64_t worstStage = 0;
+        Energy totalEnergy{};
+        NeuronCost totals;
+        uint64_t bufferCycles = 0;
+        Energy bufferEnergy{};
+        nvm::OpCost inputEncode;
+    };
+
     void configureLayers(ContextSet &set,
                          const std::vector<composer::RLayer> &layers);
 
@@ -206,6 +252,34 @@ class Chip
                       const composer::EncodedTensor &in,
                       bool lastCompute, Workspace &ws,
                       size_t threads) const;
+
+    /**
+     * Run one layer for a whole batch, filling runs[L] with exactly
+     * what runLayer(layer, ins[L], ...) would produce. Dense, conv and
+     * recurrent layers with a packed kernel context take the batched
+     * kernel path (shared weight-column work, per-lane key stripes);
+     * everything else falls back to per-lane runLayer calls in lane
+     * order, which is trivially identical.
+     */
+    void runLayerBatch(const composer::RLayer &layer,
+                       const std::vector<composer::EncodedTensor> &ins,
+                       bool lastCompute, Workspace &ws, size_t threads,
+                       std::vector<LayerRun> &runs) const;
+
+    /** Input-encoding cost of one sample (CAM search per element plus
+     *  the data-block stream-out). */
+    nvm::OpCost inputEncodeCost(size_t numel) const;
+
+    /** Fold one layer's run into a sample tally: totals, latency,
+     *  worst stage and the inter-layer broadcast-buffer traffic. */
+    void tallyLayerRun(InferTally &t, const LayerRun &run,
+                       const composer::RLayer &layer,
+                       bool isLastCompute) const;
+
+    /** Turn a finished tally into the PerfReport: write-back cost,
+     *  active energies, occupancy leakage and the category split. */
+    void finalizeReport(InferTally &t, size_t logitCount,
+                        PerfReport &report) const;
 };
 
 } // namespace rapidnn::rna

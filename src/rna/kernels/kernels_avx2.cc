@@ -296,13 +296,44 @@ gatherSum32Avx2(const int64_t *table, const uint32_t *keys, size_t n)
     return sum;
 }
 
+void
+pairKeys8LanesAvx2(const uint8_t *w, const uint8_t *const *xs,
+                   size_t lanes, size_t n, uint32_t shift,
+                   uint16_t *keys, size_t keyStride)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    // Chunk-outer, lane-inner: each shifted weight chunk is loaded and
+    // widened once, then OR'd against every lane's activation chunk.
+    for (; i + 16 <= n; i += 16) {
+        const __m256i ws = _mm256_sll_epi16(
+            _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w + i))),
+            cnt);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            const __m256i x16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(xs[lane] + i)));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(keys + lane * keyStride +
+                                            i),
+                _mm256_or_si256(ws, x16));
+        }
+    }
+    for (; i < n; ++i) {
+        const uint32_t ws = static_cast<uint32_t>(w[i]) << shift;
+        for (size_t lane = 0; lane < lanes; ++lane)
+            keys[lane * keyStride + i] =
+                static_cast<uint16_t>(ws | xs[lane][i]);
+    }
+}
+
 } // namespace
 
 extern const simd::KernelOps kAvx2Ops;
 const simd::KernelOps kAvx2Ops = {
     "avx2",       pairKeys8Avx2, pairKeys16Avx2, narrowAvx2,
     gather8Avx2,  maxU16Avx2,    quantizeAvx2,   directLookupAvx2,
-    gatherSum16Avx2, gatherSum32Avx2,
+    gatherSum16Avx2, gatherSum32Avx2, pairKeys8LanesAvx2,
 };
 
 } // namespace rapidnn::rna::kernels

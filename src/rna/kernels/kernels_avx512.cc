@@ -247,6 +247,36 @@ gatherSum32Avx512(const int64_t *table, const uint32_t *keys, size_t n)
     return sum;
 }
 
+void
+pairKeys8LanesAvx512(const uint8_t *w, const uint8_t *const *xs,
+                     size_t lanes, size_t n, uint32_t shift,
+                     uint16_t *keys, size_t keyStride)
+{
+    const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    // Chunk-outer, lane-inner: each shifted weight chunk is loaded and
+    // widened once, then OR'd against every lane's activation chunk.
+    for (; i + 32 <= n; i += 32) {
+        const __m512i ws = _mm512_sll_epi16(
+            _mm512_cvtepu8_epi16(_mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w + i))),
+            cnt);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            const __m512i x16 = _mm512_cvtepu8_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    xs[lane] + i)));
+            _mm512_storeu_si512(keys + lane * keyStride + i,
+                                _mm512_or_si512(ws, x16));
+        }
+    }
+    for (; i < n; ++i) {
+        const uint32_t ws = static_cast<uint32_t>(w[i]) << shift;
+        for (size_t lane = 0; lane < lanes; ++lane)
+            keys[lane * keyStride + i] =
+                static_cast<uint16_t>(ws | xs[lane][i]);
+    }
+}
+
 } // namespace
 
 extern const simd::KernelOps kAvx512Ops;
@@ -254,7 +284,7 @@ const simd::KernelOps kAvx512Ops = {
     "avx512",        pairKeys8Avx512, pairKeys16Avx512,
     narrowAvx512,    gather8Avx512,   maxU16Avx512,
     quantizeAvx512,  directLookupAvx512,
-    gatherSum16Avx512, gatherSum32Avx512,
+    gatherSum16Avx512, gatherSum32Avx512, pairKeys8LanesAvx512,
 };
 
 } // namespace rapidnn::rna::kernels

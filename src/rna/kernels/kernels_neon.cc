@@ -165,13 +165,37 @@ gatherSum32Neon(const int64_t *table, const uint32_t *keys, size_t n)
     return sum;
 }
 
+void
+pairKeys8LanesNeon(const uint8_t *w, const uint8_t *const *xs,
+                   size_t lanes, size_t n, uint32_t shift,
+                   uint16_t *keys, size_t keyStride)
+{
+    const int16x8_t cnt = vdupq_n_s16(static_cast<int16_t>(shift));
+    size_t i = 0;
+    // Chunk-outer, lane-inner: each shifted weight chunk is loaded and
+    // widened once, then OR'd against every lane's activation chunk.
+    for (; i + 8 <= n; i += 8) {
+        const uint16x8_t ws = vshlq_u16(vmovl_u8(vld1_u8(w + i)), cnt);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            const uint16x8_t x16 = vmovl_u8(vld1_u8(xs[lane] + i));
+            vst1q_u16(keys + lane * keyStride + i, vorrq_u16(ws, x16));
+        }
+    }
+    for (; i < n; ++i) {
+        const uint32_t ws = static_cast<uint32_t>(w[i]) << shift;
+        for (size_t lane = 0; lane < lanes; ++lane)
+            keys[lane * keyStride + i] =
+                static_cast<uint16_t>(ws | xs[lane][i]);
+    }
+}
+
 } // namespace
 
 extern const simd::KernelOps kNeonOps;
 const simd::KernelOps kNeonOps = {
     "neon",       pairKeys8Neon, pairKeys16Neon, narrowNeon,
     gather8Neon,  maxU16Neon,    quantizeNeon,   directLookupNeon,
-    gatherSum16Neon, gatherSum32Neon,
+    gatherSum16Neon, gatherSum32Neon, pairKeys8LanesNeon,
 };
 
 } // namespace rapidnn::rna::kernels

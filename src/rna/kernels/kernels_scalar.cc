@@ -111,6 +111,20 @@ gatherSum32Scalar(const int64_t *table, const uint32_t *keys, size_t n)
     return sum;
 }
 
+void
+pairKeys8LanesScalar(const uint8_t *w, const uint8_t *const *xs,
+                     size_t lanes, size_t n, uint32_t shift,
+                     uint16_t *keys, size_t keyStride)
+{
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        const uint8_t *x = xs[lane];
+        uint16_t *out = keys + lane * keyStride;
+        for (size_t i = 0; i < n; ++i)
+            out[i] = static_cast<uint16_t>(
+                (static_cast<uint32_t>(w[i]) << shift) | x[i]);
+    }
+}
+
 } // namespace
 
 extern const simd::KernelOps kScalarOps;
@@ -118,6 +132,7 @@ const simd::KernelOps kScalarOps = {
     "scalar",         pairKeys8Scalar, pairKeys16Scalar, narrowScalar,
     gather8Scalar,    maxU16Scalar,    quantizeScalar,
     directLookupScalar, gatherSum16Scalar, gatherSum32Scalar,
+    pairKeys8LanesScalar,
 };
 
 } // namespace rapidnn::rna::kernels

@@ -372,6 +372,42 @@ RnaLayerContext::accumulateKeyed(size_t channel, const uint16_t *w,
                                       countingHint(channel, w, fanIn));
 }
 
+AccumResult
+RnaLayerContext::accumulatePrekeyed(size_t channel,
+                                    const uint16_t *keys, size_t fanIn,
+                                    double bias, AccumScratch &sc,
+                                    const uint32_t *countingCycles) const
+{
+    RAPIDNN_ASSERT(_kops != nullptr && _packed,
+                   "accumulatePrekeyed without a packed kernel context");
+    return _engines[channel].runPrekeyed(*_kops, keys, fanIn, bias, sc,
+                                         countingCycles);
+}
+
+void
+RnaLayerContext::accumulatePrekeyedLanes(
+    size_t channel, const uint16_t *keys, size_t keyStride,
+    size_t lanes, size_t fanIn, double bias, AccumScratch &sc,
+    const uint32_t *countingCycles, AccumResult *results) const
+{
+    RAPIDNN_ASSERT(_kops != nullptr && _packed,
+                   "accumulatePrekeyedLanes without a packed kernel "
+                   "context");
+    _engines[channel].runPrekeyedLanes(*_kops, keys, keyStride, lanes,
+                                       fanIn, bias, sc, countingCycles,
+                                       results);
+}
+
+uint32_t
+RnaLayerContext::packedCountingCycles(size_t channel, const uint8_t *w8,
+                                      size_t fanIn,
+                                      AccumScratch &sc) const
+{
+    if (const uint32_t *hint = countingHint(channel, w8, fanIn))
+        return *hint;
+    return _engines[channel].weightCountingCycles(w8, fanIn, sc);
+}
+
 NeuronResult
 RnaLayerContext::evaluatePacked(size_t channel, const uint8_t *w8,
                                 const uint8_t *x8, size_t fanIn,
@@ -411,6 +447,33 @@ RnaLayerContext::evaluateRecurrentStepPacked(
     const AccumResult hAccum = _stateEngine->runPacked(
         *_kops, hWeightCodes, hCodes, hidden, 0.0, scratch,
         countingHint(0, hWeightCodes, hidden));
+    result.cost.weightedAccum =
+        xAccum.cost.total() + hAccum.cost.total();
+
+    double value = xAccum.value + hAccum.value;
+    if (_activationAm)
+        value = _activationAm->lookup(value, result.cost.activation);
+    result.rawValue = value;
+
+    result.code = static_cast<uint16_t>(
+        _stateEncodingAm->lookupRow(value, result.cost.encoding));
+    result.encoded = true;
+    return result;
+}
+
+NeuronResult
+RnaLayerContext::evaluateRecurrentStepPrekeyed(
+    const uint16_t *xKeys, size_t features, const uint16_t *hKeys,
+    size_t hidden, double bias, AccumScratch &scratch,
+    const uint32_t *xCounting, const uint32_t *hCounting) const
+{
+    NeuronResult result;
+    // Mirrors evaluateRecurrentStepPacked: both operand paths tally in
+    // the same crossbar, costs add, values add.
+    const AccumResult xAccum = _engines[0].runPrekeyed(
+        *_kops, xKeys, features, bias, scratch, xCounting);
+    const AccumResult hAccum = _stateEngine->runPrekeyed(
+        *_kops, hKeys, hidden, 0.0, scratch, hCounting);
     result.cost.weightedAccum =
         xAccum.cost.total() + hAccum.cost.total();
 

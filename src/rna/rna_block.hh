@@ -176,6 +176,83 @@ class RnaLayerContext
                                 const uint16_t *x, size_t fanIn,
                                 double bias, AccumScratch &sc) const;
 
+    /**
+     * Kernel-path weighted accumulation over pair keys the caller
+     * already built for `channel` (the batched path constructs every
+     * lane's keys from one weight-column load via pairKeys8Lanes).
+     * Bitwise-identical to accumulatePacked over the originating code
+     * arrays. `sc` must have been sized by prepareWorkspace /
+     * prepareScratch (runPrekeyed does not grow it); `countingCycles`
+     * is the hoisted hint for the weight column, or nullptr to
+     * recompute from the keys.
+     */
+    AccumResult accumulatePrekeyed(size_t channel, const uint16_t *keys,
+                                   size_t fanIn, double bias,
+                                   AccumScratch &sc,
+                                   const uint32_t *countingCycles
+                                   = nullptr) const;
+
+    /**
+     * Batched-lanes variant: one call accumulates every batch lane of
+     * one output neuron from the lane-strided key stripes
+     * pairKeys8Lanes wrote (lane L at keys + L * keyStride), filling
+     * results[0..lanes). Bitwise-identical per lane to
+     * accumulatePrekeyed over the lane's stripe; the per-neuron
+     * constants (counting cycles, bias, counting energy) are computed
+     * once and shared across the lanes — the inferBatch hot loop.
+     */
+    void accumulatePrekeyedLanes(size_t channel, const uint16_t *keys,
+                                 size_t keyStride, size_t lanes,
+                                 size_t fanIn, double bias,
+                                 AccumScratch &sc,
+                                 const uint32_t *countingCycles,
+                                 AccumResult *results) const;
+
+    /**
+     * Counting cycles for an arbitrary packed weight window of
+     * `channel` (clipped conv windows gathered into scratch): returns
+     * the hoisted hint when the pointer is a canonical weight array,
+     * otherwise recomputes allocation-free through `sc`. The batched
+     * conv path derives this once per (position, channel) and shares
+     * it across every lane.
+     */
+    uint32_t packedCountingCycles(size_t channel, const uint8_t *w8,
+                                  size_t fanIn, AccumScratch &sc) const;
+
+    /** Pair-key shift of channel's engine: key = (w << shift) | u. */
+    uint32_t
+    keyShiftFor(size_t channel) const
+    {
+        return _engines[channel].keyShift();
+    }
+
+    /** Pair-key shift of the recurrent feedback-path engine. */
+    uint32_t
+    stateKeyShift() const
+    {
+        return _stateEngine->keyShift();
+    }
+
+    /** Hoisted counting-cycle hints per canonical weight column (null
+     *  when the kernel layer is off or the layer kind has none). */
+    const uint32_t *
+    denseCountingHint(size_t j) const
+    {
+        return _denseCounting.empty() ? nullptr : &_denseCounting[j];
+    }
+
+    const uint32_t *
+    recXCountingHint(size_t h) const
+    {
+        return _recXCounting.empty() ? nullptr : &_recXCounting[h];
+    }
+
+    const uint32_t *
+    recHCountingHint(size_t h) const
+    {
+        return _recHCounting.empty() ? nullptr : &_recHCounting[h];
+    }
+
     /** Per-neuron kernel-path evaluation (packed accumulation + scalar
      *  AM lookups) for the sharded executors; bitwise-identical to
      *  evaluateFast(). */
@@ -190,6 +267,17 @@ class RnaLayerContext
         size_t features, const uint8_t *hWeightCodes,
         const uint8_t *hCodes, size_t hidden, double bias,
         AccumScratch &scratch) const;
+
+    /**
+     * Prekeyed twin of evaluateRecurrentStepPacked: both operand
+     * paths' pair keys are built by the caller (one weight-column load
+     * per pairKeys8Lanes call serving every batch lane).
+     * Bitwise-identical to the packed form over the originating codes.
+     */
+    NeuronResult evaluateRecurrentStepPrekeyed(
+        const uint16_t *xKeys, size_t features, const uint16_t *hKeys,
+        size_t hidden, double bias, AccumScratch &scratch,
+        const uint32_t *xCounting, const uint32_t *hCounting) const;
 
     bool hasActivation() const { return _activationAm.has_value(); }
     bool hasEncoder() const { return _encodingAm.has_value(); }

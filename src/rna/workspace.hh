@@ -120,6 +120,12 @@ struct IntraOpScratch
     simd::AlignedVec<uint8_t> gw8;
     simd::AlignedVec<uint32_t> amKeys;
     simd::AlignedVec<uint32_t> amRows;
+
+    /** Batched-path pair-key stripes (one per batch lane) for the
+     *  (output-neuron x lane) tiles of Chip::inferBatch. */
+    simd::AlignedVec<uint16_t> keysB;
+    /** Per-lane results of one neuron's batched-lanes accumulation. */
+    std::vector<AccumResult> accumResB;
 };
 
 /** All mutable scratch one infer() call needs, reusable across calls. */
@@ -152,6 +158,45 @@ struct Workspace
     std::vector<uint16_t> hNext;
     std::vector<double> hRaw;
     std::vector<double> hRawNext;
+
+    /**
+     * Batch-strided buffers for Chip::inferBatch, arena-sized at
+     * configure time from ChipConfig::maxBatch (larger batches still
+     * work — buffers grow on first use). Lane L's stripe of a
+     * lane-strided buffer starts at L * stride; actB8 stripes are
+     * gather8 sources, which is safe because an interior lane's <= 3
+     * byte overread lands in the next lane's (readable) stripe and the
+     * last lane is covered by the AlignedVec tail slack. valsB /
+     * codesB / neuronCostsB are neuron-major (slot = neuron * lanes +
+     * lane) so a contiguous neuron range over all lanes feeds one
+     * cross-lane AM batch lookup.
+     */
+    simd::AlignedVec<uint8_t> actB8;   //!< lane-strided narrowed codes
+    simd::AlignedVec<uint8_t> gx8B;    //!< lane-strided conv windows
+    simd::AlignedVec<uint8_t> h8B;     //!< lane-strided narrowed state
+    simd::AlignedVec<uint16_t> keysB;  //!< pairKeys8Lanes stripes
+    simd::AlignedVec<uint16_t> keysHB; //!< recurrent feedback keys
+    simd::AlignedVec<double> valsB;    //!< neuron-major staged values
+    simd::AlignedVec<uint16_t> codesB; //!< neuron-major encode staging
+    std::vector<const uint8_t *> lanePtrsX;  //!< per-lane x sources
+    std::vector<const uint8_t *> lanePtrsH;  //!< per-lane h sources
+    std::vector<uint16_t> hCodesB;  //!< lane-strided state buffers
+    std::vector<uint16_t> hNextB;
+    std::vector<double> hRawB;
+    std::vector<double> hRawNextB;
+    std::vector<uint64_t> stepWorstB;  //!< per-lane recurrent cycles
+    /** Neuron-major x lane cost slots; each lane's flat reduction
+     *  replays the serial per-neuron accumulation order exactly. */
+    std::vector<NeuronCost> neuronCostsB;
+    /** Per-lane results of one neuron's batched-lanes accumulation. */
+    std::vector<AccumResult> accumResB;
+    /** Neuron-major x lane accumulation-cost slots for the batched
+     *  dense/conv paths: only the weighted-accumulation OpCost varies
+     *  per slot (activation/encoding query costs are per-layer
+     *  constants the reduction re-adds per neuron in serial order), so
+     *  staging 16-byte OpCosts instead of NeuronCosts quarters the
+     *  cost-staging traffic. */
+    std::vector<nvm::OpCost> accumCostB;
 
     /** AvgPool fixed-point addend reuse. */
     std::vector<int64_t> addends;

@@ -118,6 +118,12 @@ class StatsCollector
           _batchSizeHist(registry.histogram(
               "rapidnn_batch_size", "Requests per executed batch",
               telemetry::batchSizeBuckets())),
+          _laneUtilization(registry.histogram(
+              "rapidnn_batch_lane_utilization",
+              "Filled batch lanes as a fraction of the configured "
+              "maxBatch",
+              telemetry::utilizationBuckets())),
+          _maxBatch(std::max<size_t>(1, maxBatch)),
           _submitted0(_submitted.value()),
           _rejected0(_rejected.value()),
           _completed0(_completed.value()),
@@ -134,6 +140,8 @@ class StatsCollector
     {
         _batches.add(1);
         _batchSizeHist.observe(static_cast<double>(batchSize));
+        _laneUtilization.observe(static_cast<double>(batchSize)
+                                 / static_cast<double>(_maxBatch));
         std::lock_guard<std::mutex> lock(_mutex);
         _batchSizes.add(static_cast<double>(batchSize));
     }
@@ -182,6 +190,9 @@ class StatsCollector
     telemetry::Histogram &_latencySeconds;
     telemetry::Histogram &_queueWaitSeconds;
     telemetry::Histogram &_batchSizeHist;
+    telemetry::Histogram &_laneUtilization;
+    /** Lane-utilization denominator (the engine's maxBatch bound). */
+    const size_t _maxBatch;
     /** Registry counters are process-cumulative; per-engine stats are
      *  deltas against these construction-time baselines. */
     const uint64_t _submitted0;

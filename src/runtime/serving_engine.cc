@@ -1,6 +1,7 @@
 #include "runtime/serving_engine.hh"
 
 #include <algorithm>
+#include <span>
 #include <sstream>
 
 #include "common/check.hh"
@@ -48,8 +49,13 @@ ServingEngine::ServingEngine(const composer::ReinterpretedModel &model,
     RAPIDNN_ASSERT(_config.workers > 0, "need at least one worker");
 
     // One configured prototype, cloned per worker: every replica reads
-    // the same const model, none shares mutable state.
-    rna::Chip prototype(chipConfig);
+    // the same const model, none shares mutable state. The engine's
+    // micro-batch bound doubles as the chip's batch-arena sizing hint
+    // so inferBatch never grows buffers mid-serve.
+    rna::ChipConfig replicaConfig = chipConfig;
+    replicaConfig.maxBatch = std::max(
+        replicaConfig.maxBatch, std::max<size_t>(1, config.maxBatch));
+    rna::Chip prototype(replicaConfig);
     prototype.configure(model);
     const size_t shardCapacity = std::max<size_t>(
         1, _queue.capacity() / _config.workers);
@@ -233,18 +239,46 @@ ServingEngine::workerMain(size_t index)
         std::vector<InferResult> results(batch.size());
         Time batchChipTime{};
         rna::PerfReport batchPerf;
-        for (size_t i = 0; i < batch.size(); ++i) {
-            InferResult &result = results[i];
+        if (_config.batchedInfer) {
+            // One inferBatch call runs every layer once for the whole
+            // batch; the chip emits per-lane PerfReports, so the
+            // per-request accounting below is identical to the
+            // per-request loop (batch_equivalence_test pins it).
+            std::vector<nn::Tensor> inputs;
+            inputs.reserve(batch.size());
+            for (Request &request : batch)
+                inputs.push_back(std::move(request.input));
+            std::vector<rna::PerfReport> perfs(batch.size());
+            std::vector<std::vector<double>> logits;
             {
+                // Batched span, parented to the batch; the chip's own
+                // per-layer stage spans nest under it. arg = worker.
+                telemetry::ScopedSpan inferSpan(
+                    tracer, "batch_infer",
+                    static_cast<int64_t>(index), batchSpanId);
+                logits = worker.chip.inferBatch(
+                    std::span<const nn::Tensor>(inputs),
+                    std::span<rna::PerfReport>(perfs), lanes);
+            }
+            for (size_t i = 0; i < batch.size(); ++i) {
+                InferResult &result = results[i];
+                result.logits = std::move(logits[i]);
+                result.perf = std::move(perfs[i]);
+            }
+        } else {
+            for (size_t i = 0; i < batch.size(); ++i) {
                 // Per-request span, parented to the batch;
                 // Chip::infer's own stage spans nest under it via the
                 // thread-local current-span chain. arg = worker index.
                 telemetry::ScopedSpan requestSpan(
                     tracer, "request_infer",
                     static_cast<int64_t>(index), batchSpanId);
-                result.logits = worker.chip.infer(batch[i].input,
-                                                  result.perf, lanes);
+                results[i].logits = worker.chip.infer(
+                    batch[i].input, results[i].perf, lanes);
             }
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+            InferResult &result = results[i];
             result.perf.inferences = 1;
             result.batchSize = batch.size();
             result.workerId = index;

@@ -9,10 +9,11 @@
  * across them, so serving throughput scales with replicas while each
  * request keeps single-chip latency.
  *
- * Determinism guarantee: Chip::infer is const and replicas share no
- * mutable state, so for a fixed request set the logits are bitwise
- * identical to serial single-chip inference regardless of worker
- * count, batch boundaries, or scheduling order.
+ * Determinism guarantee: Chip::infer/inferBatch are const and replicas
+ * share no mutable state, so for a fixed request set the logits are
+ * bitwise identical to serial single-chip inference regardless of
+ * worker count, batch boundaries, batched-vs-per-request execution
+ * (ServingConfig::batchedInfer), or scheduling order.
  */
 
 #ifndef RAPIDNN_RUNTIME_SERVING_ENGINE_HH
@@ -76,6 +77,20 @@ struct ServingConfig
     /** Backlog at or below which a worker switches to latency mode
      *  and borrows intraOpThreads lanes for each request. */
     size_t intraOpShallowQueue = 2;
+    /**
+     * Run each micro-batch through one Chip::inferBatch call (true,
+     * the default) instead of per-request Chip::infer calls. The
+     * batched path runs every layer once for the whole batch, so
+     * per-output-neuron work (weight-column loads, pair-key
+     * construction, counting-cycle hints, AM lookups) amortizes
+     * across the batch lanes; logits and per-request PerfReports are
+     * bitwise identical either way (tests/batch_equivalence_test.cc).
+     * maxBatch is passed to the replicas as ChipConfig::maxBatch so
+     * the batch-strided workspace arenas are sized at configure time.
+     * False keeps the per-request loop, retained as the comparison
+     * baseline for bench_serving_throughput's batched-speedup gate.
+     */
+    bool batchedInfer = true;
     /**
      * Loopback TCP port for the Prometheus scrape endpoint. 0 (the
      * default) disables the endpoint entirely; the registry still

@@ -26,6 +26,12 @@ batchSizeBuckets()
     return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
 }
 
+std::vector<double>
+utilizationBuckets()
+{
+    return {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+}
+
 void
 registerTaskPoolMetrics(Registry &registry)
 {

@@ -35,6 +35,10 @@ std::vector<double> stageBucketsSeconds();
 /** Batch-size buckets: 1, 2, 4, ... 64. */
 std::vector<double> batchSizeBuckets();
 
+/** Fraction-of-capacity buckets (eighths of [0, 1]), e.g. for batch
+ *  lane utilization = filled lanes / configured maxBatch. */
+std::vector<double> utilizationBuckets();
+
 /**
  * Expose the shared TaskPool through the registry: per-lane
  * tasks-executed and steal counters plus busy-helper and lane-count

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Bitwise-equivalence guard for batched inference.
+ *
+ * The contract (rna/chip.hh): Chip::inferBatch is a pure throughput
+ * knob. For any batch of inputs it returns exactly what N sequential
+ * infer() calls return — logits, encoded codes (observed through the
+ * logits of downstream layers), and the per-lane PerfReports (latency,
+ * stage time, energy, and the full category breakdown) — at any SIMD
+ * variant, any intra-op thread count, with the fast path on or off.
+ *
+ * The sweep covers the four layer-topology families the batched
+ * kernels specialize (dense, conv, recurrent, residual), ragged
+ * batches (smaller than maxBatch), batch = 1, and batches larger than
+ * the configured ChipConfig::maxBatch arena hint (buffers must grow,
+ * not truncate). The suite carries the runtime label so the TSan
+ * preset exercises the sharded (output-neuron x lane) tiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "composer/composer.hh"
+#include "nn/misc_layers.hh"
+#include "nn/recurrent.hh"
+#include "nn/synthetic.hh"
+#include "nn/trainer.hh"
+#include "rna/chip.hh"
+#include "rna/kernels/kernels.hh"
+
+namespace rapidnn::rna {
+namespace {
+
+using composer::Composer;
+using composer::ComposerConfig;
+using composer::ReinterpretedModel;
+using simd::Variant;
+
+ReinterpretedModel
+compose(nn::Network &net, const nn::Dataset &train)
+{
+    ComposerConfig config;
+    config.weightClusters = 16;
+    config.inputClusters = 16;
+    Composer composer(config);
+    return composer.reinterpret(net, train);
+}
+
+struct Fixture
+{
+    nn::Dataset train;
+    nn::Dataset validation;
+    ReinterpretedModel model;
+};
+
+Fixture &
+denseFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::Dataset all = nn::makeVectorTask(
+            {"bq-dense", 18, 4, 260, 0.35, 1.0, 501});
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(502);
+        nn::Network net = nn::buildMlp(
+            {.inputs = 18, .hidden = {20, 14}, .outputs = 4}, rng);
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+convFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::ImageTaskSpec spec;
+        spec.name = "bq-conv";
+        spec.side = 8;
+        spec.classes = 3;
+        spec.samples = 200;
+        spec.seed = 503;
+        nn::Dataset all = nn::makeImageTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(504);
+        nn::CnnSpec cnn;
+        cnn.channels = 3;
+        cnn.height = cnn.width = 8;
+        cnn.convChannels = {5, 6};
+        cnn.denseWidths = {20};
+        cnn.outputs = 3;
+        nn::Network net = nn::buildCnn(cnn, rng);
+        nn::Trainer({.epochs = 3, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+recurrentFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::SequenceTaskSpec spec;
+        spec.name = "bq-seq";
+        spec.features = 5;
+        spec.steps = 7;
+        spec.classes = 3;
+        spec.samples = 240;
+        spec.noise = 0.25;
+        spec.seed = 505;
+        nn::Dataset all = nn::makeSequenceTask(spec);
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(506);
+        nn::Network net;
+        net.add(std::make_unique<nn::ElmanLayer>(
+            5, 12, 7, nn::ActKind::Tanh, rng));
+        net.add(std::make_unique<nn::DenseLayer>(12, 3, rng));
+        nn::Trainer({.epochs = 4, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+Fixture &
+residualFixture()
+{
+    static Fixture *fx = [] {
+        auto *f = new Fixture;
+        nn::Dataset all = nn::makeVectorTask(
+            {"bq-res", 16, 4, 320, 0.35, 1.0, 507});
+        auto [tr, va] = all.split(0.25);
+        f->train = std::move(tr);
+        f->validation = std::move(va);
+        Rng rng(508);
+        nn::Network net;
+        net.add(std::make_unique<nn::DenseLayer>(16, 14, rng));
+        net.add(
+            std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+        std::vector<nn::LayerPtr> inner;
+        inner.push_back(
+            std::make_unique<nn::DenseLayer>(14, 14, rng));
+        inner.push_back(
+            std::make_unique<nn::ActivationLayer>(nn::ActKind::Tanh));
+        net.add(std::make_unique<nn::ResidualLayer>(std::move(inner)));
+        net.add(std::make_unique<nn::DenseLayer>(14, 4, rng));
+        nn::Trainer({.epochs = 6, .batchSize = 16,
+                     .learningRate = 0.05})
+            .train(net, f->train);
+        f->model = compose(net, f->train);
+        return f;
+    }();
+    return *fx;
+}
+
+void
+expectReportEqual(const PerfReport &want, const PerfReport &got,
+                  const char *label, size_t lane)
+{
+    EXPECT_EQ(want.latency.ns(), got.latency.ns())
+        << label << " lane " << lane;
+    EXPECT_EQ(want.stageTime.ns(), got.stageTime.ns())
+        << label << " lane " << lane;
+    EXPECT_EQ(want.energy.j(), got.energy.j())
+        << label << " lane " << lane;
+    ASSERT_EQ(want.breakdown.size(), got.breakdown.size())
+        << label << " lane " << lane;
+    for (size_t c = 0; c < want.breakdown.size(); ++c) {
+        EXPECT_EQ(want.breakdown[c].name, got.breakdown[c].name);
+        EXPECT_EQ(want.breakdown[c].time.ns(),
+                  got.breakdown[c].time.ns())
+            << label << " lane " << lane << " "
+            << want.breakdown[c].name;
+        EXPECT_EQ(want.breakdown[c].energy.j(),
+                  got.breakdown[c].energy.j())
+            << label << " lane " << lane << " "
+            << want.breakdown[c].name;
+    }
+}
+
+/**
+ * Run every batch size through one chip and compare inferBatch against
+ * sequential infer() calls on the same chip, field-exact.
+ */
+void
+expectBatchBitwise(const Fixture &fx, const ChipConfig &config,
+                   std::span<const size_t> batchSizes,
+                   const char *label)
+{
+    Chip chip(config);
+    chip.configure(fx.model);
+
+    for (size_t batch : batchSizes) {
+        std::vector<nn::Tensor> inputs;
+        inputs.reserve(batch);
+        for (size_t s = 0; s < batch; ++s)
+            inputs.push_back(
+                fx.validation.sample(s % fx.validation.size()).x);
+
+        std::vector<std::vector<double>> want(batch);
+        std::vector<PerfReport> wantReports(batch);
+        for (size_t s = 0; s < batch; ++s)
+            want[s] = chip.infer(inputs[s], wantReports[s]);
+
+        std::vector<PerfReport> gotReports(batch);
+        const std::vector<std::vector<double>> got = chip.inferBatch(
+            std::span<const nn::Tensor>(inputs),
+            std::span<PerfReport>(gotReports));
+
+        ASSERT_EQ(want.size(), got.size()) << label;
+        for (size_t s = 0; s < batch; ++s) {
+            ASSERT_EQ(want[s].size(), got[s].size())
+                << label << " batch " << batch << " lane " << s;
+            for (size_t j = 0; j < want[s].size(); ++j)
+                EXPECT_EQ(want[s][j], got[s][j])
+                    << label << " batch " << batch << " lane " << s
+                    << " logit " << j;
+            expectReportEqual(wantReports[s], gotReports[s], label, s);
+        }
+    }
+}
+
+/** Batch 1, a ragged batch below maxBatch, a full batch, and one
+ *  larger than the maxBatch arena hint (buffers must grow). */
+constexpr size_t kBatches[] = {1, 3, 8, 11};
+
+void
+sweepVariantsAndThreads(const Fixture &fx, const char *label)
+{
+    for (Variant v : kernels::availableVariants()) {
+        for (size_t threads : {size_t(1), size_t(4)}) {
+            ChipConfig config;
+            config.simd = v;
+            config.numThreads = threads;
+            config.maxBatch = 8;
+            SCOPED_TRACE(std::string(label) + " variant="
+                         + simd::variantName(v) + " threads="
+                         + std::to_string(threads));
+            expectBatchBitwise(fx, config, kBatches, label);
+        }
+    }
+}
+
+TEST(BatchEquivalence, DenseBitwise)
+{
+    sweepVariantsAndThreads(denseFixture(), "dense");
+}
+
+TEST(BatchEquivalence, ConvBitwise)
+{
+    sweepVariantsAndThreads(convFixture(), "conv");
+}
+
+TEST(BatchEquivalence, RecurrentBitwise)
+{
+    sweepVariantsAndThreads(recurrentFixture(), "recurrent");
+}
+
+TEST(BatchEquivalence, ResidualBitwise)
+{
+    sweepVariantsAndThreads(residualFixture(), "residual");
+}
+
+TEST(BatchEquivalence, KernelOffBitwise)
+{
+    // simd = Off exercises the per-lane fallback for every layer kind.
+    ChipConfig config;
+    config.simd = Variant::Off;
+    config.maxBatch = 8;
+    expectBatchBitwise(denseFixture(), config, kBatches, "dense-off");
+    expectBatchBitwise(convFixture(), config, kBatches, "conv-off");
+    expectBatchBitwise(recurrentFixture(), config, kBatches,
+                       "recurrent-off");
+}
+
+TEST(BatchEquivalence, ReferencePathBitwise)
+{
+    // fastPath = false: the allocating reference loops, batched via
+    // the per-lane fallback.
+    ChipConfig config;
+    config.fastPath = false;
+    config.maxBatch = 8;
+    const size_t batches[] = {3};
+    expectBatchBitwise(denseFixture(), config, batches, "dense-ref");
+    expectBatchBitwise(convFixture(), config, batches, "conv-ref");
+    expectBatchBitwise(recurrentFixture(), config, batches,
+                       "recurrent-ref");
+    expectBatchBitwise(residualFixture(), config, batches,
+                       "residual-ref");
+}
+
+TEST(BatchEquivalence, EmptyBatchReturnsEmpty)
+{
+    ChipConfig config;
+    config.maxBatch = 8;
+    Chip chip(config);
+    chip.configure(denseFixture().model);
+    std::vector<nn::Tensor> inputs;
+    std::vector<PerfReport> reports;
+    EXPECT_TRUE(chip.inferBatch(std::span<const nn::Tensor>(inputs),
+                                std::span<PerfReport>(reports))
+                    .empty());
+}
+
+} // namespace
+} // namespace rapidnn::rna

@@ -98,6 +98,53 @@ TEST(KernelPrimitives, PairKeys8MatchesScalar)
     }
 }
 
+TEST(KernelPrimitives, PairKeys8LanesMatchesPerLanePairKeys8)
+{
+    // The batch-lane twin: every lane's key stripe must equal a
+    // per-lane scalar pairKeys8 call, and only [0, n) of each stripe
+    // may be written (keyStride > n leaves guard cells untouched).
+    Rng rng(108);
+    for (Variant v : kernels::availableVariants()) {
+        const KernelOps &ops = *kernels::opsFor(v);
+        ASSERT_NE(ops.pairKeys8Lanes, nullptr) << ops.name;
+        for (size_t n : kSizes) {
+            for (size_t lanes : {size_t(1), size_t(3), size_t(8)}) {
+                std::vector<uint8_t> w(n);
+                for (auto &c : w)
+                    c = uint8_t(rng.uniformInt(0, 255));
+                std::vector<std::vector<uint8_t>> xs(lanes);
+                std::vector<const uint8_t *> xPtrs(lanes);
+                for (size_t L = 0; L < lanes; ++L) {
+                    xs[L].resize(n);
+                    for (auto &c : xs[L])
+                        c = uint8_t(rng.uniformInt(0, 255));
+                    xPtrs[L] = xs[L].data();
+                }
+                const size_t stride = n + 2;  // guard cells per lane
+                for (uint32_t shift : {0u, 4u, 8u}) {
+                    std::vector<uint16_t> got(lanes * stride, 0xabcd);
+                    ops.pairKeys8Lanes(w.data(), xPtrs.data(), lanes,
+                                       n, shift, got.data(), stride);
+                    for (size_t L = 0; L < lanes; ++L) {
+                        std::vector<uint16_t> want(n);
+                        scalarOps().pairKeys8(w.data(), xs[L].data(),
+                                              n, shift, want.data());
+                        for (size_t i = 0; i < n; ++i)
+                            EXPECT_EQ(got[L * stride + i], want[i])
+                                << ops.name << " n=" << n << " lane="
+                                << L << " i=" << i
+                                << " shift=" << shift;
+                        for (size_t g = n; g < stride; ++g)
+                            EXPECT_EQ(got[L * stride + g], 0xabcd)
+                                << ops.name
+                                << " wrote past n in lane " << L;
+                    }
+                }
+            }
+        }
+    }
+}
+
 TEST(KernelPrimitives, PairKeys16MatchesScalar)
 {
     Rng rng(102);
@@ -575,6 +622,9 @@ TEST(KernelDispatch, ScalarAlwaysAvailableAndTablesNamed)
         EXPECT_NE(ops->maxU16, nullptr);
         EXPECT_NE(ops->quantize, nullptr);
         EXPECT_NE(ops->directLookup, nullptr);
+        EXPECT_NE(ops->gatherSum16, nullptr);
+        EXPECT_NE(ops->gatherSum32, nullptr);
+        EXPECT_NE(ops->pairKeys8Lanes, nullptr);
     }
     EXPECT_EQ(kernels::opsFor(Variant::Off), nullptr);
     EXPECT_EQ(kernels::opsFor(Variant::Auto), nullptr);

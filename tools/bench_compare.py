@@ -9,6 +9,7 @@ scraping stdout.
 
 Usage:
   tools/bench_compare.py BASELINE CANDIDATE [--tolerance 0.10]
+      [--metric-tolerance GLOB=FRAC]... [--allow GLOB]...
       [--strict-metadata] [--fail-on-missing]
 
 BASELINE and CANDIDATE are either two .json files or two directories;
@@ -19,14 +20,25 @@ classified by key suffix:
                     *_energy, *_nj, *_pj, *_bytes, *_edp, *_error,
                     *_error_rate, *_overhead
   higher is better: *_per_s, *_per_sec, *_throughput, *_speedup,
-                    *_qps, *_ops, *_accuracy
+                    *_qps, *_ops, *_accuracy, *_sps, *_rps
   everything else:  informational only (reported, never fails)
 
+Unit markers also classify when an underscore-joined qualifier
+follows them (batched_speedup_peak, p99_us_8w, modeled_rps_1w).
+
 A candidate more than --tolerance (default 10%) worse than baseline on
-a classified metric is a regression. Metadata keys (bench, simd_*,
-rapidnn_*_env, *_threads) are compared for equality and reported —
-mismatched kernel attribution makes a comparison apples-to-oranges,
-which is a warning by default and an error under --strict-metadata.
+a classified metric is a regression. --metric-tolerance overrides the
+tolerance for keys matching a glob (first match wins), and --allow
+marks matching metrics as informational only — they are reported but
+never fail the run. Use --allow for metrics that are inherently noisy
+on shared hosts (wall-clock throughput, tail latency) so the stable
+ratio metrics can gate without flakes. Metadata keys (bench, simd_*,
+rapidnn_*_env, *_threads, batch_lanes) are compared for equality and
+reported — mismatched kernel attribution makes a comparison
+apples-to-oranges, which is a warning by default and an error under
+--strict-metadata. A dump pair that disagrees on the `smoke` flag is
+skipped outright: smoke runs shrink workloads, so their numbers are
+not comparable to full-run baselines.
 
 Exit status: 0 = no regressions, 1 = regressions (or, with
 --fail-on-missing, baseline metrics absent from the candidate),
@@ -34,6 +46,7 @@ Exit status: 0 = no regressions, 1 = regressions (or, with
 """
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -45,22 +58,42 @@ LOWER_IS_BETTER = (
 )
 HIGHER_IS_BETTER = (
     "_per_s", "_per_sec", "_throughput", "_speedup", "_qps", "_ops",
-    "_accuracy",
+    "_accuracy", "_sps", "_rps",
 )
 METADATA_KEYS = ("bench", "simd_variant", "simd_features",
                  "rapidnn_simd_env", "rapidnn_threads",
-                 "default_threads")
+                 "default_threads", "batch_lanes", "smoke")
 
 
 def classify(key):
-    """'lower', 'higher', or None (informational)."""
+    """'lower', 'higher', or None (informational).
+
+    A unit marker counts both as a plain suffix (`load_speedup`) and
+    when followed by an underscore-joined qualifier
+    (`batched_speedup_peak`, `p99_us_8w`, `served_sps_batched_1w`) —
+    bench keys append worker counts and lane qualifiers after the
+    unit."""
     for suffix in HIGHER_IS_BETTER:
-        if key.endswith(suffix):
+        if key.endswith(suffix) or (suffix + "_") in key:
             return "higher"
     for suffix in LOWER_IS_BETTER:
-        if key.endswith(suffix):
+        if key.endswith(suffix) or (suffix + "_") in key:
             return "lower"
     return None
+
+
+def allowed(key, args):
+    """True when the key matches an --allow glob (never gates)."""
+    return any(fnmatch.fnmatchcase(key, pat) for pat in args.allow)
+
+
+def tolerance_for(key, args):
+    """Per-metric tolerance: first matching --metric-tolerance glob
+    wins, else the global --tolerance."""
+    for pat, frac in args.metric_tolerance:
+        if fnmatch.fnmatchcase(key, pat):
+            return frac
+    return args.tolerance
 
 
 def load(path):
@@ -82,6 +115,12 @@ def compare_one(base_path, cand_path, args):
     cand = load(cand_path)
     name = base.get("bench", os.path.basename(base_path))
     print(f"== {name}")
+
+    if base.get("smoke") != cand.get("smoke"):
+        print(f"  [skip] smoke-mode mismatch "
+              f"(baseline={base.get('smoke')!r} "
+              f"candidate={cand.get('smoke')!r}); not comparable")
+        return 0, 0
 
     meta_mismatch = 0
     for key in METADATA_KEYS:
@@ -112,14 +151,18 @@ def compare_one(base_path, cand_path, args):
             if cv != bv:
                 print(f"  [info] {key}: {bv} -> {cv} (zero baseline)")
             continue
+        tol = tolerance_for(key, args)
         change = (cv - bv) / abs(bv)
-        worse = (direction == "lower" and change > args.tolerance) or \
-                (direction == "higher" and change < -args.tolerance)
-        if worse:
+        worse = (direction == "lower" and change > tol) or \
+                (direction == "higher" and change < -tol)
+        if worse and allowed(key, args):
+            print(f"  [allowed] {key}: {bv:g} -> {cv:g} "
+                  f"({change:+.1%}, allowlisted)")
+        elif worse:
             regressions += 1
             print(f"  [REGRESSION] {key}: {bv:g} -> {cv:g} "
-                  f"({change:+.1%}, tolerance {args.tolerance:.0%})")
-        elif direction is not None and abs(change) > args.tolerance:
+                  f"({change:+.1%}, tolerance {tol:.0%})")
+        elif direction is not None and abs(change) > tol:
             print(f"  [improved] {key}: {bv:g} -> {cv:g} "
                   f"({change:+.1%})")
         elif args.verbose:
@@ -147,6 +190,16 @@ def main():
                     help="candidate .json file or directory")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="fractional regression allowed (default 0.10)")
+    ap.add_argument("--metric-tolerance", action="append", default=[],
+                    metavar="GLOB=FRAC",
+                    help="per-metric tolerance override for keys "
+                         "matching GLOB (repeatable; first match "
+                         "wins)")
+    ap.add_argument("--allow", action="append", default=[],
+                    metavar="GLOB",
+                    help="metrics matching GLOB are reported but "
+                         "never fail the run (repeatable); for "
+                         "host-noise-dominated metrics")
     ap.add_argument("--strict-metadata", action="store_true",
                     help="treat metadata mismatches as failures")
     ap.add_argument("--fail-on-missing", action="store_true",
@@ -159,6 +212,20 @@ def main():
     if args.tolerance < 0:
         print("error: negative tolerance", file=sys.stderr)
         return 2
+
+    parsed = []
+    for spec in args.metric_tolerance:
+        pat, sep, frac = spec.partition("=")
+        try:
+            value = float(frac)
+        except ValueError:
+            value = -1.0
+        if not sep or not pat or value < 0:
+            print(f"error: bad --metric-tolerance {spec!r} "
+                  f"(want GLOB=FRAC with FRAC >= 0)", file=sys.stderr)
+            return 2
+        parsed.append((pat, value))
+    args.metric_tolerance = parsed
 
     base_dir = os.path.isdir(args.baseline)
     cand_dir = os.path.isdir(args.candidate)

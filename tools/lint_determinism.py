@@ -250,6 +250,15 @@ SELF_TEST_CASES = [
     ("std accumulate", "double s = std::accumulate(v.begin(), "
      "v.end(), 0.0);", ["fp-reduce"]),
     ("omp pragma", "#pragma omp parallel for", ["fp-reduce"]),
+    # Batched execution stages per-(neuron x lane) results and reduces
+    # them per lane; doing that with an order-unspecified reduction
+    # would break inferBatch's bitwise-equivalence contract.
+    ("batched lane reduce",
+     "double s = std::reduce(laneCosts.begin(), laneCosts.end(), "
+     "0.0);", ["fp-reduce"]),
+    ("batched transform_reduce",
+     "auto e = std::transform_reduce(slots.begin(), slots.end(), "
+     "Energy{}, std::plus<>{}, laneEnergy);", ["fp-reduce"]),
     ("suppressed same line",
      "srand(1);  // NOLINT-DETERMINISM(rng): test fixture only", []),
     ("suppressed prev line",
@@ -277,6 +286,15 @@ def self_test():
     scoped_cases = [
         ("rna fp-reduce exemption", "src/rna/accumulation.cc",
          "auto s = std::accumulate(v.begin(), v.end(), 0.0);", []),
+        # The blessed batched reduction: a serial flat-order loop over
+        # the neuron-major (neuron x lane) cost slots inside src/rna/.
+        ("rna batched serial lane reduction ok", "src/rna/chip.cc",
+         "for (size_t j = 0; j < outCount; ++j)\n"
+         "    runs[L].cost.weightedAccum += "
+         "ws.accumCostB[j * lanes + L];", []),
+        ("batched reduce outside rna flags", "src/runtime/engine.cc",
+         "double sps = std::reduce(laneSps.begin(), laneSps.end(), "
+         "0.0);", ["fp-reduce"]),
         ("rna steady_clock forbidden", "src/rna/chip.cc",
          "auto t = std::chrono::steady_clock::now();", ["wall-clock"]),
         ("rna system_clock hits both rules", "src/rna/chip.cc",
