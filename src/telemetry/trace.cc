@@ -53,7 +53,7 @@ appendJsonEscaped(std::string &out, std::string_view s)
 } // namespace
 
 Tracer::Tracer(size_t capacity)
-    : _ring(std::max<size_t>(capacity, 1))
+    : _capacity(std::max<size_t>(capacity, 1)), _ring(_capacity)
 {
 }
 

@@ -112,7 +112,7 @@ class Tracer
     /** Drop all buffered spans (ids keep advancing). */
     void clear();
 
-    size_t capacity() const { return _ring.size(); }
+    size_t capacity() const { return _capacity; }
 
     /**
      * Current thread's innermost live span id (0 outside any span).
@@ -130,6 +130,9 @@ class Tracer
 
     std::atomic<bool> _enabled{false};
     std::atomic<uint64_t> _nextId{1};
+
+    /** Ring size, fixed at construction; readable without _mutex. */
+    const size_t _capacity;
 
     mutable std::mutex _mutex;
     std::vector<SpanRecord> _ring;  //!< guarded by _mutex
