@@ -11,9 +11,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/sync.hh"
 
 namespace rapidnn {
 
@@ -81,8 +82,8 @@ concat(const Args &...args)
 inline void
 emit(const char *prefix, const std::string &message)
 {
-    static std::mutex mutex;
-    std::lock_guard<std::mutex> lock(mutex);
+    static Mutex mutex;
+    MutexLock lock(mutex);
     std::cerr << prefix << message << "\n";
 }
 

@@ -16,10 +16,10 @@ TaskPool::TaskPool(size_t helperThreads)
 TaskPool::~TaskPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _stop = true;
     }
-    _workCv.notify_all();
+    _workCv.notifyAll();
     for (std::thread &helper : _helpers)
         helper.join();
 }
@@ -107,10 +107,10 @@ TaskPool::run(size_t shards, size_t maxLanes,
     job.shards = shards;
     job.maxLanes = usable;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _jobs.push_back(&job);
     }
-    _workCv.notify_all();
+    _workCv.notifyAll();
     _laneStats[0].steals.fetch_add(1, std::memory_order_relaxed);
 
     // The caller is lane 0 and steals shards like any helper.
@@ -127,28 +127,30 @@ TaskPool::run(size_t shards, size_t maxLanes,
     _laneStats[0].executed.fetch_add(executed,
                                      std::memory_order_relaxed);
 
-    std::unique_lock<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     _jobs.erase(std::find(_jobs.begin(), _jobs.end(), &job));
-    _doneCv.wait(lock, [&] {
-        return job.activeHelpers == 0 &&
-               job.completed.load(std::memory_order_acquire) == shards;
-    });
+    while (job.activeHelpers != 0 ||
+           job.completed.load(std::memory_order_acquire) != shards)
+        _doneCv.wait(_mutex);
 }
 
 void
 TaskPool::helperMain(size_t slot)
 {
-    std::unique_lock<std::mutex> lock(_mutex);
+    _mutex.lock();
     for (;;) {
-        _workCv.wait(lock, [this] { return _stop || openJob() != nullptr; });
-        if (_stop)
+        while (!_stop && openJob() == nullptr)
+            _workCv.wait(_mutex);
+        if (_stop) {
+            _mutex.unlock();
             return;
+        }
         Job *job = openJob();
         if (job == nullptr)
             continue;
         const size_t lane = job->nextLane++;
         ++job->activeHelpers;
-        lock.unlock();
+        _mutex.unlock();
         _laneStats[slot].steals.fetch_add(1,
                                           std::memory_order_relaxed);
         _busyHelpers.fetch_add(1, std::memory_order_relaxed);
@@ -167,12 +169,12 @@ TaskPool::helperMain(size_t slot)
             executed, std::memory_order_relaxed);
         _busyHelpers.fetch_add(-1, std::memory_order_relaxed);
 
-        lock.lock();
+        _mutex.lock();
         // The caller may only destroy the job (its stack frame) after
         // activeHelpers drops to zero, so this decrement is the last
         // touch of `job` by this helper.
         --job->activeHelpers;
-        _doneCv.notify_all();
+        _doneCv.notifyAll();
     }
 }
 

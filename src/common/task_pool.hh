@@ -23,12 +23,12 @@
 #define RAPIDNN_COMMON_TASK_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace rapidnn {
 
@@ -103,7 +103,10 @@ class TaskPool
     int64_t busyHelpers() const;
 
   private:
-    /** One in-flight run() call, owned by its caller's stack frame. */
+    /** One in-flight run() call, owned by its caller's stack frame.
+     *  nextLane/activeHelpers are guarded by the owning pool's _mutex;
+     *  that guard crosses objects, which the static analysis cannot
+     *  express, so it is enforced by TSan and review (DESIGN.md §11). */
     struct Job
     {
         const std::function<void(size_t, size_t)> *fn = nullptr;
@@ -123,16 +126,17 @@ class TaskPool
     };
 
     void helperMain(size_t slot);
-    Job *openJob();  //!< _mutex must be held
+    Job *openJob() RAPIDNN_REQUIRES(_mutex);
 
-    std::mutex _mutex;
-    std::condition_variable _workCv;  //!< helpers wait for open jobs
-    std::condition_variable _doneCv;  //!< callers wait for completion
-    std::vector<Job *> _jobs;         //!< jobs with shards/lanes left
+    Mutex _mutex;
+    CondVar _workCv;  //!< helpers wait for open jobs
+    CondVar _doneCv;  //!< callers wait for completion
+    /** Jobs with shards/lanes left. */
+    std::vector<Job *> _jobs RAPIDNN_GUARDED_BY(_mutex);
     std::vector<std::thread> _helpers;
     std::vector<LaneStat> _laneStats; //!< slot 0 = callers, i = helper
     std::atomic<int64_t> _busyHelpers{0};
-    bool _stop = false;
+    bool _stop RAPIDNN_GUARDED_BY(_mutex) = false;
 };
 
 } // namespace rapidnn

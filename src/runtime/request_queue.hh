@@ -6,18 +6,23 @@
  * requests degrades into admission latency instead of unbounded memory
  * growth. close() lets consumers drain remaining items and then
  * observe end-of-stream.
+ *
+ * Lock discipline (checked by clang -Wthread-safety via the
+ * common/sync.hh capability wrappers): every field but _capacity is
+ * guarded by _mutex; condition-variable notifications happen after the
+ * lock is dropped so a woken thread never immediately blocks on the
+ * mutex the notifier still holds.
  */
 
 #ifndef RAPIDNN_RUNTIME_REQUEST_QUEUE_HH
 #define RAPIDNN_RUNTIME_REQUEST_QUEUE_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "common/check.hh"
+#include "common/sync.hh"
 
 namespace rapidnn::runtime {
 
@@ -38,31 +43,31 @@ class BoundedQueue
      * @return false when the queue was closed instead.
      */
     bool
-    push(T item)
+    push(T item) RAPIDNN_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _notFull.wait(lock, [this] {
-            return _closed || _items.size() < _capacity;
-        });
-        if (_closed)
-            return false;
-        _items.push_back(std::move(item));
-        lock.unlock();
-        _notEmpty.notify_one();
+        {
+            MutexLock lock(_mutex);
+            while (!_closed && _items.size() >= _capacity)
+                _notFull.wait(_mutex);
+            if (_closed)
+                return false;
+            _items.push_back(std::move(item));
+        }
+        _notEmpty.notifyOne();
         return true;
     }
 
     /** Enqueue without blocking; false when full or closed. */
     bool
-    tryPush(T item)
+    tryPush(T item) RAPIDNN_EXCLUDES(_mutex)
     {
         {
-            std::lock_guard<std::mutex> lock(_mutex);
+            MutexLock lock(_mutex);
             if (_closed || _items.size() >= _capacity)
                 return false;
             _items.push_back(std::move(item));
         }
-        _notEmpty.notify_one();
+        _notEmpty.notifyOne();
         return true;
     }
 
@@ -71,13 +76,18 @@ class BoundedQueue
      * closed and fully drained.
      */
     std::optional<T>
-    pop()
+    pop() RAPIDNN_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _notEmpty.wait(lock, [this] {
-            return _closed || !_items.empty();
-        });
-        return takeFront(lock);
+        std::optional<T> item;
+        {
+            MutexLock lock(_mutex);
+            while (!_closed && _items.empty())
+                _notEmpty.wait(_mutex);
+            item = takeFrontLocked();
+        }
+        if (item)
+            _notFull.notifyOne();
+        return item;
     }
 
     /**
@@ -86,20 +96,35 @@ class BoundedQueue
      */
     std::optional<T>
     popUntil(std::chrono::steady_clock::time_point deadline)
+        RAPIDNN_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _notEmpty.wait_until(lock, deadline, [this] {
-            return _closed || !_items.empty();
-        });
-        return takeFront(lock);
+        std::optional<T> item;
+        {
+            MutexLock lock(_mutex);
+            while (!_closed && _items.empty()) {
+                if (_notEmpty.waitUntil(_mutex, deadline)
+                    == std::cv_status::timeout)
+                    break;
+            }
+            item = takeFrontLocked();
+        }
+        if (item)
+            _notFull.notifyOne();
+        return item;
     }
 
     /** Dequeue without blocking; nullopt when nothing is available. */
     std::optional<T>
-    tryPop()
+    tryPop() RAPIDNN_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        return takeFront(lock);
+        std::optional<T> item;
+        {
+            MutexLock lock(_mutex);
+            item = takeFrontLocked();
+        }
+        if (item)
+            _notFull.notifyOne();
+        return item;
     }
 
     /**
@@ -107,53 +132,52 @@ class BoundedQueue
      * drain the remainder and then see end-of-stream.
      */
     void
-    close()
+    close() RAPIDNN_EXCLUDES(_mutex)
     {
         {
-            std::lock_guard<std::mutex> lock(_mutex);
+            MutexLock lock(_mutex);
             _closed = true;
         }
-        _notFull.notify_all();
-        _notEmpty.notify_all();
+        _notFull.notifyAll();
+        _notEmpty.notifyAll();
     }
 
     bool
-    closed() const
+    closed() const RAPIDNN_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         return _closed;
     }
 
     /** Instantaneous depth (racy by nature; for stats snapshots). */
     size_t
-    size() const
+    size() const RAPIDNN_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         return _items.size();
     }
 
     size_t capacity() const { return _capacity; }
 
   private:
-    /** Pop the front under `lock` held; nullopt when empty. */
+    /** Pop the front with _mutex held; nullopt when empty. The caller
+     *  notifies _notFull after dropping the lock. */
     std::optional<T>
-    takeFront(std::unique_lock<std::mutex> &lock)
+    takeFrontLocked() RAPIDNN_REQUIRES(_mutex)
     {
         if (_items.empty())
             return std::nullopt;
         T item = std::move(_items.front());
         _items.pop_front();
-        lock.unlock();
-        _notFull.notify_one();
         return item;
     }
 
-    mutable std::mutex _mutex;
-    std::condition_variable _notFull;
-    std::condition_variable _notEmpty;
-    std::deque<T> _items;
+    mutable Mutex _mutex;
+    CondVar _notFull;
+    CondVar _notEmpty;
+    std::deque<T> _items RAPIDNN_GUARDED_BY(_mutex);
     const size_t _capacity;
-    bool _closed = false;
+    bool _closed RAPIDNN_GUARDED_BY(_mutex) = false;
 };
 
 } // namespace rapidnn::runtime

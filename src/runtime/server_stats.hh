@@ -29,10 +29,10 @@
 #ifndef RAPIDNN_RUNTIME_SERVER_STATS_HH
 #define RAPIDNN_RUNTIME_SERVER_STATS_HH
 
-#include <mutex>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/sync.hh"
 #include "common/units.hh"
 #include "telemetry/telemetry.hh"
 
@@ -136,24 +136,24 @@ class StatsCollector
     void recordRejected() { _rejected.add(1); }
 
     void
-    recordBatch(size_t batchSize)
+    recordBatch(size_t batchSize) RAPIDNN_EXCLUDES(_mutex)
     {
         _batches.add(1);
         _batchSizeHist.observe(static_cast<double>(batchSize));
         _laneUtilization.observe(static_cast<double>(batchSize)
                                  / static_cast<double>(_maxBatch));
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _batchSizes.add(static_cast<double>(batchSize));
     }
 
     void
     recordRequest(double queueWaitUs, double serviceUs,
-                  double latencyUs)
+                  double latencyUs) RAPIDNN_EXCLUDES(_mutex)
     {
         _completed.add(1);
         _latencySeconds.observe(latencyUs * 1e-6);
         _queueWaitSeconds.observe(queueWaitUs * 1e-6);
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _queueWaitUs.add(queueWaitUs);
         _serviceUs.add(serviceUs);
         _latenciesUs.push_back(latencyUs);
@@ -161,13 +161,13 @@ class StatsCollector
 
     /** Fill the collector-owned fields of a snapshot. */
     void
-    snapshotInto(ServerStats &stats) const
+    snapshotInto(ServerStats &stats) const RAPIDNN_EXCLUDES(_mutex)
     {
         stats.submitted = _submitted.value() - _submitted0;
         stats.rejected = _rejected.value() - _rejected0;
         stats.completed = _completed.value() - _completed0;
         stats.batches = _batches.value() - _batches0;
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         stats.queueWaitUs = _queueWaitUs;
         stats.serviceUs = _serviceUs;
         stats.batchSizes = _batchSizes;
@@ -177,11 +177,14 @@ class StatsCollector
     }
 
   private:
-    mutable std::mutex _mutex;
-    Summary _queueWaitUs;
-    Summary _serviceUs;
-    Histogram _batchSizes;
-    std::vector<double> _latenciesUs;
+    mutable Mutex _mutex;
+    /** Exact-percentile mirrors of the registry histograms; the
+     *  registry's sharded atomics handle the hot-path counts, these
+     *  locked copies keep p50/p95/p99 exact. */
+    Summary _queueWaitUs RAPIDNN_GUARDED_BY(_mutex);
+    Summary _serviceUs RAPIDNN_GUARDED_BY(_mutex);
+    Histogram _batchSizes RAPIDNN_GUARDED_BY(_mutex);
+    std::vector<double> _latenciesUs RAPIDNN_GUARDED_BY(_mutex);
 
     telemetry::Counter &_submitted;
     telemetry::Counter &_rejected;

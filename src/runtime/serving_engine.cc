@@ -140,7 +140,7 @@ ServingEngine::admit(Request request, bool &accepted, bool blocking)
     {
         // Pre-count so drain() can never observe finished > accepted;
         // rolled back when admission fails.
-        std::lock_guard<std::mutex> lock(_inflightMutex);
+        MutexLock lock(_inflightMutex);
         ++_accepted;
     }
     BoundedQueue<Request> &queue = targetQueue();
@@ -149,7 +149,7 @@ ServingEngine::admit(Request request, bool &accepted, bool blocking)
     if (accepted) {
         _stats.recordSubmitted();
     } else {
-        std::lock_guard<std::mutex> lock(_inflightMutex);
+        MutexLock lock(_inflightMutex);
         --_accepted;
     }
     return future;
@@ -295,7 +295,7 @@ ServingEngine::workerMain(size_t index)
         // promise, so once drain() observes finished == accepted the
         // perfReport()/stats() roll-ups are complete.
         {
-            std::lock_guard<std::mutex> lock(_perfMutex);
+            MutexLock lock(_perfMutex);
             worker.busyChipTime += batchChipTime;
             worker.perf.merge(batchPerf);
         }
@@ -307,10 +307,10 @@ ServingEngine::workerMain(size_t index)
                 elapsedUs(batch[i].enqueued, done));
             batch[i].promise.set_value(std::move(results[i]));
             {
-                std::lock_guard<std::mutex> lock(_inflightMutex);
+                MutexLock lock(_inflightMutex);
                 ++_finished;
             }
-            _inflightCv.notify_all();
+            _inflightCv.notifyAll();
         }
         if (tracing)
             tracer.record("batch", claimedNs,
@@ -323,8 +323,9 @@ ServingEngine::workerMain(size_t index)
 void
 ServingEngine::drain()
 {
-    std::unique_lock<std::mutex> lock(_inflightMutex);
-    _inflightCv.wait(lock, [this] { return _finished >= _accepted; });
+    MutexLock lock(_inflightMutex);
+    while (_finished < _accepted)
+        _inflightCv.wait(_inflightMutex);
 }
 
 void
@@ -354,7 +355,7 @@ ServingEngine::stats() const
     stats.workers = _workers.size();
     stats.wallSeconds =
         elapsedUs(_start, std::chrono::steady_clock::now()) * 1e-6;
-    std::lock_guard<std::mutex> lock(_perfMutex);
+    MutexLock lock(_perfMutex);
     for (const auto &worker : _workers)
         stats.modeledChipTime =
             std::max(stats.modeledChipTime, worker->busyChipTime);
@@ -365,7 +366,7 @@ rna::PerfReport
 ServingEngine::perfReport() const
 {
     rna::PerfReport merged;
-    std::lock_guard<std::mutex> lock(_perfMutex);
+    MutexLock lock(_perfMutex);
     for (const auto &worker : _workers)
         if (worker->perf.inferences > 0)
             merged.merge(worker->perf);

@@ -21,13 +21,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 #include "blob/blob.hh"
 #include "composer/reinterpreted_model.hh"
@@ -147,7 +147,7 @@ class ServingEngine
     std::optional<std::future<InferResult>> trySubmit(nn::Tensor input);
 
     /** Block until every accepted request has completed. */
-    void drain();
+    void drain() RAPIDNN_EXCLUDES(_inflightMutex);
 
     /**
      * Graceful shutdown: refuse new requests, finish everything
@@ -156,10 +156,10 @@ class ServingEngine
     void shutdown();
 
     /** Point-in-time statistics snapshot. */
-    ServerStats stats() const;
+    ServerStats stats() const RAPIDNN_EXCLUDES(_perfMutex);
 
     /** Per-worker PerfReports merged into one deployment roll-up. */
-    rna::PerfReport perfReport() const;
+    rna::PerfReport perfReport() const RAPIDNN_EXCLUDES(_perfMutex);
 
     const ServingConfig &config() const { return _config; }
 
@@ -186,6 +186,9 @@ class ServingEngine
         rna::Chip chip;
         BoundedQueue<Request> queue;     //!< RoundRobin shard
         MicroBatcher<Request> batcher;   //!< RoundRobin shard
+        /** perf/busyChipTime are guarded by the engine's _perfMutex —
+         *  a cross-object guard the static analysis cannot express;
+         *  enforced by TSan and review (DESIGN.md §11). */
         rna::PerfReport perf;  //!< merged sample reports (_perfMutex)
         Time busyChipTime{};   //!< simulated busy time (_perfMutex)
         std::thread thread;
@@ -194,7 +197,8 @@ class ServingEngine
     void workerMain(size_t index);
     BoundedQueue<Request> &targetQueue();
     std::future<InferResult> admit(Request request, bool &accepted,
-                                   bool blocking);
+                                   bool blocking)
+        RAPIDNN_EXCLUDES(_inflightMutex);
 
     ServingConfig _config;
     /** Keeps a blob-backed model's mapping alive (null for heap
@@ -208,13 +212,13 @@ class ServingEngine
     std::chrono::steady_clock::time_point _start;
 
     /** Guards per-worker perf accounting (batch granularity). */
-    mutable std::mutex _perfMutex;
+    mutable Mutex _perfMutex;
 
     /** accepted/finished counters for drain(). */
-    mutable std::mutex _inflightMutex;
-    std::condition_variable _inflightCv;
-    uint64_t _accepted = 0;
-    uint64_t _finished = 0;
+    mutable Mutex _inflightMutex;
+    CondVar _inflightCv;
+    uint64_t _accepted RAPIDNN_GUARDED_BY(_inflightMutex) = 0;
+    uint64_t _finished RAPIDNN_GUARDED_BY(_inflightMutex) = 0;
 
     std::atomic<bool> _shutdown{false};
 

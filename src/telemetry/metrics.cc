@@ -146,7 +146,7 @@ Counter &
 Registry::counter(const std::string &name, const std::string &help,
                   const std::string &labels)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     Entry &entry = entryFor({name, labels}, MetricKind::Counter, help);
     if (entry.counter == nullptr)
         entry.counter = std::make_unique<Counter>();
@@ -157,7 +157,7 @@ Gauge &
 Registry::gauge(const std::string &name, const std::string &help,
                 const std::string &labels)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     Entry &entry = entryFor({name, labels}, MetricKind::Gauge, help);
     if (entry.gauge == nullptr)
         entry.gauge = std::make_unique<Gauge>();
@@ -169,7 +169,7 @@ Registry::histogram(const std::string &name, const std::string &help,
                     std::vector<double> bounds,
                     const std::string &labels)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     Entry &entry =
         entryFor({name, labels}, MetricKind::Histogram, help);
     if (entry.histogram == nullptr) {
@@ -189,7 +189,7 @@ Registry::addCallback(const std::string &name, const std::string &help,
 {
     RAPIDNN_ASSERT(kind != MetricKind::Histogram,
                    "callback metrics are counters or gauges");
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     Entry &entry = entryFor({name, labels}, kind, help);
     entry.callback = std::move(fn);
     entry.callbackId = _nextCallbackId++;
@@ -201,7 +201,7 @@ Registry::removeCallback(uint64_t id)
 {
     if (id == 0)
         return;
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     for (auto it = _entries.begin(); it != _entries.end(); ++it) {
         if (it->second.callbackId == id) {
             _entries.erase(it);
@@ -213,7 +213,7 @@ Registry::removeCallback(uint64_t id)
 std::vector<MetricSnapshot>
 Registry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     std::vector<MetricSnapshot> out;
     out.reserve(_entries.size());
     for (const auto &[key, entry] : _entries) {

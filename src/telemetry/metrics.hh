@@ -31,9 +31,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace rapidnn::telemetry {
 
@@ -167,13 +168,16 @@ class Registry
     static Registry &global();
 
     Counter &counter(const std::string &name, const std::string &help,
-                     const std::string &labels = "");
+                     const std::string &labels = "")
+        RAPIDNN_EXCLUDES(_mutex);
     Gauge &gauge(const std::string &name, const std::string &help,
-                 const std::string &labels = "");
+                 const std::string &labels = "")
+        RAPIDNN_EXCLUDES(_mutex);
     Histogram &histogram(const std::string &name,
                          const std::string &help,
                          std::vector<double> bounds,
-                         const std::string &labels = "");
+                         const std::string &labels = "")
+        RAPIDNN_EXCLUDES(_mutex);
 
     /**
      * Register a sampled metric: fn() is evaluated under the registry
@@ -183,13 +187,15 @@ class Registry
     uint64_t addCallback(const std::string &name,
                          const std::string &help, MetricKind kind,
                          std::function<double()> fn,
-                         const std::string &labels = "");
+                         const std::string &labels = "")
+        RAPIDNN_EXCLUDES(_mutex);
 
     /** Remove a callback by id; ignores ids already replaced/removed. */
-    void removeCallback(uint64_t id);
+    void removeCallback(uint64_t id) RAPIDNN_EXCLUDES(_mutex);
 
     /** All series, ordered by (name, labels) for deterministic output. */
-    std::vector<MetricSnapshot> snapshot() const;
+    std::vector<MetricSnapshot> snapshot() const
+        RAPIDNN_EXCLUDES(_mutex);
 
   private:
     struct Entry
@@ -206,11 +212,11 @@ class Registry
     using Key = std::pair<std::string, std::string>;
 
     Entry &entryFor(const Key &key, MetricKind kind,
-                    const std::string &help);  //!< _mutex held
+                    const std::string &help) RAPIDNN_REQUIRES(_mutex);
 
-    mutable std::mutex _mutex;
-    std::map<Key, Entry> _entries;
-    uint64_t _nextCallbackId = 1;
+    mutable Mutex _mutex;
+    std::map<Key, Entry> _entries RAPIDNN_GUARDED_BY(_mutex);
+    uint64_t _nextCallbackId RAPIDNN_GUARDED_BY(_mutex) = 1;
 };
 
 /** RAII registration for a callback metric (unregisters on scope exit). */

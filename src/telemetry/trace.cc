@@ -106,7 +106,7 @@ Tracer::record(std::string_view name, uint64_t startNs,
     record.tid = threadTraceId();
     record.arg = arg;
 
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     _ring[_total % _ring.size()] = record;
     ++_total;
 }
@@ -114,7 +114,7 @@ Tracer::record(std::string_view name, uint64_t startNs,
 std::vector<SpanRecord>
 Tracer::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     std::vector<SpanRecord> out;
     const size_t n = std::min<uint64_t>(_total, _ring.size());
     out.reserve(n);
@@ -129,14 +129,14 @@ Tracer::snapshot() const
 uint64_t
 Tracer::recorded() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _total;
 }
 
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     _total = 0;
 }
 

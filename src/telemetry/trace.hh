@@ -24,11 +24,11 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <ostream>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.hh"
 #include "telemetry/metrics.hh"
 
 namespace rapidnn::telemetry {
@@ -101,16 +101,16 @@ class Tracer
      */
     void record(std::string_view name, uint64_t startNs,
                 uint64_t endNs, uint64_t id, uint64_t parent,
-                int64_t arg = -1);
+                int64_t arg = -1) RAPIDNN_EXCLUDES(_mutex);
 
     /** Spans currently buffered, oldest first. */
-    std::vector<SpanRecord> snapshot() const;
+    std::vector<SpanRecord> snapshot() const RAPIDNN_EXCLUDES(_mutex);
 
     /** Total spans ever recorded (including overwritten ones). */
-    uint64_t recorded() const;
+    uint64_t recorded() const RAPIDNN_EXCLUDES(_mutex);
 
     /** Drop all buffered spans (ids keep advancing). */
-    void clear();
+    void clear() RAPIDNN_EXCLUDES(_mutex);
 
     size_t capacity() const { return _capacity; }
 
@@ -134,9 +134,9 @@ class Tracer
     /** Ring size, fixed at construction; readable without _mutex. */
     const size_t _capacity;
 
-    mutable std::mutex _mutex;
-    std::vector<SpanRecord> _ring;  //!< guarded by _mutex
-    uint64_t _total = 0;            //!< guarded by _mutex
+    mutable Mutex _mutex;
+    std::vector<SpanRecord> _ring RAPIDNN_GUARDED_BY(_mutex);
+    uint64_t _total RAPIDNN_GUARDED_BY(_mutex) = 0;
 };
 
 /**
