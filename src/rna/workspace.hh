@@ -261,7 +261,16 @@ struct Workspace
             rawPool.push_back(std::move(buf));
     }
 
-    /** Lease flag: set while an infer() call owns this workspace. */
+    /**
+     * Lease flag: set while an infer() call owns this workspace. This
+     * is a lock-free capability guarding every other field of the
+     * struct — conceptually GUARDED_BY(busy), but atomics are outside
+     * clang's thread-safety analysis, so the protocol lives in
+     * WorkspaceLease (rna/chip.cc) under a documented
+     * RAPIDNN_NO_THREAD_SAFETY_ANALYSIS escape: false->true only by
+     * the one winning exchange(acquire), true->false only by that
+     * winner's store(release). See DESIGN.md §11.
+     */
     std::atomic<bool> busy{false};
 
     /** Grow (never shrink) the per-lane scratch array. Must be called
