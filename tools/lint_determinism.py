@@ -45,6 +45,17 @@ Rules
               KernelOps dispatch table, where the per-variant
               equivalence suite pins it; intrinsics sprinkled
               elsewhere escape that oracle.
+  naked-sync  Raw std synchronization primitives (std::mutex,
+              std::shared_mutex, std::condition_variable[_any],
+              std::lock_guard, std::unique_lock, std::scoped_lock,
+              std::shared_lock and the <mutex>/<shared_mutex>/
+              <condition_variable> includes) outside common/sync.hh.
+              Locking goes through the capability-annotated wrappers
+              (Mutex, CondVar, MutexLock, ...) so clang
+              -Wthread-safety can check the lock discipline; a raw
+              primitive is invisible to the analysis. std::atomic is
+              NOT fenced — lock-free protocols are allowed but must
+              document their invariant (DESIGN.md §11 escape policy).
 
 Suppression
 -----------
@@ -120,6 +131,20 @@ RAW_SIMD_PATTERNS = [
 ]
 RAW_SIMD_ALLOWED = ("src/rna/kernels/", "src/common/simd.hh")
 
+# Raw std sync primitives are invisible to clang -Wthread-safety; all
+# locking must flow through the annotated wrappers in common/sync.hh,
+# the one file allowed to touch the std types (it implements them).
+NAKED_SYNC_PATTERNS = [
+    re.compile(r"#\s*include\s*<\s*(?:mutex|shared_mutex|"
+               r"condition_variable)\s*>"),
+    re.compile(r"\bstd::(?:recursive_|timed_|recursive_timed_|"
+               r"shared_)?mutex\b"),
+    re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+    re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|"
+               r"shared_lock)\b"),
+]
+NAKED_SYNC_ALLOWED = ("src/common/sync.hh",)
+
 
 class Finding:
     def __init__(self, path, lineno, rule, message):
@@ -164,6 +189,8 @@ def lint_lines(rel_path, lines):
         rel_path.startswith(p) for p in WALL_CLOCK_SCOPE)
     raw_simd_allowed = any(
         rel_path.startswith(p) for p in RAW_SIMD_ALLOWED)
+    naked_sync_allowed = any(
+        rel_path.startswith(p) for p in NAKED_SYNC_ALLOWED)
 
     prev = None
     for lineno, line in enumerate(lines, start=1):
@@ -207,6 +234,18 @@ def lint_lines(rel_path, lines):
                         "(and common/simd.hh); vector code must live "
                         "behind the KernelOps dispatch table so the "
                         "per-variant equivalence suite covers it"))
+                    break
+        if not naked_sync_allowed:
+            for pattern in NAKED_SYNC_PATTERNS:
+                if pattern.search(line) and not suppressed(
+                        "naked-sync", line, prev):
+                    findings.append(Finding(
+                        rel_path, lineno, "naked-sync",
+                        "raw std sync primitive outside "
+                        "common/sync.hh; use the capability-annotated "
+                        "wrappers (Mutex/CondVar/MutexLock) so clang "
+                        "-Wthread-safety can check the lock "
+                        "discipline"))
                     break
         prev = line
     return findings
@@ -270,6 +309,34 @@ SELF_TEST_CASES = [
      "srand(1);  // NOLINT-DETERMINISM(fp-reduce): nope", ["rng"]),
     ("star suppresses",
      "srand(1);  // NOLINT-DETERMINISM(*): fixture", []),
+    ("naked mutex member", "std::mutex _mutex;", ["naked-sync"]),
+    ("naked shared_mutex", "mutable std::shared_mutex _rw;",
+     ["naked-sync"]),
+    ("naked condition_variable", "std::condition_variable _cv;",
+     ["naked-sync"]),
+    ("naked condition_variable_any", "std::condition_variable_any cv;",
+     ["naked-sync"]),
+    ("naked lock_guard",
+     "std::lock_guard<std::mutex> lock(_mutex);", ["naked-sync"]),
+    ("naked unique_lock",
+     "std::unique_lock<std::mutex> lock(_mutex);", ["naked-sync"]),
+    ("naked scoped_lock", "std::scoped_lock lock(a, b);",
+     ["naked-sync"]),
+    ("mutex include", "#include <mutex>", ["naked-sync"]),
+    ("condition_variable include", "#include <condition_variable>",
+     ["naked-sync"]),
+    ("shared_mutex include", "#include <shared_mutex>",
+     ["naked-sync"]),
+    ("annotated wrappers ok",
+     "Mutex _mutex;\nCondVar _cv;\nMutexLock lock(_mutex);", []),
+    ("sync.hh include ok", '#include "common/sync.hh"', []),
+    ("atomic is not fenced", "std::atomic<bool> busy{false};", []),
+    ("one naked-sync finding per line",
+     "std::unique_lock<std::mutex> lock(_m); std::condition_variable c;",
+     ["naked-sync"]),
+    ("naked-sync suppressible",
+     "// NOLINT-DETERMINISM(naked-sync): FFI shim needs std type\n"
+     "std::mutex raw;", []),
 ]
 
 
@@ -325,6 +392,13 @@ def self_test():
          "_kops->gather8(src, idx, n, dst);", []),
         ("one finding per line max", "src/rna/chip.cc",
          "__m256i v = _mm256_setzero_si256();", ["raw-simd"]),
+        ("sync.hh may use std primitives", "src/common/sync.hh",
+         "#include <mutex>\nstd::mutex _m;\n"
+         "std::unique_lock<std::mutex> native(mutex._m);", []),
+        ("naked mutex outside sync.hh", "src/runtime/engine.cc",
+         "std::mutex _mutex;", ["naked-sync"]),
+        ("naked sync in rna", "src/rna/chip.cc",
+         "std::lock_guard<std::mutex> lock(_m);", ["naked-sync"]),
     ]
     for name, path, source, expected in scoped_cases:
         got = [f.rule for f in lint_lines(path, source.splitlines())]

@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Layering lint: enforce the architecture include DAG over src/.
+
+The repository is layered (DESIGN.md "Concurrency model & lock
+discipline" has the diagram): common at the bottom, the model pipeline
+(nn -> quant -> composer) and simulated hardware (nvm -> rna) in the
+middle, blob/runtime/core on top, telemetry reachable only from the
+serving layers (and from rna solely through the RAPIDNN_TELEMETRY_*
+macro facade). This lint reads the machine-readable rules in
+tools/layering_rules.md and fails on any `#include "..."` edge the DAG
+does not permit, so an architecture regression is a red CI lint job
+instead of a slow coupling creep.
+
+Rules (finding ids)
+-------------------
+  forbidden-dep   A file includes a layer its own layer's `layer` line
+                  does not list (and no facade/allow covers the edge).
+  facade-bypass   The edge is facaded, but the include names a header
+                  outside the facade's allowed list.
+  unknown-layer   The include names a top-level src/ directory absent
+                  from the rules, or the file itself lives in one.
+
+Unlike lint_determinism.py there is NO inline suppression: exceptions
+are `allow <file> -> <layer>: <reason>` lines in layering_rules.md, so
+every architectural escape stays reviewable in one place.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_RULES = REPO_ROOT / "tools" / "layering_rules.md"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"(?P<path>[^"]+)"')
+LAYER_RE = re.compile(r"^layer\s+(?P<name>[\w.-]+)\s*->\s*(?P<deps>.*)$")
+FACADE_RE = re.compile(
+    r"^facade\s+(?P<src>[\w.-]+)\s*->\s*(?P<dst>[\w.-]+)\s*:"
+    r"\s*(?P<headers>\S.*)$")
+ALLOW_RE = re.compile(
+    r"^allow\s+(?P<file>\S+)\s*->\s*(?P<dst>[\w.-]+)\s*:"
+    r"\s*(?P<reason>\S.*)$")
+
+
+class RulesError(Exception):
+    """layering_rules.md is malformed (usage error, exit 2)."""
+
+
+class Rules:
+    def __init__(self):
+        self.layers = {}   # name -> set of allowed dep layer names
+        self.facades = {}  # (src, dst) -> set of allowed header paths
+        self.allows = {}   # (repo-relative file, dst) -> reason
+
+
+def parse_rules(text):
+    rules = Rules()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        m = LAYER_RE.match(line)
+        if m:
+            name = m.group("name")
+            if name in rules.layers:
+                raise RulesError(f"line {lineno}: duplicate layer "
+                                 f"'{name}'")
+            rules.layers[name] = set(m.group("deps").split())
+            continue
+        m = FACADE_RE.match(line)
+        if m:
+            key = (m.group("src"), m.group("dst"))
+            rules.facades.setdefault(key, set()).update(
+                m.group("headers").split())
+            continue
+        m = ALLOW_RE.match(line)
+        if m:
+            rel = m.group("file")
+            rules.allows[(rel, m.group("dst"))] = m.group("reason")
+            continue
+        if re.match(r"^(layer|facade|allow)\b", line):
+            raise RulesError(f"line {lineno}: malformed directive: "
+                             f"{line!r} (missing reason/headers?)")
+    if not rules.layers:
+        raise RulesError("no `layer` lines found")
+    for name, deps in rules.layers.items():
+        for dep in deps:
+            if dep not in rules.layers:
+                raise RulesError(f"layer '{name}' depends on "
+                                 f"undeclared layer '{dep}'")
+    for (src, dst) in rules.facades:
+        if src not in rules.layers or dst not in rules.layers:
+            raise RulesError(f"facade {src} -> {dst} names an "
+                             "undeclared layer")
+    _check_acyclic(rules)
+    return rules
+
+
+def _check_acyclic(rules):
+    # Facade edges count: they are real dependencies, just narrowed.
+    graph = {name: set(deps) for name, deps in rules.layers.items()}
+    for (src, dst) in rules.facades:
+        graph[src].add(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def visit(node, stack):
+        color[node] = GREY
+        for dep in sorted(graph[node]):
+            if color[dep] == GREY:
+                cycle = stack[stack.index(dep):] + [dep]
+                raise RulesError(
+                    "dependency cycle: " + " -> ".join(cycle))
+            if color[dep] == WHITE:
+                visit(dep, stack + [dep])
+        color[node] = BLACK
+
+    for name in sorted(graph):
+        if color[name] == WHITE:
+            visit(name, [name])
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def layer_of(rel_path):
+    """Layer of a repo-relative src/ file, or None outside src/<dir>/."""
+    parts = pathlib.PurePosixPath(rel_path).parts
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def lint_lines(rel_path, lines, rules):
+    findings = []
+    layer = layer_of(rel_path)
+    if layer is None:
+        return findings
+    if layer not in rules.layers:
+        findings.append(Finding(
+            rel_path, 0, "unknown-layer",
+            f"file lives in layer '{layer}' which layering_rules.md "
+            "does not declare"))
+        return findings
+    deps = rules.layers[layer]
+    for lineno, line in enumerate(lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        header = m.group("path")
+        target = pathlib.PurePosixPath(header).parts[0]
+        if "/" not in header or target == layer:
+            continue  # in-layer or non-layered include
+        if target not in rules.layers:
+            findings.append(Finding(
+                rel_path, lineno, "unknown-layer",
+                f"include of '{header}': '{target}' is not a layer "
+                "declared in layering_rules.md"))
+            continue
+        if target in deps:
+            continue
+        facade = rules.facades.get((layer, target))
+        if facade is not None:
+            if header in facade:
+                continue
+            findings.append(Finding(
+                rel_path, lineno, "facade-bypass",
+                f"'{layer}' may reach '{target}' only through "
+                f"{sorted(facade)}, not '{header}'"))
+            continue
+        if (rel_path, target) in rules.allows:
+            continue
+        findings.append(Finding(
+            rel_path, lineno, "forbidden-dep",
+            f"layer '{layer}' must not include layer '{target}' "
+            f"('{header}'); the DAG in tools/layering_rules.md allows "
+            f"{sorted(deps) if deps else 'no dependencies'}"))
+    return findings
+
+
+def lint_file(path, rules):
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        return [Finding(rel, 0, "io", "file is not valid UTF-8")]
+    return lint_lines(rel, lines, rules)
+
+
+# ------------------------------------------------------------ self-test
+
+SELF_TEST_RULES = """
+layer common ->
+layer telemetry -> common
+layer nn -> common
+layer rna -> common nn
+layer runtime -> common telemetry nn rna
+facade rna -> telemetry: telemetry/telemetry.hh
+allow src/nn/special.hh -> rna: historical upward edge kept for the corpus
+"""
+
+SELF_TEST_CASES = [
+    # (name, repo-relative path, source, expected finding ids)
+    ("in-layer include ok", "src/rna/chip.cc",
+     '#include "rna/workspace.hh"', []),
+    ("declared dep ok", "src/rna/chip.cc",
+     '#include "common/sync.hh"\n#include "nn/tensor.hh"', []),
+    ("system include ignored", "src/rna/chip.cc",
+     "#include <mutex>", []),
+    ("non-layered quoted include ignored", "src/rna/chip.cc",
+     '#include "config.hh"', []),
+    ("upward edge flagged", "src/nn/tensor.cc",
+     '#include "rna/chip.hh"', ["forbidden-dep"]),
+    ("low layer cannot see runtime", "src/rna/chip.cc",
+     '#include "runtime/serving_engine.hh"', ["forbidden-dep"]),
+    ("common depends on nothing", "src/common/sync.hh",
+     '#include "telemetry/metrics.hh"', ["forbidden-dep"]),
+    ("facade header ok", "src/rna/chip.cc",
+     '#include "telemetry/telemetry.hh"', []),
+    ("facade bypass flagged", "src/rna/chip.cc",
+     '#include "telemetry/metrics.hh"', ["facade-bypass"]),
+    ("facade does not leak to other layers", "src/nn/tensor.cc",
+     '#include "telemetry/telemetry.hh"', ["forbidden-dep"]),
+    ("allow exempts the named file", "src/nn/special.hh",
+     '#include "rna/chip.hh"', []),
+    ("allow is per-file", "src/nn/other.hh",
+     '#include "rna/chip.hh"', ["forbidden-dep"]),
+    ("allow is per-target-layer", "src/nn/special.hh",
+     '#include "runtime/batcher.hh"', ["forbidden-dep"]),
+    ("undeclared include target", "src/rna/chip.cc",
+     '#include "gpu/driver.hh"', ["unknown-layer"]),
+    ("undeclared own layer", "src/gpu/driver.cc",
+     '#include "common/check.hh"', ["unknown-layer"]),
+    ("file outside src ignored", "tools/example.cc",
+     '#include "runtime/serving_engine.hh"', []),
+    ("multiple findings accumulate", "src/nn/tensor.cc",
+     '#include "rna/chip.hh"\n#include "runtime/batcher.hh"',
+     ["forbidden-dep", "forbidden-dep"]),
+    ("commented include ignored", "src/nn/tensor.cc",
+     '// #include "rna/chip.hh"', []),
+]
+
+SELF_TEST_BAD_RULES = [
+    ("cycle rejected",
+     "layer a -> b\nlayer b -> a"),
+    ("facade cycle rejected",
+     "layer a ->\nlayer b -> a\nfacade a -> b: b/x.hh"),
+    ("undeclared dep rejected", "layer a -> ghost"),
+    ("duplicate layer rejected", "layer a ->\nlayer a ->"),
+    ("allow without reason rejected",
+     "layer a ->\nallow src/a/x.hh -> a:"),
+    ("facade without headers rejected",
+     "layer a ->\nlayer b ->\nfacade a -> b:"),
+    ("empty rules rejected", "# prose only\n"),
+]
+
+
+def self_test():
+    failures = 0
+    try:
+        rules = parse_rules(SELF_TEST_RULES)
+    except RulesError as err:
+        print(f"self-test FAIL: corpus rules rejected: {err}",
+              file=sys.stderr)
+        return 1
+    for name, path, source, expected in SELF_TEST_CASES:
+        got = [f.rule for f in lint_lines(path, source.splitlines(),
+                                          rules)]
+        if got != expected:
+            print(f"self-test FAIL: {name}: expected {expected}, "
+                  f"got {got}", file=sys.stderr)
+            failures += 1
+    for name, bad in SELF_TEST_BAD_RULES:
+        try:
+            parse_rules(bad)
+        except RulesError:
+            continue
+        print(f"self-test FAIL: {name}: malformed rules accepted",
+              file=sys.stderr)
+        failures += 1
+    # The real rules file must parse and form a DAG.
+    try:
+        parse_rules(DEFAULT_RULES.read_text(encoding="utf-8"))
+    except (OSError, RulesError) as err:
+        print(f"self-test FAIL: tools/layering_rules.md: {err}",
+              file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+    total = len(SELF_TEST_CASES) + len(SELF_TEST_BAD_RULES) + 1
+    print(f"self-test: {total} cases ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="RAPIDNN architecture layering lint")
+    parser.add_argument("--root", default=str(REPO_ROOT / "src"),
+                        help="directory tree to lint (default: src/)")
+    parser.add_argument("--rules", default=str(DEFAULT_RULES),
+                        help="rules file (default: "
+                             "tools/layering_rules.md)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint's own test cases and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files (default: whole --root)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    rules_path = pathlib.Path(args.rules)
+    try:
+        rules = parse_rules(rules_path.read_text(encoding="utf-8"))
+    except OSError as err:
+        print(f"lint_layering: cannot read rules: {err}",
+              file=sys.stderr)
+        return 2
+    except RulesError as err:
+        print(f"lint_layering: {rules_path}: {err}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        root = pathlib.Path(args.root).resolve()
+        if not root.is_dir():
+            print(f"lint_layering: no such directory: {root}",
+                  file=sys.stderr)
+            return 2
+        files = sorted(p for ext in ("*.cc", "*.hh")
+                       for p in root.rglob(ext))
+
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, rules))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_layering: {len(findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint_layering: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
