@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Negative compile checks for common/sync.hh: each numbered case is a
+ * misuse that MUST NOT compile. tests/CMakeLists.txt builds one object
+ * target per case (sync_compile_fail_N, EXCLUDE_FROM_ALL) and registers
+ * a ctest entry with WILL_FAIL that invokes the build — a case that
+ * starts compiling turns the corresponding test red.
+ *
+ * Case 1 fails on every compiler (deleted copy). Cases 2-4 fail only
+ * under clang with -Wthread-safety -Werror=thread-safety-analysis, so
+ * their targets/tests are clang-gated in CMake. Case 0 is the positive
+ * control: correct usage of every construct the failing cases abuse,
+ * compiled with the same flags, proving the corpus fails for the right
+ * reason and not e.g. a broken include path.
+ */
+
+#include "common/sync.hh"
+
+namespace rapidnn {
+
+#if !defined(RAPIDNN_SYNC_COMPILE_FAIL_TEST)
+#error "build this file only via the sync_compile_fail_* targets"
+
+#elif RAPIDNN_SYNC_COMPILE_FAIL_TEST == 0
+
+// Positive control: well-formed usage, must compile cleanly even with
+// the thread-safety analysis promoted to an error.
+class Control
+{
+  public:
+    void
+    deposit(int v) RAPIDNN_EXCLUDES(_mutex)
+    {
+        MutexLock lock(_mutex);
+        _balance += v;
+    }
+
+    int
+    balance() const RAPIDNN_EXCLUDES(_mutex)
+    {
+        MutexLock lock(_mutex);
+        return _balance;
+    }
+
+    void
+    depositLocked(int v) RAPIDNN_REQUIRES(_mutex)
+    {
+        _balance += v;
+    }
+
+    void
+    depositBoth(int v) RAPIDNN_EXCLUDES(_mutex)
+    {
+        MutexLock lock(_mutex);
+        depositLocked(v);
+    }
+
+    void
+    waitForFunds(int floor) RAPIDNN_EXCLUDES(_mutex)
+    {
+        MutexLock lock(_mutex);
+        while (_balance < floor)
+            _funds.wait(_mutex);
+    }
+
+  private:
+    mutable Mutex _mutex;
+    CondVar _funds;
+    int _balance RAPIDNN_GUARDED_BY(_mutex) = 0;
+};
+
+void
+control()
+{
+    Control account;
+    account.deposit(1);
+    account.depositBoth(2);
+    (void)account.balance();
+}
+
+#elif RAPIDNN_SYNC_COMPILE_FAIL_TEST == 1
+
+// Any compiler: scoped locks are RAII-only; copying one would
+// double-release its mutex, so the copy constructor is deleted.
+void
+copyAScopedLock()
+{
+    Mutex mutex;
+    MutexLock lock(mutex);
+    MutexLock copy = lock;  // must not compile
+    (void)copy;
+}
+
+#elif RAPIDNN_SYNC_COMPILE_FAIL_TEST == 2
+
+// Clang -Wthread-safety: reading a GUARDED_BY field without holding
+// its mutex.
+class Account
+{
+  public:
+    int
+    balance() const
+    {
+        return _balance;  // -Werror=thread-safety-analysis
+    }
+
+  private:
+    mutable Mutex _mutex;
+    int _balance RAPIDNN_GUARDED_BY(_mutex) = 0;
+};
+
+int
+unguardedRead()
+{
+    Account account;
+    return account.balance();
+}
+
+#elif RAPIDNN_SYNC_COMPILE_FAIL_TEST == 3
+
+// Clang -Wthread-safety: calling a REQUIRES function without the
+// capability held.
+class Counter
+{
+  public:
+    void
+    bumpLocked() RAPIDNN_REQUIRES(_mutex)
+    {
+        ++_n;
+    }
+
+    void
+    bumpWithoutLock()
+    {
+        bumpLocked();  // -Werror=thread-safety-analysis
+    }
+
+  private:
+    Mutex _mutex;
+    int _n RAPIDNN_GUARDED_BY(_mutex) = 0;
+};
+
+#elif RAPIDNN_SYNC_COMPILE_FAIL_TEST == 4
+
+// Clang -Wthread-safety: re-acquiring a mutex this scope already
+// holds (self-deadlock on a non-recursive mutex).
+void
+doubleAcquire()
+{
+    Mutex mutex;
+    MutexLock lock(mutex);
+    mutex.lock();  // -Werror=thread-safety-analysis
+    mutex.unlock();
+}
+
+#else
+#error "unknown RAPIDNN_SYNC_COMPILE_FAIL_TEST case"
+#endif
+
+} // namespace rapidnn

@@ -4,12 +4,14 @@
 Usage:
     tools/run_clang_tidy.py [--build-dir BUILD] [--jobs N] [paths...]
 
-Requires a build directory configured with
-CMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI clang-tidy job does this; any
-preset can, via -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Exits 0 on zero
-findings, 1 on findings, and 2 (with a clear message) when clang-tidy
-or the compilation database is missing, so callers can distinguish
-"clean" from "could not run".
+Requires a build directory holding compile_commands.json — every
+preset exports one (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the
+top-level CMakeLists.txt). Without --build-dir the script probes the
+preset binary dirs (build, build-threadsafety, build-asan, build-tsan)
+and uses the first that has a database. Exits 0 on zero findings, 1 on
+findings, and 2 (with a clear message) when clang-tidy or the
+compilation database is missing, so callers can distinguish "clean"
+from "could not run".
 """
 
 import argparse
@@ -21,6 +23,18 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+# Preset binary dirs (CMakePresets.json), in probe order.
+BUILD_DIR_CANDIDATES = (
+    "build", "build-threadsafety", "build-asan", "build-tsan")
+
+
+def detect_build_dir():
+    for name in BUILD_DIR_CANDIDATES:
+        candidate = REPO_ROOT / name
+        if (candidate / "compile_commands.json").exists():
+            return candidate
+    return None
+
 
 def find_sources(paths):
     if paths:
@@ -30,8 +44,9 @@ def find_sources(paths):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"),
-                        help="build dir holding compile_commands.json")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: first preset dir that has one)")
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--clang-tidy", default="clang-tidy",
                         help="clang-tidy binary to use")
@@ -44,11 +59,22 @@ def main():
         print("run_clang_tidy: clang-tidy not found on PATH; install it "
               "or pass --clang-tidy", file=sys.stderr)
         return 2
-    compdb = pathlib.Path(args.build_dir) / "compile_commands.json"
-    if not compdb.exists():
-        print(f"run_clang_tidy: {compdb} missing; configure with "
-              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
-        return 2
+    if args.build_dir is None:
+        build_dir = detect_build_dir()
+        if build_dir is None:
+            print("run_clang_tidy: no compile_commands.json in any of "
+                  f"{', '.join(BUILD_DIR_CANDIDATES)}; configure a "
+                  "preset first (every preset exports the database)",
+                  file=sys.stderr)
+            return 2
+    else:
+        build_dir = pathlib.Path(args.build_dir)
+        if not (build_dir / "compile_commands.json").exists():
+            print(f"run_clang_tidy: {build_dir}/compile_commands.json "
+                  "missing; configure that directory first "
+                  "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+                  file=sys.stderr)
+            return 2
 
     sources = find_sources(args.paths)
     if not sources:
@@ -57,7 +83,7 @@ def main():
 
     def run_one(source):
         proc = subprocess.run(
-            [tidy, "-p", args.build_dir, "--quiet", str(source)],
+            [tidy, "-p", str(build_dir), "--quiet", str(source)],
             capture_output=True, text=True)
         return source, proc.returncode, proc.stdout, proc.stderr
 
